@@ -1,0 +1,83 @@
+// E10 — cost-measure robustness (paper §4): counting one unit per access is
+// "somewhat controversial ... a single sorted access is probably much more
+// expensive than a single random access", but the results "are shown to be
+// fairly robust with respect to a choice of cost measure". We recharge the
+// same runs under random-access unit prices from 0.1 to 100 and check that
+// the algorithm ranking (who beats whom) is stable.
+
+#include "bench_util.h"
+#include "middleware/disjunction.h"
+#include "middleware/fagin.h"
+#include "middleware/naive.h"
+#include "middleware/threshold.h"
+
+namespace fuzzydb {
+namespace {
+
+constexpr uint64_t kSeed = 20260706;
+constexpr size_t kN = 100000;
+constexpr size_t kK = 10;
+
+void PrintTables() {
+  Banner("E10: charged cost under varying random-access price (m=2, "
+         "N=100000, k=10; sorted access costs 1)");
+  Rng rng(kSeed);
+  Workload w = IndependentUniform(&rng, kN, 2);
+  std::vector<VectorSource> sources =
+      CheckedValue(w.MakeSources(), "E10 sources");
+  std::vector<GradedSource*> ptrs = SourcePtrs(sources);
+  ScoringRulePtr min = MinRule();
+
+  AccessCost naive =
+      CheckedValue(NaiveTopK(ptrs, *min, kK), "E10 naive").cost;
+  AccessCost a0 = CheckedValue(FaginTopK(ptrs, *min, kK), "E10 a0").cost;
+  AccessCost ta = CheckedValue(ThresholdTopK(ptrs, *min, kK), "E10 ta").cost;
+
+  std::cout << "raw counts: naive sorted=" << naive.sorted
+            << " random=" << naive.random << "; a0 sorted=" << a0.sorted
+            << " random=" << a0.random << "; ta sorted=" << ta.sorted
+            << " random=" << ta.random << "\n";
+
+  TablePrinter table({"random-unit-price", "naive", "fagin-a0", "ta",
+                      "a0-beats-naive", "ta-beats-a0"});
+  for (double price : {0.1, 0.5, 1.0, 2.0, 10.0, 100.0}) {
+    double cn = naive.Charged(price);
+    double ca = a0.Charged(price);
+    double ct = ta.Charged(price);
+    table.AddRow({TablePrinter::Num(price, 4), TablePrinter::Num(cn, 6),
+                  TablePrinter::Num(ca, 6), TablePrinter::Num(ct, 6),
+                  ca < cn ? "yes" : "NO", ct <= ca ? "yes" : "no"});
+  }
+  table.Print();
+  std::cout << "Expectation: a0-beats-naive stays yes across three orders "
+               "of magnitude of random-access price — the paper's \"fairly "
+               "robust with respect to a choice of cost measure\". Only at "
+               "an extreme price (100 sorted accesses per random access) "
+               "does the scan-only naive plan finally win, which is exactly "
+               "the regime where an optimizer with \"a more realistic cost "
+               "measure\" (paper §4) should switch plans.\n";
+}
+
+void BM_ChargedCostAccounting(benchmark::State& state) {
+  // Measures the pure accounting overhead of CountingSource on sorted
+  // access — it must be negligible next to the underlying source.
+  Rng rng(kSeed);
+  Workload w = IndependentUniform(&rng, kN, 1);
+  std::vector<VectorSource> sources =
+      CheckedValue(w.MakeSources(), "bench sources");
+  AccessCost cost;
+  for (auto _ : state) {
+    CountingSource counted(&sources[0], &cost);
+    counted.RestartSorted();
+    while (counted.NextSorted().has_value()) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN));
+}
+BENCHMARK(BM_ChargedCostAccounting);
+
+}  // namespace
+}  // namespace fuzzydb
+
+FUZZYDB_BENCH_MAIN(fuzzydb::PrintTables)

@@ -1,0 +1,103 @@
+// E12 (ablation) — the Chaudhuri–Gravano filter-condition simulation of A0
+// (paper §4.1, [CG96]): a repository that only supports "score >= alpha"
+// retrievals must guess the cutoff. Too optimistic a guess wastes rounds
+// (every retry re-fetches from scratch); too pessimistic a guess fetches
+// far more objects than A0 needs. We sweep the initial cutoff and the
+// shrink factor and compare against true A0.
+
+#include "bench_util.h"
+#include "middleware/fagin.h"
+#include "middleware/filtered.h"
+
+namespace fuzzydb {
+namespace {
+
+constexpr uint64_t kSeed = 20260706;
+constexpr size_t kN = 50000;
+constexpr size_t kK = 10;
+
+void PrintTables() {
+  Banner("E12: filter-condition simulation of A0 (m=2, N=50000, k=10)");
+  Rng rng(kSeed);
+  Workload w = IndependentUniform(&rng, kN, 2);
+  std::vector<VectorSource> sources =
+      CheckedValue(w.MakeSources(), "E12 sources");
+  std::vector<GradedSource*> ptrs = SourcePtrs(sources);
+  ScoringRulePtr min = MinRule();
+
+  TopKResult a0 = CheckedValue(FaginTopK(ptrs, *min, kK), "E12 a0");
+  std::cout << "reference A0 cost: " << a0.cost.total() << "\n";
+
+  TablePrinter table({"initial-alpha", "shrink", "rounds", "final-alpha",
+                      "cost", "cost/a0"});
+  for (double alpha0 : {0.999, 0.99, 0.9, 0.5}) {
+    for (double shrink : {0.9, 0.5, 0.25}) {
+      FilteredOptions options;
+      options.initial_alpha = alpha0;
+      options.shrink = shrink;
+      FilteredStats stats;
+      TopKResult r = CheckedValue(
+          FilteredSimulationTopK(ptrs, *min, kK, options, &stats),
+          "E12 filtered");
+      table.AddRow({TablePrinter::Num(alpha0, 4),
+                    TablePrinter::Num(shrink, 3),
+                    std::to_string(stats.rounds),
+                    TablePrinter::Num(stats.final_alpha, 4),
+                    std::to_string(r.cost.total()),
+                    TablePrinter::Num(static_cast<double>(r.cost.total()) /
+                                          static_cast<double>(a0.cost.total()),
+                                      3)});
+    }
+  }
+  table.Print();
+
+  // The model-based strategy: pick alpha from N, k, m assuming uniform-ish
+  // grades instead of blind shrinking.
+  TablePrinter est({"strategy", "safety", "rounds", "final-alpha", "cost",
+                    "cost/a0"});
+  for (double safety : {1.0, 2.0, 4.0, 8.0}) {
+    FilteredOptions options;
+    options.strategy = AlphaStrategy::kUniformEstimate;
+    options.safety = safety;
+    FilteredStats stats;
+    TopKResult r = CheckedValue(
+        FilteredSimulationTopK(ptrs, *min, kK, options, &stats),
+        "E12 estimate");
+    est.AddRow({"uniform-estimate", TablePrinter::Num(safety, 3),
+                std::to_string(stats.rounds),
+                TablePrinter::Num(stats.final_alpha, 4),
+                std::to_string(r.cost.total()),
+                TablePrinter::Num(static_cast<double>(r.cost.total()) /
+                                      static_cast<double>(a0.cost.total()),
+                                  3)});
+  }
+  est.Print();
+  std::cout << "Expectation: all configurations return the identical top-k. "
+               "Blind geometric shrink lands 7-35x off A0 (gentle shrink "
+               "wastes rounds, coarse shrink overshoots the cutoff), while "
+               "the model-based cutoff reaches ~1-3x of A0 in one or two "
+               "rounds — the tuning trade [CG96] studies.\n";
+}
+
+void BM_FilteredSimulation(benchmark::State& state) {
+  Rng rng(kSeed);
+  Workload w = IndependentUniform(&rng, kN, 2);
+  std::vector<VectorSource> sources =
+      CheckedValue(w.MakeSources(), "bench sources");
+  std::vector<GradedSource*> ptrs = SourcePtrs(sources);
+  ScoringRulePtr min = MinRule();
+  FilteredOptions options;
+  options.initial_alpha =
+      static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    TopKResult r = CheckedValue(
+        FilteredSimulationTopK(ptrs, *min, kK, options), "bench run");
+    benchmark::DoNotOptimize(r.items.data());
+  }
+}
+BENCHMARK(BM_FilteredSimulation)->Arg(999)->Arg(900)->Arg(500);
+
+}  // namespace
+}  // namespace fuzzydb
+
+FUZZYDB_BENCH_MAIN(fuzzydb::PrintTables)

@@ -1,0 +1,134 @@
+// E13 (ablation) — the color-closeness methods of paper §2 compared:
+// the Ioka/QBIC quadratic form (formula (1)), bin-wise L1 / histogram
+// intersection, and Stricker–Orengo color moments. Taking the quadratic
+// form as the reference ranking (it is the method the paper builds on), we
+// measure each alternative's top-k agreement and its per-candidate cost in
+// floating-point work.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "image/color_moments.h"
+#include "image/quadratic_distance.h"
+
+namespace fuzzydb {
+namespace {
+
+constexpr uint64_t kSeed = 20260706;
+constexpr size_t kImages = 1500;
+constexpr size_t kBins = 64;
+constexpr size_t kK = 10;
+constexpr int kQueries = 20;
+
+// Top-k overlap |A ∩ B| / k between two rankings.
+double OverlapAtK(const std::vector<size_t>& a, const std::vector<size_t>& b) {
+  std::vector<size_t> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::vector<size_t> common;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) / static_cast<double>(a.size());
+}
+
+template <typename DistanceFn>
+std::vector<size_t> TopKBy(const DistanceFn& distance, size_t n, size_t k) {
+  std::vector<std::pair<double, size_t>> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = {distance(i), i};
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k),
+                    all.end());
+  std::vector<size_t> out(k);
+  for (size_t i = 0; i < k; ++i) out[i] = all[i].second;
+  return out;
+}
+
+void PrintTables() {
+  Banner("E13: color methods vs the quadratic form (1500 images, 64 bins, "
+         "top-10 overlap over 20 queries)");
+  Rng rng(kSeed);
+  Palette palette = Palette::Uniform(kBins, &rng);
+  QuadraticFormDistance qfd =
+      CheckedValue(QuadraticFormDistance::Create(palette), "E13 qfd");
+  std::vector<Histogram> db;
+  std::vector<ColorMoments> moments;
+  for (size_t i = 0; i < kImages; ++i) {
+    db.push_back(RandomHistogram(&rng, kBins));
+    moments.push_back(
+        CheckedValue(ComputeColorMoments(palette, db.back()), "E13 moments"));
+  }
+
+  double overlap_l1 = 0.0, overlap_inter = 0.0, overlap_moments = 0.0;
+  for (int q = 0; q < kQueries; ++q) {
+    Histogram target = RandomHistogram(&rng, kBins);
+    ColorMoments target_moments =
+        CheckedValue(ComputeColorMoments(palette, target), "E13 target");
+    std::vector<size_t> reference = TopKBy(
+        [&](size_t i) { return qfd.Distance(db[i], target); }, kImages, kK);
+    overlap_l1 += OverlapAtK(
+        reference,
+        TopKBy([&](size_t i) { return HistogramL1Distance(db[i], target); },
+               kImages, kK));
+    overlap_inter += OverlapAtK(
+        reference,
+        TopKBy([&](size_t i) {
+          return 1.0 - HistogramIntersection(db[i], target);
+        }, kImages, kK));
+    overlap_moments += OverlapAtK(
+        reference,
+        TopKBy([&](size_t i) {
+          return ColorMomentDistance(moments[i], target_moments);
+        }, kImages, kK));
+  }
+
+  TablePrinter table({"method", "flops/candidate", "top-10 overlap vs "
+                      "quadratic form"});
+  table.AddRow({"quadratic form (1)", "O(bins^2) = ~4096 mul",
+                "1 (reference)"});
+  table.AddRow({"histogram L1", "O(bins) = 64 ops",
+                TablePrinter::Num(overlap_l1 / kQueries, 3)});
+  table.AddRow({"intersection", "O(bins) = 64 ops",
+                TablePrinter::Num(overlap_inter / kQueries, 3)});
+  table.AddRow({"color moments [SO95]", "O(9) after extraction",
+                TablePrinter::Num(overlap_moments / kQueries, 3)});
+  table.Print();
+  std::cout << "Expectation: L1/intersection agree with each other but only "
+               "partially with the quadratic form (they ignore cross-bin "
+               "color similarity — the reason the paper builds on formula "
+               "(1)); nine-number color moments recover a surprising share "
+               "of the ranking at a tiny fraction of the cost, matching "
+               "[SO95]'s argument.\n";
+}
+
+void BM_ColorDistance(benchmark::State& state) {
+  Rng rng(kSeed);
+  Palette palette = Palette::Uniform(kBins, &rng);
+  QuadraticFormDistance qfd =
+      CheckedValue(QuadraticFormDistance::Create(palette), "bench qfd");
+  Histogram a = RandomHistogram(&rng, kBins);
+  Histogram b = RandomHistogram(&rng, kBins);
+  ColorMoments ma = CheckedValue(ComputeColorMoments(palette, a), "ma");
+  ColorMoments mb = CheckedValue(ComputeColorMoments(palette, b), "mb");
+  const int which = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    double d = 0.0;
+    switch (which) {
+      case 0:
+        d = qfd.Distance(a, b);
+        break;
+      case 1:
+        d = HistogramL1Distance(a, b);
+        break;
+      default:
+        d = ColorMomentDistance(ma, mb);
+        break;
+    }
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetLabel(which == 0 ? "quadratic" : which == 1 ? "l1" : "moments");
+}
+BENCHMARK(BM_ColorDistance)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace fuzzydb
+
+FUZZYDB_BENCH_MAIN(fuzzydb::PrintTables)

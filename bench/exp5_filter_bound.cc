@@ -1,0 +1,150 @@
+// E5 — the distance-bounding filter (paper §2.1, [HSE+95]): a short summary
+// vector x̂ with d(x,y) >= d̂(x̂,ŷ) lets a top-k color search skip most full
+// quadratic-form evaluations with zero false dismissals. We sweep histogram
+// bins (the paper's typical 64/100/256) and filter dimension (the paper's
+// summary is dimension 3).
+
+#include "bench_util.h"
+#include "image/bounding.h"
+#include "image/indexed_search.h"
+
+namespace fuzzydb {
+namespace {
+
+constexpr uint64_t kSeed = 20260706;
+constexpr size_t kDatabase = 2000;
+constexpr size_t kK = 10;
+constexpr int kQueries = 10;
+
+struct Setup {
+  Palette palette;
+  QuadraticFormDistance qfd;
+  std::vector<Histogram> db;
+};
+
+Setup MakeSetup(size_t bins) {
+  Rng rng(kSeed + bins);
+  Setup s;
+  s.palette = Palette::Uniform(bins, &rng);
+  s.qfd = CheckedValue(QuadraticFormDistance::Create(s.palette), "E5 qfd");
+  s.db.reserve(kDatabase);
+  for (size_t i = 0; i < kDatabase; ++i) {
+    s.db.push_back(RandomHistogram(&rng, bins));
+  }
+  return s;
+}
+
+void PrintTables() {
+  Banner("E5: distance-bounding filter (top-10 of 2000 images)");
+  TablePrinter table({"bins", "filter-dim", "energy", "full-dist-evals",
+                      "of-N", "false-dismissals"});
+  for (size_t bins : {64u, 100u, 256u}) {
+    Setup s = MakeSetup(bins);
+    Rng qrng(kSeed * 7 + bins);
+    for (size_t dim : {1u, 3u, 8u}) {
+      EigenFilter filter =
+          CheckedValue(EigenFilter::Create(s.qfd, dim), "E5 filter");
+      size_t total_full = 0;
+      size_t dismissals = 0;
+      for (int q = 0; q < kQueries; ++q) {
+        Histogram target = RandomHistogram(&qrng, bins);
+        FilteredSearchStats stats;
+        auto filtered = CheckedValue(
+            FilteredKnn(s.qfd, filter, s.db, target, kK, &stats),
+            "E5 search");
+        auto exact = ExactKnn(s.qfd, s.db, target, kK);
+        for (size_t i = 0; i < exact.size(); ++i) {
+          if (filtered[i].first != exact[i].first) ++dismissals;
+        }
+        total_full += stats.full_distance_computations;
+      }
+      double avg_full =
+          static_cast<double>(total_full) / static_cast<double>(kQueries);
+      table.AddRow({std::to_string(bins), std::to_string(dim),
+                    TablePrinter::Num(filter.CapturedEnergy(), 3),
+                    TablePrinter::Num(avg_full, 4),
+                    TablePrinter::Num(avg_full / kDatabase * 100.0, 3) + "%",
+                    std::to_string(dismissals)});
+    }
+  }
+  table.Print();
+  std::cout << "Expectation: false-dismissals == 0 everywhere (formula (2)); "
+               "a dimension-3 summary already skips the vast majority of "
+               "full quadratic-form evaluations.\n";
+
+  // E5b: indexing the summaries (paper §2.1's "multidimensional index on
+  // short color vectors") — the GEMINI pipeline vs the flat filter.
+  Banner("E5b: flat filter vs R-tree-indexed summaries (64 bins, dim 3)");
+  Setup s = MakeSetup(64);
+  EigenFilter filter = CheckedValue(EigenFilter::Create(s.qfd, 3), "filter");
+  GeminiIndex gemini =
+      CheckedValue(GeminiIndex::Build(&s.qfd, filter, &s.db), "gemini");
+  Rng qrng(kSeed * 11);
+  size_t flat_bounds = 0, flat_full = 0, gem_bounds = 0, gem_full = 0;
+  size_t mismatches = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    Histogram target = RandomHistogram(&qrng, 64);
+    FilteredSearchStats fs, gs;
+    auto flat = CheckedValue(
+        FilteredKnn(s.qfd, filter, s.db, target, kK, &fs), "flat");
+    auto via_index = CheckedValue(gemini.Knn(target, kK, &gs), "gemini knn");
+    for (size_t i = 0; i < flat.size(); ++i) {
+      if (flat[i].first != via_index[i].first) ++mismatches;
+    }
+    flat_bounds += fs.bound_computations;
+    flat_full += fs.full_distance_computations;
+    gem_bounds += gs.bound_computations;
+    gem_full += gs.full_distance_computations;
+  }
+  TablePrinter gtable({"pipeline", "summary-evals/query", "full-evals/query",
+                       "mismatches"});
+  gtable.AddRow({"flat filter",
+                 TablePrinter::Num(
+                     static_cast<double>(flat_bounds) / kQueries, 4),
+                 TablePrinter::Num(
+                     static_cast<double>(flat_full) / kQueries, 4),
+                 "0"});
+  gtable.AddRow({"gemini (rtree)",
+                 TablePrinter::Num(
+                     static_cast<double>(gem_bounds) / kQueries, 4),
+                 TablePrinter::Num(
+                     static_cast<double>(gem_full) / kQueries, 4),
+                 std::to_string(mismatches)});
+  gtable.Print();
+  std::cout << "Expectation: identical answers (mismatches == 0); the "
+               "R-tree inspects a fraction of the summaries the flat filter "
+               "must score, at the same full-distance refinement count.\n";
+}
+
+void BM_FullDistance(benchmark::State& state) {
+  Setup s = MakeSetup(static_cast<size_t>(state.range(0)));
+  Rng rng(kSeed);
+  Histogram target = RandomHistogram(&rng, s.palette.size());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.qfd.Distance(s.db[i++ % s.db.size()], target));
+  }
+}
+BENCHMARK(BM_FullDistance)->Arg(64)->Arg(256);
+
+void BM_BoundDistance(benchmark::State& state) {
+  Setup s = MakeSetup(static_cast<size_t>(state.range(0)));
+  EigenFilter filter = CheckedValue(EigenFilter::Create(s.qfd, 3), "filter");
+  Rng rng(kSeed);
+  Histogram target = RandomHistogram(&rng, s.palette.size());
+  std::vector<double> ft = filter.Project(target);
+  std::vector<std::vector<double>> projected;
+  for (const Histogram& h : s.db) projected.push_back(filter.Project(h));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EigenFilter::BoundDistance(
+        projected[i++ % projected.size()], ft));
+  }
+}
+BENCHMARK(BM_BoundDistance)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace fuzzydb
+
+FUZZYDB_BENCH_MAIN(fuzzydb::PrintTables)

@@ -1,0 +1,116 @@
+// Complex objects and the join operator (paper §4.2): Advertisements whose
+// subobjects are AdPhotos — some photos shared between ads — queried for
+// "advertisements with a red AdPhoto appearing in an expensive slot".
+// Demonstrates SubobjectSource (component -> parent grade lifting) and
+// TopKJoinSource (A0 as a composable, lazy join operator).
+
+#include <iostream>
+
+#include "catalog/subobject.h"
+#include "image/qbic_source.h"
+#include "middleware/cost.h"
+#include "middleware/join.h"
+#include "middleware/vector_source.h"
+
+using namespace fuzzydb;
+
+int main() {
+  // --- Photo library: 300 synthetic images with ids 1000+. ---
+  ImageStoreOptions options;
+  options.num_images = 300;
+  options.palette_size = 27;
+  options.first_id = 1000;
+  options.seed = 99;
+  Result<ImageStore> photos_result = ImageStore::Generate(options);
+  if (!photos_result.ok()) {
+    std::cerr << photos_result.status().ToString() << "\n";
+    return 1;
+  }
+  ImageStore photos = std::move(*photos_result);
+
+  // --- 100 advertisements (ids 1..100), each with 2-4 photos; every third
+  // photo is shared with the previous ad (the §4.2 sharing issue). ---
+  SubobjectMapping ads;
+  Rng rng(2026);
+  size_t next_photo = 0;
+  for (ObjectId ad = 1; ad <= 100; ++ad) {
+    size_t count = 2 + rng.NextBounded(3);
+    for (size_t p = 0; p < count; ++p) {
+      ObjectId photo;
+      if (ad > 1 && p == 0 && ad % 3 == 0) {
+        // Share the previous ad's last photo.
+        std::vector<ObjectId> prev = ads.ComponentsOf(ad - 1);
+        photo = prev.back();
+      } else {
+        photo = photos.image(next_photo % photos.size()).id;
+        ++next_photo;
+      }
+      (void)ads.Add(ad, photo);
+    }
+  }
+  std::cout << "100 advertisements over " << next_photo
+            << " distinct photos (" << ads.num_pairs()
+            << " parent-component pairs; shared photos included)\n";
+
+  // --- Photo-level atomic query: AdPhoto ~ red. ---
+  Histogram red = TargetHistogram(photos.palette(), {1.0, 0.1, 0.1});
+  Result<QbicColorSource> photo_red =
+      QbicColorSource::Create(&photos, red, "AdPhoto~red");
+  if (!photo_red.ok()) {
+    std::cerr << photo_red.status().ToString() << "\n";
+    return 1;
+  }
+
+  // --- Lift to advertisement level: an ad is red-ish if SOME photo is. ---
+  Result<SubobjectSource> ad_red = SubobjectSource::Create(
+      &*photo_red, &ads, MaxRule(), "Advertisement~red");
+  if (!ad_red.ok()) {
+    std::cerr << ad_red.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\ntop-5 advertisements by 'has a red photo':\n";
+  for (int i = 0; i < 5; ++i) {
+    std::optional<GradedObject> next = ad_red->NextSorted();
+    if (!next.has_value()) break;
+    std::cout << "  ad " << next->id << "  grade " << next->grade
+              << "  (photos:";
+    for (ObjectId photo : ads.ComponentsOf(next->id)) {
+      std::cout << " " << photo;
+    }
+    std::cout << ")\n";
+  }
+  ad_red->RestartSorted();
+
+  // --- A second ad-level attribute and the lazy join. ---
+  std::vector<GradedObject> slot_grades;
+  for (ObjectId ad = 1; ad <= 100; ++ad) {
+    slot_grades.push_back({ad, rng.NextDouble()});
+  }
+  Result<VectorSource> slot =
+      VectorSource::Create(std::move(slot_grades), "SlotValue");
+  if (!slot.ok()) {
+    std::cerr << slot.status().ToString() << "\n";
+    return 1;
+  }
+
+  AccessCost cost;
+  CountingSource counted_red(&*ad_red, &cost);
+  CountingSource counted_slot(&*slot, &cost);
+  Result<TopKJoinSource> join = TopKJoinSource::Create(
+      &counted_red, &counted_slot, MinRule(), "red*slot");
+  if (!join.ok()) {
+    std::cerr << join.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\ntop-5 of (red photo AND valuable slot), via the lazy A0 "
+               "join:\n";
+  for (int i = 0; i < 5; ++i) {
+    std::optional<GradedObject> next = join->NextSorted();
+    if (!next.has_value()) break;
+    std::cout << "  ad " << next->id << "  grade " << next->grade << "\n";
+  }
+  std::cout << "join pulled only " << cost.total()
+            << " accesses from its inputs (2x100 objects available) — "
+               "it certifies each answer incrementally.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Content-based image search (paper §2): atomic similarity queries over a
+// QBIC-like collection, demonstrating
+//   - the quadratic-form color distance and its eigen distance-bounding
+//     filter (no false dismissals, far fewer full distance evaluations);
+//   - shape retrieval via turning functions;
+//   - a multimedia conjunction (Color AND Shape) answered by TA.
+
+#include <iostream>
+
+#include "image/bounding.h"
+#include "image/indexed_search.h"
+#include "image/precompute.h"
+#include "image/qbic_source.h"
+#include "middleware/threshold.h"
+
+using namespace fuzzydb;
+
+int main() {
+  ImageStoreOptions options;
+  options.num_images = 1500;
+  options.palette_size = 64;
+  options.seed = 2026;
+  Result<ImageStore> store_result = ImageStore::Generate(options);
+  if (!store_result.ok()) {
+    std::cerr << store_result.status().ToString() << "\n";
+    return 1;
+  }
+  ImageStore store = std::move(*store_result);
+  const QuadraticFormDistance& qfd = store.color_distance();
+
+  // --- 1. "images whose color is close to red", with and without the
+  // distance-bounding filter. ---
+  Histogram red = TargetHistogram(store.palette(), {1.0, 0.1, 0.1});
+  std::vector<Histogram> histograms;
+  for (const ImageRecord& rec : store.images()) {
+    histograms.push_back(rec.histogram);
+  }
+
+  Result<EigenFilter> filter = EigenFilter::Create(qfd, 3);
+  if (!filter.ok()) {
+    std::cerr << filter.status().ToString() << "\n";
+    return 1;
+  }
+  FilteredSearchStats stats;
+  auto top = FilteredKnn(qfd, *filter, histograms, red, 5, &stats);
+  if (!top.ok()) {
+    std::cerr << top.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "top-5 reddest covers (filtered search):\n";
+  for (const auto& [idx, dist] : *top) {
+    std::cout << "  image " << store.image(idx).id << "  color distance "
+              << dist << "\n";
+  }
+  std::cout << "full quadratic-form evaluations: "
+            << stats.full_distance_computations << " of "
+            << histograms.size() << " (the dimension-3 summary pruned the "
+            << "rest; guaranteed no false dismissals)\n";
+
+  // The same search through the GEMINI pipeline: an R-tree over the
+  // summaries replaces even the linear pass over summary vectors.
+  Result<GeminiIndex> gemini =
+      GeminiIndex::Build(&qfd, *filter, &histograms);
+  if (!gemini.ok()) {
+    std::cerr << gemini.status().ToString() << "\n";
+    return 1;
+  }
+  FilteredSearchStats gstats;
+  auto gtop = gemini->Knn(red, 5, &gstats);
+  if (!gtop.ok()) {
+    std::cerr << gtop.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "same answers via the R-tree-indexed summaries: "
+            << gstats.bound_computations << " summary evaluations instead "
+            << "of " << histograms.size() << "\n";
+
+  // --- 2. "images shaped like a hexagon" via turning functions. ---
+  Result<QbicShapeSource> shape =
+      QbicShapeSource::Create(&store, Polygon::Regular(6), "Shape~hexagon");
+  if (!shape.ok()) {
+    std::cerr << shape.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\ntop-5 most hexagonal covers:\n";
+  for (int i = 0; i < 5; ++i) {
+    std::optional<GradedObject> next = shape->NextSorted();
+    if (!next.has_value()) break;
+    std::cout << "  image " << next->id << "  shape grade " << next->grade
+              << "\n";
+  }
+  shape->RestartSorted();
+
+  // --- 3. The fuzzy conjunction (Color~red AND Shape~hexagon) via TA. ---
+  Result<QbicColorSource> color =
+      QbicColorSource::Create(&store, red, "Color~red");
+  if (!color.ok()) {
+    std::cerr << color.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<GradedSource*> sources{&*color, &*shape};
+  ScoringRulePtr rule = MinRule();
+  Result<TopKResult> conj = ThresholdTopK(sources, *rule, 5);
+  if (!conj.ok()) {
+    std::cerr << conj.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\ntop-5 of (Color~red AND Shape~hexagon) under min, via "
+               "TA:\n";
+  for (const GradedObject& g : conj->items) {
+    std::cout << "  image " << g.id << "  grade " << g.grade << "\n";
+  }
+  std::cout << "access cost: " << conj->cost.total() << " (vs "
+            << 2 * store.size() << " for the naive full scan)\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// User-preference sliders (paper §5): the user cares more about color than
+// shape, and drags a slider. The Fagin–Wimmers formula turns the slider
+// positions into a weighted scoring rule; A0 keeps answering correctly, and
+// the ranking morphs continuously from shape-dominated to color-dominated.
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/weights.h"
+#include "middleware/fagin.h"
+#include "middleware/vector_source.h"
+
+using namespace fuzzydb;
+
+int main() {
+  // Ten candidate objects with a color grade and a shape grade each.
+  std::vector<GradedObject> color_grades{
+      {1, 0.95}, {2, 0.90}, {3, 0.85}, {4, 0.55}, {5, 0.50},
+      {6, 0.45}, {7, 0.30}, {8, 0.25}, {9, 0.20}, {10, 0.10}};
+  std::vector<GradedObject> shape_grades{
+      {1, 0.10}, {2, 0.20}, {3, 0.30}, {4, 0.60}, {5, 0.65},
+      {6, 0.70}, {7, 0.85}, {8, 0.90}, {9, 0.92}, {10, 0.99}};
+  Result<VectorSource> color =
+      VectorSource::Create(std::move(color_grades), "Color~red");
+  Result<VectorSource> shape =
+      VectorSource::Create(std::move(shape_grades), "Shape~round");
+  if (!color.ok() || !shape.ok()) {
+    std::cerr << "setup failed\n";
+    return 1;
+  }
+  std::vector<GradedSource*> sources{&*color, &*shape};
+
+  std::cout << "query: (Color='red') AND (Shape='round') under min, top 3\n"
+            << "slider = importance of color : importance of shape\n\n";
+  std::cout << std::fixed << std::setprecision(3);
+  for (double slider : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    // Slider position 0 = all shape, 1 = all color.
+    Result<Weighting> theta =
+        Weighting::FromSliders({0.02 + slider, 1.02 - slider});
+    if (!theta.ok()) {
+      std::cerr << theta.status().ToString() << "\n";
+      return 1;
+    }
+    ScoringRulePtr rule = WeightedRule(MinRule(), *theta);
+    Result<TopKResult> top = FaginTopK(sources, *rule, 3);
+    if (!top.ok()) {
+      std::cerr << top.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "slider " << (*theta)[0] << ":" << (*theta)[1] << " ->";
+    for (const GradedObject& g : top->items) {
+      std::cout << "  #" << g.id << " (" << g.grade << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nAt the shape end the round objects win; at the color end "
+               "the red ones do; in between the balanced object #4/#5/#6 "
+               "family surfaces. The transform satisfies D1-D3' (paper §5), "
+               "so equal sliders reproduce the plain min ranking.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace fuzzydb {
+
+namespace {
+
+std::string CacheKey(const std::string& attribute, const std::string& target) {
+  return attribute + "\x1f" + target;  // unit separator avoids collisions
+}
+
+}  // namespace
+
+Status Catalog::RegisterAttribute(const std::string& attribute,
+                                  SourceFactory factory) {
+  if (factory == nullptr) return Status::InvalidArgument("null factory");
+  if (!factories_.emplace(attribute, std::move(factory)).second) {
+    return Status::AlreadyExists("attribute '" + attribute +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Status Catalog::RegisterSource(const std::string& attribute,
+                               const std::string& target,
+                               std::unique_ptr<GradedSource> source) {
+  if (source == nullptr) return Status::InvalidArgument("null source");
+  std::string key = CacheKey(attribute, target);
+  if (cache_.count(key)) {
+    return Status::AlreadyExists("source for " + attribute + "='" + target +
+                                 "' already registered");
+  }
+  // Make sure the attribute resolves even without a factory.
+  factories_.try_emplace(attribute, [attribute](const std::string& t)
+                                        -> Result<std::unique_ptr<GradedSource>> {
+    return Status::NotFound("no source registered for " + attribute + "='" +
+                            t + "'");
+  });
+  cache_.emplace(std::move(key), std::move(source));
+  return Status::OK();
+}
+
+Result<GradedSource*> Catalog::Resolve(const std::string& attribute,
+                                       const std::string& target) {
+  std::string key = CacheKey(attribute, target);
+  auto cached = cache_.find(key);
+  if (cached != cache_.end()) return cached->second.get();
+
+  auto fit = factories_.find(attribute);
+  if (fit == factories_.end()) {
+    return Status::NotFound("unknown attribute '" + attribute + "'");
+  }
+  Result<std::unique_ptr<GradedSource>> built = fit->second(target);
+  if (!built.ok()) return built.status();
+  GradedSource* raw = built->get();
+  cache_.emplace(std::move(key), std::move(*built));
+  return raw;
+}
+
+SourceResolver Catalog::AsResolver() {
+  return [this](const Query& atom) -> Result<GradedSource*> {
+    return Resolve(atom.attribute(), atom.target());
+  };
+}
+
+std::vector<std::string> Catalog::Attributes() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fuzzydb

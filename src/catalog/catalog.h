@@ -1,0 +1,57 @@
+// The middleware catalog: maps query attributes to the subsystems that can
+// answer them. An attribute registers a factory that builds (and the catalog
+// caches) one GradedSource per target value — e.g. attribute "Color" builds
+// a QbicColorSource for target "red".
+
+#ifndef FUZZYDB_CATALOG_CATALOG_H_
+#define FUZZYDB_CATALOG_CATALOG_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/query.h"
+#include "middleware/executor.h"
+#include "middleware/source.h"
+
+namespace fuzzydb {
+
+/// Builds the source answering `attribute = target` for one target.
+using SourceFactory =
+    std::function<Result<std::unique_ptr<GradedSource>>(const std::string&
+                                                            target)>;
+
+/// Attribute registry + per-(attribute, target) source cache.
+class Catalog {
+ public:
+  /// Registers a factory for an attribute; AlreadyExists on duplicates.
+  Status RegisterAttribute(const std::string& attribute,
+                           SourceFactory factory);
+
+  /// Registers a pre-built source for one exact (attribute, target) pair;
+  /// the catalog takes ownership.
+  Status RegisterSource(const std::string& attribute,
+                        const std::string& target,
+                        std::unique_ptr<GradedSource> source);
+
+  /// The source answering the atomic query, building and caching it on
+  /// first use. NotFound for unregistered attributes.
+  Result<GradedSource*> Resolve(const std::string& attribute,
+                                const std::string& target);
+
+  /// Adapter for the executor.
+  SourceResolver AsResolver();
+
+  /// Registered attribute names (sorted), for diagnostics and the SQL
+  /// binder's error messages.
+  std::vector<std::string> Attributes() const;
+
+ private:
+  std::unordered_map<std::string, SourceFactory> factories_;
+  std::unordered_map<std::string, std::unique_ptr<GradedSource>> cache_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_CATALOG_CATALOG_H_

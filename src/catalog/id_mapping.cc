@@ -1,0 +1,56 @@
+#include "catalog/id_mapping.h"
+
+namespace fuzzydb {
+
+Status IdMapping::Add(ObjectId local, ObjectId global) {
+  auto lit = to_global_.find(local);
+  if (lit != to_global_.end()) {
+    return Status::AlreadyExists("local id already mapped");
+  }
+  auto git = to_local_.find(global);
+  if (git != to_local_.end()) {
+    return Status::AlreadyExists("global id already mapped");
+  }
+  to_global_.emplace(local, global);
+  to_local_.emplace(global, local);
+  return Status::OK();
+}
+
+Result<ObjectId> IdMapping::ToGlobal(ObjectId local) const {
+  auto it = to_global_.find(local);
+  if (it == to_global_.end()) return Status::NotFound("unmapped local id");
+  return it->second;
+}
+
+Result<ObjectId> IdMapping::ToLocal(ObjectId global) const {
+  auto it = to_local_.find(global);
+  if (it == to_local_.end()) return Status::NotFound("unmapped global id");
+  return it->second;
+}
+
+std::optional<GradedObject> MappedSource::NextSorted() {
+  for (;;) {
+    std::optional<GradedObject> next = inner_->NextSorted();
+    if (!next.has_value()) return std::nullopt;
+    Result<ObjectId> global = mapping_->ToGlobal(next->id);
+    if (global.ok()) return GradedObject{*global, next->grade};
+    // Objects the middleware does not know are skipped, not surfaced.
+  }
+}
+
+double MappedSource::RandomAccess(ObjectId global) {
+  Result<ObjectId> local = mapping_->ToLocal(global);
+  if (!local.ok()) return 0.0;
+  return inner_->RandomAccess(*local);
+}
+
+std::vector<GradedObject> MappedSource::AtLeast(double threshold) {
+  std::vector<GradedObject> out;
+  for (const GradedObject& g : inner_->AtLeast(threshold)) {
+    Result<ObjectId> global = mapping_->ToGlobal(g.id);
+    if (global.ok()) out.push_back({*global, g.grade});
+  }
+  return out;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,58 @@
+// Object-id correspondence between subsystems (paper §4.2): "the 'same'
+// object might have different identities in different subsystems. Even if
+// there is some correspondence ... Garlic has to be sure that the mapping is
+// one-to-one." IdMapping is a validated bijection between a subsystem's
+// local ids and the middleware's global ids; MappedSource rewrites ids at
+// the interface so algorithms only ever see global ids.
+
+#ifndef FUZZYDB_CATALOG_ID_MAPPING_H_
+#define FUZZYDB_CATALOG_ID_MAPPING_H_
+
+#include <unordered_map>
+
+#include "middleware/source.h"
+
+namespace fuzzydb {
+
+/// A bijection local-id <-> global-id.
+class IdMapping {
+ public:
+  /// Adds a pair; rejects any violation of one-to-one-ness on either side.
+  Status Add(ObjectId local, ObjectId global);
+
+  /// Global id for a local id, or NotFound.
+  Result<ObjectId> ToGlobal(ObjectId local) const;
+  /// Local id for a global id, or NotFound.
+  Result<ObjectId> ToLocal(ObjectId global) const;
+
+  size_t size() const { return to_global_.size(); }
+
+ private:
+  std::unordered_map<ObjectId, ObjectId> to_global_;
+  std::unordered_map<ObjectId, ObjectId> to_local_;
+};
+
+/// Wraps a subsystem source whose ids are local, exposing global ids.
+/// Sorted access drops objects without a mapping (they do not exist for the
+/// middleware); random access on an unmapped global id returns grade 0.
+class MappedSource final : public GradedSource {
+ public:
+  /// `inner` and `mapping` must outlive this wrapper.
+  MappedSource(GradedSource* inner, const IdMapping* mapping)
+      : inner_(inner), mapping_(mapping) {}
+
+  size_t Size() const override { return mapping_->size(); }
+  std::optional<GradedObject> NextSorted() override;
+  void RestartSorted() override { inner_->RestartSorted(); }
+  double RandomAccess(ObjectId global) override;
+  std::vector<GradedObject> AtLeast(double threshold) override;
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  GradedSource* inner_;
+  const IdMapping* mapping_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_CATALOG_ID_MAPPING_H_

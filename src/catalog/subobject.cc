@@ -1,0 +1,82 @@
+#include "catalog/subobject.h"
+
+#include <algorithm>
+
+namespace fuzzydb {
+
+Status SubobjectMapping::Add(ObjectId parent, ObjectId component) {
+  auto& comps = components_of_[parent];
+  if (std::find(comps.begin(), comps.end(), component) != comps.end()) {
+    return Status::AlreadyExists("component already attached to parent");
+  }
+  if (comps.empty()) parent_order_.push_back(parent);
+  comps.push_back(component);
+  parents_of_[component].push_back(parent);
+  ++num_pairs_;
+  return Status::OK();
+}
+
+std::vector<ObjectId> SubobjectMapping::ComponentsOf(ObjectId parent) const {
+  auto it = components_of_.find(parent);
+  return it == components_of_.end() ? std::vector<ObjectId>{} : it->second;
+}
+
+std::vector<ObjectId> SubobjectMapping::ParentsOf(ObjectId component) const {
+  auto it = parents_of_.find(component);
+  return it == parents_of_.end() ? std::vector<ObjectId>{} : it->second;
+}
+
+Result<SubobjectSource> SubobjectSource::Create(
+    GradedSource* inner, const SubobjectMapping* mapping,
+    ScoringRulePtr combiner, std::string label) {
+  if (inner == nullptr) return Status::InvalidArgument("null inner source");
+  if (mapping == nullptr) return Status::InvalidArgument("null mapping");
+  if (combiner == nullptr) return Status::InvalidArgument("null combiner");
+
+  // One pass of sorted access over the component source collects every
+  // component's grade; unknown components keep grade 0.
+  std::unordered_map<ObjectId, double> component_grades;
+  inner->RestartSorted();
+  while (std::optional<GradedObject> next = inner->NextSorted()) {
+    component_grades.emplace(next->id, next->grade);
+  }
+  inner->RestartSorted();
+
+  SubobjectSource src;
+  src.label_ = std::move(label);
+  src.sorted_.reserve(mapping->parents().size());
+  std::vector<double> scores;
+  for (ObjectId parent : mapping->parents()) {
+    scores.clear();
+    for (ObjectId component : mapping->ComponentsOf(parent)) {
+      auto it = component_grades.find(component);
+      scores.push_back(it == component_grades.end() ? 0.0 : it->second);
+    }
+    double grade = scores.empty() ? 0.0 : combiner->Apply(scores);
+    src.sorted_.push_back({parent, grade});
+    src.grades_.emplace(parent, grade);
+  }
+  std::sort(src.sorted_.begin(), src.sorted_.end(), GradeDescending);
+  return src;
+}
+
+std::optional<GradedObject> SubobjectSource::NextSorted() {
+  if (cursor_ >= sorted_.size()) return std::nullopt;
+  return sorted_[cursor_++];
+}
+
+double SubobjectSource::RandomAccess(ObjectId parent) {
+  auto it = grades_.find(parent);
+  return it == grades_.end() ? 0.0 : it->second;
+}
+
+std::vector<GradedObject> SubobjectSource::AtLeast(double threshold) {
+  std::vector<GradedObject> out;
+  for (const GradedObject& g : sorted_) {
+    if (g.grade < threshold) break;
+    out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace fuzzydb

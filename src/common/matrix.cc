@@ -1,0 +1,146 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace fuzzydb {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = i + 1; j < cols_; ++j) {
+      if (std::fabs(At(i, j) - At(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> Matrix::Mul(std::span<const double> x) const {
+  assert(x.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = data_.data() + i * cols_;
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * x[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+double Matrix::QuadraticForm(std::span<const double> x) const {
+  assert(rows_ == cols_ && x.size() == rows_);
+  double acc = 0.0;
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = data_.data() + i * cols_;
+    double inner = 0.0;
+    for (size_t j = 0; j < cols_; ++j) inner += row[j] * x[j];
+    acc += x[i] * inner;
+  }
+  return acc;
+}
+
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                int max_sweeps, double tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Jacobi eigensolver requires square matrix");
+  }
+  if (!a.IsSymmetric(1e-9)) {
+    return Status::InvalidArgument("Jacobi eigensolver requires symmetry");
+  }
+  const size_t n = a.rows();
+  Matrix m = a;                    // working copy, driven to diagonal
+  Matrix v = Matrix::Identity(n);  // accumulated rotations (rows=eigvec later)
+
+  auto off_diag = [&m, n]() {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = i + 1; j < n; ++j) s += m.At(i, j) * m.At(i, j);
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps && off_diag() > tol; ++sweep) {
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = m.At(p, q);
+        if (std::fabs(apq) <= tol * 1e-3) continue;
+        double app = m.At(p, p);
+        double aqq = m.At(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Apply rotation J(p, q, theta): M <- J^T M J, V <- V J.
+        for (size_t i = 0; i < n; ++i) {
+          double mip = m.At(i, p);
+          double miq = m.At(i, q);
+          m.At(i, p) = c * mip - s * miq;
+          m.At(i, q) = s * mip + c * miq;
+        }
+        for (size_t j = 0; j < n; ++j) {
+          double mpj = m.At(p, j);
+          double mqj = m.At(q, j);
+          m.At(p, j) = c * mpj - s * mqj;
+          m.At(q, j) = s * mpj + c * mqj;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          double vip = v.At(i, p);
+          double viq = v.At(i, q);
+          v.At(i, p) = c * vip - s * viq;
+          v.At(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort by eigenvalue descending.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = m.At(i, i);
+  std::sort(order.begin(), order.end(),
+            [&diag](size_t x, size_t y) { return diag[x] > diag[y]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    size_t src = order[r];
+    out.values[r] = diag[src];
+    for (size_t i = 0; i < n; ++i) out.vectors.At(r, i) = v.At(i, src);
+  }
+  return out;
+}
+
+double Norm2(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double EuclideanDistance(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace fuzzydb

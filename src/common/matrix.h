@@ -1,0 +1,79 @@
+// Small dense linear algebra: just enough for quadratic-form distances and
+// the eigen-projection distance-bounding filter (Jacobi symmetric
+// eigensolver). Not a general-purpose BLAS.
+
+#ifndef FUZZYDB_COMMON_MATRIX_H_
+#define FUZZYDB_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fuzzydb {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero-filled rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// n x n identity.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Row r as a contiguous span.
+  std::span<const double> Row(size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// True iff |At(i,j) - At(j,i)| <= tol for all i, j (requires square).
+  bool IsSymmetric(double tol = 1e-12) const;
+
+  /// Matrix-vector product; `x.size()` must equal cols().
+  std::vector<double> Mul(std::span<const double> x) const;
+
+  /// Quadratic form x^T * this * x; `x.size()` must equal rows() == cols().
+  double QuadraticForm(std::span<const double> x) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Eigen-decomposition of a symmetric matrix: A = V diag(values) V^T.
+struct EigenDecomposition {
+  /// Eigenvalues, sorted descending.
+  std::vector<double> values;
+  /// Column i of `vectors` (as rows of this matrix: vectors.Row(i)) is the
+  /// unit eigenvector for values[i].
+  Matrix vectors;  // row i = eigenvector i
+};
+
+/// Cyclic Jacobi rotation eigensolver for symmetric matrices.
+///
+/// Converges for any symmetric input; returns InvalidArgument for non-square
+/// or non-symmetric matrices. Cost O(n^3) per sweep; fine for n <= ~512.
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                int max_sweeps = 64,
+                                                double tol = 1e-12);
+
+/// Euclidean norm of v.
+double Norm2(std::span<const double> v);
+/// Dot product; spans must be the same length.
+double Dot(std::span<const double> a, std::span<const double> b);
+/// Euclidean distance between equal-length vectors.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_COMMON_MATRIX_H_

@@ -1,0 +1,122 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace fuzzydb {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextGaussian() {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return cached_gauss_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_gauss_ = r * std::sin(theta);
+  have_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  assert(n >= 1);
+  // Rejection sampling (Devroye); handles s = 1 via the limit form.
+  const double nd = static_cast<double>(n);
+  auto h_integral = [s](double x) {
+    if (s == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_integral_inv = [s](double x) {
+    if (s == 1.0) return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double h_x1 = h_integral(1.5) - 1.0;
+  const double h_n = h_integral(nd + 0.5);
+  for (;;) {
+    double u = h_x1 + NextDouble() * (h_n - h_x1);
+    double x = h_integral_inv(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    double kd = static_cast<double>(k);
+    // Accept when u falls inside the histogram column of rank k
+    // (rejection-inversion, Devroye).
+    if (u >= h_integral(kd + 0.5) - std::pow(kd, -s)) return k;
+  }
+}
+
+std::vector<double> UniformGrades(Rng* rng, size_t n) {
+  std::vector<double> out(n);
+  for (double& g : out) g = rng->NextDouble();
+  return out;
+}
+
+std::vector<size_t> RandomPermutation(Rng* rng, size_t n) {
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  rng->Shuffle(&out);
+  return out;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random generation for workloads and property tests.
+//
+// We carry our own generator (xoshiro256++) instead of <random> engines so
+// that workloads are reproducible byte-for-byte across standard libraries —
+// experiment tables in EXPERIMENTS.md depend on that.
+
+#ifndef FUZZYDB_COMMON_RANDOM_H_
+#define FUZZYDB_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fuzzydb {
+
+/// xoshiro256++ PRNG seeded via SplitMix64; not cryptographic.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` using SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound), bound > 0 (rejection-free Lemire trick).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box–Muller (one value per call; caches the pair).
+  double NextGaussian();
+
+  /// Zipf-distributed rank in [1, n] with exponent `s` (inverse-CDF over a
+  /// precomputable harmonic table is avoided; uses rejection sampling).
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool have_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+/// Returns n i.i.d. uniform [0,1) grades.
+std::vector<double> UniformGrades(Rng* rng, size_t n);
+
+/// Returns a random permutation of {0, 1, ..., n-1}.
+std::vector<size_t> RandomPermutation(Rng* rng, size_t n);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_COMMON_RANDOM_H_

@@ -1,0 +1,89 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fuzzydb {
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Result<LinearFit> FitLinear(std::span<const double> xs,
+                            std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("FitLinear: size mismatch");
+  }
+  if (xs.size() < 2) {
+    return Status::InvalidArgument("FitLinear: need at least 2 points");
+  }
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    return Status::InvalidArgument("FitLinear: constant x values");
+  }
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 0.0) {
+    fit.r2 = 1.0;  // ys constant and perfectly explained by intercept
+  } else {
+    double ss_res = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r2 = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+Result<LinearFit> FitPowerLaw(std::span<const double> xs,
+                              std::span<const double> ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0.0) {
+      return Status::InvalidArgument("FitPowerLaw: non-positive x");
+    }
+    lx[i] = std::log(xs[i]);
+  }
+  for (size_t i = 0; i < ys.size(); ++i) {
+    if (ys[i] <= 0.0) {
+      return Status::InvalidArgument("FitPowerLaw: non-positive y");
+    }
+    ly[i] = std::log(ys[i]);
+  }
+  return FitLinear(lx, ly);
+}
+
+}  // namespace fuzzydb

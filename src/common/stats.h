@@ -1,0 +1,43 @@
+// Summary statistics and the log-log slope fit used by the experiment
+// harness to estimate cost-scaling exponents (Theorem 4.1/4.2).
+
+#ifndef FUZZYDB_COMMON_STATS_H_
+#define FUZZYDB_COMMON_STATS_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fuzzydb {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double Mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 if fewer than two values.
+double StdDev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]; requires non-empty input.
+double Percentile(std::vector<double> xs, double p);
+
+/// Least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination of the fit.
+  double r2 = 0.0;
+};
+
+/// Ordinary least squares; requires xs.size() == ys.size() >= 2 and
+/// non-constant xs.
+Result<LinearFit> FitLinear(std::span<const double> xs,
+                            std::span<const double> ys);
+
+/// Fits log(y) = slope*log(x) + c, i.e. the exponent of a power law
+/// y ~ x^slope. Requires strictly positive inputs.
+Result<LinearFit> FitPowerLaw(std::span<const double> xs,
+                              std::span<const double> ys);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_COMMON_STATS_H_

@@ -1,0 +1,144 @@
+#include "core/equivalence.h"
+
+#include <cassert>
+
+namespace fuzzydb {
+
+namespace {
+
+QueryPtr RandomTree(Rng* rng, const std::vector<std::string>& attrs,
+                    size_t depth, const ScoringRulePtr& and_rule,
+                    const ScoringRulePtr& or_rule) {
+  if (depth == 0 || rng->NextBernoulli(0.35)) {
+    const std::string& attr = attrs[rng->NextBounded(attrs.size())];
+    return Query::Atomic(attr, "t");
+  }
+  size_t fanout = 2 + rng->NextBounded(2);
+  std::vector<QueryPtr> children;
+  children.reserve(fanout);
+  for (size_t i = 0; i < fanout; ++i) {
+    children.push_back(RandomTree(rng, attrs, depth - 1, and_rule, or_rule));
+  }
+  return rng->NextBernoulli(0.5)
+             ? Query::And(std::move(children), and_rule)
+             : Query::Or(std::move(children), or_rule);
+}
+
+// Deep-copies `node`, applying at most one rewrite at a uniformly chosen
+// position (chosen via reservoir counting over combination nodes).
+struct Rewriter {
+  Rng* rng;
+  ScoringRulePtr and_rule;
+  ScoringRulePtr or_rule;
+  size_t fresh_counter = 0;
+
+  QueryPtr FreshAtom() {
+    return Query::Atomic("__fresh" + std::to_string(fresh_counter++), "t");
+  }
+
+  QueryPtr Copy(const QueryPtr& node) {
+    switch (node->kind()) {
+      case Query::Kind::kAtomic:
+        return Query::Atomic(node->attribute(), node->target());
+      case Query::Kind::kNot:
+        return Query::Not(Copy(node->children()[0]), node->negation());
+      case Query::Kind::kAnd:
+      case Query::Kind::kOr: {
+        std::vector<QueryPtr> children;
+        children.reserve(node->children().size());
+        for (const QueryPtr& c : node->children()) {
+          children.push_back(Copy(c));
+        }
+        return node->kind() == Query::Kind::kAnd
+                   ? Query::And(std::move(children), and_rule)
+                   : Query::Or(std::move(children), or_rule);
+      }
+    }
+    return node;
+  }
+
+  // One random identity applied to a copy of `node` (which may be atomic).
+  QueryPtr RewriteHere(const QueryPtr& node) {
+    QueryPtr copy = Copy(node);
+    switch (rng->NextBounded(4)) {
+      case 0: {  // idempotence: A -> A AND A
+        return Query::And({copy, Copy(node)}, and_rule);
+      }
+      case 1: {  // absorption: A -> A AND (A OR B), B fresh
+        QueryPtr inner = Query::Or({Copy(node), FreshAtom()}, or_rule);
+        return Query::And({copy, std::move(inner)}, and_rule);
+      }
+      case 2: {  // dual absorption: A -> A OR (A AND B), B fresh
+        QueryPtr inner = Query::And({Copy(node), FreshAtom()}, and_rule);
+        return Query::Or({copy, std::move(inner)}, or_rule);
+      }
+      default: {  // commutativity / distribution on combination nodes
+        if (copy->kind() == Query::Kind::kAnd ||
+            copy->kind() == Query::Kind::kOr) {
+          std::vector<QueryPtr> children = copy->children();
+          rng->Shuffle(&children);
+          if (copy->kind() == Query::Kind::kAnd && children.size() == 2 &&
+              children[1]->kind() == Query::Kind::kOr &&
+              rng->NextBernoulli(0.5)) {
+            // A AND (B OR C...) -> (A AND B) OR (A AND C) ...
+            std::vector<QueryPtr> distributed;
+            for (const QueryPtr& d : children[1]->children()) {
+              distributed.push_back(
+                  Query::And({Copy(children[0]), Copy(d)}, and_rule));
+            }
+            return Query::Or(std::move(distributed), or_rule);
+          }
+          return copy->kind() == Query::Kind::kAnd
+                     ? Query::And(std::move(children), and_rule)
+                     : Query::Or(std::move(children), or_rule);
+        }
+        // Atomic fallback: idempotence via OR.
+        return Query::Or({copy, Copy(node)}, or_rule);
+      }
+    }
+  }
+
+  // Applies one rewrite at a random node of the tree.
+  QueryPtr RewriteSomewhere(const QueryPtr& node) {
+    // With probability proportional to subtree choice, descend.
+    if (node->kind() != Query::Kind::kAtomic && rng->NextBernoulli(0.6)) {
+      std::vector<QueryPtr> children = node->children();
+      size_t pick = rng->NextBounded(children.size());
+      children[pick] = RewriteSomewhere(children[pick]);
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i != pick) children[i] = Copy(children[i]);
+      }
+      return node->kind() == Query::Kind::kAnd
+                 ? Query::And(std::move(children), and_rule)
+                 : Query::Or(std::move(children), or_rule);
+    }
+    return RewriteHere(node);
+  }
+};
+
+}  // namespace
+
+QueryPtr RandomMonotoneQuery(Rng* rng, const std::vector<std::string>& attrs,
+                             size_t max_depth, ScoringRulePtr and_rule,
+                             ScoringRulePtr or_rule) {
+  assert(!attrs.empty());
+  return RandomTree(rng, attrs, max_depth, and_rule, or_rule);
+}
+
+QueryPtr RewriteEquivalent(const QueryPtr& query, Rng* rng, size_t steps,
+                           ScoringRulePtr and_rule, ScoringRulePtr or_rule) {
+  Rewriter rewriter{rng, std::move(and_rule), std::move(or_rule)};
+  QueryPtr out = rewriter.Copy(query);
+  for (size_t s = 0; s < steps; ++s) {
+    out = rewriter.RewriteSomewhere(out);
+  }
+  return out;
+}
+
+QueryPtr WithRules(const QueryPtr& query, ScoringRulePtr and_rule,
+                   ScoringRulePtr or_rule) {
+  Rewriter rewriter{nullptr, std::move(and_rule), std::move(or_rule)};
+  return rewriter.Copy(query);
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,50 @@
+// Logical equivalence of fuzzy queries (paper §3, Theorem 3.1).
+//
+// The standard min/max semantics has the property that logically equivalent
+// AND/OR combinations get identical grades — "an optimizer can replace a
+// query by a logically equivalent query, and be guaranteed of getting the
+// same answer" — and Theorem 3.1 (Yager; Dubois–Prade) says min/max are the
+// *unique* monotone rules with that property. This module provides
+//   - a random generator of AND/OR query trees, and
+//   - a rewriter applying lattice identities (commutativity, associativity
+//     flattening, idempotence A = A∧A, absorption A = A∧(A∨B), and
+//     distribution A∧(B∨C) = (A∧B)∨(A∧C)),
+// so tests (and users) can check which scoring rules respect equivalence.
+
+#ifndef FUZZYDB_CORE_EQUIVALENCE_H_
+#define FUZZYDB_CORE_EQUIVALENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/query.h"
+
+namespace fuzzydb {
+
+/// A random negation-free query tree over the given attributes, with
+/// AND/OR nodes carrying the given rules (defaults: the standard min/max).
+/// Every attribute is used at least once when depth allows.
+QueryPtr RandomMonotoneQuery(Rng* rng, const std::vector<std::string>& attrs,
+                             size_t max_depth = 3,
+                             ScoringRulePtr and_rule = MinRule(),
+                             ScoringRulePtr or_rule = MaxRule());
+
+/// Applies `steps` random lattice-identity rewrites to `query`, returning a
+/// *logically equivalent* tree (under the two-valued semantics, hence under
+/// min/max by their equivalence preservation). Rewrites may introduce fresh
+/// atoms (absorption adds A∧(A∨B) with a new B), whose grades are
+/// irrelevant to the min/max value. The rewritten tree uses `and_rule` /
+/// `or_rule` at every combination node.
+QueryPtr RewriteEquivalent(const QueryPtr& query, Rng* rng, size_t steps,
+                           ScoringRulePtr and_rule = MinRule(),
+                           ScoringRulePtr or_rule = MaxRule());
+
+/// Rebuilds the tree with different combination rules (same structure) —
+/// used to evaluate one tree under min/max vs product/prob-sum etc.
+QueryPtr WithRules(const QueryPtr& query, ScoringRulePtr and_rule,
+                   ScoringRulePtr or_rule);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_CORE_EQUIVALENCE_H_

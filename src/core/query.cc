@@ -1,0 +1,154 @@
+#include "core/query.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace fuzzydb {
+
+QueryPtr Query::Atomic(std::string attribute, std::string target) {
+  auto q = std::shared_ptr<Query>(new Query(Kind::kAtomic));
+  q->attribute_ = std::move(attribute);
+  q->target_ = std::move(target);
+  return q;
+}
+
+QueryPtr Query::And(std::vector<QueryPtr> children, ScoringRulePtr rule) {
+  assert(!children.empty());
+  auto q = std::shared_ptr<Query>(new Query(Kind::kAnd));
+  q->children_ = std::move(children);
+  q->rule_ = std::move(rule);
+  return q;
+}
+
+QueryPtr Query::Or(std::vector<QueryPtr> children, ScoringRulePtr rule) {
+  assert(!children.empty());
+  auto q = std::shared_ptr<Query>(new Query(Kind::kOr));
+  q->children_ = std::move(children);
+  q->rule_ = std::move(rule);
+  return q;
+}
+
+Result<QueryPtr> Query::WeightedAnd(std::vector<QueryPtr> children,
+                                    Weighting weights, ScoringRulePtr rule) {
+  if (children.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "weighted conjunction needs one weight per conjunct");
+  }
+  auto q = std::shared_ptr<Query>(new Query(Kind::kAnd));
+  q->children_ = std::move(children);
+  q->rule_ = WeightedRule(std::move(rule), weights);
+  q->weights_ = std::move(weights);
+  return QueryPtr(q);
+}
+
+Result<QueryPtr> Query::WeightedOr(std::vector<QueryPtr> children,
+                                   Weighting weights, ScoringRulePtr rule) {
+  if (children.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "weighted disjunction needs one weight per disjunct");
+  }
+  auto q = std::shared_ptr<Query>(new Query(Kind::kOr));
+  q->children_ = std::move(children);
+  q->rule_ = WeightedRule(std::move(rule), weights);
+  q->weights_ = std::move(weights);
+  return QueryPtr(q);
+}
+
+QueryPtr Query::Not(QueryPtr child, NegationFn negation) {
+  assert(child != nullptr);
+  auto q = std::shared_ptr<Query>(new Query(Kind::kNot));
+  q->children_.push_back(std::move(child));
+  q->negation_ = std::move(negation);
+  return q;
+}
+
+double Query::Grade(const GradeOracle& oracle, ObjectId id) const {
+  switch (kind_) {
+    case Kind::kAtomic:
+      return oracle(*this, id);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<double> scores;
+      scores.reserve(children_.size());
+      for (const QueryPtr& c : children_) {
+        scores.push_back(c->Grade(oracle, id));
+      }
+      return rule_->Apply(scores);
+    }
+    case Kind::kNot:
+      return negation_(children_[0]->Grade(oracle, id));
+  }
+  return 0.0;
+}
+
+void Query::CollectAtoms(std::vector<const Query*>* out) const {
+  if (kind_ == Kind::kAtomic) {
+    out->push_back(this);
+    return;
+  }
+  for (const QueryPtr& c : children_) c->CollectAtoms(out);
+}
+
+size_t Query::NumAtoms() const {
+  std::vector<const Query*> atoms;
+  CollectAtoms(&atoms);
+  return atoms.size();
+}
+
+bool Query::IsMonotone() const {
+  switch (kind_) {
+    case Kind::kAtomic:
+      return true;
+    case Kind::kNot:
+      return false;
+    case Kind::kAnd:
+    case Kind::kOr:
+      if (!rule_->monotone()) return false;
+      for (const QueryPtr& c : children_) {
+        if (!c->IsMonotone()) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool Query::IsStrict() const {
+  switch (kind_) {
+    case Kind::kAtomic:
+      return true;
+    case Kind::kNot:
+      return false;
+    case Kind::kAnd:
+    case Kind::kOr:
+      if (!rule_->strict()) return false;
+      for (const QueryPtr& c : children_) {
+        if (!c->IsStrict()) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+std::string Query::ToString() const {
+  switch (kind_) {
+    case Kind::kAtomic:
+      return attribute_ + "='" + target_ + "'";
+    case Kind::kNot:
+      return "NOT(" + children_[0]->ToString() + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::ostringstream os;
+      const char* op = (kind_ == Kind::kAnd) ? " AND" : " OR";
+      os << "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) os << op << "[" << rule_->name() << "] ";
+        os << children_[i]->ToString();
+      }
+      os << ")";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace fuzzydb

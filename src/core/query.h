@@ -1,0 +1,116 @@
+// Fuzzy query AST: Boolean combinations of atomic queries (paper §3).
+//
+// Atomic queries are `X = t` (attribute, target); the example
+//   (Artist='Beatles') AND (AlbumColor~'red')
+// is And({Atomic("Artist","Beatles"), Atomic("AlbumColor","red")}, MinRule()).
+// And/Or nodes carry a scoring rule (min/max by default, any t-norm/co-norm
+// or mean otherwise) and optionally a Fagin–Wimmers weighting (paper §5).
+
+#ifndef FUZZYDB_CORE_QUERY_H_
+#define FUZZYDB_CORE_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/graded_set.h"
+#include "core/scoring.h"
+#include "core/tnorms.h"
+#include "core/weights.h"
+
+namespace fuzzydb {
+
+class Query;
+using QueryPtr = std::shared_ptr<const Query>;
+
+/// Supplies µ_A(x): the grade of object `id` under the atomic query `atom`.
+/// Implementations typically consult a subsystem via random access.
+using GradeOracle = std::function<double(const Query& atom, ObjectId id)>;
+
+/// A node in a fuzzy query tree.
+class Query {
+ public:
+  enum class Kind { kAtomic, kAnd, kOr, kNot };
+
+  /// Atomic query `attribute = target` (or `attribute ~ target` for
+  /// similarity predicates; the distinction lives in the subsystem).
+  static QueryPtr Atomic(std::string attribute, std::string target);
+
+  /// Conjunction under `rule` (default: the standard min).
+  static QueryPtr And(std::vector<QueryPtr> children,
+                      ScoringRulePtr rule = MinRule());
+
+  /// Disjunction under `rule` (default: the standard max).
+  static QueryPtr Or(std::vector<QueryPtr> children,
+                     ScoringRulePtr rule = MaxRule());
+
+  /// Weighted conjunction: applies the Fagin–Wimmers transform of `rule`
+  /// with one weight per child. Fails if sizes mismatch.
+  static Result<QueryPtr> WeightedAnd(std::vector<QueryPtr> children,
+                                      Weighting weights,
+                                      ScoringRulePtr rule = MinRule());
+  /// Weighted disjunction.
+  static Result<QueryPtr> WeightedOr(std::vector<QueryPtr> children,
+                                     Weighting weights,
+                                     ScoringRulePtr rule = MaxRule());
+
+  /// Negation under `negation` (default: standard 1-x).
+  static QueryPtr Not(QueryPtr child, NegationFn negation = StandardNegation);
+
+  Kind kind() const { return kind_; }
+
+  /// Atomic only.
+  const std::string& attribute() const { return attribute_; }
+  const std::string& target() const { return target_; }
+
+  /// And/Or/Not children (Not has exactly one).
+  const std::vector<QueryPtr>& children() const { return children_; }
+
+  /// The effective combining rule for And/Or (already weight-wrapped for
+  /// weighted nodes); null for atomic/not.
+  const ScoringRulePtr& rule() const { return rule_; }
+
+  /// The weighting on a weighted And/Or, if any.
+  const std::optional<Weighting>& weights() const { return weights_; }
+
+  /// The negation function on a Not node.
+  const NegationFn& negation() const { return negation_; }
+
+  /// Recursively evaluates µ_Q(id) given grades for the atoms.
+  double Grade(const GradeOracle& oracle, ObjectId id) const;
+
+  /// Appends pointers to all atomic descendants, left to right.
+  void CollectAtoms(std::vector<const Query*>* out) const;
+
+  /// Number of atomic descendants.
+  size_t NumAtoms() const;
+
+  /// True iff the tree contains no Not node and every combining rule is
+  /// monotone — the precondition for Fagin's algorithm (paper §4.1).
+  bool IsMonotone() const;
+
+  /// True iff every combining rule in the tree is strict (needed for the
+  /// matching lower bound, Theorem 4.2). Negation-free trees only.
+  bool IsStrict() const;
+
+  /// Printable form, e.g. "(Artist='Beatles' AND[min] AlbumColor='red')".
+  std::string ToString() const;
+
+ private:
+  explicit Query(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string attribute_;
+  std::string target_;
+  std::vector<QueryPtr> children_;
+  ScoringRulePtr rule_;
+  std::optional<Weighting> weights_;
+  NegationFn negation_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_CORE_QUERY_H_

@@ -1,0 +1,223 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace fuzzydb {
+
+namespace {
+
+class MinRuleImpl final : public ScoringRule {
+ public:
+  double Apply(std::span<const double> scores) const override {
+    assert(!scores.empty());
+    return *std::min_element(scores.begin(), scores.end());
+  }
+  std::string name() const override { return "min"; }
+  bool monotone() const override { return true; }
+  bool strict() const override { return true; }
+};
+
+class MaxRuleImpl final : public ScoringRule {
+ public:
+  double Apply(std::span<const double> scores) const override {
+    assert(!scores.empty());
+    return *std::max_element(scores.begin(), scores.end());
+  }
+  std::string name() const override { return "max"; }
+  bool monotone() const override { return true; }
+  bool strict() const override { return false; }
+};
+
+class TNormRuleImpl final : public ScoringRule {
+ public:
+  explicit TNormRuleImpl(TNormKind kind) : kind_(kind) {}
+  double Apply(std::span<const double> scores) const override {
+    assert(!scores.empty());
+    double acc = scores[0];
+    for (size_t i = 1; i < scores.size(); ++i) {
+      acc = ApplyTNorm(kind_, acc, scores[i]);
+    }
+    return acc;
+  }
+  std::string name() const override { return TNormName(kind_); }
+  bool monotone() const override { return true; }
+  bool strict() const override { return true; }
+
+ private:
+  TNormKind kind_;
+};
+
+class TCoNormRuleImpl final : public ScoringRule {
+ public:
+  explicit TCoNormRuleImpl(TCoNormKind kind) : kind_(kind) {}
+  double Apply(std::span<const double> scores) const override {
+    assert(!scores.empty());
+    double acc = scores[0];
+    for (size_t i = 1; i < scores.size(); ++i) {
+      acc = ApplyTCoNorm(kind_, acc, scores[i]);
+    }
+    return acc;
+  }
+  std::string name() const override { return TCoNormName(kind_); }
+  bool monotone() const override { return true; }
+  bool strict() const override { return false; }
+
+ private:
+  TCoNormKind kind_;
+};
+
+class ArithmeticMeanImpl final : public ScoringRule {
+ public:
+  double Apply(std::span<const double> scores) const override {
+    assert(!scores.empty());
+    double s = 0.0;
+    for (double x : scores) s += x;
+    return s / static_cast<double>(scores.size());
+  }
+  std::string name() const override { return "avg"; }
+  bool monotone() const override { return true; }
+  bool strict() const override { return true; }
+};
+
+class GeometricMeanImpl final : public ScoringRule {
+ public:
+  double Apply(std::span<const double> scores) const override {
+    assert(!scores.empty());
+    double prod = 1.0;
+    for (double x : scores) prod *= x;
+    return std::pow(prod, 1.0 / static_cast<double>(scores.size()));
+  }
+  std::string name() const override { return "geomean"; }
+  bool monotone() const override { return true; }
+  bool strict() const override { return true; }
+};
+
+class HarmonicMeanImpl final : public ScoringRule {
+ public:
+  double Apply(std::span<const double> scores) const override {
+    assert(!scores.empty());
+    double inv = 0.0;
+    for (double x : scores) {
+      if (x == 0.0) return 0.0;
+      inv += 1.0 / x;
+    }
+    return static_cast<double>(scores.size()) / inv;
+  }
+  std::string name() const override { return "harmonic"; }
+  bool monotone() const override { return true; }
+  bool strict() const override { return true; }
+};
+
+class MedianRuleImpl final : public ScoringRule {
+ public:
+  double Apply(std::span<const double> scores) const override {
+    assert(!scores.empty());
+    std::vector<double> s(scores.begin(), scores.end());
+    size_t mid = (s.size() - 1) / 2;  // lower median
+    std::nth_element(s.begin(), s.begin() + static_cast<long>(mid), s.end());
+    return s[mid];
+  }
+  std::string name() const override { return "median"; }
+  bool monotone() const override { return true; }
+  bool strict() const override { return false; }
+};
+
+class UserDefinedRuleImpl final : public ScoringRule {
+ public:
+  UserDefinedRuleImpl(std::string name,
+                      std::function<double(std::span<const double>)> fn,
+                      bool monotone, bool strict)
+      : name_(std::move(name)),
+        fn_(std::move(fn)),
+        monotone_(monotone),
+        strict_(strict) {}
+  double Apply(std::span<const double> scores) const override {
+    return fn_(scores);
+  }
+  std::string name() const override { return name_; }
+  bool monotone() const override { return monotone_; }
+  bool strict() const override { return strict_; }
+
+ private:
+  std::string name_;
+  std::function<double(std::span<const double>)> fn_;
+  bool monotone_;
+  bool strict_;
+};
+
+}  // namespace
+
+ScoringRulePtr MinRule() { return std::make_shared<MinRuleImpl>(); }
+ScoringRulePtr MaxRule() { return std::make_shared<MaxRuleImpl>(); }
+ScoringRulePtr TNormRule(TNormKind kind) {
+  return std::make_shared<TNormRuleImpl>(kind);
+}
+ScoringRulePtr TCoNormRule(TCoNormKind kind) {
+  return std::make_shared<TCoNormRuleImpl>(kind);
+}
+ScoringRulePtr ArithmeticMeanRule() {
+  return std::make_shared<ArithmeticMeanImpl>();
+}
+ScoringRulePtr GeometricMeanRule() {
+  return std::make_shared<GeometricMeanImpl>();
+}
+ScoringRulePtr HarmonicMeanRule() {
+  return std::make_shared<HarmonicMeanImpl>();
+}
+ScoringRulePtr MedianRule() { return std::make_shared<MedianRuleImpl>(); }
+
+ScoringRulePtr UserDefinedRule(
+    std::string name, std::function<double(std::span<const double>)> fn,
+    bool claims_monotone, bool claims_strict) {
+  return std::make_shared<UserDefinedRuleImpl>(
+      std::move(name), std::move(fn), claims_monotone, claims_strict);
+}
+
+bool CheckMonotoneEmpirically(const ScoringRule& rule, size_t m,
+                              size_t samples, Rng* rng, double tol) {
+  std::vector<double> lo(m), hi(m);
+  for (size_t s = 0; s < samples; ++s) {
+    for (size_t i = 0; i < m; ++i) {
+      double a = rng->NextDouble();
+      double b = rng->NextDouble();
+      lo[i] = std::min(a, b);
+      hi[i] = std::max(a, b);
+    }
+    if (rule.Apply(lo) > rule.Apply(hi) + tol) return false;
+  }
+  // Boundary: all-zeros <= anything <= all-ones.
+  std::fill(lo.begin(), lo.end(), 0.0);
+  std::fill(hi.begin(), hi.end(), 1.0);
+  for (size_t s = 0; s < samples / 4 + 1; ++s) {
+    std::vector<double> mid(m);
+    for (size_t i = 0; i < m; ++i) mid[i] = rng->NextDouble();
+    if (rule.Apply(lo) > rule.Apply(mid) + tol) return false;
+    if (rule.Apply(mid) > rule.Apply(hi) + tol) return false;
+  }
+  return true;
+}
+
+bool CheckStrictEmpirically(const ScoringRule& rule, size_t m, size_t samples,
+                            Rng* rng, double tol) {
+  std::vector<double> ones(m, 1.0);
+  if (std::fabs(rule.Apply(ones) - 1.0) > tol) return false;
+  std::vector<double> x(m);
+  for (size_t s = 0; s < samples; ++s) {
+    // Mix components that are exactly 1 with interior values — strictness
+    // violations typically need some coordinates pinned at the maximum
+    // (e.g. max(1, 0.3) == 1) — then force at least one coordinate well
+    // below 1.
+    for (size_t i = 0; i < m; ++i) {
+      x[i] = rng->NextBernoulli(0.5) ? 1.0 : rng->NextDouble();
+    }
+    x[rng->NextBounded(m)] = 0.5 * rng->NextDouble();
+    if (rule.Apply(x) >= 1.0 - tol) return false;
+  }
+  return true;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,85 @@
+// m-ary scoring functions (paper §3): combine the grades an object earns
+// under m subqueries into one overall grade.
+//
+// The algorithmic results (Theorems 4.1/4.2) need only two properties of a
+// rule — monotonicity (upper bound) and strictness (lower bound) — so every
+// rule here declares both, and empirical checkers let the middleware vet
+// user-defined rules the way the Garlic implementation had to (paper §4.2).
+
+#ifndef FUZZYDB_CORE_SCORING_H_
+#define FUZZYDB_CORE_SCORING_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/tnorms.h"
+
+namespace fuzzydb {
+
+/// An m-ary scoring function [0,1]^m -> [0,1] accepting tuples of any
+/// positive length (the loosened definition of paper §5).
+class ScoringRule {
+ public:
+  virtual ~ScoringRule() = default;
+
+  /// Overall score for one object's subquery scores; `scores` is non-empty.
+  virtual double Apply(std::span<const double> scores) const = 0;
+
+  /// Display name, e.g. "min" or "weighted[0.67,0.33](min)".
+  virtual std::string name() const = 0;
+
+  /// Declared monotone: x <= x' pointwise implies Apply(x) <= Apply(x').
+  virtual bool monotone() const = 0;
+
+  /// Declared strict: Apply(x) == 1 iff every component is 1.
+  virtual bool strict() const = 0;
+};
+
+using ScoringRulePtr = std::shared_ptr<const ScoringRule>;
+
+/// Standard fuzzy conjunction: min (Theorem 3.1 says it is the unique
+/// logical-equivalence-preserving monotone conjunction).
+ScoringRulePtr MinRule();
+/// Standard fuzzy disjunction: max. Monotone but NOT strict — which is why
+/// the mk disjunction shortcut beats the A0 lower bound (paper §4.1).
+ScoringRulePtr MaxRule();
+/// m-ary iteration t(t(...t(x1,x2)...), xm) of a 2-ary t-norm. Monotone and
+/// strict for every t-norm (paper §3).
+ScoringRulePtr TNormRule(TNormKind kind);
+/// m-ary iteration of a t-co-norm; monotone, not strict.
+ScoringRulePtr TCoNormRule(TCoNormKind kind);
+/// Arithmetic mean — empirically effective [TZZ79] though not a t-norm (it
+/// fails ∧-conservation); monotone and strict, so A0's bounds still apply.
+ScoringRulePtr ArithmeticMeanRule();
+/// Geometric mean (x1*...*xm)^(1/m); monotone and strict.
+ScoringRulePtr GeometricMeanRule();
+/// Harmonic mean; monotone and strict (0 if any component is 0).
+ScoringRulePtr HarmonicMeanRule();
+/// Lower median (element at index floor((m-1)/2) of the sorted scores);
+/// monotone, not strict.
+ScoringRulePtr MedianRule();
+
+/// Wraps an arbitrary user-defined function with *claimed* properties; the
+/// middleware re-checks the claims empirically before trusting them.
+ScoringRulePtr UserDefinedRule(
+    std::string name, std::function<double(std::span<const double>)> fn,
+    bool claims_monotone, bool claims_strict);
+
+/// Empirically tests monotonicity at arity `m`: draws `samples` random pairs
+/// x <= x' (plus boundary tuples) and checks Apply(x) <= Apply(x') + tol.
+/// Can only refute, never prove.
+bool CheckMonotoneEmpirically(const ScoringRule& rule, size_t m,
+                              size_t samples, Rng* rng, double tol = 1e-12);
+
+/// Empirically tests strictness at arity `m`: Apply(1,...,1) must be 1, and
+/// random tuples with at least one component < 1 must score < 1.
+bool CheckStrictEmpirically(const ScoringRule& rule, size_t m, size_t samples,
+                            Rng* rng, double tol = 1e-12);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_CORE_SCORING_H_

@@ -1,0 +1,100 @@
+#include "core/set_ops.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+
+namespace fuzzydb {
+
+namespace {
+
+// Union of supports (all member ids of either set, each once).
+std::vector<ObjectId> UnionOfIds(const GradedSet& a, const GradedSet& b) {
+  std::vector<ObjectId> ids;
+  ids.reserve(a.size() + b.size());
+  for (const GradedObject& g : a.items()) ids.push_back(g.id);
+  for (const GradedObject& g : b.items()) {
+    if (!a.Contains(g.id)) ids.push_back(g.id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+Result<GradedSet> FuzzyUnion(const GradedSet& a, const GradedSet& b,
+                             const ScoringRulePtr& co_norm) {
+  if (co_norm == nullptr) return Status::InvalidArgument("null co-norm");
+  GradedSet out;
+  for (ObjectId id : UnionOfIds(a, b)) {
+    std::array<double, 2> grades{a.GradeOf(id).value_or(0.0),
+                                 b.GradeOf(id).value_or(0.0)};
+    FUZZYDB_RETURN_NOT_OK(out.Insert(id, co_norm->Apply(grades)));
+  }
+  return out;
+}
+
+Result<GradedSet> FuzzyIntersection(const GradedSet& a, const GradedSet& b,
+                                    const ScoringRulePtr& t_norm) {
+  if (t_norm == nullptr) return Status::InvalidArgument("null t-norm");
+  GradedSet out;
+  for (ObjectId id : UnionOfIds(a, b)) {
+    std::array<double, 2> grades{a.GradeOf(id).value_or(0.0),
+                                 b.GradeOf(id).value_or(0.0)};
+    FUZZYDB_RETURN_NOT_OK(out.Insert(id, t_norm->Apply(grades)));
+  }
+  return out;
+}
+
+Result<GradedSet> FuzzyComplement(const GradedSet& a,
+                                  const std::vector<ObjectId>& universe,
+                                  const NegationFn& negation) {
+  if (negation == nullptr) return Status::InvalidArgument("null negation");
+  // Every member of `a` must belong to the universe, or the complement
+  // would silently drop mass.
+  std::unordered_set<ObjectId> in_universe(universe.begin(), universe.end());
+  if (in_universe.size() != universe.size()) {
+    return Status::InvalidArgument("universe contains duplicate ids");
+  }
+  for (const GradedObject& g : a.items()) {
+    if (!in_universe.count(g.id)) {
+      return Status::InvalidArgument(
+          "set member " + std::to_string(g.id) + " is outside the universe");
+    }
+  }
+  GradedSet out;
+  for (ObjectId id : universe) {
+    FUZZYDB_RETURN_NOT_OK(
+        out.Insert(id, negation(a.GradeOf(id).value_or(0.0))));
+  }
+  return out;
+}
+
+Result<std::vector<ObjectId>> AlphaCut(const GradedSet& a, double alpha) {
+  if (!(alpha >= 0.0 && alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must be in [0,1]");
+  }
+  std::vector<ObjectId> out;
+  for (const GradedObject& g : a.items()) {
+    if (g.grade >= alpha) out.push_back(g.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double FuzzyCardinality(const GradedSet& a) {
+  double total = 0.0;
+  for (const GradedObject& g : a.items()) total += g.grade;
+  return total;
+}
+
+double Subsethood(const GradedSet& a, const GradedSet& b) {
+  double mass_a = FuzzyCardinality(a);
+  if (mass_a <= 0.0) return 1.0;
+  double mass_in_b = 0.0;
+  for (const GradedObject& g : a.items()) {
+    mass_in_b += std::min(g.grade, b.GradeOf(g.id).value_or(0.0));
+  }
+  return mass_in_b / mass_a;
+}
+
+}  // namespace fuzzydb

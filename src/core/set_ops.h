@@ -1,0 +1,52 @@
+// Fuzzy-set algebra over graded sets ([Za65], paper §3): union,
+// intersection, and complement of graded sets under configurable
+// conjunction/disjunction/negation rules. The standard min/max/1-x choices
+// give Zadeh's original operations; any t-norm/co-norm pair gives the
+// generalized ones. Objects absent from a set carry grade 0, so these are
+// total operations over the union of supports.
+
+#ifndef FUZZYDB_CORE_SET_OPS_H_
+#define FUZZYDB_CORE_SET_OPS_H_
+
+#include <vector>
+
+#include "core/graded_set.h"
+#include "core/scoring.h"
+#include "core/tnorms.h"
+
+namespace fuzzydb {
+
+/// µ_A∪B(x) = s(µ_A(x), µ_B(x)); objects from either set appear.
+/// Default: Zadeh max.
+Result<GradedSet> FuzzyUnion(const GradedSet& a, const GradedSet& b,
+                             const ScoringRulePtr& co_norm = MaxRule());
+
+/// µ_A∩B(x) = t(µ_A(x), µ_B(x)); evaluated over the union of supports
+/// (absent = 0, so under any t-norm the result's support is the
+/// intersection of supports, but intermediate grades are kept explicit).
+/// Default: Zadeh min.
+Result<GradedSet> FuzzyIntersection(const GradedSet& a, const GradedSet& b,
+                                    const ScoringRulePtr& t_norm = MinRule());
+
+/// µ_Ā(x) = n(µ_A(x)) over a given universe of object ids (fuzzy
+/// complements need an explicit universe: objects outside `a` have grade 0,
+/// hence complement grade n(0)). Default: the standard negation 1-x.
+Result<GradedSet> FuzzyComplement(const GradedSet& a,
+                                  const std::vector<ObjectId>& universe,
+                                  const NegationFn& negation =
+                                      StandardNegation);
+
+/// The α-cut: the crisp set {x : µ_A(x) >= alpha} as sorted ids — the
+/// bridge from graded back to ordinary sets.
+Result<std::vector<ObjectId>> AlphaCut(const GradedSet& a, double alpha);
+
+/// Cardinality of a fuzzy set: Σ_x µ_A(x).
+double FuzzyCardinality(const GradedSet& a);
+
+/// Degree of subsethood |A ∩ B| / |A| (Kosko): 1 when A ⊆ B pointwise,
+/// decreasing as A's mass escapes B. Returns 1 for empty/zero-mass A.
+double Subsethood(const GradedSet& a, const GradedSet& b);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_CORE_SET_OPS_H_

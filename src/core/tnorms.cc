@@ -1,0 +1,236 @@
+#include "core/tnorms.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fuzzydb {
+
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+std::string TNormName(TNormKind kind) {
+  switch (kind) {
+    case TNormKind::kMinimum:
+      return "min";
+    case TNormKind::kProduct:
+      return "product";
+    case TNormKind::kLukasiewicz:
+      return "lukasiewicz";
+    case TNormKind::kHamacher:
+      return "hamacher";
+    case TNormKind::kEinstein:
+      return "einstein";
+    case TNormKind::kDrastic:
+      return "drastic";
+  }
+  return "unknown";
+}
+
+std::string TCoNormName(TCoNormKind kind) {
+  switch (kind) {
+    case TCoNormKind::kMaximum:
+      return "max";
+    case TCoNormKind::kProbSum:
+      return "prob-sum";
+    case TCoNormKind::kLukasiewicz:
+      return "lukasiewicz";
+    case TCoNormKind::kHamacher:
+      return "hamacher";
+    case TCoNormKind::kEinstein:
+      return "einstein";
+    case TCoNormKind::kDrastic:
+      return "drastic";
+  }
+  return "unknown";
+}
+
+double ApplyTNorm(TNormKind kind, double x, double y) {
+  x = Clamp01(x);
+  y = Clamp01(y);
+  switch (kind) {
+    case TNormKind::kMinimum:
+      return std::min(x, y);
+    case TNormKind::kProduct:
+      return x * y;
+    case TNormKind::kLukasiewicz:
+      return std::max(0.0, x + y - 1.0);
+    case TNormKind::kHamacher: {
+      double denom = x + y - x * y;
+      if (denom == 0.0) return 0.0;  // x == y == 0
+      return x * y / denom;
+    }
+    case TNormKind::kEinstein:
+      return x * y / (1.0 + (1.0 - x) * (1.0 - y));
+    case TNormKind::kDrastic:
+      if (x == 1.0) return y;
+      if (y == 1.0) return x;
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double ApplyTCoNorm(TCoNormKind kind, double x, double y) {
+  x = Clamp01(x);
+  y = Clamp01(y);
+  switch (kind) {
+    case TCoNormKind::kMaximum:
+      return std::max(x, y);
+    case TCoNormKind::kProbSum:
+      return x + y - x * y;
+    case TCoNormKind::kLukasiewicz:
+      return std::min(1.0, x + y);
+    case TCoNormKind::kHamacher: {
+      // Near x or y == 1 the numerator and denominator are both ~(1-x) but
+      // computed with different roundings, so the quotient can collapse to
+      // 0; the exact value there is 1.
+      if (x == 1.0 || y == 1.0) return 1.0;
+      return Clamp01((x + y - 2.0 * x * y) / (1.0 - x * y));
+    }
+    case TCoNormKind::kEinstein:
+      return (x + y) / (1.0 + x * y);
+    case TCoNormKind::kDrastic:
+      if (x == 0.0) return y;
+      if (y == 0.0) return x;
+      return 1.0;
+  }
+  return 1.0;
+}
+
+TCoNormKind DualCoNorm(TNormKind kind) {
+  switch (kind) {
+    case TNormKind::kMinimum:
+      return TCoNormKind::kMaximum;
+    case TNormKind::kProduct:
+      return TCoNormKind::kProbSum;
+    case TNormKind::kLukasiewicz:
+      return TCoNormKind::kLukasiewicz;
+    case TNormKind::kHamacher:
+      return TCoNormKind::kHamacher;
+    case TNormKind::kEinstein:
+      return TCoNormKind::kEinstein;
+    case TNormKind::kDrastic:
+      return TCoNormKind::kDrastic;
+  }
+  return TCoNormKind::kMaximum;
+}
+
+TNormKind DualTNorm(TCoNormKind kind) {
+  switch (kind) {
+    case TCoNormKind::kMaximum:
+      return TNormKind::kMinimum;
+    case TCoNormKind::kProbSum:
+      return TNormKind::kProduct;
+    case TCoNormKind::kLukasiewicz:
+      return TNormKind::kLukasiewicz;
+    case TCoNormKind::kHamacher:
+      return TNormKind::kHamacher;
+    case TCoNormKind::kEinstein:
+      return TNormKind::kEinstein;
+    case TCoNormKind::kDrastic:
+      return TNormKind::kDrastic;
+  }
+  return TNormKind::kMinimum;
+}
+
+BinaryScoringFn DeMorganDual(BinaryScoringFn t, NegationFn n) {
+  return [t = std::move(t), n = std::move(n)](double x, double y) {
+    return n(t(n(x), n(y)));
+  };
+}
+
+double StandardNegation(double x) { return 1.0 - Clamp01(x); }
+
+NegationFn SugenoNegation(double lambda) {
+  return [lambda](double x) {
+    x = Clamp01(x);
+    return (1.0 - x) / (1.0 + lambda * x);
+  };
+}
+
+NegationFn YagerNegation(double p) {
+  return [p](double x) {
+    x = Clamp01(x);
+    return std::pow(1.0 - std::pow(x, p), 1.0 / p);
+  };
+}
+
+namespace {
+
+Status ValidateCommon(const BinaryScoringFn& f, int grid_n, double tol) {
+  auto grid = [grid_n](int i) {
+    return static_cast<double>(i) / static_cast<double>(grid_n - 1);
+  };
+  // Monotonicity in both arguments.
+  for (int i = 0; i + 1 < grid_n; ++i) {
+    for (int j = 0; j < grid_n; ++j) {
+      if (f(grid(i), grid(j)) > f(grid(i + 1), grid(j)) + tol) {
+        return Status::FailedPrecondition("monotonicity violated (arg 1)");
+      }
+      if (f(grid(j), grid(i)) > f(grid(j), grid(i + 1)) + tol) {
+        return Status::FailedPrecondition("monotonicity violated (arg 2)");
+      }
+    }
+  }
+  // Commutativity.
+  for (int i = 0; i < grid_n; ++i) {
+    for (int j = 0; j < grid_n; ++j) {
+      if (std::fabs(f(grid(i), grid(j)) - f(grid(j), grid(i))) > tol) {
+        return Status::FailedPrecondition("commutativity violated");
+      }
+    }
+  }
+  // Associativity (coarser grid to keep O(n^3) small).
+  int an = std::min(grid_n, 11);
+  auto agrid = [an](int i) {
+    return static_cast<double>(i) / static_cast<double>(an - 1);
+  };
+  for (int i = 0; i < an; ++i) {
+    for (int j = 0; j < an; ++j) {
+      for (int k = 0; k < an; ++k) {
+        double lhs = f(f(agrid(i), agrid(j)), agrid(k));
+        double rhs = f(agrid(i), f(agrid(j), agrid(k)));
+        if (std::fabs(lhs - rhs) > tol) {
+          return Status::FailedPrecondition("associativity violated");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateTNormAxioms(const BinaryScoringFn& t, int grid_n, double tol) {
+  if (grid_n < 2) return Status::InvalidArgument("grid_n must be >= 2");
+  if (std::fabs(t(0.0, 0.0)) > tol) {
+    return Status::FailedPrecondition("conservation violated: t(0,0) != 0");
+  }
+  for (int i = 0; i < grid_n; ++i) {
+    double x = static_cast<double>(i) / static_cast<double>(grid_n - 1);
+    if (std::fabs(t(x, 1.0) - x) > tol || std::fabs(t(1.0, x) - x) > tol) {
+      return Status::FailedPrecondition(
+          "conservation violated: 1 is not the identity");
+    }
+  }
+  return ValidateCommon(t, grid_n, tol);
+}
+
+Status ValidateTCoNormAxioms(const BinaryScoringFn& s, int grid_n, double tol) {
+  if (grid_n < 2) return Status::InvalidArgument("grid_n must be >= 2");
+  if (std::fabs(s(1.0, 1.0) - 1.0) > tol) {
+    return Status::FailedPrecondition("conservation violated: s(1,1) != 1");
+  }
+  for (int i = 0; i < grid_n; ++i) {
+    double x = static_cast<double>(i) / static_cast<double>(grid_n - 1);
+    if (std::fabs(s(x, 0.0) - x) > tol || std::fabs(s(0.0, x) - x) > tol) {
+      return Status::FailedPrecondition(
+          "conservation violated: 0 is not the identity");
+    }
+  }
+  return ValidateCommon(s, grid_n, tol);
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,81 @@
+// Triangular norms, co-norms, and negations (paper §3).
+//
+// A t-norm is a 2-ary scoring function on [0,1] satisfying ∧-conservation,
+// monotonicity, commutativity, and associativity; a t-co-norm satisfies the
+// dual ∨-conservation. Duality: s(x,y) = n(t(n(x), n(y))) for a strong
+// negation n.
+
+#ifndef FUZZYDB_CORE_TNORMS_H_
+#define FUZZYDB_CORE_TNORMS_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace fuzzydb {
+
+/// A 2-ary scoring function on [0,1]^2.
+using BinaryScoringFn = std::function<double(double, double)>;
+/// A fuzzy negation on [0,1].
+using NegationFn = std::function<double(double)>;
+
+/// The t-norms discussed in the paper and its references [BD86, Mi89].
+enum class TNormKind {
+  kMinimum,      ///< Zadeh / Gödel: min(x,y) — the standard fuzzy conjunction.
+  kProduct,      ///< Algebraic product: x*y.
+  kLukasiewicz,  ///< Bounded difference: max(0, x+y-1).
+  kHamacher,     ///< Hamacher product: xy/(x+y-xy), 0 at (0,0).
+  kEinstein,     ///< Einstein product: xy/(1+(1-x)(1-y)).
+  kDrastic,      ///< Drastic: min if an argument is 1, else 0.
+};
+
+/// The matching co-norms (De Morgan duals under standard negation).
+enum class TCoNormKind {
+  kMaximum,      ///< max(x,y) — the standard fuzzy disjunction.
+  kProbSum,      ///< Probabilistic sum: x+y-xy.
+  kLukasiewicz,  ///< Bounded sum: min(1, x+y).
+  kHamacher,     ///< Hamacher sum: (x+y-2xy)/(1-xy), 1 at (1,1).
+  kEinstein,     ///< Einstein sum: (x+y)/(1+xy).
+  kDrastic,      ///< Drastic: max if an argument is 0, else 1.
+};
+
+/// Human-readable name, e.g. "min", "product".
+std::string TNormName(TNormKind kind);
+std::string TCoNormName(TCoNormKind kind);
+
+/// Evaluates the t-norm / co-norm. Inputs are clamped to [0,1].
+double ApplyTNorm(TNormKind kind, double x, double y);
+double ApplyTCoNorm(TCoNormKind kind, double x, double y);
+
+/// The co-norm dual to `kind` under standard negation (and vice versa).
+TCoNormKind DualCoNorm(TNormKind kind);
+TNormKind DualTNorm(TCoNormKind kind);
+
+/// Builds the De Morgan dual s(x,y) = n(t(n(x), n(y))) of an arbitrary
+/// 2-ary function under negation `n` [Al85, BD86].
+BinaryScoringFn DeMorganDual(BinaryScoringFn t, NegationFn n);
+
+/// The standard negation n(x) = 1 - x.
+double StandardNegation(double x);
+/// Sugeno negation n(x) = (1-x)/(1+lambda*x), lambda > -1; lambda=0 is
+/// standard.
+NegationFn SugenoNegation(double lambda);
+/// Yager negation n(x) = (1 - x^p)^(1/p), p > 0; p=1 is standard.
+NegationFn YagerNegation(double p);
+
+/// Verifies the four t-norm axioms (∧-conservation, monotonicity,
+/// commutativity, associativity) on a uniform grid of `grid_n`^2 (and ^3 for
+/// associativity) points. Returns FailedPrecondition naming the violated
+/// axiom, or OK. Used by the middleware to vet user-defined conjunctions
+/// (Garlic issue, paper §4.2).
+Status ValidateTNormAxioms(const BinaryScoringFn& t, int grid_n = 21,
+                           double tol = 1e-9);
+
+/// Same for the t-co-norm axioms (∨-conservation instead).
+Status ValidateTCoNormAxioms(const BinaryScoringFn& s, int grid_n = 21,
+                             double tol = 1e-9);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_CORE_TNORMS_H_

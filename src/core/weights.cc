@@ -1,0 +1,187 @@
+#include "core/weights.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <sstream>
+
+namespace fuzzydb {
+
+Result<Weighting> Weighting::Create(std::vector<double> theta) {
+  if (theta.empty()) {
+    return Status::InvalidArgument("weighting must be non-empty");
+  }
+  double sum = 0.0;
+  for (double t : theta) {
+    if (t < 0.0) return Status::InvalidArgument("weights must be >= 0");
+    sum += t;
+  }
+  if (std::fabs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("weights must sum to 1");
+  }
+  return Weighting(std::move(theta));
+}
+
+Result<Weighting> Weighting::FromSliders(std::vector<double> raw) {
+  if (raw.empty()) {
+    return Status::InvalidArgument("weighting must be non-empty");
+  }
+  double sum = 0.0;
+  for (double t : raw) {
+    if (t < 0.0) return Status::InvalidArgument("slider values must be >= 0");
+    sum += t;
+  }
+  if (sum <= 0.0) {
+    return Status::InvalidArgument("at least one slider must be positive");
+  }
+  for (double& t : raw) t /= sum;
+  return Weighting(std::move(raw));
+}
+
+Weighting Weighting::Equal(size_t m) {
+  assert(m > 0);
+  return Weighting(std::vector<double>(m, 1.0 / static_cast<double>(m)));
+}
+
+bool Weighting::IsOrdered() const {
+  for (size_t i = 0; i + 1 < theta_.size(); ++i) {
+    if (theta_[i] < theta_[i + 1]) return false;
+  }
+  return true;
+}
+
+Result<Weighting> Weighting::Mix(const Weighting& other, double alpha) const {
+  if (other.size() != size()) {
+    return Status::InvalidArgument("weighting size mismatch in Mix");
+  }
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0,1]");
+  }
+  std::vector<double> out(size());
+  for (size_t i = 0; i < size(); ++i) {
+    out[i] = alpha * theta_[i] + (1.0 - alpha) * other.theta_[i];
+  }
+  return Weighting(std::move(out));
+}
+
+double FaginWimmersScore(const ScoringRule& base, const Weighting& weights,
+                         std::span<const double> scores) {
+  const size_t m = weights.size();
+  assert(scores.size() == m);
+  // Sort argument indices by weight descending (stable: ties keep original
+  // order; tied terms get zero coefficients so the choice is immaterial).
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&weights](size_t a, size_t b) {
+    return weights[a] > weights[b];
+  });
+
+  std::vector<double> prefix;
+  prefix.reserve(m);
+  double total = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    prefix.push_back(scores[order[i]]);
+    double theta_i = weights[order[i]];
+    double theta_next = (i + 1 < m) ? weights[order[i + 1]] : 0.0;
+    double coeff = static_cast<double>(i + 1) * (theta_i - theta_next);
+    if (coeff == 0.0) continue;  // skips evaluating f on dead prefixes (D2)
+    total += coeff * base.Apply(prefix);
+  }
+  return total;
+}
+
+namespace {
+
+class WeightedRuleImpl final : public ScoringRule {
+ public:
+  WeightedRuleImpl(ScoringRulePtr base, Weighting weights)
+      : base_(std::move(base)), weights_(std::move(weights)) {}
+
+  double Apply(std::span<const double> scores) const override {
+    return FaginWimmersScore(*base_, weights_, scores);
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "weighted[";
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      if (i) os << ",";
+      os << weights_[i];
+    }
+    os << "](" << base_->name() << ")";
+    return os.str();
+  }
+
+  bool monotone() const override { return base_->monotone(); }
+  bool strict() const override {
+    // Strictness is inherited when every argument carries positive weight;
+    // a zero-weight argument is dropped by D2 and can no longer force the
+    // score below 1, so the weighted rule is strict in its full argument
+    // list only if all weights are positive.
+    if (!base_->strict()) return false;
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      if (weights_[i] == 0.0) return false;
+    }
+    return true;
+  }
+
+ private:
+  ScoringRulePtr base_;
+  Weighting weights_;
+};
+
+}  // namespace
+
+ScoringRulePtr WeightedRule(ScoringRulePtr base, Weighting weights) {
+  return std::make_shared<WeightedRuleImpl>(std::move(base),
+                                            std::move(weights));
+}
+
+namespace {
+
+class OwaRuleImpl final : public ScoringRule {
+ public:
+  explicit OwaRuleImpl(Weighting weights) : weights_(std::move(weights)) {}
+
+  double Apply(std::span<const double> scores) const override {
+    assert(scores.size() == weights_.size());
+    std::vector<double> sorted(scores.begin(), scores.end());
+    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    double total = 0.0;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      total += weights_[i] * sorted[i];
+    }
+    return total;
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "owa[";
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      if (i) os << ",";
+      os << weights_[i];
+    }
+    os << "]";
+    return os.str();
+  }
+
+  bool monotone() const override { return true; }
+  bool strict() const override {
+    // Strict iff the smallest score carries positive weight: otherwise a
+    // tuple with one sub-1 entry and 1s elsewhere still sums to 1.
+    return weights_[weights_.size() - 1] > 0.0;
+  }
+
+ private:
+  Weighting weights_;
+};
+
+}  // namespace
+
+ScoringRulePtr OwaRule(Weighting weights) {
+  return std::make_shared<OwaRuleImpl>(std::move(weights));
+}
+
+}  // namespace fuzzydb

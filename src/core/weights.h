@@ -1,0 +1,77 @@
+// Weighted scoring rules via the Fagin–Wimmers formula (paper §5, [FW97]).
+//
+// Given an underlying (symmetric) rule f and a weighting Θ = (θ1,...,θm)
+// with θ1 >= ... >= θm >= 0 and Σθi = 1, the weighted score is
+//
+//   f_Θ(x1,...,xm) = Σ_{i=1..m} i · (θi − θ(i+1)) · f(x1,...,xi)
+//
+// with θ(m+1) = 0. This is the unique family satisfying
+//   D1: equal weights reduce to the unweighted rule,
+//   D2: zero-weight arguments can be dropped,
+//   D3': local linearity in the weights.
+// Monotonicity and strictness of f are inherited by f_Θ, so Fagin's
+// algorithm remains correct and optimal in the weighted case.
+
+#ifndef FUZZYDB_CORE_WEIGHTS_H_
+#define FUZZYDB_CORE_WEIGHTS_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/scoring.h"
+
+namespace fuzzydb {
+
+/// A normalized importance vector: nonnegative entries summing to 1.
+class Weighting {
+ public:
+  /// Validates: non-empty, all entries >= 0, sum within 1e-9 of 1.
+  static Result<Weighting> Create(std::vector<double> theta);
+
+  /// Scales arbitrary nonnegative, not-all-zero values (e.g. raw slider
+  /// positions, paper §5) to sum to 1.
+  static Result<Weighting> FromSliders(std::vector<double> raw);
+
+  /// The uniform weighting (1/m, ..., 1/m).
+  static Weighting Equal(size_t m);
+
+  size_t size() const { return theta_.size(); }
+  std::span<const double> values() const { return theta_; }
+  double operator[](size_t i) const { return theta_[i]; }
+
+  /// True iff θ1 >= θ2 >= ... >= θm (an "ordered" weighting, paper §5).
+  bool IsOrdered() const;
+
+  /// Convex combination α·this + (1−α)·other; sizes must match,
+  /// α in [0,1]. Used to exercise local linearity (D3').
+  Result<Weighting> Mix(const Weighting& other, double alpha) const;
+
+ private:
+  explicit Weighting(std::vector<double> theta) : theta_(std::move(theta)) {}
+  std::vector<double> theta_;
+};
+
+/// Evaluates the Fagin–Wimmers formula directly: applies `base` to prefixes
+/// of the scores re-ordered by weight descending (stable under ties — the
+/// paper shows ties make the tied terms' coefficients vanish, so any tie
+/// order gives the same value).
+double FaginWimmersScore(const ScoringRule& base, const Weighting& weights,
+                         std::span<const double> scores);
+
+/// A ScoringRule computing f_Θ; Apply() requires scores.size() == Θ.size().
+/// Inherits monotone()/strict() from the base rule ([FW97], paper §5).
+ScoringRulePtr WeightedRule(ScoringRulePtr base, Weighting weights);
+
+/// Yager's Ordered Weighted Averaging operator: Σ w_i · x_(i), where x_(i)
+/// is the i-th LARGEST score. Weights attach to ranks rather than to
+/// arguments (the complementary notion to the Fagin–Wimmers transform,
+/// which weights arguments): w = (0,...,0,1) is min, (1,0,...,0) is max,
+/// uniform weights are the arithmetic mean. Monotone always; strict iff the
+/// last (smallest-score) weight is positive. Apply() requires
+/// scores.size() == weights.size().
+ScoringRulePtr OwaRule(Weighting weights);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_CORE_WEIGHTS_H_

@@ -1,0 +1,120 @@
+#include "image/bounding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace fuzzydb {
+
+Result<EigenFilter> EigenFilter::Create(const QuadraticFormDistance& qfd,
+                                        size_t dim) {
+  if (dim == 0) return Status::InvalidArgument("filter dim must be >= 1");
+  dim = std::min(dim, qfd.dimension());
+  EigenFilter filter;
+  filter.rows_.resize(dim);
+  const std::vector<double>& lambda = qfd.eigenvalues();
+  for (size_t j = 0; j < dim; ++j) {
+    double scale = std::sqrt(lambda[j]);
+    std::span<const double> v = qfd.eigenvectors().Row(j);
+    filter.rows_[j].resize(qfd.dimension());
+    for (size_t i = 0; i < qfd.dimension(); ++i) {
+      filter.rows_[j][i] = scale * v[i];
+    }
+  }
+  double total = std::accumulate(lambda.begin(), lambda.end(), 0.0);
+  double kept = std::accumulate(lambda.begin(),
+                                lambda.begin() + static_cast<long>(dim), 0.0);
+  filter.captured_energy_ = total > 0.0 ? kept / total : 1.0;
+  return filter;
+}
+
+std::vector<double> EigenFilter::Project(const Histogram& x) const {
+  std::vector<double> out(rows_.size());
+  for (size_t j = 0; j < rows_.size(); ++j) {
+    out[j] = Dot(rows_[j], x);
+  }
+  return out;
+}
+
+double EigenFilter::BoundDistance(const std::vector<double>& fx,
+                                  const std::vector<double>& fy) {
+  return EuclideanDistance(fx, fy);
+}
+
+Result<std::vector<std::pair<size_t, double>>> FilteredKnn(
+    const QuadraticFormDistance& qfd, const EigenFilter& filter,
+    const std::vector<Histogram>& database, const Histogram& target, size_t k,
+    FilteredSearchStats* stats) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  const size_t n = database.size();
+  k = std::min(k, n);
+
+  std::vector<double> ft = filter.Project(target);
+  std::vector<std::pair<double, size_t>> by_bound(n);  // (d̂, index)
+  for (size_t i = 0; i < n; ++i) {
+    by_bound[i] = {EigenFilter::BoundDistance(filter.Project(database[i]), ft),
+                   i};
+  }
+  std::sort(by_bound.begin(), by_bound.end());
+  if (stats != nullptr) stats->bound_computations = n;
+
+  // Visit in ascending d̂; once d̂ >= the current k-th best full distance,
+  // no remaining object can enter the answer (d >= d̂).
+  std::vector<std::pair<size_t, double>> best;  // (index, full d), unsorted
+  double kth = std::numeric_limits<double>::infinity();
+  size_t full = 0;
+  for (const auto& [bound, idx] : by_bound) {
+    if (best.size() >= k && bound >= kth) break;
+    double d = qfd.Distance(database[idx], target);
+    ++full;
+    if (best.size() < k) {
+      best.emplace_back(idx, d);
+      if (best.size() == k) {
+        kth = std::max_element(best.begin(), best.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.second < b.second;
+                               })
+                  ->second;
+      }
+    } else if (d < kth) {
+      auto worst = std::max_element(best.begin(), best.end(),
+                                    [](const auto& a, const auto& b) {
+                                      return a.second < b.second;
+                                    });
+      *worst = {idx, d};
+      kth = std::max_element(best.begin(), best.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.second < b.second;
+                             })
+                ->second;
+    }
+  }
+  if (stats != nullptr) stats->full_distance_computations = full;
+
+  std::sort(best.begin(), best.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;
+    return a.first < b.first;
+  });
+  return best;
+}
+
+std::vector<std::pair<size_t, double>> ExactKnn(
+    const QuadraticFormDistance& qfd, const std::vector<Histogram>& database,
+    const Histogram& target, size_t k) {
+  std::vector<std::pair<size_t, double>> all(database.size());
+  for (size_t i = 0; i < database.size(); ++i) {
+    all[i] = {i, qfd.Distance(database[i], target)};
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second < b.second;
+                      return a.first < b.first;
+                    });
+  all.resize(k);
+  return all;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,76 @@
+// The distance-bounding filter strategy (paper §2.1, [HSE+95]): associate to
+// each (long) histogram x a short vector x̂ with a cheap distance d̂ such that
+//
+//   d(x, y) >= d̂(x̂, ŷ)   for all x, y          (paper formula (2))
+//
+// so filtering by d̂ never causes a false dismissal. Our construction takes
+// the top-s eigenpairs (λ_j, v_j) of B = P A P and sets
+// x̂_j = sqrt(λ_j) <x, v_j>; then d̂ = Euclidean distance, and
+// d(x,y)^2 = Σ_j λ_j <x-y, v_j>^2 >= Σ_{j<=s} λ_j <x-y, v_j>^2 = d̂(x̂,ŷ)^2.
+// With s = 3 this is exactly a "dimension 3 color vector" summarizing x.
+
+#ifndef FUZZYDB_IMAGE_BOUNDING_H_
+#define FUZZYDB_IMAGE_BOUNDING_H_
+
+#include <vector>
+
+#include "image/quadratic_distance.h"
+
+namespace fuzzydb {
+
+/// The eigen-projection filter for one quadratic-form distance.
+class EigenFilter {
+ public:
+  /// An empty placeholder; usable instances come from Create().
+  EigenFilter() = default;
+
+  /// Keeps the top `dim` eigenpairs (clamped to the full dimension).
+  static Result<EigenFilter> Create(const QuadraticFormDistance& qfd,
+                                    size_t dim = 3);
+
+  /// x̂: the short summary vector of a histogram.
+  std::vector<double> Project(const Histogram& x) const;
+
+  /// d̂(x̂, ŷ): plain Euclidean distance between summaries.
+  static double BoundDistance(const std::vector<double>& fx,
+                              const std::vector<double>& fy);
+
+  /// Fraction of the total eigenmass Σλ captured by the kept eigenpairs —
+  /// the filter's selectivity improves as this approaches 1.
+  double CapturedEnergy() const { return captured_energy_; }
+
+  size_t dim() const { return rows_.size(); }
+
+ private:
+  // rows_[j] = sqrt(λ_j) * v_j, ready for a dot product with the histogram.
+  std::vector<std::vector<double>> rows_;
+  double captured_energy_ = 1.0;
+};
+
+/// Statistics from a filtered nearest-neighbour search.
+struct FilteredSearchStats {
+  /// Full quadratic-form distance computations actually performed.
+  size_t full_distance_computations = 0;
+  /// Cheap bound-distance computations (one per database object).
+  size_t bound_computations = 0;
+};
+
+/// Exact top-k most-similar search over `database` for `target`, using the
+/// filter to skip full distance computations: objects are visited in
+/// ascending d̂ order and the scan stops once d̂ exceeds the current k-th
+/// best full distance (no false dismissals by formula (2)).
+/// Returns indices into `database` paired with their full distances,
+/// ascending.
+Result<std::vector<std::pair<size_t, double>>> FilteredKnn(
+    const QuadraticFormDistance& qfd, const EigenFilter& filter,
+    const std::vector<Histogram>& database, const Histogram& target, size_t k,
+    FilteredSearchStats* stats = nullptr);
+
+/// Baseline: the same search with full distances only (k smallest of N).
+std::vector<std::pair<size_t, double>> ExactKnn(
+    const QuadraticFormDistance& qfd, const std::vector<Histogram>& database,
+    const Histogram& target, size_t k);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_IMAGE_BOUNDING_H_

@@ -1,0 +1,49 @@
+#include "image/color_moments.h"
+
+#include <cmath>
+
+namespace fuzzydb {
+
+Result<ColorMoments> ComputeColorMoments(const Palette& palette,
+                                         const Histogram& h) {
+  FUZZYDB_RETURN_NOT_OK(ValidateHistogram(h));
+  if (h.size() != palette.size()) {
+    return Status::InvalidArgument("histogram bin count != palette size");
+  }
+  ColorMoments m;
+  for (size_t i = 0; i < h.size(); ++i) {
+    for (size_t c = 0; c < 3; ++c) {
+      m.mean[c] += h[i] * palette.color(i)[c];
+    }
+  }
+  Rgb m2{0, 0, 0}, m3{0, 0, 0};
+  for (size_t i = 0; i < h.size(); ++i) {
+    for (size_t c = 0; c < 3; ++c) {
+      double d = palette.color(i)[c] - m.mean[c];
+      m2[c] += h[i] * d * d;
+      m3[c] += h[i] * d * d * d;
+    }
+  }
+  for (size_t c = 0; c < 3; ++c) {
+    m.stddev[c] = std::sqrt(m2[c]);
+    m.skewness[c] = std::cbrt(m3[c]);
+  }
+  return m;
+}
+
+double ColorMomentDistance(const ColorMoments& a, const ColorMoments& b,
+                           const MomentWeights& weights) {
+  double d = 0.0;
+  for (size_t c = 0; c < 3; ++c) {
+    d += weights.mean * std::fabs(a.mean[c] - b.mean[c]);
+    d += weights.stddev * std::fabs(a.stddev[c] - b.stddev[c]);
+    d += weights.skewness * std::fabs(a.skewness[c] - b.skewness[c]);
+  }
+  return d;
+}
+
+double ColorMomentGradeFromDistance(double distance) {
+  return 1.0 / (1.0 + distance);
+}
+
+}  // namespace fuzzydb

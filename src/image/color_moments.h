@@ -1,0 +1,51 @@
+// Color moments [SO95] (cited in paper §2 among the color-matching
+// methods): instead of a k-bin histogram, summarize an image's color
+// distribution by the first three moments (mean, standard deviation,
+// skewness) of each channel — nine numbers — and compare with a weighted
+// L1 distance. Far cheaper than the quadratic form, and a classic
+// alternative atomic-query backend.
+
+#ifndef FUZZYDB_IMAGE_COLOR_MOMENTS_H_
+#define FUZZYDB_IMAGE_COLOR_MOMENTS_H_
+
+#include <array>
+
+#include "image/color.h"
+#include "middleware/source.h"
+
+namespace fuzzydb {
+
+/// Per-channel first three moments of a color distribution.
+struct ColorMoments {
+  /// E[channel].
+  Rgb mean = {0, 0, 0};
+  /// sqrt(E[(channel - mean)^2]).
+  Rgb stddev = {0, 0, 0};
+  /// cbrt(E[(channel - mean)^3]) — signed, same units as the channel.
+  Rgb skewness = {0, 0, 0};
+
+  bool operator==(const ColorMoments& other) const = default;
+};
+
+/// Moments of the distribution that places mass h[i] on palette color i.
+/// The histogram must validate against the palette.
+Result<ColorMoments> ComputeColorMoments(const Palette& palette,
+                                         const Histogram& h);
+
+/// Per-moment weights of the Stricker–Orengo distance.
+struct MomentWeights {
+  double mean = 1.0;
+  double stddev = 1.0;
+  double skewness = 1.0;
+};
+
+/// Weighted L1: Σ_channels w_mean|Δmean| + w_std|Δstd| + w_skew|Δskew|.
+double ColorMomentDistance(const ColorMoments& a, const ColorMoments& b,
+                           const MomentWeights& weights = {});
+
+/// Grade = 1 / (1 + distance).
+double ColorMomentGradeFromDistance(double distance);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_IMAGE_COLOR_MOMENTS_H_

@@ -1,0 +1,66 @@
+#include "image/image_store.h"
+
+#include <algorithm>
+
+namespace fuzzydb {
+
+Result<ImageStore> ImageStore::Generate(const ImageStoreOptions& options) {
+  if (options.num_images == 0) {
+    return Status::InvalidArgument("need at least one image");
+  }
+  if (options.palette_size < 2) {
+    return Status::InvalidArgument("palette needs >= 2 colors");
+  }
+  if (options.min_shape_vertices < 3 ||
+      options.max_shape_vertices < options.min_shape_vertices) {
+    return Status::InvalidArgument("bad shape vertex bounds");
+  }
+
+  ImageStore store;
+  Rng rng(options.seed);
+  store.palette_ = Palette::Uniform(options.palette_size, &rng);
+  Result<QuadraticFormDistance> qfd =
+      QuadraticFormDistance::Create(store.palette_);
+  if (!qfd.ok()) return qfd.status();
+  store.qfd_ = std::move(qfd).value();
+
+  store.images_.reserve(options.num_images);
+  for (size_t i = 0; i < options.num_images; ++i) {
+    ImageRecord rec;
+    rec.id = options.first_id + i;
+    rec.histogram = RandomHistogram(&rng, options.palette_size,
+                                    options.histogram_peaks,
+                                    options.histogram_noise);
+    size_t vertices = static_cast<size_t>(
+        rng.NextInt(static_cast<int64_t>(options.min_shape_vertices),
+                    static_cast<int64_t>(options.max_shape_vertices)));
+    rec.shape = Polygon::RandomStar(&rng, vertices);
+    Result<TexturePatch> patch = SynthesizeTexture(
+        RandomTextureParams(&rng), options.texture_patch_side, &rng);
+    if (!patch.ok()) return patch.status();
+    Result<TextureFeatures> features = ComputeTextureFeatures(*patch);
+    if (!features.ok()) return features.status();
+    rec.texture = *features;
+    store.images_.push_back(std::move(rec));
+  }
+  return store;
+}
+
+Result<const ImageRecord*> ImageStore::Find(ObjectId id) const {
+  // Ids are assigned contiguously from first_id.
+  if (images_.empty()) return Status::NotFound("empty store");
+  ObjectId first = images_.front().id;
+  if (id < first || id >= first + images_.size()) {
+    return Status::NotFound("no image with that id");
+  }
+  return &images_[id - first];
+}
+
+double ImageStore::ColorGrade(const Histogram& x,
+                              const Histogram& target) const {
+  double d = qfd_.Distance(x, target);
+  double g = 1.0 - d / qfd_.MaxDistance();
+  return std::clamp(g, 0.0, 1.0);
+}
+
+}  // namespace fuzzydb

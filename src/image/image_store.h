@@ -1,0 +1,73 @@
+// A synthetic image repository — the QBIC-shaped substrate. The paper's
+// experiments ran over real image collections; we generate images with the
+// same feature structure (color histograms over a palette + polygonal
+// shapes), which exercises identical code paths (see DESIGN.md,
+// Substitutions).
+
+#ifndef FUZZYDB_IMAGE_IMAGE_STORE_H_
+#define FUZZYDB_IMAGE_IMAGE_STORE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/graded_set.h"
+#include "image/color.h"
+#include "image/quadratic_distance.h"
+#include "image/shape.h"
+#include "image/texture.h"
+
+namespace fuzzydb {
+
+/// One synthetic image: its extracted features.
+struct ImageRecord {
+  ObjectId id = 0;
+  Histogram histogram;
+  Polygon shape = Polygon::Regular(3);
+  TextureFeatures texture;
+};
+
+/// Generation knobs for a synthetic collection.
+struct ImageStoreOptions {
+  size_t num_images = 1000;
+  size_t palette_size = 64;
+  size_t histogram_peaks = 3;
+  double histogram_noise = 0.1;
+  size_t min_shape_vertices = 3;
+  size_t max_shape_vertices = 12;
+  /// Side of the procedural texture patch features are extracted from.
+  size_t texture_patch_side = 32;
+  uint64_t seed = 7;
+  ObjectId first_id = 1;
+};
+
+/// An immutable collection of synthetic images plus the distance machinery
+/// for its palette.
+class ImageStore {
+ public:
+  /// Generates the collection deterministically from `options.seed`.
+  static Result<ImageStore> Generate(const ImageStoreOptions& options);
+
+  size_t size() const { return images_.size(); }
+  const std::vector<ImageRecord>& images() const { return images_; }
+  const ImageRecord& image(size_t i) const { return images_[i]; }
+
+  /// The image with the given id, or NotFound.
+  Result<const ImageRecord*> Find(ObjectId id) const;
+
+  const Palette& palette() const { return palette_; }
+  const QuadraticFormDistance& color_distance() const { return qfd_; }
+
+  /// Color grade in [0,1] of histogram `x` against a target histogram:
+  /// 1 - d(x, t) / MaxDistance().
+  double ColorGrade(const Histogram& x, const Histogram& target) const;
+
+ private:
+  ImageStore() = default;
+  std::vector<ImageRecord> images_;
+  Palette palette_;
+  QuadraticFormDistance qfd_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_IMAGE_IMAGE_STORE_H_

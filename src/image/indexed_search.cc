@@ -1,0 +1,94 @@
+#include "image/indexed_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fuzzydb {
+
+Result<GeminiIndex> GeminiIndex::Build(
+    const QuadraticFormDistance* qfd, EigenFilter filter,
+    const std::vector<Histogram>* database) {
+  if (qfd == nullptr || database == nullptr) {
+    return Status::InvalidArgument("null qfd or database");
+  }
+  if (database->empty()) {
+    return Status::InvalidArgument("empty database");
+  }
+  GeminiIndex index;
+  index.qfd_ = qfd;
+  index.filter_ = std::move(filter);
+  index.database_ = database;
+
+  // Every summary coordinate j satisfies |x̂_j| <= sqrt(λ_j)|x|_2 <=
+  // sqrt(λ_max); map uniformly into [0,1] with a safety margin so rounding
+  // never escapes the box. A uniform scale keeps Euclidean order and lets
+  // us convert index distances back: d̂ = d_unit / scale_.
+  double bound = std::sqrt(qfd->eigenvalues().front()) + 1e-9;
+  index.offset_ = bound;
+  index.scale_ = 1.0 / (2.0 * bound);
+
+  const size_t dim = index.filter_.dim();
+  std::vector<ObjectId> ids(database->size());
+  std::vector<double> coords(database->size() * dim);
+  for (size_t i = 0; i < database->size(); ++i) {
+    ids[i] = i;
+    std::vector<double> summary = index.filter_.Project((*database)[i]);
+    for (size_t j = 0; j < dim; ++j) {
+      coords[i * dim + j] =
+          std::clamp((summary[j] + index.offset_) * index.scale_, 0.0, 1.0);
+    }
+  }
+  index.rtree_ = std::make_unique<RTree>(dim);
+  FUZZYDB_RETURN_NOT_OK(
+      index.rtree_->BulkLoadStr(std::move(ids), std::move(coords)));
+  return index;
+}
+
+Result<std::vector<std::pair<size_t, double>>> GeminiIndex::Knn(
+    const Histogram& target, size_t k, FilteredSearchStats* stats) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  k = std::min(k, database_->size());
+
+  std::vector<double> summary = filter_.Project(target);
+  std::vector<double> unit(summary.size());
+  for (size_t j = 0; j < summary.size(); ++j) {
+    unit[j] = std::clamp((summary[j] + offset_) * scale_, 0.0, 1.0);
+  }
+
+  RTree::NearestIterator it(rtree_.get(), unit);
+  std::vector<std::pair<size_t, double>> best;  // (index, full d), unsorted
+  double kth = std::numeric_limits<double>::infinity();
+  size_t refinements = 0;
+  auto worst_it = [&best]() {
+    return std::max_element(best.begin(), best.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.second < b.second;
+                            });
+  };
+  while (std::optional<KnnNeighbor> cand = it.Next()) {
+    double bound = cand->distance / scale_;  // back to summary units
+    if (best.size() >= k && bound >= kth) break;  // d >= d̂ >= kth: done
+    size_t idx = static_cast<size_t>(cand->id);
+    double d = qfd_->Distance((*database_)[idx], target);
+    ++refinements;
+    if (best.size() < k) {
+      best.emplace_back(idx, d);
+      if (best.size() == k) kth = worst_it()->second;
+    } else if (d < kth) {
+      *worst_it() = {idx, d};
+      kth = worst_it()->second;
+    }
+  }
+  if (stats != nullptr) {
+    stats->full_distance_computations = refinements;
+    stats->bound_computations = it.stats().distance_computations;
+  }
+  std::sort(best.begin(), best.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;
+    return a.first < b.first;
+  });
+  return best;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,56 @@
+// The GEMINI filter-and-refine pipeline (paper §2.1: "First, we could
+// potentially have a multidimensional index on short color vectors"):
+// index the low-dimensional eigen summaries in an R-tree, stream candidates
+// out in ascending summary distance with the incremental nearest-neighbour
+// iterator, refine each with the full quadratic-form distance, and stop as
+// soon as the summary distance exceeds the current k-th best full distance.
+// The lower-bounding property d >= d̂ guarantees no false dismissals, and
+// the R-tree replaces FilteredKnn's per-query O(N log N) summary sort with
+// sub-linear index traversal.
+
+#ifndef FUZZYDB_IMAGE_INDEXED_SEARCH_H_
+#define FUZZYDB_IMAGE_INDEXED_SEARCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "image/bounding.h"
+#include "index/rtree.h"
+
+namespace fuzzydb {
+
+/// An R-tree over the eigen-filter summaries of an image collection.
+class GeminiIndex {
+ public:
+  /// Projects every histogram and bulk-loads the summaries (affinely mapped
+  /// into the R-tree's unit box; the map is a uniform scaling, so nearest
+  /// order and the bound property survive).
+  static Result<GeminiIndex> Build(const QuadraticFormDistance* qfd,
+                                   EigenFilter filter,
+                                   const std::vector<Histogram>* database);
+
+  /// Exact top-k most-similar search; results ascending by full distance,
+  /// ties by index. `stats` counts full-distance refinements and summary
+  /// work.
+  Result<std::vector<std::pair<size_t, double>>> Knn(
+      const Histogram& target, size_t k,
+      FilteredSearchStats* stats = nullptr) const;
+
+  size_t size() const { return database_->size(); }
+  const EigenFilter& filter() const { return filter_; }
+
+ private:
+  GeminiIndex() = default;
+
+  const QuadraticFormDistance* qfd_ = nullptr;
+  EigenFilter filter_;
+  const std::vector<Histogram>* database_ = nullptr;
+  std::unique_ptr<RTree> rtree_;
+  // Uniform affine map: unit = (summary + offset_) * scale_.
+  double scale_ = 1.0;
+  double offset_ = 0.0;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_IMAGE_INDEXED_SEARCH_H_

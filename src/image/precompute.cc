@@ -1,0 +1,50 @@
+#include "image/precompute.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fuzzydb {
+
+Result<PairwiseDistanceCache> PairwiseDistanceCache::Build(
+    const ImageStore& store) {
+  const size_t n = store.size();
+  if (n < 2) return Status::InvalidArgument("need >= 2 images to cache");
+  PairwiseDistanceCache cache;
+  cache.n_ = n;
+  cache.packed_.resize(n * (n - 1) / 2);
+  const QuadraticFormDistance& qfd = store.color_distance();
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      cache.packed_[i * (i - 1) / 2 + j] =
+          qfd.Distance(store.image(i).histogram, store.image(j).histogram);
+    }
+  }
+  return cache;
+}
+
+double PairwiseDistanceCache::Distance(size_t i, size_t j) const {
+  assert(i < n_ && j < n_);
+  if (i == j) return 0.0;
+  if (i < j) std::swap(i, j);
+  return packed_[i * (i - 1) / 2 + j];
+}
+
+std::vector<std::pair<size_t, double>> PairwiseDistanceCache::Nearest(
+    size_t i, size_t k) const {
+  assert(i < n_);
+  std::vector<std::pair<size_t, double>> all;
+  all.reserve(n_ - 1);
+  for (size_t j = 0; j < n_; ++j) {
+    if (j != i) all.emplace_back(j, Distance(i, j));
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second < b.second;
+                      return a.first < b.first;
+                    });
+  all.resize(k);
+  return all;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,42 @@
+// Precomputed pairwise distances (paper §2.1): for small, rarely-updated
+// collections ("a few thousand images"), precompute the color distance
+// between every pair so that query time avoids quadratic-form evaluations
+// entirely.
+
+#ifndef FUZZYDB_IMAGE_PRECOMPUTE_H_
+#define FUZZYDB_IMAGE_PRECOMPUTE_H_
+
+#include <vector>
+
+#include "image/image_store.h"
+
+namespace fuzzydb {
+
+/// A dense symmetric cache of color distances between all image pairs of a
+/// store. Memory is O(n^2 / 2); intended for n up to a few thousand, per the
+/// paper.
+class PairwiseDistanceCache {
+ public:
+  /// Computes all n(n-1)/2 distances up front.
+  static Result<PairwiseDistanceCache> Build(const ImageStore& store);
+
+  /// Distance between images at positions i and j of the store (not ids).
+  double Distance(size_t i, size_t j) const;
+
+  /// The k store positions closest to position `i` (excluding i itself),
+  /// ascending by distance.
+  std::vector<std::pair<size_t, double>> Nearest(size_t i, size_t k) const;
+
+  size_t size() const { return n_; }
+
+ private:
+  PairwiseDistanceCache() = default;
+  // Lower-triangular packed storage: entry (i, j) with i > j at
+  // i*(i-1)/2 + j.
+  std::vector<double> packed_;
+  size_t n_ = 0;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_IMAGE_PRECOMPUTE_H_

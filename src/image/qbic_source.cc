@@ -1,0 +1,140 @@
+#include "image/qbic_source.h"
+
+#include <algorithm>
+
+namespace fuzzydb {
+
+namespace {
+
+std::vector<GradedObject> AtLeastFromSorted(
+    const std::vector<GradedObject>& sorted, double threshold) {
+  std::vector<GradedObject> out;
+  for (const GradedObject& g : sorted) {
+    if (g.grade < threshold) break;
+    out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<QbicColorSource> QbicColorSource::Create(const ImageStore* store,
+                                                Histogram target,
+                                                std::string label) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  FUZZYDB_RETURN_NOT_OK(ValidateHistogram(target));
+  if (target.size() != store->palette().size()) {
+    return Status::InvalidArgument("target histogram has wrong bin count");
+  }
+  QbicColorSource src;
+  src.label_ = std::move(label);
+  src.sorted_.reserve(store->size());
+  for (const ImageRecord& rec : store->images()) {
+    double grade = store->ColorGrade(rec.histogram, target);
+    src.sorted_.push_back({rec.id, grade});
+    src.grades_.emplace(rec.id, grade);
+  }
+  std::sort(src.sorted_.begin(), src.sorted_.end(), GradeDescending);
+  return src;
+}
+
+std::optional<GradedObject> QbicColorSource::NextSorted() {
+  if (cursor_ >= sorted_.size()) return std::nullopt;
+  return sorted_[cursor_++];
+}
+
+double QbicColorSource::RandomAccess(ObjectId id) {
+  auto it = grades_.find(id);
+  return it == grades_.end() ? 0.0 : it->second;
+}
+
+std::vector<GradedObject> QbicColorSource::AtLeast(double threshold) {
+  return AtLeastFromSorted(sorted_, threshold);
+}
+
+Result<QbicTextureSource> QbicTextureSource::Create(
+    const ImageStore* store, const TextureFeatures& target,
+    std::string label) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  QbicTextureSource src;
+  src.label_ = std::move(label);
+  src.sorted_.reserve(store->size());
+  for (const ImageRecord& rec : store->images()) {
+    double grade =
+        TextureGradeFromDistance(TextureDistance(rec.texture, target));
+    src.sorted_.push_back({rec.id, grade});
+    src.grades_.emplace(rec.id, grade);
+  }
+  std::sort(src.sorted_.begin(), src.sorted_.end(), GradeDescending);
+  return src;
+}
+
+std::optional<GradedObject> QbicTextureSource::NextSorted() {
+  if (cursor_ >= sorted_.size()) return std::nullopt;
+  return sorted_[cursor_++];
+}
+
+double QbicTextureSource::RandomAccess(ObjectId id) {
+  auto it = grades_.find(id);
+  return it == grades_.end() ? 0.0 : it->second;
+}
+
+std::vector<GradedObject> QbicTextureSource::AtLeast(double threshold) {
+  return AtLeastFromSorted(sorted_, threshold);
+}
+
+Result<QbicShapeSource> QbicShapeSource::Create(
+    const ImageStore* store, const Polygon& target, std::string label,
+    size_t turning_samples, ShapeMethod method) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  if (turning_samples < 4) {
+    return Status::InvalidArgument("turning_samples must be >= 4");
+  }
+  QbicShapeSource src;
+  src.label_ = std::move(label);
+  src.sorted_.reserve(store->size());
+
+  std::vector<double> target_turning;
+  HuMoments target_hu{};
+  if (method == ShapeMethod::kTurningFunction) {
+    target_turning = TurningFunction(target, turning_samples);
+  } else if (method == ShapeMethod::kHuMoments) {
+    target_hu = ComputeHuMoments(target);
+  }
+  for (const ImageRecord& rec : store->images()) {
+    double d = 0.0;
+    switch (method) {
+      case ShapeMethod::kTurningFunction:
+        d = TurningDistance(TurningFunction(rec.shape, turning_samples),
+                            target_turning);
+        break;
+      case ShapeMethod::kHuMoments:
+        d = HuMomentDistance(ComputeHuMoments(rec.shape), target_hu);
+        break;
+      case ShapeMethod::kHausdorff:
+        d = HausdorffShapeDistance(rec.shape, target, turning_samples);
+        break;
+    }
+    double grade = ShapeGradeFromDistance(d);
+    src.sorted_.push_back({rec.id, grade});
+    src.grades_.emplace(rec.id, grade);
+  }
+  std::sort(src.sorted_.begin(), src.sorted_.end(), GradeDescending);
+  return src;
+}
+
+std::optional<GradedObject> QbicShapeSource::NextSorted() {
+  if (cursor_ >= sorted_.size()) return std::nullopt;
+  return sorted_[cursor_++];
+}
+
+double QbicShapeSource::RandomAccess(ObjectId id) {
+  auto it = grades_.find(id);
+  return it == grades_.end() ? 0.0 : it->second;
+}
+
+std::vector<GradedObject> QbicShapeSource::AtLeast(double threshold) {
+  return AtLeastFromSorted(sorted_, threshold);
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,59 @@
+// The Ioka/QBIC quadratic-form color distance (paper §2, formula (1)):
+//
+//   d(x, y) = sqrt( (x-y)^T A (x-y) )
+//
+// where A is symmetric and a_ij describes the similarity between palette
+// colors i and j: a_ij = 1 - rgb_dist(c_i, c_j) / max_rgb_dist.
+//
+// For histograms, x - y lies in the zero-sum subspace {z : Σz_i = 0}; on
+// that subspace A is positive semidefinite (J contributes 0 and the negated
+// Euclidean distance matrix is conditionally positive), so the distance is
+// well-defined. We work with B = P A P (P the centering projector), which is
+// PSD everywhere and agrees with A on differences of histograms; its
+// eigen-decomposition also powers the distance-bounding filter.
+
+#ifndef FUZZYDB_IMAGE_QUADRATIC_DISTANCE_H_
+#define FUZZYDB_IMAGE_QUADRATIC_DISTANCE_H_
+
+#include "common/matrix.h"
+#include "image/color.h"
+
+namespace fuzzydb {
+
+/// The quadratic-form distance for one palette.
+class QuadraticFormDistance {
+ public:
+  /// An empty placeholder; every usable instance comes from Create().
+  QuadraticFormDistance() = default;
+
+  /// Builds A from the palette's RGB geometry and diagonalizes B = P A P.
+  static Result<QuadraticFormDistance> Create(const Palette& palette);
+
+  /// d(x, y); histograms must have palette-size bins.
+  double Distance(const Histogram& x, const Histogram& y) const;
+
+  /// An upper bound on Distance over all pairs of histograms:
+  /// sqrt(2 * λ_max(B)) since |x-y|_2^2 <= 2 for unit-mass histograms.
+  double MaxDistance() const { return max_distance_; }
+
+  /// Number of histogram bins.
+  size_t dimension() const { return a_.rows(); }
+
+  /// The similarity matrix A.
+  const Matrix& similarity() const { return a_; }
+
+  /// Eigenvalues of B = P A P, descending (all >= 0 up to roundoff).
+  const std::vector<double>& eigenvalues() const { return eigen_.values; }
+  /// Row i of the returned matrix is the unit eigenvector for
+  /// eigenvalues()[i].
+  const Matrix& eigenvectors() const { return eigen_.vectors; }
+
+ private:
+  Matrix a_;
+  EigenDecomposition eigen_;  // of B = P A P, negatives clamped to 0
+  double max_distance_ = 0.0;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_IMAGE_QUADRATIC_DISTANCE_H_

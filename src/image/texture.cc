@@ -1,0 +1,158 @@
+#include "image/texture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace fuzzydb {
+
+TextureParams RandomTextureParams(Rng* rng) {
+  TextureParams p;
+  p.frequency = 1.0 + 15.0 * rng->NextDouble();
+  p.orientation = std::numbers::pi * rng->NextDouble();
+  p.amplitude = 0.2 + 0.6 * rng->NextDouble();
+  p.noise = 0.3 * rng->NextDouble();
+  return p;
+}
+
+Result<TexturePatch> SynthesizeTexture(const TextureParams& params,
+                                       size_t side, Rng* rng) {
+  if (side < 8) return Status::InvalidArgument("patch side must be >= 8");
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  TexturePatch patch;
+  patch.side = side;
+  patch.pixels.resize(side * side);
+  const double cos_o = std::cos(params.orientation);
+  const double sin_o = std::sin(params.orientation);
+  for (size_t r = 0; r < side; ++r) {
+    for (size_t c = 0; c < side; ++c) {
+      double x = static_cast<double>(c) / static_cast<double>(side);
+      double y = static_cast<double>(r) / static_cast<double>(side);
+      // Coordinate along the grating normal.
+      double t = x * cos_o + y * sin_o;
+      double v = 0.5 + 0.5 * params.amplitude *
+                           std::sin(2.0 * std::numbers::pi *
+                                    params.frequency * t);
+      v += params.noise * (rng->NextDouble() - 0.5);
+      patch.pixels[r * side + c] = std::clamp(v, 0.0, 1.0);
+    }
+  }
+  return patch;
+}
+
+namespace {
+
+// Mean intensity of the 2^k x 2^k window whose top-left corner is (r, c),
+// clipped to the patch.
+double WindowMean(const TexturePatch& p, size_t r, size_t c, size_t size) {
+  size_t r1 = std::min(r + size, p.side);
+  size_t c1 = std::min(c + size, p.side);
+  double sum = 0.0;
+  for (size_t i = r; i < r1; ++i) {
+    for (size_t j = c; j < c1; ++j) sum += p.At(i, j);
+  }
+  return sum / static_cast<double>((r1 - r) * (c1 - c));
+}
+
+}  // namespace
+
+Result<TextureFeatures> ComputeTextureFeatures(const TexturePatch& patch) {
+  if (patch.side < 8) {
+    return Status::InvalidArgument("patch side must be >= 8");
+  }
+  if (patch.pixels.size() != patch.side * patch.side) {
+    return Status::InvalidArgument("pixel count does not match side^2");
+  }
+  const size_t n = patch.side;
+
+  // --- Contrast: Tamura's sigma / kurtosis^(1/4), squashed to [0,1]. ---
+  double mean = 0.0;
+  for (double v : patch.pixels) mean += v;
+  mean /= static_cast<double>(patch.pixels.size());
+  double m2 = 0.0, m4 = 0.0;
+  for (double v : patch.pixels) {
+    double d = v - mean;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(patch.pixels.size());
+  m4 /= static_cast<double>(patch.pixels.size());
+  double contrast = 0.0;
+  if (m2 > 1e-12) {
+    double kurtosis = m4 / (m2 * m2);
+    contrast = std::sqrt(m2) / std::pow(kurtosis, 0.25);
+  }
+  contrast = std::min(1.0, 2.0 * contrast);  // sigma <= 0.5 on [0,1] data
+
+  // --- Coarseness: per-pixel best window scale (Tamura S_best,
+  // simplified): the scale 2^k maximizing the horizontal/vertical mean
+  // difference of adjacent windows. ---
+  size_t max_k = 0;
+  while ((size_t{2} << max_k) <= n / 2) ++max_k;  // 2^(k+1) <= n/2
+  double total_best = 0.0;
+  size_t samples = 0;
+  const size_t step = std::max<size_t>(1, n / 16);  // subsample the grid
+  for (size_t r = 0; r < n; r += step) {
+    for (size_t c = 0; c < n; c += step) {
+      double best_e = -1.0;
+      size_t best_size = 1;
+      for (size_t k = 0; k <= max_k; ++k) {
+        size_t size = size_t{1} << k;
+        if (c + 2 * size > n || r + 2 * size > n) break;
+        double eh = std::fabs(WindowMean(patch, r, c, size) -
+                              WindowMean(patch, r, c + size, size));
+        double ev = std::fabs(WindowMean(patch, r, c, size) -
+                              WindowMean(patch, r + size, c, size));
+        double e = std::max(eh, ev);
+        if (e > best_e) {
+          best_e = e;
+          best_size = size;
+        }
+      }
+      total_best += static_cast<double>(best_size);
+      ++samples;
+    }
+  }
+  double avg_size = total_best / static_cast<double>(samples);
+  // Normalize by the largest window considered.
+  double coarseness =
+      avg_size / static_cast<double>(size_t{1} << max_k);
+  coarseness = std::min(1.0, coarseness);
+
+  // --- Directionality: circular concentration of gradient orientations
+  // (doubled angles so opposite gradients reinforce), magnitude-weighted.
+  double sum_cos = 0.0, sum_sin = 0.0, sum_mag = 0.0;
+  for (size_t r = 0; r + 1 < n; ++r) {
+    for (size_t c = 0; c + 1 < n; ++c) {
+      double gx = patch.At(r, c + 1) - patch.At(r, c);
+      double gy = patch.At(r + 1, c) - patch.At(r, c);
+      double mag = std::hypot(gx, gy);
+      if (mag < 1e-9) continue;
+      double angle = 2.0 * std::atan2(gy, gx);
+      sum_cos += mag * std::cos(angle);
+      sum_sin += mag * std::sin(angle);
+      sum_mag += mag;
+    }
+  }
+  double directionality =
+      sum_mag > 1e-12 ? std::hypot(sum_cos, sum_sin) / sum_mag : 0.0;
+
+  TextureFeatures f;
+  f.coarseness = coarseness;
+  f.contrast = contrast;
+  f.directionality = directionality;
+  return f;
+}
+
+double TextureDistance(const TextureFeatures& a, const TextureFeatures& b) {
+  double dc = a.coarseness - b.coarseness;
+  double dk = a.contrast - b.contrast;
+  double dd = a.directionality - b.directionality;
+  return std::sqrt(dc * dc + dk * dk + dd * dd);
+}
+
+double TextureGradeFromDistance(double distance) {
+  return 1.0 / (1.0 + distance);
+}
+
+}  // namespace fuzzydb

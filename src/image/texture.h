@@ -1,0 +1,72 @@
+// Texture features — the third QBIC search dimension (paper §4: QBIC "can
+// search for images by various visual characteristics such as color, shape,
+// and texture"). We implement Tamura-style features (coarseness, contrast,
+// directionality) computed on small grayscale patches, plus a procedural
+// patch generator so synthetic images carry controllable texture.
+
+#ifndef FUZZYDB_IMAGE_TEXTURE_H_
+#define FUZZYDB_IMAGE_TEXTURE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace fuzzydb {
+
+/// A square grayscale patch, row-major, intensities in [0, 1].
+struct TexturePatch {
+  size_t side = 0;
+  std::vector<double> pixels;  // side * side
+
+  double At(size_t r, size_t c) const { return pixels[r * side + c]; }
+};
+
+/// Parameters of the procedural texture: an oriented sinusoidal grating
+/// plus noise.
+struct TextureParams {
+  /// Cycles across the patch; low = coarse texture, high = fine.
+  double frequency = 4.0;
+  /// Grating orientation in radians.
+  double orientation = 0.0;
+  /// Amplitude of the grating in [0, 1]; higher = more contrast.
+  double amplitude = 0.5;
+  /// Uniform noise amplitude in [0, 1]; higher = less directional.
+  double noise = 0.1;
+};
+
+/// Draws random-but-plausible parameters.
+TextureParams RandomTextureParams(Rng* rng);
+
+/// Renders the parameterized grating patch; `side` >= 8.
+Result<TexturePatch> SynthesizeTexture(const TextureParams& params,
+                                       size_t side, Rng* rng);
+
+/// The Tamura-style feature triple, each roughly in [0, 1].
+struct TextureFeatures {
+  /// Dominant repeat scale, normalized: near 0 for pixel-fine texture,
+  /// near 1 when structure spans the patch.
+  double coarseness = 0.0;
+  /// Tamura contrast sigma / kurtosis^(1/4), squashed to [0, 1].
+  double contrast = 0.0;
+  /// Sharpness of the gradient-orientation distribution: 1 = single
+  /// orientation, 0 = isotropic.
+  double directionality = 0.0;
+
+  bool operator==(const TextureFeatures& other) const = default;
+};
+
+/// Computes the features from a patch; InvalidArgument for patches smaller
+/// than 8x8 or with inconsistent sizes.
+Result<TextureFeatures> ComputeTextureFeatures(const TexturePatch& patch);
+
+/// Euclidean distance in feature space (features are commensurate by
+/// construction).
+double TextureDistance(const TextureFeatures& a, const TextureFeatures& b);
+
+/// Grade = 1 / (1 + distance), in (0, 1].
+double TextureGradeFromDistance(double distance);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_IMAGE_TEXTURE_H_

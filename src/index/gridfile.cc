@@ -1,0 +1,124 @@
+#include "index/gridfile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fuzzydb {
+
+size_t GridFile::CellHash::operator()(
+    const std::vector<uint32_t>& key) const {
+  // FNV-1a over the packed indices.
+  uint64_t h = 1469598103934665603ULL;
+  for (uint32_t v : key) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<size_t>(h);
+}
+
+GridFile::GridFile(size_t dim, size_t buckets_per_dim)
+    : dim_(dim), buckets_(std::max<size_t>(buckets_per_dim, 2)) {}
+
+std::vector<uint32_t> GridFile::CellOf(std::span<const double> point) const {
+  std::vector<uint32_t> key(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    auto idx = static_cast<size_t>(point[i] * static_cast<double>(buckets_));
+    key[i] = static_cast<uint32_t>(std::min(idx, buckets_ - 1));
+  }
+  return key;
+}
+
+double GridFile::CellMinDist2(const std::vector<uint32_t>& key,
+                              std::span<const double> point) const {
+  const double w = 1.0 / static_cast<double>(buckets_);
+  double s = 0.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    double lo = static_cast<double>(key[i]) * w;
+    double hi = lo + w;
+    double d = 0.0;
+    if (point[i] < lo) {
+      d = lo - point[i];
+    } else if (point[i] > hi) {
+      d = point[i] - hi;
+    }
+    s += d * d;
+  }
+  return s;
+}
+
+Status GridFile::Insert(ObjectId id, std::span<const double> point) {
+  FUZZYDB_RETURN_NOT_OK(ValidatePoint(point, dim_));
+  cells_[CellOf(point)].push_back(
+      {id, std::vector<double>(point.begin(), point.end())});
+  ++size_;
+  return Status::OK();
+}
+
+Result<std::vector<KnnNeighbor>> GridFile::Knn(std::span<const double> query,
+                                               size_t k,
+                                               KnnStats* stats) const {
+  FUZZYDB_RETURN_NOT_OK(ValidatePoint(query, dim_));
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  // Examine occupied cells in ascending mindist order; stop opening buckets
+  // once a cell cannot contain anything closer than the current k-th best.
+  std::vector<std::pair<double, const std::vector<Entry>*>> order;
+  order.reserve(cells_.size());
+  for (const auto& [key, bucket] : cells_) {
+    order.emplace_back(CellMinDist2(key, query), &bucket);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  KnnStats local;
+  local.node_accesses += order.size();  // directory examination
+
+  auto worse = [](const KnnNeighbor& a, const KnnNeighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  std::vector<KnnNeighbor> best;
+  double kth2 = std::numeric_limits<double>::infinity();
+  for (const auto& [mind2, bucket] : order) {
+    if (best.size() >= k && mind2 > kth2) break;
+    ++local.node_accesses;  // bucket open
+    for (const Entry& e : *bucket) {
+      double d2 = SquaredDistance(e.point, query);
+      ++local.distance_computations;
+      KnnNeighbor cand{e.id, std::sqrt(d2)};
+      if (best.size() < k) {
+        best.push_back(cand);
+        if (best.size() == k) {
+          kth2 = 0.0;
+          for (const KnnNeighbor& n : best) {
+            kth2 = std::max(kth2, n.distance * n.distance);
+          }
+        }
+      } else if (worse(cand, *std::max_element(best.begin(), best.end(),
+                                               worse))) {
+        *std::max_element(best.begin(), best.end(), worse) = cand;
+        kth2 = 0.0;
+        for (const KnnNeighbor& n : best) {
+          kth2 = std::max(kth2, n.distance * n.distance);
+        }
+      }
+    }
+  }
+
+  std::sort(best.begin(), best.end(), worse);
+  if (best.size() > k) best.resize(k);
+  if (stats != nullptr) {
+    stats->node_accesses += local.node_accesses;
+    stats->distance_computations += local.distance_computations;
+  }
+  return best;
+}
+
+double GridFile::VirtualDirectorySize() const {
+  return std::pow(static_cast<double>(buckets_), static_cast<double>(dim_));
+}
+
+}  // namespace fuzzydb

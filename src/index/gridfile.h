@@ -1,0 +1,63 @@
+// Grid file [NHS84] (paper §2.1). The directory partitions [0,1]^dim into
+// buckets^dim cells; its size is exponential in the dimension — exactly the
+// "dimensionality curse" the paper warns about. We keep the directory sparse
+// (only occupied cells are materialized) so the structure stays buildable at
+// high dimension, but the degradation still shows: with random data almost
+// every point gets a private cell, and kNN must touch nearly all of them.
+
+#ifndef FUZZYDB_INDEX_GRIDFILE_H_
+#define FUZZYDB_INDEX_GRIDFILE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "index/spatial.h"
+
+namespace fuzzydb {
+
+/// Fixed-resolution grid file over [0,1]^dim.
+class GridFile final : public SpatialIndex {
+ public:
+  /// `buckets_per_dim` >= 2 partitions each axis uniformly.
+  GridFile(size_t dim, size_t buckets_per_dim = 4);
+
+  Status Insert(ObjectId id, std::span<const double> point) override;
+  Result<std::vector<KnnNeighbor>> Knn(std::span<const double> query, size_t k,
+                                       KnnStats* stats) const override;
+  size_t dimension() const override { return dim_; }
+  size_t size() const override { return size_; }
+  std::string name() const override { return "gridfile"; }
+
+  /// Number of directory cells actually materialized.
+  size_t OccupiedCells() const { return cells_.size(); }
+
+  /// buckets^dim — the directory size a dense grid file would need
+  /// (returned as double; it overflows integers quickly, which is the
+  /// point).
+  double VirtualDirectorySize() const;
+
+ private:
+  struct Entry {
+    ObjectId id;
+    std::vector<double> point;
+  };
+  struct CellHash {
+    size_t operator()(const std::vector<uint32_t>& key) const;
+  };
+
+  std::vector<uint32_t> CellOf(std::span<const double> point) const;
+  // Squared distance from `point` to the closed cell `key`.
+  double CellMinDist2(const std::vector<uint32_t>& key,
+                      std::span<const double> point) const;
+
+  size_t dim_;
+  size_t buckets_;
+  std::unordered_map<std::vector<uint32_t>, std::vector<Entry>, CellHash>
+      cells_;
+  size_t size_ = 0;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_INDEX_GRIDFILE_H_

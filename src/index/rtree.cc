@@ -1,0 +1,472 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+
+namespace fuzzydb {
+
+Rect::Rect(std::span<const double> point)
+    : lo_(point.begin(), point.end()), hi_(point.begin(), point.end()) {}
+
+void Rect::Extend(const Rect& other) {
+  if (lo_.empty()) {
+    *this = other;
+    return;
+  }
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    lo_[i] = std::min(lo_[i], other.lo_[i]);
+    hi_[i] = std::max(hi_[i], other.hi_[i]);
+  }
+}
+
+double Rect::Volume() const {
+  double v = 1.0;
+  for (size_t i = 0; i < lo_.size(); ++i) v *= hi_[i] - lo_[i];
+  return v;
+}
+
+double Rect::Enlargement(const Rect& other) const {
+  Rect merged = *this;
+  merged.Extend(other);
+  return merged.Volume() - Volume();
+}
+
+double Rect::MinDist2(std::span<const double> point) const {
+  double s = 0.0;
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    double d = 0.0;
+    if (point[i] < lo_[i]) {
+      d = lo_[i] - point[i];
+    } else if (point[i] > hi_[i]) {
+      d = point[i] - hi_[i];
+    }
+    s += d * d;
+  }
+  return s;
+}
+
+struct RTree::Node {
+  bool leaf = true;
+  Rect mbr;
+  // Leaf payload.
+  std::vector<ObjectId> ids;
+  std::vector<std::vector<double>> points;
+  // Internal payload.
+  std::vector<std::unique_ptr<Node>> children;
+
+  size_t NumEntries() const { return leaf ? ids.size() : children.size(); }
+
+  void RecomputeMbr() {
+    mbr = Rect();
+    if (leaf) {
+      for (const auto& p : points) mbr.Extend(Rect(p));
+    } else {
+      for (const auto& c : children) mbr.Extend(c->mbr);
+    }
+  }
+};
+
+struct RTree::SplitResult {
+  std::unique_ptr<Node> right;  // null when no split happened
+};
+
+RTree::RTree(size_t dim, size_t max_entries)
+    : dim_(dim),
+      max_entries_(std::max<size_t>(max_entries, 4)),
+      min_entries_(std::max<size_t>(max_entries, 4) / 2),
+      root_(std::make_unique<Node>()) {}
+
+RTree::~RTree() = default;
+
+namespace {
+
+// Guttman quadratic PickSeeds over a set of rectangles: the pair wasting the
+// most volume if grouped together.
+std::pair<size_t, size_t> PickSeeds(const std::vector<Rect>& rects) {
+  size_t best_a = 0, best_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t a = 0; a < rects.size(); ++a) {
+    for (size_t b = a + 1; b < rects.size(); ++b) {
+      Rect merged = rects[a];
+      merged.Extend(rects[b]);
+      double waste = merged.Volume() - rects[a].Volume() - rects[b].Volume();
+      if (waste > worst) {
+        worst = waste;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  return {best_a, best_b};
+}
+
+}  // namespace
+
+RTree::SplitResult RTree::SplitNode(Node* node) {
+  // Collect entry rectangles.
+  const size_t n = node->NumEntries();
+  std::vector<Rect> rects(n);
+  for (size_t i = 0; i < n; ++i) {
+    rects[i] = node->leaf ? Rect(node->points[i]) : node->children[i]->mbr;
+  }
+  auto [seed_a, seed_b] = PickSeeds(rects);
+
+  std::vector<int> group(n, -1);  // 0 = stay, 1 = move right
+  group[seed_a] = 0;
+  group[seed_b] = 1;
+  Rect mbr_a = rects[seed_a], mbr_b = rects[seed_b];
+  size_t count_a = 1, count_b = 1;
+  size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // Force-assign when one group must take all remaining to reach min fill.
+    if (count_a + remaining == min_entries_) {
+      for (size_t i = 0; i < n; ++i) {
+        if (group[i] == -1) {
+          group[i] = 0;
+          mbr_a.Extend(rects[i]);
+        }
+      }
+      break;
+    }
+    if (count_b + remaining == min_entries_) {
+      for (size_t i = 0; i < n; ++i) {
+        if (group[i] == -1) {
+          group[i] = 1;
+          mbr_b.Extend(rects[i]);
+        }
+      }
+      break;
+    }
+    // PickNext: the entry with the largest preference difference.
+    size_t pick = n;
+    double best_diff = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (group[i] != -1) continue;
+      double diff = std::fabs(mbr_a.Enlargement(rects[i]) -
+                              mbr_b.Enlargement(rects[i]));
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+      }
+    }
+    assert(pick < n);
+    double ea = mbr_a.Enlargement(rects[pick]);
+    double eb = mbr_b.Enlargement(rects[pick]);
+    bool to_a = ea < eb ||
+                (ea == eb && (mbr_a.Volume() < mbr_b.Volume() ||
+                              (mbr_a.Volume() == mbr_b.Volume() &&
+                               count_a <= count_b)));
+    if (to_a) {
+      group[pick] = 0;
+      mbr_a.Extend(rects[pick]);
+      ++count_a;
+    } else {
+      group[pick] = 1;
+      mbr_b.Extend(rects[pick]);
+      ++count_b;
+    }
+    --remaining;
+  }
+
+  // Materialize the right node and compact the left in place.
+  auto right = std::make_unique<Node>();
+  right->leaf = node->leaf;
+  if (node->leaf) {
+    std::vector<ObjectId> keep_ids;
+    std::vector<std::vector<double>> keep_points;
+    for (size_t i = 0; i < n; ++i) {
+      if (group[i] == 1) {
+        right->ids.push_back(node->ids[i]);
+        right->points.push_back(std::move(node->points[i]));
+      } else {
+        keep_ids.push_back(node->ids[i]);
+        keep_points.push_back(std::move(node->points[i]));
+      }
+    }
+    node->ids = std::move(keep_ids);
+    node->points = std::move(keep_points);
+  } else {
+    std::vector<std::unique_ptr<Node>> keep;
+    for (size_t i = 0; i < n; ++i) {
+      if (group[i] == 1) {
+        right->children.push_back(std::move(node->children[i]));
+      } else {
+        keep.push_back(std::move(node->children[i]));
+      }
+    }
+    node->children = std::move(keep);
+  }
+  node->RecomputeMbr();
+  right->RecomputeMbr();
+  return SplitResult{std::move(right)};
+}
+
+RTree::SplitResult RTree::InsertRecursive(Node* node, ObjectId id,
+                                          std::span<const double> point) {
+  if (node->leaf) {
+    node->ids.push_back(id);
+    node->points.emplace_back(point.begin(), point.end());
+    node->mbr.Extend(Rect(point));
+    if (node->NumEntries() > max_entries_) return SplitNode(node);
+    return SplitResult{nullptr};
+  }
+
+  // ChooseLeaf: least enlargement, ties by smaller volume.
+  Rect prect(point);
+  size_t best = 0;
+  double best_enlarge = std::numeric_limits<double>::infinity();
+  double best_volume = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    double e = node->children[i]->mbr.Enlargement(prect);
+    double v = node->children[i]->mbr.Volume();
+    if (e < best_enlarge || (e == best_enlarge && v < best_volume)) {
+      best_enlarge = e;
+      best_volume = v;
+      best = i;
+    }
+  }
+
+  SplitResult child_split =
+      InsertRecursive(node->children[best].get(), id, point);
+  node->mbr.Extend(prect);
+  if (child_split.right != nullptr) {
+    node->children.push_back(std::move(child_split.right));
+    if (node->NumEntries() > max_entries_) return SplitNode(node);
+  }
+  return SplitResult{nullptr};
+}
+
+Status RTree::Insert(ObjectId id, std::span<const double> point) {
+  FUZZYDB_RETURN_NOT_OK(ValidatePoint(point, dim_));
+  SplitResult top = InsertRecursive(root_.get(), id, point);
+  if (top.right != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(top.right));
+    new_root->RecomputeMbr();
+    root_ = std::move(new_root);
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status RTree::BulkLoadStr(std::vector<ObjectId> ids,
+                          std::vector<double> points) {
+  if (points.size() != ids.size() * dim_) {
+    return Status::InvalidArgument("points must hold ids.size()*dim coords");
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    FUZZYDB_RETURN_NOT_OK(
+        ValidatePoint({points.data() + i * dim_, dim_}, dim_));
+  }
+
+  // Build leaves by Sort-Tile-Recursive: recursively sort the remaining
+  // entries by the next coordinate and cut into equal tiles, one dimension
+  // at a time, then pack max_entries_ entries per leaf.
+  std::vector<size_t> order(ids.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const auto leaf_capacity = static_cast<double>(max_entries_);
+  std::function<void(std::span<size_t>, size_t,
+                     std::vector<std::unique_ptr<Node>>*)>
+      tile = [&](std::span<size_t> slice, size_t axis,
+                 std::vector<std::unique_ptr<Node>>* leaves) {
+        if (slice.size() <= max_entries_ || axis >= dim_) {
+          for (size_t start = 0; start < slice.size();
+               start += max_entries_) {
+            auto leaf = std::make_unique<Node>();
+            leaf->leaf = true;
+            size_t end = std::min(start + max_entries_, slice.size());
+            for (size_t i = start; i < end; ++i) {
+              size_t e = slice[i];
+              leaf->ids.push_back(ids[e]);
+              leaf->points.emplace_back(points.begin() + e * dim_,
+                                        points.begin() + (e + 1) * dim_);
+            }
+            leaf->RecomputeMbr();
+            leaves->push_back(std::move(leaf));
+          }
+          return;
+        }
+        std::sort(slice.begin(), slice.end(), [&](size_t a, size_t b) {
+          return points[a * dim_ + axis] < points[b * dim_ + axis];
+        });
+        // Number of vertical slabs so that each slab holds about
+        // sqrt-progressively balanced tiles (classic STR slab count).
+        double n_leaves = std::ceil(static_cast<double>(slice.size()) /
+                                    leaf_capacity);
+        auto slabs = static_cast<size_t>(std::ceil(std::pow(
+            n_leaves, 1.0 / static_cast<double>(dim_ - axis))));
+        slabs = std::max<size_t>(1, slabs);
+        size_t per_slab =
+            (slice.size() + slabs - 1) / slabs;
+        for (size_t start = 0; start < slice.size(); start += per_slab) {
+          size_t end = std::min(start + per_slab, slice.size());
+          tile(slice.subspan(start, end - start), axis + 1, leaves);
+        }
+      };
+
+  std::vector<std::unique_ptr<Node>> level;
+  if (!ids.empty()) tile(order, 0, &level);
+
+  // Pack upward until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next;
+    for (size_t start = 0; start < level.size(); start += max_entries_) {
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      size_t end = std::min(start + max_entries_, level.size());
+      for (size_t i = start; i < end; ++i) {
+        parent->children.push_back(std::move(level[i]));
+      }
+      parent->RecomputeMbr();
+      next.push_back(std::move(parent));
+    }
+    level = std::move(next);
+  }
+
+  if (level.empty()) {
+    root_ = std::make_unique<Node>();
+  } else {
+    root_ = std::move(level.front());
+  }
+  size_ = ids.size();
+  return Status::OK();
+}
+
+Result<std::vector<KnnNeighbor>> RTree::Knn(std::span<const double> query,
+                                            size_t k, KnnStats* stats) const {
+  FUZZYDB_RETURN_NOT_OK(ValidatePoint(query, dim_));
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  // Best-first search: a priority queue of nodes ordered by MBR mindist,
+  // interleaved with a result heap of found points.
+  struct QueueEntry {
+    double min_dist2;
+    const Node* node;
+    bool operator>(const QueueEntry& other) const {
+      return min_dist2 > other.min_dist2;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      frontier;
+  frontier.push({root_->mbr.MinDist2(query), root_.get()});
+
+  auto worse = [](const KnnNeighbor& a, const KnnNeighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  std::priority_queue<KnnNeighbor, std::vector<KnnNeighbor>, decltype(worse)>
+      best(worse);  // max-heap: top is the worst of the kept k
+
+  KnnStats local;
+  while (!frontier.empty()) {
+    QueueEntry entry = frontier.top();
+    frontier.pop();
+    if (best.size() >= k &&
+        entry.min_dist2 > best.top().distance * best.top().distance) {
+      break;  // nothing closer remains
+    }
+    ++local.node_accesses;
+    const Node* node = entry.node;
+    if (node->leaf) {
+      for (size_t i = 0; i < node->ids.size(); ++i) {
+        double d = std::sqrt(SquaredDistance(node->points[i], query));
+        ++local.distance_computations;
+        KnnNeighbor cand{node->ids[i], d};
+        if (best.size() < k) {
+          best.push(cand);
+        } else if (worse(cand, best.top())) {
+          best.pop();
+          best.push(cand);
+        }
+      }
+    } else {
+      for (const auto& child : node->children) {
+        frontier.push({child->mbr.MinDist2(query), child.get()});
+      }
+    }
+  }
+
+  std::vector<KnnNeighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  if (stats != nullptr) {
+    stats->node_accesses += local.node_accesses;
+    stats->distance_computations += local.distance_computations;
+  }
+  return out;
+}
+
+size_t RTree::Height() const {
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+// Mixed priority queue of tree nodes (keyed by MBR mindist) and resolved
+// point entries (keyed by exact distance): popping an entry before any node
+// certifies it as the next nearest neighbour.
+struct RTree::NearestIterator::Frontier {
+  struct Item {
+    double key;           // squared distance
+    const Node* node;     // null for a resolved point entry
+    KnnNeighbor entry;    // valid when node == nullptr
+    bool operator>(const Item& other) const {
+      if (key != other.key) return key > other.key;
+      // Deterministic ties: resolved entries first, then by id.
+      if ((node == nullptr) != (other.node == nullptr)) {
+        return node != nullptr;
+      }
+      return entry.id > other.entry.id;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
+};
+
+RTree::NearestIterator::NearestIterator(const RTree* tree,
+                                        std::span<const double> query)
+    : tree_(tree),
+      query_(query.begin(), query.end()),
+      frontier_(std::make_shared<Frontier>()) {
+  frontier_->queue.push(
+      {tree_->root_->mbr.MinDist2(query_), tree_->root_.get(), {}});
+}
+
+std::optional<KnnNeighbor> RTree::NearestIterator::Next() {
+  auto& queue = frontier_->queue;
+  while (!queue.empty()) {
+    Frontier::Item item = queue.top();
+    queue.pop();
+    if (item.node == nullptr) return item.entry;
+    ++stats_.node_accesses;
+    if (item.node->leaf) {
+      for (size_t i = 0; i < item.node->ids.size(); ++i) {
+        double d2 = SquaredDistance(item.node->points[i], query_);
+        ++stats_.distance_computations;
+        queue.push({d2, nullptr,
+                    {item.node->ids[i], std::sqrt(d2)}});
+      }
+    } else {
+      for (const auto& child : item.node->children) {
+        queue.push({child->mbr.MinDist2(query_), child.get(), {}});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fuzzydb

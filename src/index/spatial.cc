@@ -1,0 +1,61 @@
+#include "index/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fuzzydb {
+
+Status ValidatePoint(std::span<const double> point, size_t dim) {
+  if (point.size() != dim) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  for (double c : point) {
+    if (!(c >= 0.0 && c <= 1.0)) {
+      return Status::InvalidArgument("coordinates must lie in [0,1]");
+    }
+  }
+  return Status::OK();
+}
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+Status LinearScanIndex::Insert(ObjectId id, std::span<const double> point) {
+  FUZZYDB_RETURN_NOT_OK(ValidatePoint(point, dim_));
+  ids_.push_back(id);
+  coords_.insert(coords_.end(), point.begin(), point.end());
+  return Status::OK();
+}
+
+Result<std::vector<KnnNeighbor>> LinearScanIndex::Knn(
+    std::span<const double> query, size_t k, KnnStats* stats) const {
+  FUZZYDB_RETURN_NOT_OK(ValidatePoint(query, dim_));
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::vector<KnnNeighbor> all(ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    std::span<const double> p(coords_.data() + i * dim_, dim_);
+    all[i] = {ids_[i], std::sqrt(SquaredDistance(p, query))};
+  }
+  if (stats != nullptr) {
+    stats->node_accesses += 1;  // the single sequential "structure"
+    stats->distance_computations += ids_.size();
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(),
+                    [](const KnnNeighbor& a, const KnnNeighbor& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      return a.id < b.id;
+                    });
+  all.resize(k);
+  return all;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,81 @@
+// Multidimensional access methods (paper §2.1). The paper discusses linear
+// quadtrees and grid files (whose directories "grow exponentially with the
+// dimensionality"), and R-trees ("more robust ... at least for dimensions up
+// to around 20"). All three are implemented behind this interface so the
+// dimensionality-curse experiment (E6) can compare them against a linear
+// scan on equal terms.
+
+#ifndef FUZZYDB_INDEX_SPATIAL_H_
+#define FUZZYDB_INDEX_SPATIAL_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/graded_set.h"
+
+namespace fuzzydb {
+
+/// Work counters for one kNN query.
+struct KnnStats {
+  /// Index structure units inspected: R-tree nodes, grid/quadtree cells, or
+  /// scan chunks — the structure-access currency of the curse experiment.
+  size_t node_accesses = 0;
+  /// Exact point-distance computations performed.
+  size_t distance_computations = 0;
+};
+
+/// One kNN answer entry.
+struct KnnNeighbor {
+  ObjectId id = 0;
+  double distance = 0.0;
+};
+
+/// A point index over [0,1]^dim with Euclidean kNN.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Adds a point; its size must equal dimension() and coordinates must lie
+  /// in [0, 1].
+  virtual Status Insert(ObjectId id, std::span<const double> point) = 0;
+
+  /// The k nearest neighbours of `query`, ascending by distance (ties by
+  /// id). `stats` (optional) receives work counters.
+  virtual Result<std::vector<KnnNeighbor>> Knn(std::span<const double> query,
+                                               size_t k,
+                                               KnnStats* stats) const = 0;
+
+  virtual size_t dimension() const = 0;
+  virtual size_t size() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Shared argument validation for Insert implementations.
+Status ValidatePoint(std::span<const double> point, size_t dim);
+
+/// Squared Euclidean distance.
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
+
+/// Baseline: brute-force scan (no structure, N distance computations).
+class LinearScanIndex final : public SpatialIndex {
+ public:
+  explicit LinearScanIndex(size_t dim) : dim_(dim) {}
+
+  Status Insert(ObjectId id, std::span<const double> point) override;
+  Result<std::vector<KnnNeighbor>> Knn(std::span<const double> query, size_t k,
+                                       KnnStats* stats) const override;
+  size_t dimension() const override { return dim_; }
+  size_t size() const override { return ids_.size(); }
+  std::string name() const override { return "scan"; }
+
+ private:
+  size_t dim_;
+  std::vector<ObjectId> ids_;
+  std::vector<double> coords_;  // row-major points
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_INDEX_SPATIAL_H_

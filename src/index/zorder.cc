@@ -1,0 +1,166 @@
+#include "index/zorder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace fuzzydb {
+
+uint64_t MortonEncode(std::span<const uint32_t> coords, unsigned bits) {
+  assert(coords.size() * bits <= 60);
+  uint64_t code = 0;
+  unsigned out_bit = 0;
+  for (unsigned b = 0; b < bits; ++b) {
+    for (size_t d = 0; d < coords.size(); ++d) {
+      code |= static_cast<uint64_t>((coords[d] >> b) & 1u) << out_bit;
+      ++out_bit;
+    }
+  }
+  return code;
+}
+
+std::vector<uint32_t> MortonDecode(uint64_t code, size_t dim, unsigned bits) {
+  std::vector<uint32_t> coords(dim, 0);
+  unsigned in_bit = 0;
+  for (unsigned b = 0; b < bits; ++b) {
+    for (size_t d = 0; d < dim; ++d) {
+      coords[d] |= static_cast<uint32_t>((code >> in_bit) & 1u) << b;
+      ++in_bit;
+    }
+  }
+  return coords;
+}
+
+LinearQuadtree::LinearQuadtree(size_t dim, unsigned bits_per_dim)
+    : dim_(dim), bits_(bits_per_dim) {
+  if (bits_ == 0) {
+    bits_ = 4;
+    while (bits_ > 1 && dim_ * bits_ > 60) --bits_;
+  }
+  assert(dim_ * bits_ <= 60);
+}
+
+Status LinearQuadtree::Insert(ObjectId id, std::span<const double> point) {
+  FUZZYDB_RETURN_NOT_OK(ValidatePoint(point, dim_));
+  const uint32_t cells = 1u << bits_;
+  std::vector<uint32_t> coords(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    auto idx = static_cast<uint32_t>(point[i] * cells);
+    coords[i] = std::min(idx, cells - 1);
+  }
+  entries_.push_back({MortonEncode(coords, bits_), id,
+                      std::vector<double>(point.begin(), point.end())});
+  sorted_ = false;
+  return Status::OK();
+}
+
+void LinearQuadtree::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.code != b.code) return a.code < b.code;
+              return a.id < b.id;
+            });
+  sorted_ = true;
+}
+
+double LinearQuadtree::CellMinDist2(uint64_t code,
+                                    std::span<const double> point) const {
+  std::vector<uint32_t> coords = MortonDecode(code, dim_, bits_);
+  const double w = 1.0 / static_cast<double>(1u << bits_);
+  double s = 0.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    double lo = static_cast<double>(coords[i]) * w;
+    double hi = lo + w;
+    double d = 0.0;
+    if (point[i] < lo) {
+      d = lo - point[i];
+    } else if (point[i] > hi) {
+      d = point[i] - hi;
+    }
+    s += d * d;
+  }
+  return s;
+}
+
+Result<std::vector<KnnNeighbor>> LinearQuadtree::Knn(
+    std::span<const double> query, size_t k, KnnStats* stats) const {
+  FUZZYDB_RETURN_NOT_OK(ValidatePoint(query, dim_));
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  EnsureSorted();
+
+  // Group the sorted array into runs of equal Morton code ("cells"), rank
+  // them by mindist to the query, then open best-first.
+  struct CellRun {
+    double mind2;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<CellRun> runs;
+  for (size_t i = 0; i < entries_.size();) {
+    size_t j = i;
+    while (j < entries_.size() && entries_[j].code == entries_[i].code) ++j;
+    runs.push_back({CellMinDist2(entries_[i].code, query), i, j});
+    i = j;
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const CellRun& a, const CellRun& b) {
+              return a.mind2 < b.mind2;
+            });
+
+  KnnStats local;
+  local.node_accesses += runs.size();  // linear directory examination
+
+  auto worse = [](const KnnNeighbor& a, const KnnNeighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  std::vector<KnnNeighbor> best;
+  double kth2 = std::numeric_limits<double>::infinity();
+  for (const CellRun& run : runs) {
+    if (best.size() >= k && run.mind2 > kth2) break;
+    ++local.node_accesses;  // run opened
+    for (size_t i = run.begin; i < run.end; ++i) {
+      double d2 = SquaredDistance(entries_[i].point, query);
+      ++local.distance_computations;
+      KnnNeighbor cand{entries_[i].id, std::sqrt(d2)};
+      if (best.size() < k) {
+        best.push_back(cand);
+      } else if (worse(cand, *std::max_element(best.begin(), best.end(),
+                                               worse))) {
+        *std::max_element(best.begin(), best.end(), worse) = cand;
+      } else {
+        continue;
+      }
+      if (best.size() == k) {
+        kth2 = 0.0;
+        for (const KnnNeighbor& n : best) {
+          kth2 = std::max(kth2, n.distance * n.distance);
+        }
+      }
+    }
+  }
+
+  std::sort(best.begin(), best.end(), worse);
+  if (best.size() > k) best.resize(k);
+  if (stats != nullptr) {
+    stats->node_accesses += local.node_accesses;
+    stats->distance_computations += local.distance_computations;
+  }
+  return best;
+}
+
+size_t LinearQuadtree::OccupiedCells() const {
+  EnsureSorted();
+  size_t count = 0;
+  for (size_t i = 0; i < entries_.size();) {
+    size_t j = i;
+    while (j < entries_.size() && entries_[j].code == entries_[i].code) ++j;
+    ++count;
+    i = j;
+  }
+  return count;
+}
+
+}  // namespace fuzzydb

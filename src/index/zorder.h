@@ -1,0 +1,62 @@
+// Linear quadtree [Sa89] (paper §2.1): space is cut into a fixed-depth
+// 2^bits-per-axis grid and cells are linearized along the Z-order
+// (Morton) curve, stored as one sorted array — the classic "linear"
+// representation. Like the grid file, cell count is exponential in the
+// dimension; the curse shows in how many cells a kNN must inspect.
+
+#ifndef FUZZYDB_INDEX_ZORDER_H_
+#define FUZZYDB_INDEX_ZORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/spatial.h"
+
+namespace fuzzydb {
+
+/// Interleaves `coords` (each < 2^bits) into a Morton code; dim*bits must be
+/// <= 60.
+uint64_t MortonEncode(std::span<const uint32_t> coords, unsigned bits);
+
+/// Inverse of MortonEncode.
+std::vector<uint32_t> MortonDecode(uint64_t code, size_t dim, unsigned bits);
+
+/// Z-order linear quadtree over [0,1]^dim.
+class LinearQuadtree final : public SpatialIndex {
+ public:
+  /// `bits_per_dim` levels of subdivision per axis; dim * bits_per_dim must
+  /// be <= 60 (pass 0 to auto-pick the largest feasible value up to 4).
+  explicit LinearQuadtree(size_t dim, unsigned bits_per_dim = 0);
+
+  Status Insert(ObjectId id, std::span<const double> point) override;
+  Result<std::vector<KnnNeighbor>> Knn(std::span<const double> query, size_t k,
+                                       KnnStats* stats) const override;
+  size_t dimension() const override { return dim_; }
+  size_t size() const override { return entries_.size(); }
+  std::string name() const override { return "zquadtree"; }
+
+  unsigned bits_per_dim() const { return bits_; }
+
+  /// Number of distinct occupied Z-cells.
+  size_t OccupiedCells() const;
+
+ private:
+  struct Entry {
+    uint64_t code;
+    ObjectId id;
+    std::vector<double> point;
+  };
+
+  // Keeps entries_ sorted by (code, id); called lazily before queries.
+  void EnsureSorted() const;
+  double CellMinDist2(uint64_t code, std::span<const double> point) const;
+
+  size_t dim_;
+  unsigned bits_;
+  mutable std::vector<Entry> entries_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_INDEX_ZORDER_H_

@@ -1,0 +1,63 @@
+#include "middleware/composite_rule.h"
+
+#include <cassert>
+
+namespace fuzzydb {
+
+namespace {
+
+double EvalNode(const Query& node, std::span<const double> atom_scores,
+                size_t* next_atom) {
+  switch (node.kind()) {
+    case Query::Kind::kAtomic:
+      assert(*next_atom < atom_scores.size());
+      return atom_scores[(*next_atom)++];
+    case Query::Kind::kNot:
+      return node.negation()(
+          EvalNode(*node.children()[0], atom_scores, next_atom));
+    case Query::Kind::kAnd:
+    case Query::Kind::kOr: {
+      std::vector<double> child_scores;
+      child_scores.reserve(node.children().size());
+      for (const QueryPtr& c : node.children()) {
+        child_scores.push_back(EvalNode(*c, atom_scores, next_atom));
+      }
+      return node.rule()->Apply(child_scores);
+    }
+  }
+  return 0.0;
+}
+
+class CompositeQueryRuleImpl final : public ScoringRule {
+ public:
+  explicit CompositeQueryRuleImpl(QueryPtr query)
+      : query_(std::move(query)),
+        num_atoms_(query_->NumAtoms()),
+        monotone_(query_->IsMonotone()),
+        strict_(query_->IsStrict()) {}
+
+  double Apply(std::span<const double> scores) const override {
+    assert(scores.size() == num_atoms_);
+    size_t next_atom = 0;
+    return EvalNode(*query_, scores, &next_atom);
+  }
+
+  std::string name() const override { return "query:" + query_->ToString(); }
+  bool monotone() const override { return monotone_; }
+  bool strict() const override { return strict_; }
+
+ private:
+  QueryPtr query_;
+  size_t num_atoms_;
+  bool monotone_;
+  bool strict_;
+};
+
+}  // namespace
+
+ScoringRulePtr CompositeQueryRule(QueryPtr query) {
+  assert(query != nullptr);
+  return std::make_shared<CompositeQueryRuleImpl>(std::move(query));
+}
+
+}  // namespace fuzzydb

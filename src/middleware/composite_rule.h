@@ -1,0 +1,22 @@
+// Collapses a whole monotone query tree into a single m-ary scoring rule
+// over its atoms. Compositions of monotone rules are monotone, so nested
+// Boolean combinations — e.g. (A AND[min] (B OR[max] C)) — can be answered
+// by A0/TA directly over the m atom sources, instead of materializing
+// intermediate graded sets.
+
+#ifndef FUZZYDB_MIDDLEWARE_COMPOSITE_RULE_H_
+#define FUZZYDB_MIDDLEWARE_COMPOSITE_RULE_H_
+
+#include "core/query.h"
+#include "core/scoring.h"
+
+namespace fuzzydb {
+
+/// A scoring rule whose arguments are the grades of `query`'s atoms in
+/// CollectAtoms (left-to-right) order. Keeps `query` alive via shared
+/// ownership. monotone()/strict() reflect the tree's structure.
+ScoringRulePtr CompositeQueryRule(QueryPtr query);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_MIDDLEWARE_COMPOSITE_RULE_H_

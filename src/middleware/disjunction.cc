@@ -1,0 +1,36 @@
+#include "middleware/disjunction.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fuzzydb {
+
+Result<TopKResult> DisjunctionTopK(std::span<GradedSource* const> sources,
+                                   size_t k) {
+  ScoringRulePtr max_rule = MaxRule();
+  FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(sources, max_rule.get(), k));
+
+  TopKResult result;
+  std::unordered_map<ObjectId, double> best;
+  for (GradedSource* s : sources) {
+    CountingSource counted(s, &result.cost);
+    counted.RestartSorted();
+    for (size_t i = 0; i < k; ++i) {
+      std::optional<GradedObject> next = counted.NextSorted();
+      if (!next.has_value()) break;
+      auto [it, inserted] = best.try_emplace(next->id, next->grade);
+      if (!inserted) it->second = std::max(it->second, next->grade);
+    }
+  }
+
+  result.items.reserve(best.size());
+  for (const auto& [id, grade] : best) result.items.push_back({id, grade});
+  k = std::min(k, result.items.size());
+  std::partial_sort(result.items.begin(),
+                    result.items.begin() + static_cast<long>(k),
+                    result.items.end(), GradeDescending);
+  result.items.resize(k);
+  return result;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,138 @@
+#include "middleware/fagin.h"
+
+#include <algorithm>
+
+namespace fuzzydb {
+
+Result<TopKResult> FaginTopK(std::span<GradedSource* const> sources,
+                             const ScoringRule& rule, size_t k) {
+  FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(sources, &rule, k));
+  if (!rule.monotone()) {
+    return Status::FailedPrecondition(
+        "A0 requires a monotone scoring rule: " + rule.name());
+  }
+
+  const size_t m = sources.size();
+  TopKResult result;
+  std::vector<CountingSource> counted;
+  counted.reserve(m);
+  for (GradedSource* s : sources) {
+    s->RestartSorted();
+    counted.emplace_back(s, &result.cost);
+  }
+
+  // Phase 1: parallel sorted access until >= k objects seen on every list.
+  std::vector<std::unordered_map<ObjectId, double>> seen(m);
+  std::unordered_map<ObjectId, size_t> seen_count;
+  size_t matches = 0;
+  size_t exhausted = 0;
+  std::vector<bool> done(m, false);
+  while (matches < k && exhausted < m) {
+    for (size_t j = 0; j < m; ++j) {
+      if (done[j]) continue;
+      std::optional<GradedObject> next = counted[j].NextSorted();
+      if (!next.has_value()) {
+        done[j] = true;
+        ++exhausted;
+        continue;
+      }
+      seen[j].emplace(next->id, next->grade);
+      if (++seen_count[next->id] == m) ++matches;
+    }
+  }
+
+  // Phase 2: random access for every seen object's missing grades.
+  // Phase 3: compute overall grades and pick the k best.
+  std::vector<GradedObject> candidates;
+  candidates.reserve(seen_count.size());
+  std::vector<double> scores(m);
+  for (const auto& [id, count] : seen_count) {
+    for (size_t j = 0; j < m; ++j) {
+      auto it = seen[j].find(id);
+      scores[j] = (it != seen[j].end()) ? it->second
+                                        : counted[j].RandomAccess(id);
+    }
+    candidates.push_back({id, rule.Apply(scores)});
+  }
+
+  k = std::min(k, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + static_cast<long>(k),
+                    candidates.end(), GradeDescending);
+  candidates.resize(k);
+  result.items = std::move(candidates);
+  return result;
+}
+
+Result<FaginCursor> FaginCursor::Create(std::vector<GradedSource*> sources,
+                                        ScoringRulePtr rule) {
+  FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(sources, rule.get(), /*k=*/1));
+  if (!rule->monotone()) {
+    return Status::FailedPrecondition(
+        "A0 requires a monotone scoring rule: " + rule->name());
+  }
+  FaginCursor cursor;
+  cursor.sources_ = std::move(sources);
+  cursor.rule_ = std::move(rule);
+  cursor.seen_.resize(cursor.sources_.size());
+  cursor.exhausted_.assign(cursor.sources_.size(), false);
+  for (GradedSource* s : cursor.sources_) s->RestartSorted();
+  return cursor;
+}
+
+Result<TopKResult> FaginCursor::NextBatch(size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  const size_t m = sources_.size();
+  std::vector<CountingSource> counted;
+  counted.reserve(m);
+  for (GradedSource* s : sources_) counted.emplace_back(s, &cost_);
+
+  // Continue sorted access until enough matches to certify the next k
+  // un-emitted objects: emitted + k total matches.
+  const size_t target = emitted_.size() + k;
+  size_t num_exhausted = 0;
+  for (bool d : exhausted_) num_exhausted += d ? 1 : 0;
+  while (matches_ < target && num_exhausted < m) {
+    for (size_t j = 0; j < m; ++j) {
+      if (exhausted_[j]) continue;
+      std::optional<GradedObject> next = counted[j].NextSorted();
+      if (!next.has_value()) {
+        exhausted_[j] = true;
+        ++num_exhausted;
+        continue;
+      }
+      seen_[j].emplace(next->id, next->grade);
+      if (++seen_count_[next->id] == m) ++matches_;
+    }
+  }
+
+  // Random access (only for objects not graded in a previous batch).
+  std::vector<double> scores(m);
+  for (const auto& [id, count] : seen_count_) {
+    if (graded_.count(id)) continue;
+    for (size_t j = 0; j < m; ++j) {
+      auto it = seen_[j].find(id);
+      scores[j] = (it != seen_[j].end()) ? it->second
+                                         : counted[j].RandomAccess(id);
+    }
+    graded_.emplace(id, rule_->Apply(scores));
+  }
+
+  // Select the k best not yet emitted.
+  std::vector<GradedObject> pool;
+  pool.reserve(graded_.size() - emitted_.size());
+  for (const auto& [id, grade] : graded_) {
+    if (!emitted_.count(id)) pool.push_back({id, grade});
+  }
+  k = std::min(k, pool.size());
+  std::partial_sort(pool.begin(), pool.begin() + static_cast<long>(k),
+                    pool.end(), GradeDescending);
+  pool.resize(k);
+  for (const GradedObject& g : pool) emitted_.insert(g.id);
+
+  TopKResult result;
+  result.items = std::move(pool);
+  result.cost = cost_;
+  return result;
+}
+
+}  // namespace fuzzydb

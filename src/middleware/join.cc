@@ -1,0 +1,121 @@
+#include "middleware/join.h"
+
+#include <array>
+
+namespace fuzzydb {
+
+Result<TopKJoinSource> TopKJoinSource::Create(GradedSource* left,
+                                              GradedSource* right,
+                                              ScoringRulePtr rule,
+                                              std::string label) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("null join input");
+  }
+  if (left->Size() != right->Size()) {
+    return Status::InvalidArgument(
+        "join inputs must grade the same object universe");
+  }
+  if (rule == nullptr) return Status::InvalidArgument("null rule");
+  if (!rule->monotone()) {
+    return Status::FailedPrecondition(
+        "the top-k join requires a monotone rule: " + rule->name());
+  }
+  TopKJoinSource join;
+  join.left_ = left;
+  join.right_ = right;
+  join.rule_ = std::move(rule);
+  join.label_ = std::move(label);
+  join.RestartSorted();
+  return join;
+}
+
+void TopKJoinSource::RestartSorted() {
+  left_->RestartSorted();
+  right_->RestartSorted();
+  candidates_ = {};
+  seen_.clear();
+  last_left_ = 1.0;
+  last_right_ = 1.0;
+  left_done_ = false;
+  right_done_ = false;
+}
+
+double TopKJoinSource::Threshold() const {
+  if (left_done_ && right_done_) return 0.0;  // nothing unseen remains
+  std::array<double, 2> bounds{last_left_, last_right_};
+  return rule_->Apply(bounds);
+}
+
+bool TopKJoinSource::PullRound() {
+  if (left_done_ && right_done_) return false;
+  auto process = [this](const GradedObject& obj, bool from_left) {
+    if (from_left) {
+      last_left_ = obj.grade;
+    } else {
+      last_right_ = obj.grade;
+    }
+    if (!seen_.insert(obj.id).second) return;
+    double other = from_left ? right_->RandomAccess(obj.id)
+                             : left_->RandomAccess(obj.id);
+    std::array<double, 2> scores = from_left
+                                       ? std::array<double, 2>{obj.grade,
+                                                               other}
+                                       : std::array<double, 2>{other,
+                                                               obj.grade};
+    candidates_.push({obj.id, rule_->Apply(scores)});
+  };
+  if (!left_done_) {
+    std::optional<GradedObject> next = left_->NextSorted();
+    if (next.has_value()) {
+      process(*next, /*from_left=*/true);
+    } else {
+      left_done_ = true;
+    }
+  }
+  if (!right_done_) {
+    std::optional<GradedObject> next = right_->NextSorted();
+    if (next.has_value()) {
+      process(*next, /*from_left=*/false);
+    } else {
+      right_done_ = true;
+    }
+  }
+  return true;
+}
+
+std::optional<GradedObject> TopKJoinSource::NextSorted() {
+  for (;;) {
+    if (!candidates_.empty() &&
+        candidates_.top().grade >= Threshold()) {
+      GradedObject out = candidates_.top();
+      candidates_.pop();
+      return out;
+    }
+    if (!PullRound()) {
+      // Inputs exhausted: everything left in the heap is certified.
+      if (candidates_.empty()) return std::nullopt;
+      GradedObject out = candidates_.top();
+      candidates_.pop();
+      return out;
+    }
+  }
+}
+
+double TopKJoinSource::RandomAccess(ObjectId id) {
+  std::array<double, 2> scores{left_->RandomAccess(id),
+                               right_->RandomAccess(id)};
+  return rule_->Apply(scores);
+}
+
+std::vector<GradedObject> TopKJoinSource::AtLeast(double threshold) {
+  RestartSorted();
+  std::vector<GradedObject> out;
+  while (std::optional<GradedObject> next = NextSorted()) {
+    if (next->grade < threshold) break;
+    out.push_back(*next);
+  }
+  RestartSorted();
+  return out;
+}
+
+}  // namespace fuzzydb

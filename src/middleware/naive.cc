@@ -1,0 +1,62 @@
+#include "middleware/naive.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fuzzydb {
+
+namespace {
+
+// Streams every list in full and gathers each object's per-list grades.
+// Objects a list never mentions keep grade 0 on that list.
+std::unordered_map<ObjectId, std::vector<double>> StreamAll(
+    std::span<GradedSource* const> sources, AccessCost* cost) {
+  const size_t m = sources.size();
+  std::unordered_map<ObjectId, std::vector<double>> grades;
+  for (size_t j = 0; j < m; ++j) {
+    CountingSource counted(sources[j], cost);
+    counted.RestartSorted();
+    while (std::optional<GradedObject> next = counted.NextSorted()) {
+      auto [it, inserted] = grades.try_emplace(next->id);
+      if (inserted) it->second.assign(m, 0.0);
+      it->second[j] = next->grade;
+    }
+  }
+  return grades;
+}
+
+}  // namespace
+
+Result<TopKResult> NaiveTopK(std::span<GradedSource* const> sources,
+                             const ScoringRule& rule, size_t k) {
+  FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(sources, &rule, k));
+  TopKResult result;
+  std::unordered_map<ObjectId, std::vector<double>> grades =
+      StreamAll(sources, &result.cost);
+
+  result.items.reserve(grades.size());
+  for (const auto& [id, scores] : grades) {
+    result.items.push_back({id, rule.Apply(scores)});
+  }
+  k = std::min(k, result.items.size());
+  std::partial_sort(result.items.begin(),
+                    result.items.begin() + static_cast<long>(k),
+                    result.items.end(), GradeDescending);
+  result.items.resize(k);
+  return result;
+}
+
+Result<GradedSet> NaiveAllGrades(std::span<GradedSource* const> sources,
+                                 const ScoringRule& rule) {
+  FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(sources, &rule, /*k=*/1));
+  AccessCost ignored;
+  std::unordered_map<ObjectId, std::vector<double>> grades =
+      StreamAll(sources, &ignored);
+  GradedSet out;
+  for (const auto& [id, scores] : grades) {
+    FUZZYDB_RETURN_NOT_OK(out.Insert(id, rule.Apply(scores)));
+  }
+  return out;
+}
+
+}  // namespace fuzzydb

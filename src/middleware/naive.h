@@ -1,0 +1,24 @@
+// The obvious baseline from paper §4.1: stream every list in full (database
+// access cost m·N), compute every object's overall grade, keep the top k.
+// Correct for any scoring rule, monotone or not.
+
+#ifndef FUZZYDB_MIDDLEWARE_NAIVE_H_
+#define FUZZYDB_MIDDLEWARE_NAIVE_H_
+
+#include "middleware/topk.h"
+
+namespace fuzzydb {
+
+/// Full-scan top-k: sorted access to every object on every list, then one
+/// rule evaluation per object. Never uses random access.
+Result<TopKResult> NaiveTopK(std::span<GradedSource* const> sources,
+                             const ScoringRule& rule, size_t k);
+
+/// Full materialization of the query's graded set (every object with its
+/// overall grade) — the ground truth used by tests and experiment checks.
+Result<GradedSet> NaiveAllGrades(std::span<GradedSource* const> sources,
+                                 const ScoringRule& rule);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_MIDDLEWARE_NAIVE_H_

@@ -1,0 +1,130 @@
+#include "middleware/nra.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace fuzzydb {
+
+namespace {
+
+struct Partial {
+  std::vector<double> grades;  // known per-list grades
+  std::vector<bool> known;
+  size_t num_known = 0;
+};
+
+}  // namespace
+
+Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
+                                      const ScoringRule& rule, size_t k) {
+  FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(sources, &rule, k));
+  if (!rule.monotone()) {
+    return Status::FailedPrecondition(
+        "NRA requires a monotone scoring rule: " + rule.name());
+  }
+
+  const size_t m = sources.size();
+  TopKResult result;
+  std::vector<CountingSource> counted;
+  counted.reserve(m);
+  for (GradedSource* s : sources) {
+    s->RestartSorted();
+    counted.emplace_back(s, &result.cost);
+  }
+
+  std::unordered_map<ObjectId, Partial> seen;
+  std::vector<double> last_seen(m, 1.0);
+  std::vector<bool> done(m, false);
+  size_t exhausted = 0;
+
+  std::vector<double> buf(m);
+  auto lower_of = [&](const Partial& p) {
+    for (size_t j = 0; j < m; ++j) buf[j] = p.known[j] ? p.grades[j] : 0.0;
+    return rule.Apply(buf);
+  };
+  auto upper_of = [&](const Partial& p) {
+    for (size_t j = 0; j < m; ++j) {
+      buf[j] = p.known[j] ? p.grades[j] : last_seen[j];
+    }
+    return rule.Apply(buf);
+  };
+
+  struct Bounded {
+    ObjectId id;
+    double lower;
+    double upper;
+    bool complete;
+  };
+  std::vector<Bounded> winners;
+
+  while (exhausted < m) {
+    for (size_t j = 0; j < m; ++j) {
+      if (done[j]) continue;
+      std::optional<GradedObject> next = counted[j].NextSorted();
+      if (!next.has_value()) {
+        done[j] = true;
+        ++exhausted;
+        continue;
+      }
+      last_seen[j] = next->grade;
+      Partial& p = seen[next->id];
+      if (p.grades.empty()) {
+        p.grades.assign(m, 0.0);
+        p.known.assign(m, false);
+      }
+      if (!p.known[j]) {
+        p.known[j] = true;
+        p.grades[j] = next->grade;
+        ++p.num_known;
+      }
+    }
+
+    if (seen.size() < k) continue;
+
+    // Stopping rule: the k best lower bounds must dominate every other
+    // object's upper bound and the upper bound of unseen objects.
+    std::vector<Bounded> bounds;
+    bounds.reserve(seen.size());
+    for (const auto& [id, p] : seen) {
+      bounds.push_back({id, lower_of(p), upper_of(p), p.num_known == m});
+    }
+    std::nth_element(bounds.begin(), bounds.begin() + static_cast<long>(k - 1),
+                     bounds.end(), [](const Bounded& a, const Bounded& b) {
+                       if (a.lower != b.lower) return a.lower > b.lower;
+                       return a.id < b.id;
+                     });
+    double kth_lower = bounds[k - 1].lower;
+    double max_other_upper = rule.Apply(last_seen);  // unseen objects
+    for (size_t i = k; i < bounds.size(); ++i) {
+      max_other_upper = std::max(max_other_upper, bounds[i].upper);
+    }
+    if (kth_lower >= max_other_upper) {
+      winners.assign(bounds.begin(), bounds.begin() + static_cast<long>(k));
+      break;
+    }
+  }
+
+  if (winners.empty()) {
+    // Exhausted every list: all grades are fully known; lower == exact.
+    for (const auto& [id, p] : seen) {
+      winners.push_back({id, lower_of(p), lower_of(p), true});
+    }
+    std::sort(winners.begin(), winners.end(),
+              [](const Bounded& a, const Bounded& b) {
+                if (a.lower != b.lower) return a.lower > b.lower;
+                return a.id < b.id;
+              });
+    if (winners.size() > k) winners.resize(k);
+  }
+
+  result.grades_exact = true;
+  for (const Bounded& w : winners) {
+    result.items.push_back({w.id, w.lower});
+    if (!w.complete) result.grades_exact = false;
+  }
+  std::sort(result.items.begin(), result.items.end(), GradeDescending);
+  return result;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,91 @@
+#include "middleware/selective.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+
+bool CheckZeroAnnihilation(const ScoringRule& rule, size_t m, size_t samples,
+                           Rng* rng, double tol) {
+  std::vector<double> x(m);
+  for (size_t s = 0; s < samples; ++s) {
+    for (size_t i = 0; i < m; ++i) {
+      x[i] = rng->NextBernoulli(0.3) ? 1.0 : rng->NextDouble();
+    }
+    x[rng->NextBounded(m)] = 0.0;
+    if (std::fabs(rule.Apply(x)) > tol) return false;
+  }
+  return true;
+}
+
+Result<TopKResult> SelectiveProbeTopK(GradedSource* selective,
+                                      std::span<GradedSource* const> others,
+                                      const ScoringRule& rule, size_t k) {
+  if (selective == nullptr) {
+    return Status::InvalidArgument("null selective source");
+  }
+  std::vector<GradedSource*> all{selective};
+  all.insert(all.end(), others.begin(), others.end());
+  FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(all, &rule, k));
+  if (!rule.monotone()) {
+    return Status::FailedPrecondition(
+        "the selective-conjunct plan requires a monotone rule: " +
+        rule.name());
+  }
+  Rng rng(0x5e1ec71fULL);
+  if (!CheckZeroAnnihilation(rule, all.size(), 64, &rng)) {
+    return Status::FailedPrecondition(
+        "the selective-conjunct plan requires a zero-annihilating rule "
+        "(every t-norm qualifies; means do not): " + rule.name());
+  }
+
+  const size_t m = all.size();
+  TopKResult result;
+  CountingSource counted_sel(selective, &result.cost);
+  std::vector<CountingSource> counted_others;
+  counted_others.reserve(others.size());
+  for (GradedSource* s : others) counted_others.emplace_back(s, &result.cost);
+
+  // Phase 1: stream the selective list's support S (grades > 0).
+  counted_sel.RestartSorted();
+  std::vector<GradedObject> matches;
+  std::vector<GradedObject> zero_fill;  // ids for padding when |S| < k
+  while (std::optional<GradedObject> next = counted_sel.NextSorted()) {
+    if (next->grade > 0.0) {
+      matches.push_back(*next);
+    } else {
+      // Non-match: overall grade 0 by annihilation. Only needed as filler.
+      if (matches.size() + zero_fill.size() < k) {
+        zero_fill.push_back({next->id, 0.0});
+      } else {
+        break;  // enough material; stop streaming
+      }
+    }
+  }
+
+  // Phase 2: random-probe the other conjuncts for every member of S.
+  std::vector<double> scores(m);
+  std::vector<GradedObject> candidates;
+  candidates.reserve(matches.size());
+  for (const GradedObject& g : matches) {
+    scores[0] = g.grade;
+    for (size_t j = 0; j + 1 < m; ++j) {
+      scores[j + 1] = counted_others[j].RandomAccess(g.id);
+    }
+    candidates.push_back({g.id, rule.Apply(scores)});
+  }
+
+  // Phase 3: top-k over S, padded with grade-0 non-matches if needed.
+  std::sort(candidates.begin(), candidates.end(), GradeDescending);
+  if (candidates.size() > k) candidates.resize(k);
+  for (const GradedObject& filler : zero_fill) {
+    if (candidates.size() >= k) break;
+    candidates.push_back(filler);
+  }
+  result.items = std::move(candidates);
+  return result;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,52 @@
+// The restricted subsystem interface of the middleware model (paper §4).
+//
+// A subsystem (QBIC, a relational engine, ...) exposes a graded set for one
+// atomic query through exactly two modes:
+//   - sorted access: objects stream out one by one in grade-descending order;
+//   - random access: the grade of a given object id on demand.
+// Everything the middleware algorithms may do is expressed against this
+// interface, and the cost model counts these calls.
+
+#ifndef FUZZYDB_MIDDLEWARE_SOURCE_H_
+#define FUZZYDB_MIDDLEWARE_SOURCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/graded_set.h"
+
+namespace fuzzydb {
+
+/// One subsystem's graded answer to one atomic query.
+class GradedSource {
+ public:
+  virtual ~GradedSource() = default;
+
+  /// Number of objects this source can grade (the database size N).
+  virtual size_t Size() const = 0;
+
+  /// Sorted access: the next object in grade-descending order (ties by id
+  /// ascending), or nullopt when exhausted.
+  virtual std::optional<GradedObject> NextSorted() = 0;
+
+  /// Rewinds the sorted-access cursor to the top of the list ("continue
+  /// where we left off" is the default; restart is explicit).
+  virtual void RestartSorted() = 0;
+
+  /// Random access: the grade of `id`; 0.0 for unknown objects (fuzzy-set
+  /// convention: absent means grade 0).
+  virtual double RandomAccess(ObjectId id) = 0;
+
+  /// Filter access [CG96]: all objects with grade >= threshold, sorted
+  /// descending. Used by the Chaudhuri–Gravano simulation of A0 for
+  /// repositories that only support filter conditions.
+  virtual std::vector<GradedObject> AtLeast(double threshold) = 0;
+
+  /// Diagnostic label, e.g. "Color='red'".
+  virtual std::string name() const { return "source"; }
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_MIDDLEWARE_SOURCE_H_

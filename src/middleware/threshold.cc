@@ -1,0 +1,81 @@
+#include "middleware/threshold.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace fuzzydb {
+
+namespace {
+
+// Min-heap on GradeDescending order: top() is the worst of the kept k.
+struct WorstFirst {
+  bool operator()(const GradedObject& a, const GradedObject& b) const {
+    return GradeDescending(a, b);
+  }
+};
+
+}  // namespace
+
+Result<TopKResult> ThresholdTopK(std::span<GradedSource* const> sources,
+                                 const ScoringRule& rule, size_t k) {
+  FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(sources, &rule, k));
+  if (!rule.monotone()) {
+    return Status::FailedPrecondition(
+        "TA requires a monotone scoring rule: " + rule.name());
+  }
+
+  const size_t m = sources.size();
+  TopKResult result;
+  std::vector<CountingSource> counted;
+  counted.reserve(m);
+  for (GradedSource* s : sources) {
+    s->RestartSorted();
+    counted.emplace_back(s, &result.cost);
+  }
+
+  std::priority_queue<GradedObject, std::vector<GradedObject>, WorstFirst>
+      best;  // holds at most k items; top() is the current k-th best
+  std::unordered_set<ObjectId> processed;
+  std::vector<double> last_seen(m, 1.0);
+  std::vector<bool> done(m, false);
+  std::vector<double> scores(m);
+  size_t exhausted = 0;
+
+  while (exhausted < m) {
+    for (size_t j = 0; j < m; ++j) {
+      if (done[j]) continue;
+      std::optional<GradedObject> next = counted[j].NextSorted();
+      if (!next.has_value()) {
+        done[j] = true;
+        ++exhausted;
+        continue;
+      }
+      last_seen[j] = next->grade;
+      if (processed.insert(next->id).second) {
+        for (size_t l = 0; l < m; ++l) {
+          scores[l] = (l == j) ? next->grade : counted[l].RandomAccess(next->id);
+        }
+        GradedObject overall{next->id, rule.Apply(scores)};
+        if (best.size() < k) {
+          best.push(overall);
+        } else if (GradeDescending(overall, best.top())) {
+          best.pop();
+          best.push(overall);
+        }
+      }
+    }
+    // Threshold check once per round of parallel sorted accesses.
+    if (best.size() >= k && best.top().grade >= rule.Apply(last_seen)) break;
+  }
+
+  result.items.resize(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    result.items[i] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,22 @@
+#include "middleware/topk.h"
+
+namespace fuzzydb {
+
+Status ValidateTopKArgs(std::span<GradedSource* const> sources,
+                        const ScoringRule* rule, size_t k) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("need at least one source");
+  }
+  for (GradedSource* s : sources) {
+    if (s == nullptr) return Status::InvalidArgument("null source");
+    if (s->Size() != sources[0]->Size()) {
+      return Status::InvalidArgument(
+          "all sources must grade the same object universe");
+    }
+  }
+  if (rule == nullptr) return Status::InvalidArgument("null scoring rule");
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  return Status::OK();
+}
+
+}  // namespace fuzzydb

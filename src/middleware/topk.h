@@ -1,0 +1,38 @@
+// Shared types for the top-k query-evaluation algorithms (paper §4.1).
+
+#ifndef FUZZYDB_MIDDLEWARE_TOPK_H_
+#define FUZZYDB_MIDDLEWARE_TOPK_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/graded_set.h"
+#include "core/scoring.h"
+#include "middleware/cost.h"
+#include "middleware/source.h"
+
+namespace fuzzydb {
+
+/// The answer to a top-k query plus what it cost to compute.
+struct TopKResult {
+  /// The top-k graded objects, grade-descending. May be shorter than k when
+  /// the database holds fewer than k objects.
+  std::vector<GradedObject> items;
+
+  /// Database access cost incurred (paper §4), summed over all subsystems.
+  AccessCost cost;
+
+  /// True when `items[i].grade` is the exact overall grade. NRA (which never
+  /// does random access) may report only a certified lower bound.
+  bool grades_exact = true;
+};
+
+/// Validates common argument errors shared by all algorithms: at least one
+/// source, all sources the same size, rule non-null, k >= 1.
+Status ValidateTopKArgs(std::span<GradedSource* const> sources,
+                        const ScoringRule* rule, size_t k);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_MIDDLEWARE_TOPK_H_

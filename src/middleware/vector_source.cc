@@ -1,0 +1,65 @@
+#include "middleware/vector_source.h"
+
+#include <algorithm>
+
+namespace fuzzydb {
+
+Result<VectorSource> VectorSource::Create(std::vector<GradedObject> items,
+                                          std::string name) {
+  VectorSource src;
+  src.name_ = std::move(name);
+  src.grades_.reserve(items.size());
+  for (const GradedObject& g : items) {
+    if (!(g.grade >= 0.0 && g.grade <= 1.0)) {
+      return Status::InvalidArgument("grade must be in [0,1]");
+    }
+    if (!src.grades_.emplace(g.id, g.grade).second) {
+      return Status::AlreadyExists("duplicate object id in source");
+    }
+  }
+  src.sorted_ = std::move(items);
+  std::sort(src.sorted_.begin(), src.sorted_.end(), GradeDescending);
+  return src;
+}
+
+std::optional<GradedObject> VectorSource::NextSorted() {
+  if (cursor_ >= sorted_.size()) return std::nullopt;
+  return sorted_[cursor_++];
+}
+
+double VectorSource::RandomAccess(ObjectId id) {
+  auto it = grades_.find(id);
+  return it == grades_.end() ? 0.0 : it->second;
+}
+
+std::vector<GradedObject> VectorSource::AtLeast(double threshold) {
+  std::vector<GradedObject> out;
+  for (const GradedObject& g : sorted_) {
+    if (g.grade < threshold) break;
+    out.push_back(g);
+  }
+  return out;
+}
+
+Result<std::vector<VectorSource>> MakeSources(
+    const std::vector<ObjectId>& ids,
+    const std::vector<std::vector<double>>& columns) {
+  std::vector<VectorSource> out;
+  out.reserve(columns.size());
+  for (size_t j = 0; j < columns.size(); ++j) {
+    if (columns[j].size() != ids.size()) {
+      return Status::InvalidArgument("grade column size mismatch");
+    }
+    std::vector<GradedObject> items(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      items[i] = {ids[i], columns[j][i]};
+    }
+    Result<VectorSource> src =
+        VectorSource::Create(std::move(items), "list" + std::to_string(j));
+    if (!src.ok()) return src.status();
+    out.push_back(std::move(src).value());
+  }
+  return out;
+}
+
+}  // namespace fuzzydb

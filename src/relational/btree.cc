@@ -1,0 +1,203 @@
+#include "relational/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <optional>
+
+namespace fuzzydb {
+
+namespace {
+
+// Same-typed, non-null keys are guaranteed by CheckKey, so Compare cannot
+// fail here.
+int Cmp(const Value& a, const Value& b) {
+  Result<int> c = a.Compare(b);
+  assert(c.ok());
+  return *c;
+}
+
+}  // namespace
+
+struct BTreeIndex::Node {
+  bool leaf = true;
+  std::vector<Value> keys;
+  // Internal: children.size() == keys.size() + 1; subtree i holds keys
+  // strictly less than keys[i] (and >= keys[i-1]).
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaf: postings[i] belongs to keys[i].
+  std::vector<std::vector<ObjectId>> postings;
+  Node* next = nullptr;  // leaf chain for range scans
+};
+
+BTreeIndex::BTreeIndex(ValueType key_type, int fanout)
+    : key_type_(key_type), fanout_(std::max(fanout, 4)),
+      root_(std::make_unique<Node>()) {}
+
+BTreeIndex::~BTreeIndex() = default;
+BTreeIndex::BTreeIndex(BTreeIndex&&) noexcept = default;
+BTreeIndex& BTreeIndex::operator=(BTreeIndex&&) noexcept = default;
+
+Status BTreeIndex::CheckKey(const Value& key) const {
+  if (key.is_null()) {
+    return Status::InvalidArgument("null keys are not indexable");
+  }
+  if (key.type() != key_type_) {
+    return Status::InvalidArgument("index expects " +
+                                   ValueTypeName(key_type_) + " keys, got " +
+                                   ValueTypeName(key.type()));
+  }
+  return Status::OK();
+}
+
+BTreeIndex::Node* BTreeIndex::FindLeaf(const Value& key) const {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    size_t i = 0;
+    while (i < node->keys.size() && Cmp(key, node->keys[i]) >= 0) ++i;
+    node = node->children[i].get();
+  }
+  return node;
+}
+
+Status BTreeIndex::Insert(const Value& key, ObjectId id) {
+  FUZZYDB_RETURN_NOT_OK(CheckKey(key));
+
+  // Recursive insert returning a (separator, new right sibling) on split.
+  struct Split {
+    Value separator;
+    std::unique_ptr<Node> right;
+  };
+  std::function<std::optional<Split>(Node*)> insert_into =
+      [&](Node* node) -> std::optional<Split> {
+    if (node->leaf) {
+      size_t i = 0;
+      while (i < node->keys.size() && Cmp(node->keys[i], key) < 0) ++i;
+      if (i < node->keys.size() && Cmp(node->keys[i], key) == 0) {
+        node->postings[i].push_back(id);
+      } else {
+        node->keys.insert(node->keys.begin() + static_cast<long>(i), key);
+        node->postings.insert(node->postings.begin() + static_cast<long>(i),
+                              std::vector<ObjectId>{id});
+      }
+      if (node->keys.size() < static_cast<size_t>(fanout_)) return std::nullopt;
+      // Split the leaf in half; the separator is the first right key.
+      size_t mid = node->keys.size() / 2;
+      auto right = std::make_unique<Node>();
+      right->leaf = true;
+      right->keys.assign(std::make_move_iterator(node->keys.begin() +
+                                                 static_cast<long>(mid)),
+                         std::make_move_iterator(node->keys.end()));
+      right->postings.assign(
+          std::make_move_iterator(node->postings.begin() +
+                                  static_cast<long>(mid)),
+          std::make_move_iterator(node->postings.end()));
+      node->keys.resize(mid);
+      node->postings.resize(mid);
+      right->next = node->next;
+      node->next = right.get();
+      return Split{right->keys.front(), std::move(right)};
+    }
+    size_t i = 0;
+    while (i < node->keys.size() && Cmp(key, node->keys[i]) >= 0) ++i;
+    std::optional<Split> child_split = insert_into(node->children[i].get());
+    if (!child_split.has_value()) return std::nullopt;
+    node->keys.insert(node->keys.begin() + static_cast<long>(i),
+                      child_split->separator);
+    node->children.insert(node->children.begin() + static_cast<long>(i) + 1,
+                          std::move(child_split->right));
+    if (node->keys.size() < static_cast<size_t>(fanout_)) return std::nullopt;
+    // Split the internal node; the middle key moves up.
+    size_t mid = node->keys.size() / 2;
+    auto right = std::make_unique<Node>();
+    right->leaf = false;
+    Value separator = node->keys[mid];
+    right->keys.assign(std::make_move_iterator(node->keys.begin() +
+                                               static_cast<long>(mid) + 1),
+                       std::make_move_iterator(node->keys.end()));
+    right->children.assign(
+        std::make_move_iterator(node->children.begin() +
+                                static_cast<long>(mid) + 1),
+        std::make_move_iterator(node->children.end()));
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+    return Split{std::move(separator), std::move(right)};
+  };
+
+  std::optional<Split> top = insert_into(root_.get());
+  if (top.has_value()) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(top->separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(top->right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status BTreeIndex::Erase(const Value& key, ObjectId id) {
+  FUZZYDB_RETURN_NOT_OK(CheckKey(key));
+  Node* leaf = FindLeaf(key);
+  for (size_t i = 0; i < leaf->keys.size(); ++i) {
+    if (Cmp(leaf->keys[i], key) != 0) continue;
+    auto& plist = leaf->postings[i];
+    auto it = std::find(plist.begin(), plist.end(), id);
+    if (it == plist.end()) break;
+    plist.erase(it);
+    if (plist.empty()) {
+      leaf->keys.erase(leaf->keys.begin() + static_cast<long>(i));
+      leaf->postings.erase(leaf->postings.begin() + static_cast<long>(i));
+    }
+    --size_;
+    return Status::OK();
+  }
+  return Status::NotFound("(key, id) not present in index");
+}
+
+Result<std::vector<ObjectId>> BTreeIndex::Lookup(const Value& key) const {
+  FUZZYDB_RETURN_NOT_OK(CheckKey(key));
+  Node* leaf = FindLeaf(key);
+  for (size_t i = 0; i < leaf->keys.size(); ++i) {
+    if (Cmp(leaf->keys[i], key) == 0) return leaf->postings[i];
+  }
+  return std::vector<ObjectId>{};
+}
+
+Status BTreeIndex::RangeScan(
+    const Value& lo, const Value& hi,
+    const std::function<void(const Value&, ObjectId)>& emit) const {
+  if (!lo.is_null()) FUZZYDB_RETURN_NOT_OK(CheckKey(lo));
+  if (!hi.is_null()) FUZZYDB_RETURN_NOT_OK(CheckKey(hi));
+
+  // Start at the leftmost relevant leaf.
+  Node* leaf;
+  if (lo.is_null()) {
+    Node* node = root_.get();
+    while (!node->leaf) node = node->children.front().get();
+    leaf = node;
+  } else {
+    leaf = FindLeaf(lo);
+  }
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (!lo.is_null() && Cmp(leaf->keys[i], lo) < 0) continue;
+      if (!hi.is_null() && Cmp(leaf->keys[i], hi) > 0) return Status::OK();
+      for (ObjectId id : leaf->postings[i]) emit(leaf->keys[i], id);
+    }
+  }
+  return Status::OK();
+}
+
+size_t BTreeIndex::Height() const {
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,68 @@
+// In-memory B+-tree secondary index: Value key -> posting list of ObjectIds.
+//
+// Multimedia databases update rarely (paper §2.1), so this index optimizes
+// reads: inserts split nodes as usual, while Erase simply removes postings
+// without rebalancing (empty leaves are tolerated).
+
+#ifndef FUZZYDB_RELATIONAL_BTREE_H_
+#define FUZZYDB_RELATIONAL_BTREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/graded_set.h"
+#include "relational/value.h"
+
+namespace fuzzydb {
+
+/// B+-tree over same-typed, non-null keys with duplicate support.
+class BTreeIndex {
+ public:
+  /// Keys must all have `key_type`.
+  explicit BTreeIndex(ValueType key_type, int fanout = 32);
+  ~BTreeIndex();
+
+  BTreeIndex(BTreeIndex&&) noexcept;
+  BTreeIndex& operator=(BTreeIndex&&) noexcept;
+
+  /// Adds `id` to the posting list of `key`. Rejects null or mis-typed keys.
+  Status Insert(const Value& key, ObjectId id);
+
+  /// Removes one posting; NotFound if the (key, id) pair is absent. Leaves
+  /// are never merged (read-optimized; see header comment).
+  Status Erase(const Value& key, ObjectId id);
+
+  /// Posting list for an exact key (empty when absent).
+  Result<std::vector<ObjectId>> Lookup(const Value& key) const;
+
+  /// All postings with lo <= key <= hi (either bound may be omitted via
+  /// is_null() Values meaning unbounded), in key order. `emit` is called
+  /// once per (key, id).
+  Status RangeScan(const Value& lo, const Value& hi,
+                   const std::function<void(const Value&, ObjectId)>& emit)
+      const;
+
+  /// Number of (key, id) postings.
+  size_t size() const { return size_; }
+
+  /// Height of the tree (1 = a single leaf). Exposed for tests.
+  size_t Height() const;
+
+  ValueType key_type() const { return key_type_; }
+
+ private:
+  struct Node;
+  Status CheckKey(const Value& key) const;
+  // Descends to the leaf that owns `key`.
+  Node* FindLeaf(const Value& key) const;
+
+  ValueType key_type_;
+  int fanout_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_RELATIONAL_BTREE_H_

@@ -1,0 +1,66 @@
+#include "relational/predicate.h"
+
+namespace fuzzydb {
+
+std::string CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Result<Predicate> Predicate::Create(const Schema& schema,
+                                    const std::string& column, CompareOp op,
+                                    Value literal) {
+  Result<size_t> col = schema.IndexOf(column);
+  if (!col.ok()) return col.status();
+  if (literal.is_null()) {
+    return Status::InvalidArgument("predicate literal cannot be NULL");
+  }
+  if (literal.type() != schema.column(*col).type) {
+    return Status::InvalidArgument(
+        "predicate on column '" + column + "' (" +
+        ValueTypeName(schema.column(*col).type) + ") with " +
+        ValueTypeName(literal.type()) + " literal");
+  }
+  return Predicate(*col, column, op, std::move(literal));
+}
+
+bool Predicate::Eval(const std::vector<Value>& row) const {
+  const Value& v = row[column_index_];
+  if (v.is_null()) return false;
+  Result<int> cmp = v.Compare(literal_);
+  if (!cmp.ok()) return false;
+  switch (op_) {
+    case CompareOp::kEq:
+      return *cmp == 0;
+    case CompareOp::kNe:
+      return *cmp != 0;
+    case CompareOp::kLt:
+      return *cmp < 0;
+    case CompareOp::kLe:
+      return *cmp <= 0;
+    case CompareOp::kGt:
+      return *cmp > 0;
+    case CompareOp::kGe:
+      return *cmp >= 0;
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  return column_name_ + CompareOpName(op_) + literal_.ToString();
+}
+
+}  // namespace fuzzydb

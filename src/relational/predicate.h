@@ -1,0 +1,59 @@
+// Scalar comparison predicates over table rows — the "traditional database
+// query" half of the paper's running example, whose grades are always 0 or 1
+// (paper §3).
+
+#ifndef FUZZYDB_RELATIONAL_PREDICATE_H_
+#define FUZZYDB_RELATIONAL_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace fuzzydb {
+
+/// Comparison operators for predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Rendering such as "=", "<=".
+std::string CompareOpName(CompareOp op);
+
+/// `column <op> literal`. NULL column values make every comparison false
+/// (SQL's unknown-collapses-to-false at the top level).
+class Predicate {
+ public:
+  /// Binds the column name against `schema` and type-checks the literal.
+  static Result<Predicate> Create(const Schema& schema,
+                                  const std::string& column, CompareOp op,
+                                  Value literal);
+
+  /// Evaluates against a row of the bound schema.
+  bool Eval(const std::vector<Value>& row) const;
+
+  size_t column_index() const { return column_index_; }
+  const std::string& column_name() const { return column_name_; }
+  CompareOp op() const { return op_; }
+  const Value& literal() const { return literal_; }
+
+  /// e.g. "Artist='Beatles'".
+  std::string ToString() const;
+
+ private:
+  Predicate(size_t column_index, std::string column_name, CompareOp op,
+            Value literal)
+      : column_index_(column_index),
+        column_name_(std::move(column_name)),
+        op_(op),
+        literal_(std::move(literal)) {}
+
+  size_t column_index_;
+  std::string column_name_;
+  CompareOp op_;
+  Value literal_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_RELATIONAL_PREDICATE_H_

@@ -1,0 +1,65 @@
+#include "relational/relational_source.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fuzzydb {
+
+Result<RelationalSource> RelationalSource::Create(const Table* table,
+                                                  Predicate predicate) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  RelationalSource src(table, std::move(predicate));
+
+  std::vector<ObjectId> matches;
+  const BTreeIndex* index = table->IndexOn(src.predicate_.column_name());
+  if (index != nullptr && src.predicate_.op() == CompareOp::kEq) {
+    Result<std::vector<ObjectId>> hits =
+        index->Lookup(src.predicate_.literal());
+    if (!hits.ok()) return hits.status();
+    matches = std::move(hits).value();
+    src.used_index_ = true;
+  } else {
+    table->Scan([&](ObjectId id, const std::vector<Value>& row) {
+      if (src.predicate_.Eval(row)) matches.push_back(id);
+    });
+  }
+  std::sort(matches.begin(), matches.end());
+  std::unordered_set<ObjectId> match_set(matches.begin(), matches.end());
+
+  src.num_matches_ = matches.size();
+  src.sorted_.reserve(table->size());
+  for (ObjectId id : matches) src.sorted_.push_back({id, 1.0});
+  std::vector<ObjectId> rest;
+  for (ObjectId id : table->ids()) {
+    if (!match_set.count(id)) rest.push_back(id);
+  }
+  std::sort(rest.begin(), rest.end());
+  for (ObjectId id : rest) src.sorted_.push_back({id, 0.0});
+  return src;
+}
+
+std::optional<GradedObject> RelationalSource::NextSorted() {
+  if (cursor_ >= sorted_.size()) return std::nullopt;
+  return sorted_[cursor_++];
+}
+
+double RelationalSource::RandomAccess(ObjectId id) {
+  Result<const std::vector<Value>*> row = table_->Get(id);
+  if (!row.ok()) return 0.0;
+  return predicate_.Eval(**row) ? 1.0 : 0.0;
+}
+
+std::vector<GradedObject> RelationalSource::AtLeast(double threshold) {
+  std::vector<GradedObject> out;
+  for (const GradedObject& g : sorted_) {
+    if (g.grade < threshold) break;
+    out.push_back(g);
+  }
+  return out;
+}
+
+std::string RelationalSource::name() const {
+  return table_->name() + ":" + predicate_.ToString();
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,48 @@
+#include "relational/schema.h"
+
+namespace fuzzydb {
+
+Result<Schema> Schema::Create(std::vector<ColumnDef> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema needs at least one column");
+  }
+  Schema schema;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].type == ValueType::kNull) {
+      return Status::InvalidArgument("column '" + columns[i].name +
+                                     "' cannot have type null");
+    }
+    if (!schema.by_name_.emplace(columns[i].name, i).second) {
+      return Status::AlreadyExists("duplicate column name '" +
+                                   columns[i].name + "'");
+    }
+  }
+  schema.columns_ = std::move(columns);
+  return schema;
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          ValueTypeName(columns_[i].type) + ", got " +
+          ValueTypeName(row[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,44 @@
+// Table schemas for the relational substrate.
+
+#ifndef FUZZYDB_RELATIONAL_SCHEMA_H_
+#define FUZZYDB_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace fuzzydb {
+
+/// One column: a name and a declared type.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// An ordered list of uniquely named, non-null-typed columns.
+class Schema {
+ public:
+  /// Validates: non-empty, unique names, no kNull column types.
+  static Result<Schema> Create(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the named column, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Checks a row's arity and types (NULLs are allowed in any column).
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,69 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+namespace fuzzydb {
+
+Status Table::Insert(ObjectId id, std::vector<Value> row) {
+  FUZZYDB_RETURN_NOT_OK(schema_.ValidateRow(row));
+  if (rows_.count(id)) {
+    return Status::AlreadyExists("row id already present");
+  }
+  for (auto& [column, index] : indexes_) {
+    size_t col = schema_.IndexOf(column).value();
+    if (!row[col].is_null()) {
+      FUZZYDB_RETURN_NOT_OK(index->Insert(row[col], id));
+    }
+  }
+  rows_.emplace(id, std::move(row));
+  order_.push_back(id);
+  return Status::OK();
+}
+
+Status Table::Delete(ObjectId id) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) return Status::NotFound("no row with that id");
+  for (auto& [column, index] : indexes_) {
+    size_t col = schema_.IndexOf(column).value();
+    if (!it->second[col].is_null()) {
+      FUZZYDB_RETURN_NOT_OK(index->Erase(it->second[col], id));
+    }
+  }
+  rows_.erase(it);
+  order_.erase(std::find(order_.begin(), order_.end(), id));
+  return Status::OK();
+}
+
+Result<const std::vector<Value>*> Table::Get(ObjectId id) const {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) return Status::NotFound("no row with that id");
+  return &it->second;
+}
+
+void Table::Scan(
+    const std::function<void(ObjectId, const std::vector<Value>&)>& emit)
+    const {
+  for (ObjectId id : order_) emit(id, rows_.at(id));
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  Result<size_t> col = schema_.IndexOf(column);
+  if (!col.ok()) return col.status();
+  auto index =
+      std::make_unique<BTreeIndex>(schema_.column(*col).type);
+  for (ObjectId id : order_) {
+    const Value& key = rows_.at(id)[*col];
+    if (!key.is_null()) {
+      FUZZYDB_RETURN_NOT_OK(index->Insert(key, id));
+    }
+  }
+  indexes_[column] = std::move(index);
+  return Status::OK();
+}
+
+const BTreeIndex* Table::IndexOn(const std::string& column) const {
+  auto it = indexes_.find(column);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace fuzzydb

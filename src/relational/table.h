@@ -1,0 +1,64 @@
+// Row-store tables for the relational substrate.
+
+#ifndef FUZZYDB_RELATIONAL_TABLE_H_
+#define FUZZYDB_RELATIONAL_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graded_set.h"
+#include "relational/btree.h"
+#include "relational/schema.h"
+
+namespace fuzzydb {
+
+/// An in-memory table keyed by ObjectId, with optional B+-tree secondary
+/// indexes. Rows are immutable once inserted (multimedia databases update
+/// rarely, paper §2.1); there is no UPDATE, only Insert/Delete.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return order_.size(); }
+
+  /// Validates the row against the schema, rejects duplicate ids, and
+  /// maintains all indexes.
+  Status Insert(ObjectId id, std::vector<Value> row);
+
+  /// Removes a row (and its index postings); NotFound if absent.
+  Status Delete(ObjectId id);
+
+  /// The row for `id`, or NotFound.
+  Result<const std::vector<Value>*> Get(ObjectId id) const;
+
+  /// Full scan in insertion order.
+  void Scan(const std::function<void(ObjectId, const std::vector<Value>&)>&
+                emit) const;
+
+  /// All row ids in insertion order.
+  const std::vector<ObjectId>& ids() const { return order_; }
+
+  /// Builds (or rebuilds) a B+-tree index on the named column, indexing all
+  /// current and future rows. NULLs in the column are not indexed.
+  Status CreateIndex(const std::string& column);
+
+  /// The index on `column`, or nullptr when none exists.
+  const BTreeIndex* IndexOn(const std::string& column) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::unordered_map<ObjectId, std::vector<Value>> rows_;
+  std::vector<ObjectId> order_;
+  std::unordered_map<std::string, std::unique_ptr<BTreeIndex>> indexes_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_RELATIONAL_TABLE_H_

@@ -1,0 +1,80 @@
+#include "relational/value.h"
+
+#include <sstream>
+
+namespace fuzzydb {
+
+std::string ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt64;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (type() != other.type()) {
+    return Status::InvalidArgument("cannot compare " + ValueTypeName(type()) +
+                                   " with " + ValueTypeName(other.type()));
+  }
+  switch (type()) {
+    case ValueType::kInt64: {
+      int64_t a = AsInt64(), b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kDouble: {
+      double a = AsDouble(), b = other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kString: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueType::kNull:
+      return 0;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace fuzzydb

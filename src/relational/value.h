@@ -1,0 +1,55 @@
+// Typed scalar values for the relational substrate — the traditional side of
+// the paper's running example (Artist='Beatles').
+
+#ifndef FUZZYDB_RELATIONAL_VALUE_H_
+#define FUZZYDB_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace fuzzydb {
+
+/// Column types supported by the relational engine.
+enum class ValueType { kNull, kInt64, kDouble, kString };
+
+/// Type name for error messages ("int64", "string", ...).
+std::string ValueTypeName(ValueType type);
+
+/// A nullable scalar.
+class Value {
+ public:
+  /// SQL NULL.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed getters; precondition: matching type.
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Three-way comparison for same-typed non-null values; NULL compares
+  /// equal to NULL and less than everything else (index ordering only —
+  /// predicates treat NULL as unknown/false).
+  /// Returns InvalidArgument on cross-type comparison.
+  Result<int> Compare(const Value& other) const;
+
+  /// SQL-ish rendering: NULL, 42, 3.14, 'text'.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_RELATIONAL_VALUE_H_

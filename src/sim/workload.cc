@@ -1,0 +1,85 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fuzzydb {
+
+namespace {
+
+std::vector<ObjectId> SequentialIds(size_t n) {
+  std::vector<ObjectId> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = i + 1;
+  return ids;
+}
+
+}  // namespace
+
+Result<std::vector<VectorSource>> Workload::MakeSources() const {
+  return fuzzydb::MakeSources(ids, columns);
+}
+
+Workload IndependentUniform(Rng* rng, size_t n, size_t m) {
+  Workload w;
+  w.ids = SequentialIds(n);
+  w.columns.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    w.columns.push_back(UniformGrades(rng, n));
+  }
+  return w;
+}
+
+Workload Correlated(Rng* rng, size_t n, size_t m, double rho) {
+  assert(rho >= 0.0 && rho <= 1.0);
+  Workload w;
+  w.ids = SequentialIds(n);
+  std::vector<double> base = UniformGrades(rng, n);
+  w.columns.assign(m, std::vector<double>(n));
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < n; ++i) {
+      w.columns[j][i] = rho * base[i] + (1.0 - rho) * rng->NextDouble();
+    }
+  }
+  return w;
+}
+
+Workload AntiCorrelated(Rng* rng, size_t n, double noise) {
+  Workload w;
+  w.ids = SequentialIds(n);
+  w.columns.assign(2, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    double g = rng->NextDouble();
+    double jitter = (rng->NextDouble() - 0.5) * 2.0 * noise;
+    w.columns[0][i] = g;
+    w.columns[1][i] = std::clamp(1.0 - g + jitter, 0.0, 1.0);
+  }
+  return w;
+}
+
+Workload PathologicalMiddle(size_t n) {
+  assert(n >= 2);
+  Workload w;
+  w.ids = SequentialIds(n);
+  w.columns.assign(2, std::vector<double>(n));
+  const double nd = static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double di = static_cast<double>(i);
+    // List 1 descends with i; list 2 ascends with i. min(a, b) peaks at the
+    // crossover i ≈ n/2, which sorted access reaches only after ~n/2 steps
+    // from either end.
+    w.columns[0][i] = 1.0 - di / (2.0 * nd);                // in (1/2, 1]
+    w.columns[1][i] = 0.5 + (di + 0.5) / (2.0 * nd + 2.0);  // in (1/2, 1)
+  }
+  return w;
+}
+
+std::vector<double> ZeroOneColumn(Rng* rng, size_t n, double selectivity) {
+  assert(selectivity >= 0.0 && selectivity <= 1.0);
+  size_t matches = static_cast<size_t>(selectivity * static_cast<double>(n));
+  std::vector<double> col(n, 0.0);
+  for (size_t i = 0; i < matches; ++i) col[i] = 1.0;
+  rng->Shuffle(&col);
+  return col;
+}
+
+}  // namespace fuzzydb

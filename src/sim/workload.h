@@ -1,0 +1,58 @@
+// Synthetic grade-list workloads for the middleware experiments (paper §4).
+// Theorem 4.1's probabilistic model has each subquery's grades independent
+// across subqueries; the generators here produce that model plus the
+// departures (correlation, anti-correlation, the adversarial instance) used
+// to probe the assumption.
+
+#ifndef FUZZYDB_SIM_WORKLOAD_H_
+#define FUZZYDB_SIM_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "middleware/vector_source.h"
+
+namespace fuzzydb {
+
+/// n objects with m grade columns; columns[j][i] is object ids[i]'s grade
+/// under subquery j.
+struct Workload {
+  std::vector<ObjectId> ids;
+  std::vector<std::vector<double>> columns;
+
+  size_t n() const { return ids.size(); }
+  size_t m() const { return columns.size(); }
+
+  /// Materializes one VectorSource per column.
+  Result<std::vector<VectorSource>> MakeSources() const;
+};
+
+/// The paper's model: grades i.i.d. uniform on [0,1), independent across
+/// subqueries.
+Workload IndependentUniform(Rng* rng, size_t n, size_t m);
+
+/// Positively correlated columns: grade_ij = rho*base_i + (1-rho)*u_ij with
+/// base and u uniform. rho=0 reduces to independent; rho=1 makes all columns
+/// identical (A0's sorted phase then finds matches immediately).
+Workload Correlated(Rng* rng, size_t n, size_t m, double rho);
+
+/// Two anti-correlated columns: grade2 ≈ 1 - grade1 plus `noise` jitter —
+/// the hard regime for conjunctions, where good objects on one list are bad
+/// on the other.
+Workload AntiCorrelated(Rng* rng, size_t n, double noise = 0.05);
+
+/// The adversarial two-list instance behind the paper's remark that "there
+/// is a provable linear lower bound" (§6): list 1 descends from one end of
+/// the object order and list 2 from the other, and the unique best object
+/// under min sits in the middle, forcing every sorted-access algorithm to
+/// descend ~n/2 deep on both lists. All grades are distinct.
+Workload PathologicalMiddle(size_t n);
+
+/// A 0/1 relational-style column with ~selectivity*n matching objects
+/// shuffled among the rest (grades exactly 0 or 1).
+std::vector<double> ZeroOneColumn(Rng* rng, size_t n, double selectivity);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SIM_WORKLOAD_H_

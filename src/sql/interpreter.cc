@@ -1,0 +1,79 @@
+#include "sql/interpreter.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace fuzzydb {
+
+Result<ExecutionResult> RunSelect(const std::string& source, Catalog* catalog,
+                                  ExecutorOptions options) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  Result<SelectStatement> stmt = ParseSelect(source);
+  if (!stmt.ok()) return stmt.status();
+  if (stmt->explain) {
+    return Status::InvalidArgument(
+        "EXPLAIN statements are planned, not run; use ExplainSelect");
+  }
+  if (stmt->via.has_value()) options.algorithm = *stmt->via;
+  return ExecuteTopK(stmt->query, catalog->AsResolver(), stmt->k, options);
+}
+
+Result<PlanChoice> ExplainSelect(const std::string& source, Catalog* catalog,
+                                 const CostModel& model) {
+  if (catalog == nullptr) return Status::InvalidArgument("null catalog");
+  Result<SelectStatement> stmt = ParseSelect(source);
+  if (!stmt.ok()) return stmt.status();
+
+  // The cost estimates need the database size; resolve the first atom.
+  std::vector<const Query*> atoms;
+  stmt->query->CollectAtoms(&atoms);
+  if (atoms.empty()) return Status::InvalidArgument("query has no atoms");
+  Result<GradedSource*> first =
+      catalog->Resolve(atoms[0]->attribute(), atoms[0]->target());
+  if (!first.ok()) return first.status();
+  const size_t n = (*first)->Size();
+  if (n == 0) return Status::FailedPrecondition("empty database");
+
+  if (stmt->via.has_value()) {
+    PlanChoice pinned;
+    pinned.algorithm = *stmt->via;
+    Result<double> est =
+        EstimateCost(*stmt->via, n, std::max<size_t>(atoms.size(), 1),
+                     stmt->k, model);
+    pinned.estimated_cost = est.ok() ? *est : 0.0;
+    pinned.considered.emplace_back(AlgorithmName(*stmt->via),
+                                   pinned.estimated_cost);
+    return pinned;
+  }
+  return ChoosePlan(*stmt->query, n, stmt->k, model);
+}
+
+std::string FormatPlan(const PlanChoice& choice) {
+  std::ostringstream os;
+  os << "plan: " << AlgorithmName(choice.algorithm)
+     << "  (estimated cost " << std::fixed << std::setprecision(1)
+     << choice.estimated_cost << ")\n";
+  for (const auto& [name, cost] : choice.considered) {
+    os << "  considered " << std::setw(12) << std::left << name
+       << std::right << "  est " << std::setprecision(1) << cost
+       << (name == AlgorithmName(choice.algorithm) ? "   <= chosen" : "")
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string FormatResult(const ExecutionResult& result) {
+  std::ostringstream os;
+  size_t rank = 1;
+  for (const GradedObject& g : result.topk.items) {
+    os << std::setw(3) << rank++ << ". object " << std::setw(8) << g.id
+       << "  grade " << std::fixed << std::setprecision(4) << g.grade << "\n";
+  }
+  os << "-- algorithm: " << AlgorithmName(result.algorithm_used)
+     << ", sorted accesses: " << result.topk.cost.sorted
+     << ", random accesses: " << result.topk.cost.random
+     << ", total cost: " << result.topk.cost.total() << "\n";
+  return os.str();
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,35 @@
+// Glue from parsed statements to the executor: the end-to-end entry point a
+// Garlic-style client would call.
+
+#ifndef FUZZYDB_SQL_INTERPRETER_H_
+#define FUZZYDB_SQL_INTERPRETER_H_
+
+#include "catalog/catalog.h"
+#include "middleware/optimizer.h"
+#include "sql/parser.h"
+
+namespace fuzzydb {
+
+/// Parses and executes one SELECT statement against `catalog`. The
+/// statement's VIA clause (when present) overrides options.algorithm.
+/// Rejects EXPLAIN statements (use ExplainSelect).
+Result<ExecutionResult> RunSelect(const std::string& source, Catalog* catalog,
+                                  ExecutorOptions options = {});
+
+/// Renders a result for console output: one "rank. id grade" line per item
+/// plus a cost footer.
+std::string FormatResult(const ExecutionResult& result);
+
+/// Parses an `EXPLAIN SELECT ...` (the EXPLAIN keyword is optional here)
+/// and returns the optimizer's plan choice under `model` without executing
+/// anything. A VIA clause pins the plan, skipping the optimizer.
+Result<PlanChoice> ExplainSelect(const std::string& source, Catalog* catalog,
+                                 const CostModel& model = {});
+
+/// Renders a plan choice: chosen algorithm plus every considered
+/// alternative with its estimated charged cost.
+std::string FormatPlan(const PlanChoice& choice);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SQL_INTERPRETER_H_

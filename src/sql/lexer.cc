@@ -1,0 +1,179 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace fuzzydb {
+
+std::string TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kSelect:
+      return "SELECT";
+    case TokenType::kExplain:
+      return "EXPLAIN";
+    case TokenType::kTop:
+      return "TOP";
+    case TokenType::kFrom:
+      return "FROM";
+    case TokenType::kWhere:
+      return "WHERE";
+    case TokenType::kAnd:
+      return "AND";
+    case TokenType::kOr:
+      return "OR";
+    case TokenType::kNot:
+      return "NOT";
+    case TokenType::kUsing:
+      return "USING";
+    case TokenType::kVia:
+      return "VIA";
+    case TokenType::kWeights:
+      return "WEIGHTS";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kLeftParen:
+      return "'('";
+    case TokenType::kRightParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kEquals:
+      return "'='";
+    case TokenType::kSimilar:
+      return "'~'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+const std::unordered_map<std::string, TokenType>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenType>{
+      {"SELECT", TokenType::kSelect}, {"TOP", TokenType::kTop},
+      {"EXPLAIN", TokenType::kExplain},
+      {"FROM", TokenType::kFrom},     {"WHERE", TokenType::kWhere},
+      {"AND", TokenType::kAnd},       {"OR", TokenType::kOr},
+      {"NOT", TokenType::kNot},       {"USING", TokenType::kUsing},
+      {"VIA", TokenType::kVia},       {"WEIGHTS", TokenType::kWeights},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = source.size();
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      tok.text = source.substr(start, i - start);
+      auto kw = Keywords().find(ToUpper(tok.text));
+      tok.type = (kw != Keywords().end()) ? kw->second
+                                          : TokenType::kIdentifier;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       (source[i] == '.' && !seen_dot))) {
+        seen_dot = seen_dot || source[i] == '.';
+        ++i;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = source.substr(start, i - start);
+      tok.number = std::stod(tok.text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == '\'') {
+          if (i + 1 < n && source[i + 1] == '\'') {  // '' escapes a quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(source[i++]);
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " +
+            std::to_string(tok.position));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        tok.type = TokenType::kLeftParen;
+        break;
+      case ')':
+        tok.type = TokenType::kRightParen;
+        break;
+      case ',':
+        tok.type = TokenType::kComma;
+        break;
+      case '=':
+        tok.type = TokenType::kEquals;
+        break;
+      case '~':
+        tok.type = TokenType::kSimilar;
+        break;
+      case ';':
+        tok.type = TokenType::kSemicolon;
+        break;
+      default:
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(i));
+    }
+    ++i;
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace fuzzydb

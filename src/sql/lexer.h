@@ -1,0 +1,19 @@
+// Hand-written lexer for the SQL-ish surface.
+
+#ifndef FUZZYDB_SQL_LEXER_H_
+#define FUZZYDB_SQL_LEXER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace fuzzydb {
+
+/// Tokenizes `source`; the final token is always kEnd. Errors carry the
+/// offending position.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SQL_LEXER_H_

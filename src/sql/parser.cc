@@ -1,0 +1,262 @@
+#include "sql/parser.h"
+
+#include <sstream>
+
+#include "sql/lexer.h"
+
+namespace fuzzydb {
+
+Result<ScoringRulePtr> RuleByName(const std::string& name) {
+  if (name == "min") return MinRule();
+  if (name == "max") return MaxRule();
+  if (name == "product") return TNormRule(TNormKind::kProduct);
+  if (name == "lukasiewicz") return TNormRule(TNormKind::kLukasiewicz);
+  if (name == "hamacher") return TNormRule(TNormKind::kHamacher);
+  if (name == "einstein") return TNormRule(TNormKind::kEinstein);
+  if (name == "avg") return ArithmeticMeanRule();
+  if (name == "geomean") return GeometricMeanRule();
+  if (name == "harmonic") return HarmonicMeanRule();
+  if (name == "median") return MedianRule();
+  return Status::NotFound("unknown scoring rule '" + name + "'");
+}
+
+Result<Algorithm> AlgorithmByName(const std::string& name) {
+  if (name == "auto") return Algorithm::kAuto;
+  if (name == "naive") return Algorithm::kNaive;
+  if (name == "fagin") return Algorithm::kFagin;
+  if (name == "ta") return Algorithm::kThreshold;
+  if (name == "nra") return Algorithm::kNoRandomAccess;
+  if (name == "ca") return Algorithm::kCombined;
+  if (name == "filtered") return Algorithm::kFilteredSimulation;
+  if (name == "shortcut") return Algorithm::kDisjunctionShortcut;
+  return Status::NotFound("unknown algorithm '" + name + "'");
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    if (Peek().type == TokenType::kExplain) {
+      Advance();
+      stmt.explain = true;
+    }
+    FUZZYDB_RETURN_NOT_OK(Expect(TokenType::kSelect));
+    FUZZYDB_RETURN_NOT_OK(Expect(TokenType::kTop));
+    Result<Token> k = Consume(TokenType::kNumber);
+    if (!k.ok()) return k.status();
+    if (k->number < 1.0 || k->number != static_cast<size_t>(k->number)) {
+      return Error(*k, "TOP expects a positive integer");
+    }
+    stmt.k = static_cast<size_t>(k->number);
+    FUZZYDB_RETURN_NOT_OK(Expect(TokenType::kFrom));
+    Result<Token> coll = Consume(TokenType::kIdentifier);
+    if (!coll.ok()) return coll.status();
+    stmt.collection = coll->text;
+    FUZZYDB_RETURN_NOT_OK(Expect(TokenType::kWhere));
+    Result<QueryPtr> expr = ParseOr();
+    if (!expr.ok()) return expr.status();
+    stmt.query = *expr;
+
+    std::optional<ScoringRulePtr> rule;
+    std::optional<std::vector<double>> weights;
+    bool owa = false;
+    if (Peek().type == TokenType::kUsing) {
+      Advance();
+      Result<Token> name = Consume(TokenType::kIdentifier);
+      if (!name.ok()) return name.status();
+      if (name->text == "owa") {
+        // USING owa WEIGHTS (w1, ..., wm): rank weights, not argument
+        // weights — handled below instead of the Fagin–Wimmers transform.
+        owa = true;
+      } else {
+        Result<ScoringRulePtr> r = RuleByName(name->text);
+        if (!r.ok()) return Error(*name, r.status().message());
+        rule = *r;
+      }
+    }
+    if (Peek().type == TokenType::kWeights) {
+      Advance();
+      FUZZYDB_RETURN_NOT_OK(Expect(TokenType::kLeftParen));
+      std::vector<double> raw;
+      for (;;) {
+        Result<Token> num = Consume(TokenType::kNumber);
+        if (!num.ok()) return num.status();
+        raw.push_back(num->number);
+        if (Peek().type != TokenType::kComma) break;
+        Advance();
+      }
+      FUZZYDB_RETURN_NOT_OK(Expect(TokenType::kRightParen));
+      weights = std::move(raw);
+    }
+    if (Peek().type == TokenType::kVia) {
+      Advance();
+      Result<Token> name = Consume(TokenType::kIdentifier);
+      if (!name.ok()) return name.status();
+      Result<Algorithm> a = AlgorithmByName(name->text);
+      if (!a.ok()) return Error(*name, a.status().message());
+      stmt.via = *a;
+    }
+    if (Peek().type == TokenType::kSemicolon) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error(Peek(), "trailing input after statement");
+    }
+
+    // Apply USING / WEIGHTS to the top-level combination.
+    if (rule.has_value() || weights.has_value() || owa) {
+      Query::Kind kind = stmt.query->kind();
+      if (kind != Query::Kind::kAnd && kind != Query::Kind::kOr) {
+        return Status::InvalidArgument(
+            "USING/WEIGHTS require a top-level AND or OR");
+      }
+      if (owa) {
+        if (!weights.has_value()) {
+          return Status::InvalidArgument("USING owa requires WEIGHTS (...)");
+        }
+        Result<Weighting> w = Weighting::FromSliders(std::move(*weights));
+        if (!w.ok()) return w.status();
+        if (w->size() != stmt.query->children().size()) {
+          return Status::InvalidArgument(
+              "owa needs one weight per combined subquery");
+        }
+        std::vector<QueryPtr> children = stmt.query->children();
+        stmt.query = (kind == Query::Kind::kAnd)
+                         ? Query::And(std::move(children), OwaRule(*w))
+                         : Query::Or(std::move(children), OwaRule(*w));
+        return stmt;
+      }
+      ScoringRulePtr base =
+          rule.value_or(kind == Query::Kind::kAnd
+                            ? ScoringRulePtr(MinRule())
+                            : ScoringRulePtr(MaxRule()));
+      std::vector<QueryPtr> children = stmt.query->children();
+      if (weights.has_value()) {
+        Result<Weighting> w = Weighting::FromSliders(std::move(*weights));
+        if (!w.ok()) return w.status();
+        Result<QueryPtr> rebuilt =
+            (kind == Query::Kind::kAnd)
+                ? Query::WeightedAnd(std::move(children), std::move(*w),
+                                     std::move(base))
+                : Query::WeightedOr(std::move(children), std::move(*w),
+                                    std::move(base));
+        if (!rebuilt.ok()) return rebuilt.status();
+        stmt.query = *rebuilt;
+      } else {
+        stmt.query = (kind == Query::Kind::kAnd)
+                         ? Query::And(std::move(children), std::move(base))
+                         : Query::Or(std::move(children), std::move(base));
+      }
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Error(const Token& at, const std::string& message) const {
+    std::ostringstream os;
+    os << message << " (at offset " << at.position << ")";
+    return Status::InvalidArgument(os.str());
+  }
+
+  Result<Token> Consume(TokenType type) {
+    if (Peek().type != type) {
+      return Error(Peek(), "expected " + TokenTypeName(type) + ", found " +
+                               TokenTypeName(Peek().type));
+    }
+    Token t = Peek();
+    Advance();
+    return t;
+  }
+
+  Status Expect(TokenType type) {
+    Result<Token> t = Consume(type);
+    return t.ok() ? Status::OK() : t.status();
+  }
+
+  Result<QueryPtr> ParseOr() {
+    Result<QueryPtr> first = ParseAnd();
+    if (!first.ok()) return first;
+    std::vector<QueryPtr> children{*first};
+    while (Peek().type == TokenType::kOr) {
+      Advance();
+      Result<QueryPtr> next = ParseAnd();
+      if (!next.ok()) return next;
+      children.push_back(*next);
+    }
+    if (children.size() == 1) return children[0];
+    return QueryPtr(Query::Or(std::move(children)));
+  }
+
+  Result<QueryPtr> ParseAnd() {
+    Result<QueryPtr> first = ParseUnary();
+    if (!first.ok()) return first;
+    std::vector<QueryPtr> children{*first};
+    while (Peek().type == TokenType::kAnd) {
+      Advance();
+      Result<QueryPtr> next = ParseUnary();
+      if (!next.ok()) return next;
+      children.push_back(*next);
+    }
+    if (children.size() == 1) return children[0];
+    return QueryPtr(Query::And(std::move(children)));
+  }
+
+  Result<QueryPtr> ParseUnary() {
+    if (Peek().type == TokenType::kNot) {
+      Advance();
+      Result<QueryPtr> child = ParseUnary();
+      if (!child.ok()) return child;
+      return QueryPtr(Query::Not(*child));
+    }
+    if (Peek().type == TokenType::kLeftParen) {
+      Advance();
+      Result<QueryPtr> inner = ParseOr();
+      if (!inner.ok()) return inner;
+      FUZZYDB_RETURN_NOT_OK(Expect(TokenType::kRightParen));
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  Result<QueryPtr> ParseAtom() {
+    Result<Token> attr = Consume(TokenType::kIdentifier);
+    if (!attr.ok()) return attr.status();
+    TokenType op = Peek().type;
+    if (op != TokenType::kEquals && op != TokenType::kSimilar) {
+      return Error(Peek(), "expected '=' or '~' after attribute");
+    }
+    Advance();
+    const Token& target = Peek();
+    std::string text;
+    switch (target.type) {
+      case TokenType::kString:
+      case TokenType::kIdentifier:
+      case TokenType::kNumber:
+        text = target.text;
+        break;
+      default:
+        return Error(target, "expected a target value");
+    }
+    Advance();
+    return QueryPtr(Query::Atomic(attr->text, std::move(text)));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& source) {
+  Result<std::vector<Token>> tokens = Lex(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+}  // namespace fuzzydb

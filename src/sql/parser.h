@@ -1,0 +1,52 @@
+// Recursive-descent parser for the SQL-ish surface. Grammar:
+//
+//   statement  := SELECT TOP number FROM identifier WHERE expr
+//                 [USING identifier] [WEIGHTS '(' number (',' number)* ')']
+//                 [VIA identifier] [';']
+//   expr       := and_expr (OR and_expr)*
+//   and_expr   := unary (AND unary)*
+//   unary      := NOT unary | '(' expr ')' | atom
+//   atom       := identifier ('=' | '~') (string | number | identifier)
+//
+// '=' marks a traditional (0/1) predicate, '~' a graded similarity match;
+// both become core atomic queries (the subsystem decides the semantics).
+// USING names the combining rule for the top-level AND/OR (default min/max);
+// WEIGHTS attaches a Fagin–Wimmers weighting to the top-level node, one
+// weight per child (raw slider values, normalized automatically).
+// VIA forces an algorithm: naive | fagin | ta | nra | filtered | shortcut.
+
+#ifndef FUZZYDB_SQL_PARSER_H_
+#define FUZZYDB_SQL_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "core/query.h"
+#include "middleware/executor.h"
+
+namespace fuzzydb {
+
+/// A parsed SELECT statement, ready for execution.
+struct SelectStatement {
+  size_t k = 10;
+  std::string collection;
+  QueryPtr query;
+  std::optional<Algorithm> via;
+  /// True for EXPLAIN SELECT ...: plan, don't execute.
+  bool explain = false;
+};
+
+/// Maps a rule name (min, max, product, lukasiewicz, hamacher, einstein,
+/// avg, geomean, harmonic, median) to the rule; NotFound otherwise.
+Result<ScoringRulePtr> RuleByName(const std::string& name);
+
+/// Maps an algorithm name (naive, fagin, ta, nra, filtered, shortcut, auto)
+/// to the enum; NotFound otherwise.
+Result<Algorithm> AlgorithmByName(const std::string& name);
+
+/// Parses one statement; errors carry source offsets.
+Result<SelectStatement> ParseSelect(const std::string& source);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SQL_PARSER_H_

@@ -1,0 +1,53 @@
+// Tokens for the SQL-ish query surface (paper §6 notes queries "could
+// possibly be written in an SQL-like form", as Garlic did in [WHTB98]).
+
+#ifndef FUZZYDB_SQL_TOKEN_H_
+#define FUZZYDB_SQL_TOKEN_H_
+
+#include <string>
+
+namespace fuzzydb {
+
+enum class TokenType {
+  // Keywords (case-insensitive in the source text).
+  kSelect,
+  kExplain,
+  kTop,
+  kFrom,
+  kWhere,
+  kAnd,
+  kOr,
+  kNot,
+  kUsing,
+  kVia,
+  kWeights,
+  // Literals and names.
+  kIdentifier,  ///< bare name: attribute or collection
+  kString,      ///< '...'-quoted, '' escapes a quote
+  kNumber,      ///< integer or decimal
+  // Punctuation.
+  kLeftParen,
+  kRightParen,
+  kComma,
+  kEquals,   ///< '='  (exact match on a traditional attribute)
+  kSimilar,  ///< '~'  (graded similarity match)
+  kSemicolon,
+  kEnd,
+};
+
+/// Token display name for error messages.
+std::string TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  /// Identifier/string payload (strings are unquoted and unescaped).
+  std::string text;
+  /// Numeric payload for kNumber.
+  double number = 0.0;
+  /// 0-based offset in the source, for error messages.
+  size_t position = 0;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SQL_TOKEN_H_

@@ -1,0 +1,126 @@
+// Tests for the Garlic complex-object machinery (paper §4.2):
+// Advertisements with AdPhoto subobjects, including shared components.
+
+#include "catalog/subobject.h"
+
+#include <gtest/gtest.h>
+
+#include "middleware/fagin.h"
+#include "middleware/naive.h"
+#include "middleware/vector_source.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(SubobjectMappingTest, ManyToManyRelations) {
+  SubobjectMapping map;
+  // Ad 1 has photos 101, 102; ad 2 shares photo 102 and adds 103.
+  ASSERT_TRUE(map.Add(1, 101).ok());
+  ASSERT_TRUE(map.Add(1, 102).ok());
+  ASSERT_TRUE(map.Add(2, 102).ok());
+  ASSERT_TRUE(map.Add(2, 103).ok());
+  EXPECT_EQ(map.num_pairs(), 4u);
+  EXPECT_EQ(map.ComponentsOf(1), (std::vector<ObjectId>{101, 102}));
+  EXPECT_EQ(map.ParentsOf(102), (std::vector<ObjectId>{1, 2}));
+  EXPECT_TRUE(map.ComponentsOf(99).empty());
+  EXPECT_TRUE(map.ParentsOf(99).empty());
+  EXPECT_EQ(map.Add(1, 101).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(map.parents(), (std::vector<ObjectId>{1, 2}));
+}
+
+class SubobjectSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // AdPhoto redness grades.
+    Result<VectorSource> photos = VectorSource::Create(
+        {{101, 0.9}, {102, 0.4}, {103, 0.7}, {104, 0.2}}, "AdPhoto~red");
+    ASSERT_TRUE(photos.ok());
+    photos_ = std::make_unique<VectorSource>(std::move(*photos));
+    // Ad 1: photos 101, 102. Ad 2: 102 (shared), 103. Ad 3: 104 only.
+    // Ad 4: a photo the subsystem does not know.
+    ASSERT_TRUE(ads_.Add(1, 101).ok());
+    ASSERT_TRUE(ads_.Add(1, 102).ok());
+    ASSERT_TRUE(ads_.Add(2, 102).ok());
+    ASSERT_TRUE(ads_.Add(2, 103).ok());
+    ASSERT_TRUE(ads_.Add(3, 104).ok());
+    ASSERT_TRUE(ads_.Add(4, 999).ok());
+  }
+
+  std::unique_ptr<VectorSource> photos_;
+  SubobjectMapping ads_;
+};
+
+TEST_F(SubobjectSourceTest, MaxCombinerLiftsGrades) {
+  Result<SubobjectSource> ads = SubobjectSource::Create(
+      photos_.get(), &ads_, MaxRule(), "Advertisement~red");
+  ASSERT_TRUE(ads.ok());
+  EXPECT_EQ(ads->Size(), 4u);
+  EXPECT_DOUBLE_EQ(ads->RandomAccess(1), 0.9);  // best of 0.9, 0.4
+  EXPECT_DOUBLE_EQ(ads->RandomAccess(2), 0.7);  // best of 0.4, 0.7
+  EXPECT_DOUBLE_EQ(ads->RandomAccess(3), 0.2);
+  EXPECT_DOUBLE_EQ(ads->RandomAccess(4), 0.0);  // unknown photo -> 0
+  EXPECT_DOUBLE_EQ(ads->RandomAccess(42), 0.0);
+
+  std::optional<GradedObject> top = ads->NextSorted();
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(top->id, 1u);
+  EXPECT_DOUBLE_EQ(top->grade, 0.9);
+}
+
+TEST_F(SubobjectSourceTest, SharedComponentCountsForBothParents) {
+  // Photo 102 belongs to ads 1 and 2; bumping a query where it is the best
+  // photo must raise both parents.
+  Result<VectorSource> photos = VectorSource::Create(
+      {{101, 0.1}, {102, 0.8}, {103, 0.2}, {104, 0.3}}, "AdPhoto~blue");
+  ASSERT_TRUE(photos.ok());
+  Result<SubobjectSource> ads =
+      SubobjectSource::Create(&*photos, &ads_, MaxRule());
+  ASSERT_TRUE(ads.ok());
+  EXPECT_DOUBLE_EQ(ads->RandomAccess(1), 0.8);
+  EXPECT_DOUBLE_EQ(ads->RandomAccess(2), 0.8);
+}
+
+TEST_F(SubobjectSourceTest, AlternativeCombiners) {
+  // "Advertisement whose photos are ALL red" = min combiner.
+  Result<SubobjectSource> all_red =
+      SubobjectSource::Create(photos_.get(), &ads_, MinRule());
+  ASSERT_TRUE(all_red.ok());
+  EXPECT_DOUBLE_EQ(all_red->RandomAccess(1), 0.4);
+  EXPECT_DOUBLE_EQ(all_red->RandomAccess(2), 0.4);
+  // Average combiner.
+  Result<SubobjectSource> avg =
+      SubobjectSource::Create(photos_.get(), &ads_, ArithmeticMeanRule());
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->RandomAccess(1), 0.65);
+}
+
+TEST_F(SubobjectSourceTest, ComposesWithTopKAlgorithms) {
+  // (Advertisement photo ~ red) AND (Advertisement budget-grade) — the
+  // lifted source is a plain GradedSource, so A0 runs unchanged on top.
+  Result<SubobjectSource> ads =
+      SubobjectSource::Create(photos_.get(), &ads_, MaxRule());
+  ASSERT_TRUE(ads.ok());
+  Result<VectorSource> budget = VectorSource::Create(
+      {{1, 0.3}, {2, 0.9}, {3, 0.8}, {4, 0.5}}, "Budget");
+  ASSERT_TRUE(budget.ok());
+  std::vector<GradedSource*> sources{&*ads, &*budget};
+  ScoringRulePtr min = MinRule();
+  Result<GradedSet> truth = NaiveAllGrades(sources, *min);
+  ASSERT_TRUE(truth.ok());
+  Result<TopKResult> top = FaginTopK(sources, *min, 2);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(IsValidTopK(top->items, *truth, 2));
+  // min(ad1)=min(0.9,0.3)=0.3; ad2=0.7∧0.9=0.7; ad3=0.2; ad4=0.0.
+  EXPECT_EQ(top->items[0].id, 2u);
+  EXPECT_DOUBLE_EQ(top->items[0].grade, 0.7);
+}
+
+TEST_F(SubobjectSourceTest, RejectsBadArguments) {
+  EXPECT_FALSE(SubobjectSource::Create(nullptr, &ads_).ok());
+  EXPECT_FALSE(SubobjectSource::Create(photos_.get(), nullptr).ok());
+  EXPECT_FALSE(
+      SubobjectSource::Create(photos_.get(), &ads_, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace fuzzydb

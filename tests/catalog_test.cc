@@ -1,0 +1,196 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/id_mapping.h"
+#include "common/random.h"
+#include "middleware/fagin.h"
+#include "middleware/naive.h"
+#include "middleware/vector_source.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(IdMappingTest, EnforcesBijection) {
+  IdMapping map;
+  ASSERT_TRUE(map.Add(1, 100).ok());
+  ASSERT_TRUE(map.Add(2, 200).ok());
+  EXPECT_EQ(map.size(), 2u);
+  // One-to-one on both sides (the Garlic requirement, §4.2).
+  EXPECT_EQ(map.Add(1, 300).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(map.Add(3, 100).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(*map.ToGlobal(1), 100u);
+  EXPECT_EQ(*map.ToLocal(200), 2u);
+  EXPECT_FALSE(map.ToGlobal(9).ok());
+  EXPECT_FALSE(map.ToLocal(9).ok());
+}
+
+TEST(MappedSourceTest, RewritesIdsAtTheInterface) {
+  // Subsystem with local ids 1..3; middleware knows them as 100*local.
+  Result<VectorSource> inner =
+      VectorSource::Create({{1, 0.9}, {2, 0.5}, {3, 0.1}});
+  ASSERT_TRUE(inner.ok());
+  IdMapping map;
+  ASSERT_TRUE(map.Add(1, 100).ok());
+  ASSERT_TRUE(map.Add(2, 200).ok());
+  ASSERT_TRUE(map.Add(3, 300).ok());
+  MappedSource mapped(&*inner, &map);
+  EXPECT_EQ(mapped.Size(), 3u);
+
+  std::optional<GradedObject> top = mapped.NextSorted();
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(top->id, 100u);
+  EXPECT_DOUBLE_EQ(top->grade, 0.9);
+
+  EXPECT_DOUBLE_EQ(mapped.RandomAccess(200), 0.5);
+  EXPECT_DOUBLE_EQ(mapped.RandomAccess(2), 0.0);  // local id is meaningless
+
+  std::vector<GradedObject> hits = mapped.AtLeast(0.4);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 100u);
+  EXPECT_EQ(hits[1].id, 200u);
+}
+
+TEST(MappedSourceTest, SkipsUnmappedObjectsUnderSortedAccess) {
+  Result<VectorSource> inner =
+      VectorSource::Create({{1, 0.9}, {2, 0.5}, {3, 0.1}});
+  ASSERT_TRUE(inner.ok());
+  IdMapping map;
+  ASSERT_TRUE(map.Add(1, 100).ok());
+  ASSERT_TRUE(map.Add(3, 300).ok());  // local 2 is unknown to the middleware
+  MappedSource mapped(&*inner, &map);
+  std::vector<ObjectId> stream;
+  while (auto next = mapped.NextSorted()) stream.push_back(next->id);
+  EXPECT_EQ(stream, (std::vector<ObjectId>{100, 300}));
+}
+
+TEST(MappedSourceTest, FaginRunsAcrossDifferentlyKeyedSubsystems) {
+  // The full §4.2 scenario: two subsystems with their own id spaces, a
+  // validated one-to-one mapping each, and A0 running on global ids only.
+  Rng rng(1501);
+  const size_t n = 200;
+  std::vector<GradedObject> local_a, local_b;
+  IdMapping map_a, map_b;
+  std::vector<ObjectId> ids;
+  std::vector<std::vector<double>> columns(2, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    ObjectId global = 1 + i;
+    ObjectId a_id = 77000 + i * 3;  // subsystem A's private ids
+    ObjectId b_id = 5000000 - i;    // subsystem B counts down
+    double ga = rng.NextDouble();
+    double gb = rng.NextDouble();
+    local_a.push_back({a_id, ga});
+    local_b.push_back({b_id, gb});
+    ASSERT_TRUE(map_a.Add(a_id, global).ok());
+    ASSERT_TRUE(map_b.Add(b_id, global).ok());
+    ids.push_back(global);
+    columns[0][i] = ga;
+    columns[1][i] = gb;
+  }
+  Result<VectorSource> src_a = VectorSource::Create(std::move(local_a));
+  Result<VectorSource> src_b = VectorSource::Create(std::move(local_b));
+  ASSERT_TRUE(src_a.ok() && src_b.ok());
+  MappedSource mapped_a(&*src_a, &map_a);
+  MappedSource mapped_b(&*src_b, &map_b);
+
+  // Ground truth computed directly on global ids.
+  Result<std::vector<VectorSource>> global_sources =
+      MakeSources(ids, columns);
+  ASSERT_TRUE(global_sources.ok());
+  std::vector<GradedSource*> truth_ptrs;
+  for (VectorSource& s : *global_sources) truth_ptrs.push_back(&s);
+  Result<GradedSet> truth = NaiveAllGrades(truth_ptrs, *MinRule());
+  ASSERT_TRUE(truth.ok());
+
+  std::vector<GradedSource*> mapped{&mapped_a, &mapped_b};
+  Result<TopKResult> top = FaginTopK(mapped, *MinRule(), 10);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  EXPECT_TRUE(IsValidTopK(top->items, *truth, 10));
+}
+
+TEST(CatalogTest, RegisterSourceAndResolve) {
+  Catalog catalog;
+  auto src = std::make_unique<VectorSource>(
+      *VectorSource::Create({{1, 0.8}, {2, 0.4}}));
+  GradedSource* raw = src.get();
+  ASSERT_TRUE(catalog.RegisterSource("Color", "red", std::move(src)).ok());
+  Result<GradedSource*> resolved = catalog.Resolve("Color", "red");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, raw);
+  // Unknown target for a source-only attribute is NotFound.
+  EXPECT_FALSE(catalog.Resolve("Color", "blue").ok());
+  EXPECT_FALSE(catalog.Resolve("Nope", "x").ok());
+  // Duplicate registration rejected.
+  auto dup = std::make_unique<VectorSource>(
+      *VectorSource::Create({{1, 0.8}}));
+  EXPECT_EQ(
+      catalog.RegisterSource("Color", "red", std::move(dup)).code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, FactoryBuildsAndCachesPerTarget) {
+  Catalog catalog;
+  int builds = 0;
+  ASSERT_TRUE(catalog
+                  .RegisterAttribute(
+                      "Color",
+                      [&builds](const std::string& target)
+                          -> Result<std::unique_ptr<GradedSource>> {
+                        ++builds;
+                        double g = target == "red" ? 0.9 : 0.1;
+                        std::unique_ptr<GradedSource> src =
+                            std::make_unique<VectorSource>(
+                                *VectorSource::Create({{1, g}}));
+                        return src;
+                      })
+                  .ok());
+  Result<GradedSource*> red1 = catalog.Resolve("Color", "red");
+  Result<GradedSource*> red2 = catalog.Resolve("Color", "red");
+  Result<GradedSource*> blue = catalog.Resolve("Color", "blue");
+  ASSERT_TRUE(red1.ok() && red2.ok() && blue.ok());
+  EXPECT_EQ(*red1, *red2);  // cached
+  EXPECT_NE(*red1, *blue);
+  EXPECT_EQ(builds, 2);
+  EXPECT_DOUBLE_EQ((*red1)->RandomAccess(1), 0.9);
+
+  EXPECT_EQ(catalog.RegisterAttribute("Color", nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog
+                .RegisterAttribute("Color",
+                                   [](const std::string&)
+                                       -> Result<std::unique_ptr<GradedSource>> {
+                                     return Status::NotFound("x");
+                                   })
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, AttributesAreSorted) {
+  Catalog catalog;
+  auto factory = [](const std::string&)
+      -> Result<std::unique_ptr<GradedSource>> {
+    return Status::NotFound("unused");
+  };
+  ASSERT_TRUE(catalog.RegisterAttribute("Shape", factory).ok());
+  ASSERT_TRUE(catalog.RegisterAttribute("Artist", factory).ok());
+  ASSERT_TRUE(catalog.RegisterAttribute("Color", factory).ok());
+  EXPECT_EQ(catalog.Attributes(),
+            (std::vector<std::string>{"Artist", "Color", "Shape"}));
+}
+
+TEST(CatalogTest, AsResolverAdaptsAtomicQueries) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterSource("Color", "red",
+                                  std::make_unique<VectorSource>(
+                                      *VectorSource::Create({{1, 0.8}})))
+                  .ok());
+  SourceResolver resolver = catalog.AsResolver();
+  QueryPtr atom = Query::Atomic("Color", "red");
+  Result<GradedSource*> src = resolver(*atom);
+  ASSERT_TRUE(src.ok());
+  EXPECT_DOUBLE_EQ((*src)->RandomAccess(1), 0.8);
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,127 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(MatrixTest, IdentityBasics) {
+  Matrix m = Matrix::Identity(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_TRUE(m.IsSymmetric());
+  std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_EQ(m.Mul(x), x);
+  EXPECT_DOUBLE_EQ(m.QuadraticForm(x), 14.0);
+}
+
+TEST(MatrixTest, SymmetryDetection) {
+  Matrix m(2, 2);
+  m.At(0, 1) = 1.0;
+  EXPECT_FALSE(m.IsSymmetric());
+  m.At(1, 0) = 1.0;
+  EXPECT_TRUE(m.IsSymmetric());
+  EXPECT_FALSE(Matrix(2, 3).IsSymmetric());
+}
+
+TEST(MatrixTest, QuadraticFormMatchesManual) {
+  Matrix m(2, 2);
+  m.At(0, 0) = 2.0;
+  m.At(0, 1) = 1.0;
+  m.At(1, 0) = 1.0;
+  m.At(1, 1) = 3.0;
+  std::vector<double> x{1.0, -1.0};
+  // 2*1 + 1*(-1) + 1*(-1) + 3*1 = 3.
+  EXPECT_DOUBLE_EQ(m.QuadraticForm(x), 3.0);
+}
+
+TEST(JacobiTest, DiagonalMatrixReturnsSortedDiagonal) {
+  Matrix m(3, 3);
+  m.At(0, 0) = 1.0;
+  m.At(1, 1) = 5.0;
+  m.At(2, 2) = 3.0;
+  Result<EigenDecomposition> e = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_NEAR(e->values[0], 5.0, 1e-10);
+  EXPECT_NEAR(e->values[1], 3.0, 1e-10);
+  EXPECT_NEAR(e->values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, Known2x2Eigenvalues) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m.At(0, 0) = 2.0;
+  m.At(0, 1) = 1.0;
+  m.At(1, 0) = 1.0;
+  m.At(1, 1) = 2.0;
+  Result<EigenDecomposition> e = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e->values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, RejectsNonSquareAndNonSymmetric) {
+  EXPECT_FALSE(JacobiEigenSymmetric(Matrix(2, 3)).ok());
+  Matrix m(2, 2);
+  m.At(0, 1) = 1.0;  // not mirrored
+  EXPECT_FALSE(JacobiEigenSymmetric(m).ok());
+}
+
+TEST(JacobiTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(31);
+  const size_t n = 8;
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.NextGaussian();
+      m.At(i, j) = v;
+      m.At(j, i) = v;
+    }
+  }
+  Result<EigenDecomposition> e = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(e.ok());
+  // Check A v_i = λ_i v_i for every eigenpair.
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const double> v = e->vectors.Row(i);
+    std::vector<double> av = m.Mul(v);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(av[j], e->values[i] * v[j], 1e-8);
+    }
+  }
+}
+
+TEST(JacobiTest, EigenvectorsAreOrthonormal) {
+  Rng rng(37);
+  const size_t n = 6;
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.NextDouble();
+      m.At(i, j) = v;
+      m.At(j, i) = v;
+    }
+  }
+  Result<EigenDecomposition> e = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(e.ok());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double dot = Dot(e->vectors.Row(i), e->vectors.Row(j));
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(VectorOpsTest, NormDotDistance) {
+  std::vector<double> a{3.0, 4.0};
+  std::vector<double> b{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,76 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fuzzydb {
+namespace {
+
+TEST(StatsTest, MeanAndStdDev) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(StdDev(one), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({5.0}, 73), 5.0);
+}
+
+TEST(FitLinearTest, ExactLine) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys{3.0, 5.0, 7.0, 9.0};  // y = 2x + 1
+  Result<LinearFit> fit = FitLinear(xs, ys);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r2, 1.0, 1e-12);
+}
+
+TEST(FitLinearTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(FitLinear(std::vector<double>{1.0},
+                         std::vector<double>{2.0}).ok());
+  EXPECT_FALSE(FitLinear(std::vector<double>{1.0, 2.0},
+                         std::vector<double>{2.0}).ok());
+  EXPECT_FALSE(FitLinear(std::vector<double>{3.0, 3.0, 3.0},
+                         std::vector<double>{1.0, 2.0, 3.0}).ok());
+}
+
+TEST(FitLinearTest, ConstantYHasZeroSlope) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  std::vector<double> ys{4.0, 4.0, 4.0};
+  Result<LinearFit> fit = FitLinear(xs, ys);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit->r2, 1.0, 1e-12);
+}
+
+TEST(FitPowerLawTest, RecoversExponent) {
+  // y = 3 * x^1.5
+  std::vector<double> xs, ys;
+  for (double x : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 1.5));
+  }
+  Result<LinearFit> fit = FitPowerLaw(xs, ys);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 1.5, 1e-10);
+  EXPECT_NEAR(std::exp(fit->intercept), 3.0, 1e-9);
+}
+
+TEST(FitPowerLawTest, RejectsNonPositive) {
+  EXPECT_FALSE(FitPowerLaw(std::vector<double>{0.0, 1.0},
+                           std::vector<double>{1.0, 2.0}).ok());
+  EXPECT_FALSE(FitPowerLaw(std::vector<double>{1.0, 2.0},
+                           std::vector<double>{1.0, -2.0}).ok());
+}
+
+}  // namespace
+}  // namespace fuzzydb

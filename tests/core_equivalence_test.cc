@@ -1,0 +1,149 @@
+// Theorem 3.1 machinery (paper §3): min/max preserve grades across
+// logically equivalent queries; other t-norm pairs do not (though all of
+// them agree with propositional logic on 0/1 grades — conservation).
+
+#include "core/equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+namespace fuzzydb {
+namespace {
+
+// Oracle assigning every (attribute) a fixed random grade per object;
+// unseen attributes (e.g. fresh atoms from absorption) get deterministic
+// pseudo-random grades derived from the attribute name.
+GradeOracle RandomOracle(uint64_t seed) {
+  auto cache = std::make_shared<std::unordered_map<std::string, double>>();
+  return [seed, cache](const Query& atom, ObjectId id) {
+    std::string key = atom.attribute() + "#" + std::to_string(id);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+    uint64_t h = seed;
+    for (char c : key) h = h * 1099511628211ULL + static_cast<uint8_t>(c);
+    double g = static_cast<double>(h >> 11) * 0x1.0p-53;
+    cache->emplace(std::move(key), g);
+    return g;
+  };
+}
+
+// 0/1 oracle: the propositional restriction.
+GradeOracle BooleanOracle(uint64_t seed) {
+  GradeOracle real = RandomOracle(seed);
+  return [real](const Query& atom, ObjectId id) {
+    return real(atom, id) < 0.5 ? 0.0 : 1.0;
+  };
+}
+
+TEST(RandomMonotoneQueryTest, ProducesValidMonotoneTrees) {
+  Rng rng(1001);
+  for (int i = 0; i < 50; ++i) {
+    QueryPtr q = RandomMonotoneQuery(&rng, {"A", "B", "C"}, 3);
+    ASSERT_NE(q, nullptr);
+    EXPECT_TRUE(q->IsMonotone());
+    EXPECT_GE(q->NumAtoms(), 1u);
+    GradeOracle oracle = RandomOracle(7);
+    double g = q->Grade(oracle, 1);
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0);
+  }
+}
+
+TEST(RewriteEquivalentTest, MinMaxPreserveGradesAcrossRewrites) {
+  // Paper §3: "if Q1 and Q2 are logically equivalent queries involving only
+  // conjunction and disjunction, then µ_Q1(x) = µ_Q2(x) for every x."
+  Rng rng(1003);
+  for (int trial = 0; trial < 60; ++trial) {
+    QueryPtr original = RandomMonotoneQuery(&rng, {"A", "B", "C", "D"}, 3);
+    QueryPtr rewritten = RewriteEquivalent(original, &rng, 5);
+    GradeOracle oracle = RandomOracle(1000 + trial);
+    for (ObjectId id = 1; id <= 10; ++id) {
+      EXPECT_NEAR(original->Grade(oracle, id), rewritten->Grade(oracle, id),
+                  1e-12)
+          << "trial " << trial << " object " << id << "\n  "
+          << original->ToString() << "\n  " << rewritten->ToString();
+    }
+  }
+}
+
+TEST(RewriteEquivalentTest, ProductRuleBreaksEquivalence) {
+  // Theorem 3.1's uniqueness: a non-min conjunction rule cannot preserve
+  // equivalence. Under product, A and A∧A differ whenever 0 < µ_A < 1.
+  QueryPtr atom = Query::Atomic("A", "t");
+  Rng rng(1007);
+  ScoringRulePtr product = TNormRule(TNormKind::kProduct);
+  ScoringRulePtr prob_sum = TCoNormRule(TCoNormKind::kProbSum);
+  bool diverged = false;
+  for (int trial = 0; trial < 40 && !diverged; ++trial) {
+    QueryPtr rewritten =
+        RewriteEquivalent(atom, &rng, 3, product, prob_sum);
+    GradeOracle oracle = RandomOracle(2000 + trial);
+    for (ObjectId id = 1; id <= 5; ++id) {
+      if (std::fabs(atom->Grade(oracle, id) - rewritten->Grade(oracle, id)) >
+          1e-6) {
+        diverged = true;
+      }
+    }
+  }
+  EXPECT_TRUE(diverged)
+      << "product/prob-sum unexpectedly preserved equivalence";
+}
+
+TEST(RewriteEquivalentTest, IdempotenceIsTheMinimalCounterexample) {
+  // Explicit witness: µ_{A∧A} = µ_A under min but µ_A^2 under product.
+  QueryPtr atom = Query::Atomic("A", "t");
+  QueryPtr dup_min = Query::And({atom, atom}, MinRule());
+  QueryPtr dup_prod = Query::And({atom, atom}, TNormRule(TNormKind::kProduct));
+  GradeOracle half = [](const Query&, ObjectId) { return 0.5; };
+  EXPECT_DOUBLE_EQ(dup_min->Grade(half, 1), 0.5);
+  EXPECT_DOUBLE_EQ(dup_prod->Grade(half, 1), 0.25);
+}
+
+class ConservationTest : public ::testing::TestWithParam<TNormKind> {};
+
+TEST_P(ConservationTest, AllTNormsAgreeWithBooleanLogicOnCrispGrades) {
+  // Paper §3: the rules "are a conservative extension of the standard
+  // propositional semantics" — on 0/1 grades every t-norm/co-norm pair
+  // computes the same value as min/max.
+  Rng rng(1013 + static_cast<uint64_t>(GetParam()));
+  ScoringRulePtr t = TNormRule(GetParam());
+  ScoringRulePtr s = TCoNormRule(DualCoNorm(GetParam()));
+  for (int trial = 0; trial < 30; ++trial) {
+    QueryPtr standard = RandomMonotoneQuery(&rng, {"A", "B", "C"}, 3);
+    QueryPtr exotic = WithRules(standard, t, s);
+    GradeOracle oracle = BooleanOracle(3000 + trial);
+    for (ObjectId id = 1; id <= 10; ++id) {
+      EXPECT_DOUBLE_EQ(standard->Grade(oracle, id),
+                       exotic->Grade(oracle, id))
+          << TNormName(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTNorms, ConservationTest,
+                         ::testing::Values(TNormKind::kProduct,
+                                           TNormKind::kLukasiewicz,
+                                           TNormKind::kHamacher,
+                                           TNormKind::kEinstein,
+                                           TNormKind::kDrastic),
+                         [](const auto& info) {
+                           return TNormName(info.param);
+                         });
+
+TEST(WithRulesTest, PreservesStructure) {
+  QueryPtr q = Query::And(
+      {Query::Atomic("A", "x"),
+       Query::Or({Query::Atomic("B", "y"), Query::Atomic("C", "z")})});
+  QueryPtr rebuilt =
+      WithRules(q, TNormRule(TNormKind::kProduct),
+                TCoNormRule(TCoNormKind::kProbSum));
+  EXPECT_EQ(rebuilt->kind(), Query::Kind::kAnd);
+  EXPECT_EQ(rebuilt->NumAtoms(), 3u);
+  EXPECT_EQ(rebuilt->rule()->name(), "product");
+  EXPECT_EQ(rebuilt->children()[1]->rule()->name(), "prob-sum");
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,139 @@
+#include "core/graded_set.h"
+
+#include <gtest/gtest.h>
+
+namespace fuzzydb {
+namespace {
+
+TEST(GradedObjectTest, OrderingIsGradeDescThenIdAsc) {
+  EXPECT_TRUE(GradeDescending({1, 0.9}, {2, 0.5}));
+  EXPECT_FALSE(GradeDescending({2, 0.5}, {1, 0.9}));
+  EXPECT_TRUE(GradeDescending({1, 0.5}, {2, 0.5}));  // tie -> smaller id
+  EXPECT_FALSE(GradeDescending({2, 0.5}, {1, 0.5}));
+}
+
+TEST(GradedSetTest, InsertAndLookup) {
+  GradedSet s;
+  ASSERT_TRUE(s.Insert(10, 0.7).ok());
+  ASSERT_TRUE(s.Insert(20, 0.2).ok());
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_FALSE(s.Contains(30));
+  EXPECT_DOUBLE_EQ(*s.GradeOf(10), 0.7);
+  EXPECT_FALSE(s.GradeOf(30).has_value());
+}
+
+TEST(GradedSetTest, InsertOverwritesExistingGrade) {
+  GradedSet s;
+  ASSERT_TRUE(s.Insert(10, 0.7).ok());
+  ASSERT_TRUE(s.Insert(10, 0.3).ok());
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(*s.GradeOf(10), 0.3);
+}
+
+TEST(GradedSetTest, RejectsOutOfRangeGrades) {
+  GradedSet s;
+  EXPECT_FALSE(s.Insert(1, -0.1).ok());
+  EXPECT_FALSE(s.Insert(1, 1.1).ok());
+  EXPECT_TRUE(s.Insert(1, 0.0).ok());
+  EXPECT_TRUE(s.Insert(2, 1.0).ok());
+}
+
+TEST(GradedSetTest, FromPairsRejectsDuplicates) {
+  Result<GradedSet> r = GradedSet::FromPairs({{1, 0.5}, {1, 0.6}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GradedSetTest, SortedAndTopK) {
+  GradedSet s;
+  ASSERT_TRUE(s.Insert(1, 0.2).ok());
+  ASSERT_TRUE(s.Insert(2, 0.9).ok());
+  ASSERT_TRUE(s.Insert(3, 0.5).ok());
+  ASSERT_TRUE(s.Insert(4, 0.9).ok());
+  std::vector<GradedObject> sorted = s.Sorted();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].id, 2u);  // grade tie 0.9: id 2 before 4
+  EXPECT_EQ(sorted[1].id, 4u);
+  EXPECT_EQ(sorted[2].id, 3u);
+  EXPECT_EQ(sorted[3].id, 1u);
+
+  std::vector<GradedObject> top2 = s.TopK(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].id, 2u);
+  EXPECT_EQ(top2[1].id, 4u);
+  EXPECT_EQ(s.TopK(10).size(), 4u);
+}
+
+TEST(GradedSetTest, AtLeastFiltersAndSorts) {
+  GradedSet s;
+  ASSERT_TRUE(s.Insert(1, 0.2).ok());
+  ASSERT_TRUE(s.Insert(2, 0.9).ok());
+  ASSERT_TRUE(s.Insert(3, 0.5).ok());
+  std::vector<GradedObject> hi = s.AtLeast(0.5);
+  ASSERT_EQ(hi.size(), 2u);
+  EXPECT_EQ(hi[0].id, 2u);
+  EXPECT_EQ(hi[1].id, 3u);
+}
+
+TEST(GradedSetTest, SupportExcludesZeroGrades) {
+  GradedSet s;
+  ASSERT_TRUE(s.Insert(5, 0.0).ok());
+  ASSERT_TRUE(s.Insert(3, 0.1).ok());
+  ASSERT_TRUE(s.Insert(9, 1.0).ok());
+  std::vector<ObjectId> support = s.Support();
+  EXPECT_EQ(support, (std::vector<ObjectId>{3, 9}));
+}
+
+TEST(IsValidTopKTest, AcceptsCorrectAnswer) {
+  GradedSet truth;
+  ASSERT_TRUE(truth.Insert(1, 0.9).ok());
+  ASSERT_TRUE(truth.Insert(2, 0.8).ok());
+  ASSERT_TRUE(truth.Insert(3, 0.1).ok());
+  std::vector<GradedObject> answer{{1, 0.9}, {2, 0.8}};
+  EXPECT_TRUE(IsValidTopK(answer, truth, 2));
+}
+
+TEST(IsValidTopKTest, AcceptsEitherTieBreak) {
+  GradedSet truth;
+  ASSERT_TRUE(truth.Insert(1, 0.9).ok());
+  ASSERT_TRUE(truth.Insert(2, 0.5).ok());
+  ASSERT_TRUE(truth.Insert(3, 0.5).ok());
+  std::vector<GradedObject> a{{1, 0.9}, {2, 0.5}};
+  std::vector<GradedObject> b{{1, 0.9}, {3, 0.5}};
+  EXPECT_TRUE(IsValidTopK(a, truth, 2));
+  EXPECT_TRUE(IsValidTopK(b, truth, 2));
+}
+
+TEST(IsValidTopKTest, RejectsWrongSizeWrongGradeAndOmission) {
+  GradedSet truth;
+  ASSERT_TRUE(truth.Insert(1, 0.9).ok());
+  ASSERT_TRUE(truth.Insert(2, 0.8).ok());
+  ASSERT_TRUE(truth.Insert(3, 0.1).ok());
+  // Wrong size.
+  EXPECT_FALSE(IsValidTopK(std::vector<GradedObject>{{1, 0.9}}, truth, 2));
+  // Wrong grade.
+  EXPECT_FALSE(IsValidTopK(std::vector<GradedObject>{{1, 0.9}, {2, 0.7}},
+                           truth, 2));
+  // Omits a strictly better object.
+  EXPECT_FALSE(IsValidTopK(std::vector<GradedObject>{{1, 0.9}, {3, 0.1}},
+                           truth, 2));
+  // Duplicate entry.
+  EXPECT_FALSE(IsValidTopK(std::vector<GradedObject>{{1, 0.9}, {1, 0.9}},
+                           truth, 2));
+  // Unknown object.
+  EXPECT_FALSE(IsValidTopK(std::vector<GradedObject>{{1, 0.9}, {7, 0.8}},
+                           truth, 2));
+}
+
+TEST(IsValidTopKTest, KLargerThanTruthRequiresAllObjects) {
+  GradedSet truth;
+  ASSERT_TRUE(truth.Insert(1, 0.9).ok());
+  ASSERT_TRUE(truth.Insert(2, 0.8).ok());
+  EXPECT_TRUE(IsValidTopK(std::vector<GradedObject>{{1, 0.9}, {2, 0.8}},
+                          truth, 5));
+  EXPECT_FALSE(IsValidTopK(std::vector<GradedObject>{{1, 0.9}}, truth, 5));
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,142 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace fuzzydb {
+namespace {
+
+// Oracle mapping attribute name -> fixed grade per object id.
+GradeOracle MakeOracle(
+    std::unordered_map<std::string, std::unordered_map<ObjectId, double>>
+        grades) {
+  return [grades = std::move(grades)](const Query& atom, ObjectId id) {
+    auto ait = grades.find(atom.attribute());
+    if (ait == grades.end()) return 0.0;
+    auto oit = ait->second.find(id);
+    return oit == ait->second.end() ? 0.0 : oit->second;
+  };
+}
+
+TEST(QueryTest, AtomicEvaluatesViaOracle) {
+  QueryPtr q = Query::Atomic("Color", "red");
+  EXPECT_EQ(q->kind(), Query::Kind::kAtomic);
+  EXPECT_EQ(q->attribute(), "Color");
+  EXPECT_EQ(q->target(), "red");
+  GradeOracle oracle = MakeOracle({{"Color", {{1, 0.8}}}});
+  EXPECT_DOUBLE_EQ(q->Grade(oracle, 1), 0.8);
+  EXPECT_DOUBLE_EQ(q->Grade(oracle, 2), 0.0);
+}
+
+TEST(QueryTest, ConjunctionUsesMinByDefault) {
+  QueryPtr q = Query::And(
+      {Query::Atomic("Color", "red"), Query::Atomic("Shape", "round")});
+  GradeOracle oracle =
+      MakeOracle({{"Color", {{1, 0.8}}}, {"Shape", {{1, 0.5}}}});
+  EXPECT_DOUBLE_EQ(q->Grade(oracle, 1), 0.5);
+}
+
+TEST(QueryTest, DisjunctionUsesMaxByDefault) {
+  QueryPtr q = Query::Or(
+      {Query::Atomic("Color", "red"), Query::Atomic("Shape", "round")});
+  GradeOracle oracle =
+      MakeOracle({{"Color", {{1, 0.8}}}, {"Shape", {{1, 0.5}}}});
+  EXPECT_DOUBLE_EQ(q->Grade(oracle, 1), 0.8);
+}
+
+TEST(QueryTest, CustomRuleOnConjunction) {
+  QueryPtr q = Query::And(
+      {Query::Atomic("A", "x"), Query::Atomic("B", "y")},
+      TNormRule(TNormKind::kProduct));
+  GradeOracle oracle = MakeOracle({{"A", {{1, 0.5}}}, {"B", {{1, 0.4}}}});
+  EXPECT_DOUBLE_EQ(q->Grade(oracle, 1), 0.2);
+}
+
+TEST(QueryTest, NegationUsesStandardNegationByDefault) {
+  QueryPtr q = Query::Not(Query::Atomic("Color", "red"));
+  GradeOracle oracle = MakeOracle({{"Color", {{1, 0.8}}}});
+  EXPECT_DOUBLE_EQ(q->Grade(oracle, 1), 0.2);
+}
+
+TEST(QueryTest, WeightedAndAppliesFaginWimmers) {
+  Result<Weighting> w = Weighting::Create({2.0 / 3.0, 1.0 / 3.0});
+  ASSERT_TRUE(w.ok());
+  Result<QueryPtr> q = Query::WeightedAnd(
+      {Query::Atomic("Color", "red"), Query::Atomic("Shape", "round")}, *w);
+  ASSERT_TRUE(q.ok());
+  GradeOracle oracle =
+      MakeOracle({{"Color", {{1, 0.9}}}, {"Shape", {{1, 0.3}}}});
+  // (θ1-θ2)·x1 + 2θ2·min(x1,x2) = (1/3)·0.9 + (2/3)·0.3.
+  EXPECT_NEAR((*q)->Grade(oracle, 1), 0.3 + 0.2, 1e-12);
+  EXPECT_TRUE((*q)->weights().has_value());
+}
+
+TEST(QueryTest, WeightedAndRejectsArityMismatch) {
+  Result<Weighting> w = Weighting::Create({0.5, 0.5});
+  ASSERT_TRUE(w.ok());
+  Result<QueryPtr> q = Query::WeightedAnd({Query::Atomic("A", "x")}, *w);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, NestedTreeEvaluation) {
+  // (A AND (B OR C)) with defaults: min(a, max(b, c)).
+  QueryPtr q = Query::And(
+      {Query::Atomic("A", "x"),
+       Query::Or({Query::Atomic("B", "y"), Query::Atomic("C", "z")})});
+  GradeOracle oracle = MakeOracle(
+      {{"A", {{1, 0.7}}}, {"B", {{1, 0.4}}}, {"C", {{1, 0.6}}}});
+  EXPECT_DOUBLE_EQ(q->Grade(oracle, 1), 0.6);
+}
+
+TEST(QueryTest, CollectAtomsLeftToRight) {
+  QueryPtr q = Query::And(
+      {Query::Atomic("A", "x"),
+       Query::Not(Query::Atomic("B", "y")),
+       Query::Or({Query::Atomic("C", "z"), Query::Atomic("D", "w")})});
+  std::vector<const Query*> atoms;
+  q->CollectAtoms(&atoms);
+  ASSERT_EQ(atoms.size(), 4u);
+  EXPECT_EQ(atoms[0]->attribute(), "A");
+  EXPECT_EQ(atoms[1]->attribute(), "B");
+  EXPECT_EQ(atoms[2]->attribute(), "C");
+  EXPECT_EQ(atoms[3]->attribute(), "D");
+  EXPECT_EQ(q->NumAtoms(), 4u);
+}
+
+TEST(QueryTest, MonotonicityAndStrictnessClassification) {
+  QueryPtr conj = Query::And(
+      {Query::Atomic("A", "x"), Query::Atomic("B", "y")});
+  EXPECT_TRUE(conj->IsMonotone());
+  EXPECT_TRUE(conj->IsStrict());
+
+  QueryPtr disj = Query::Or(
+      {Query::Atomic("A", "x"), Query::Atomic("B", "y")});
+  EXPECT_TRUE(disj->IsMonotone());
+  EXPECT_FALSE(disj->IsStrict());  // max is not strict
+
+  QueryPtr negated = Query::And(
+      {Query::Atomic("A", "x"), Query::Not(Query::Atomic("B", "y"))});
+  EXPECT_FALSE(negated->IsMonotone());
+  EXPECT_FALSE(negated->IsStrict());
+
+  QueryPtr nested = Query::And(
+      {Query::Atomic("A", "x"),
+       Query::Or({Query::Atomic("B", "y"), Query::Atomic("C", "z")})});
+  EXPECT_TRUE(nested->IsMonotone());
+  EXPECT_FALSE(nested->IsStrict());  // inner max breaks strictness
+}
+
+TEST(QueryTest, ToStringIsReadable) {
+  QueryPtr q = Query::And(
+      {Query::Atomic("Artist", "Beatles"),
+       Query::Atomic("AlbumColor", "red")});
+  std::string s = q->ToString();
+  EXPECT_NE(s.find("Artist='Beatles'"), std::string::npos);
+  EXPECT_NE(s.find("AND[min]"), std::string::npos);
+  EXPECT_NE(Query::Not(q)->ToString().find("NOT("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fuzzydb

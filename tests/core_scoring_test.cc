@@ -1,0 +1,147 @@
+#include "core/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fuzzydb {
+namespace {
+
+TEST(ScoringValuesTest, MinMaxMeans) {
+  std::vector<double> x{0.2, 0.8, 0.5};
+  EXPECT_DOUBLE_EQ(MinRule()->Apply(x), 0.2);
+  EXPECT_DOUBLE_EQ(MaxRule()->Apply(x), 0.8);
+  EXPECT_DOUBLE_EQ(ArithmeticMeanRule()->Apply(x), 0.5);
+  EXPECT_NEAR(GeometricMeanRule()->Apply(x), std::cbrt(0.2 * 0.8 * 0.5),
+              1e-12);
+  EXPECT_NEAR(HarmonicMeanRule()->Apply(x),
+              3.0 / (1.0 / 0.2 + 1.0 / 0.8 + 1.0 / 0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(MedianRule()->Apply(x), 0.5);
+}
+
+TEST(ScoringValuesTest, MedianUsesLowerMedianOnEvenArity) {
+  std::vector<double> x{0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(MedianRule()->Apply(x), 0.2);
+}
+
+TEST(ScoringValuesTest, HarmonicMeanIsZeroWhenAnyScoreIsZero) {
+  std::vector<double> x{0.0, 0.8};
+  EXPECT_DOUBLE_EQ(HarmonicMeanRule()->Apply(x), 0.0);
+}
+
+TEST(ScoringValuesTest, IteratedTNormMatchesPairwiseIteration) {
+  ScoringRulePtr prod = TNormRule(TNormKind::kProduct);
+  std::vector<double> x{0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(prod->Apply(x), 0.125);
+  ScoringRulePtr luk = TNormRule(TNormKind::kLukasiewicz);
+  std::vector<double> y{0.9, 0.8, 0.7};
+  // ((0.9 + 0.8 - 1) + 0.7 - 1) = 0.4.
+  EXPECT_NEAR(luk->Apply(y), 0.4, 1e-12);
+}
+
+TEST(ScoringValuesTest, SingleArgumentIsIdentityForAllRules) {
+  std::vector<double> x{0.37};
+  for (const ScoringRulePtr& rule :
+       {MinRule(), MaxRule(), TNormRule(TNormKind::kProduct),
+        TCoNormRule(TCoNormKind::kProbSum), ArithmeticMeanRule(),
+        GeometricMeanRule(), HarmonicMeanRule(), MedianRule()}) {
+    EXPECT_DOUBLE_EQ(rule->Apply(x), 0.37) << rule->name();
+  }
+}
+
+struct RuleCase {
+  ScoringRulePtr rule;
+  bool monotone;
+  bool strict;
+};
+
+class RulePropertiesTest : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(RulePropertiesTest, DeclaredPropertiesMatchEmpiricalChecks) {
+  const RuleCase& c = GetParam();
+  EXPECT_EQ(c.rule->monotone(), c.monotone) << c.rule->name();
+  EXPECT_EQ(c.rule->strict(), c.strict) << c.rule->name();
+  for (size_t m : {1u, 2u, 4u}) {
+    Rng rng(61 + m);
+    if (c.monotone) {
+      EXPECT_TRUE(CheckMonotoneEmpirically(*c.rule, m, 500, &rng))
+          << c.rule->name() << " arity " << m;
+    }
+  }
+  // Strictness is an arity-sensitive property (every rule is the identity at
+  // arity 1, and the lower median of two is min); the declared flag is the
+  // any-arity guarantee, so test it at arity 4.
+  Rng rng2(67);
+  EXPECT_EQ(CheckStrictEmpirically(*c.rule, 4, 500, &rng2), c.strict)
+      << c.rule->name();
+  Rng rng3(71);
+  EXPECT_TRUE(CheckStrictEmpirically(*c.rule, 1, 200, &rng3))
+      << c.rule->name() << " at arity 1";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, RulePropertiesTest,
+    ::testing::Values(
+        RuleCase{MinRule(), true, true},
+        RuleCase{MaxRule(), true, false},
+        RuleCase{TNormRule(TNormKind::kProduct), true, true},
+        RuleCase{TNormRule(TNormKind::kLukasiewicz), true, true},
+        RuleCase{TNormRule(TNormKind::kHamacher), true, true},
+        RuleCase{TNormRule(TNormKind::kEinstein), true, true},
+        RuleCase{TCoNormRule(TCoNormKind::kProbSum), true, false},
+        RuleCase{ArithmeticMeanRule(), true, true},
+        RuleCase{GeometricMeanRule(), true, true},
+        RuleCase{HarmonicMeanRule(), true, true},
+        RuleCase{MedianRule(), true, false}),
+    [](const auto& info) {
+      std::string name = info.param.rule->name();
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST(CheckersTest, RefuteNonMonotoneRule) {
+  ScoringRulePtr bad = UserDefinedRule(
+      "antitone",
+      [](std::span<const double> s) { return 1.0 - s[0]; }, true, false);
+  Rng rng(71);
+  EXPECT_FALSE(CheckMonotoneEmpirically(*bad, 2, 200, &rng));
+}
+
+TEST(CheckersTest, RefuteNonStrictRule) {
+  // max claims strictness -> refuted because (1, 0.3) scores 1.
+  Rng rng(73);
+  EXPECT_FALSE(CheckStrictEmpirically(*MaxRule(), 3, 500, &rng));
+}
+
+TEST(CheckersTest, UserDefinedRuleReportsClaims) {
+  ScoringRulePtr custom = UserDefinedRule(
+      "avg2",
+      [](std::span<const double> s) {
+        double t = 0.0;
+        for (double v : s) t += v;
+        return t / static_cast<double>(s.size());
+      },
+      true, true);
+  EXPECT_EQ(custom->name(), "avg2");
+  EXPECT_TRUE(custom->monotone());
+  EXPECT_TRUE(custom->strict());
+  std::vector<double> x{0.4, 0.6};
+  EXPECT_DOUBLE_EQ(custom->Apply(x), 0.5);
+}
+
+TEST(PaperClaimTest, ArithmeticMeanIsNotATNormButIsMonotoneAndStrict) {
+  // Paper §3: "the arithmetic mean does not conserve the standard
+  // propositional semantics, since with arguments 0 and 1 it takes the
+  // value 1/2, rather than 0. These functions do satisfy strictness and
+  // monotonicity."
+  std::vector<double> x{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(ArithmeticMeanRule()->Apply(x), 0.5);
+  Rng rng(79);
+  EXPECT_TRUE(CheckMonotoneEmpirically(*ArithmeticMeanRule(), 2, 500, &rng));
+  EXPECT_TRUE(CheckStrictEmpirically(*ArithmeticMeanRule(), 2, 500, &rng));
+}
+
+}  // namespace
+}  // namespace fuzzydb

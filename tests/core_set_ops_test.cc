@@ -1,0 +1,148 @@
+// Fuzzy-set algebra tests ([Za65], paper §3).
+
+#include "core/set_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+namespace {
+
+GradedSet Make(std::initializer_list<GradedObject> items) {
+  Result<GradedSet> s = GradedSet::FromPairs(items);
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(FuzzySetOpsTest, ZadehUnionAndIntersection) {
+  GradedSet a = Make({{1, 0.8}, {2, 0.3}});
+  GradedSet b = Make({{2, 0.6}, {3, 0.5}});
+
+  Result<GradedSet> u = FuzzyUnion(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u->GradeOf(1), 0.8);
+  EXPECT_DOUBLE_EQ(*u->GradeOf(2), 0.6);  // max(0.3, 0.6)
+  EXPECT_DOUBLE_EQ(*u->GradeOf(3), 0.5);
+
+  Result<GradedSet> i = FuzzyIntersection(a, b);
+  ASSERT_TRUE(i.ok());
+  EXPECT_DOUBLE_EQ(*i->GradeOf(1), 0.0);  // absent from b
+  EXPECT_DOUBLE_EQ(*i->GradeOf(2), 0.3);  // min(0.3, 0.6)
+  EXPECT_DOUBLE_EQ(*i->GradeOf(3), 0.0);
+}
+
+TEST(FuzzySetOpsTest, GeneralizedTNormIntersection) {
+  GradedSet a = Make({{1, 0.5}});
+  GradedSet b = Make({{1, 0.4}});
+  Result<GradedSet> i =
+      FuzzyIntersection(a, b, TNormRule(TNormKind::kProduct));
+  ASSERT_TRUE(i.ok());
+  EXPECT_DOUBLE_EQ(*i->GradeOf(1), 0.2);
+  Result<GradedSet> u =
+      FuzzyUnion(a, b, TCoNormRule(TCoNormKind::kProbSum));
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(*u->GradeOf(1), 0.7);
+  EXPECT_FALSE(FuzzyUnion(a, b, nullptr).ok());
+  EXPECT_FALSE(FuzzyIntersection(a, b, nullptr).ok());
+}
+
+TEST(FuzzySetOpsTest, LatticeLawsUnderZadehOps) {
+  // Commutativity, idempotence, absorption, De Morgan — property-tested on
+  // random graded sets.
+  Rng rng(1201);
+  for (int trial = 0; trial < 30; ++trial) {
+    GradedSet a, b;
+    std::vector<ObjectId> universe;
+    for (ObjectId id = 1; id <= 12; ++id) {
+      universe.push_back(id);
+      if (rng.NextBernoulli(0.7)) {
+        ASSERT_TRUE(a.Insert(id, rng.NextDouble()).ok());
+      }
+      if (rng.NextBernoulli(0.7)) {
+        ASSERT_TRUE(b.Insert(id, rng.NextDouble()).ok());
+      }
+    }
+    GradedSet ab_u = *FuzzyUnion(a, b);
+    GradedSet ba_u = *FuzzyUnion(b, a);
+    GradedSet ab_i = *FuzzyIntersection(a, b);
+    for (ObjectId id : universe) {
+      EXPECT_DOUBLE_EQ(ab_u.GradeOf(id).value_or(0.0),
+                       ba_u.GradeOf(id).value_or(0.0));
+      // Idempotence.
+      EXPECT_DOUBLE_EQ(
+          FuzzyUnion(a, a)->GradeOf(id).value_or(0.0),
+          a.GradeOf(id).value_or(0.0));
+      // Absorption: A ∩ (A ∪ B) = A.
+      EXPECT_DOUBLE_EQ(
+          FuzzyIntersection(a, ab_u)->GradeOf(id).value_or(0.0),
+          a.GradeOf(id).value_or(0.0));
+      // De Morgan: complement(A ∪ B) = complement(A) ∩ complement(B).
+      GradedSet na = *FuzzyComplement(a, universe);
+      GradedSet nb = *FuzzyComplement(b, universe);
+      EXPECT_NEAR(FuzzyComplement(ab_u, universe)
+                      ->GradeOf(id)
+                      .value_or(0.0),
+                  FuzzyIntersection(na, nb)->GradeOf(id).value_or(0.0),
+                  1e-12);
+      // A ∩ B <= A <= A ∪ B pointwise.
+      EXPECT_LE(ab_i.GradeOf(id).value_or(0.0),
+                a.GradeOf(id).value_or(0.0) + 1e-12);
+      EXPECT_LE(a.GradeOf(id).value_or(0.0),
+                ab_u.GradeOf(id).value_or(0.0) + 1e-12);
+    }
+  }
+}
+
+TEST(FuzzySetOpsTest, ComplementRequiresConsistentUniverse) {
+  GradedSet a = Make({{1, 0.4}, {5, 0.9}});
+  std::vector<ObjectId> universe{1, 2, 3, 4, 5};
+  Result<GradedSet> c = FuzzyComplement(a, universe);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(*c->GradeOf(1), 0.6);
+  EXPECT_DOUBLE_EQ(*c->GradeOf(2), 1.0);  // absent -> grade 0 -> neg 1
+  EXPECT_NEAR(*c->GradeOf(5), 0.1, 1e-12);
+
+  EXPECT_FALSE(FuzzyComplement(a, {1, 2}).ok());     // member outside
+  EXPECT_FALSE(FuzzyComplement(a, {1, 1, 5}).ok());  // duplicate ids
+  EXPECT_FALSE(FuzzyComplement(a, universe, nullptr).ok());
+}
+
+TEST(FuzzySetOpsTest, SugenoComplementIsNotInvolutiveUnderMaxLaw) {
+  // Excluded middle fails in fuzzy logic: A ∪ complement(A) != universe.
+  GradedSet a = Make({{1, 0.5}});
+  std::vector<ObjectId> universe{1};
+  GradedSet na = *FuzzyComplement(a, universe);
+  GradedSet excluded = *FuzzyUnion(a, na);
+  EXPECT_LT(*excluded.GradeOf(1), 1.0);  // 0.5 under Zadeh ops
+}
+
+TEST(AlphaCutTest, ThresholdsAndValidates) {
+  GradedSet a = Make({{1, 0.2}, {2, 0.9}, {3, 0.5}});
+  Result<std::vector<ObjectId>> cut = AlphaCut(a, 0.5);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(*cut, (std::vector<ObjectId>{2, 3}));
+  EXPECT_EQ(AlphaCut(a, 0.0)->size(), 3u);
+  EXPECT_TRUE(AlphaCut(a, 0.95)->empty());
+  EXPECT_FALSE(AlphaCut(a, 1.5).ok());
+  // α-cuts are nested: higher alpha yields a subset.
+  Result<std::vector<ObjectId>> lo = AlphaCut(a, 0.2);
+  Result<std::vector<ObjectId>> hi = AlphaCut(a, 0.6);
+  for (ObjectId id : *hi) {
+    EXPECT_NE(std::find(lo->begin(), lo->end(), id), lo->end());
+  }
+}
+
+TEST(CardinalityTest, SumsGradesAndSubsethood) {
+  GradedSet a = Make({{1, 0.5}, {2, 0.5}});
+  GradedSet b = Make({{1, 1.0}, {2, 1.0}, {3, 0.4}});
+  EXPECT_DOUBLE_EQ(FuzzyCardinality(a), 1.0);
+  EXPECT_DOUBLE_EQ(FuzzyCardinality(GradedSet{}), 0.0);
+  // A is pointwise inside B -> subsethood 1; B is not inside A.
+  EXPECT_DOUBLE_EQ(Subsethood(a, b), 1.0);
+  EXPECT_LT(Subsethood(b, a), 0.5);
+  EXPECT_DOUBLE_EQ(Subsethood(GradedSet{}, a), 1.0);
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,171 @@
+#include "core/tnorms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+namespace {
+
+class TNormAxiomsTest : public ::testing::TestWithParam<TNormKind> {};
+
+TEST_P(TNormAxiomsTest, SatisfiesAllTNormAxioms) {
+  TNormKind kind = GetParam();
+  BinaryScoringFn t = [kind](double x, double y) {
+    return ApplyTNorm(kind, x, y);
+  };
+  EXPECT_TRUE(ValidateTNormAxioms(t).ok()) << TNormName(kind);
+}
+
+TEST_P(TNormAxiomsTest, BoundedByMin) {
+  // Every t-norm satisfies t(x,y) <= min(x,y).
+  TNormKind kind = GetParam();
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble(), y = rng.NextDouble();
+    EXPECT_LE(ApplyTNorm(kind, x, y), std::min(x, y) + 1e-12)
+        << TNormName(kind);
+  }
+}
+
+TEST_P(TNormAxiomsTest, DualCoNormSatisfiesCoNormAxioms) {
+  TCoNormKind dual = DualCoNorm(GetParam());
+  BinaryScoringFn s = [dual](double x, double y) {
+    return ApplyTCoNorm(dual, x, y);
+  };
+  EXPECT_TRUE(ValidateTCoNormAxioms(s).ok()) << TCoNormName(dual);
+}
+
+TEST_P(TNormAxiomsTest, DeMorganDualityUnderStandardNegation) {
+  // s(x,y) = 1 - t(1-x, 1-y) must equal the named dual co-norm [Al85, BD86].
+  TNormKind kind = GetParam();
+  TCoNormKind dual = DualCoNorm(kind);
+  Rng rng(43);
+  for (int i = 0; i < 2000; ++i) {
+    double x = rng.NextDouble(), y = rng.NextDouble();
+    double via_dual = 1.0 - ApplyTNorm(kind, 1.0 - x, 1.0 - y);
+    EXPECT_NEAR(via_dual, ApplyTCoNorm(dual, x, y), 1e-12) << TNormName(kind);
+  }
+}
+
+TEST_P(TNormAxiomsTest, DualRoundTrips) {
+  EXPECT_EQ(DualTNorm(DualCoNorm(GetParam())), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTNorms, TNormAxiomsTest,
+                         ::testing::Values(TNormKind::kMinimum,
+                                           TNormKind::kProduct,
+                                           TNormKind::kLukasiewicz,
+                                           TNormKind::kHamacher,
+                                           TNormKind::kEinstein,
+                                           TNormKind::kDrastic),
+                         [](const auto& info) {
+                           return TNormName(info.param);
+                         });
+
+class TCoNormBoundTest : public ::testing::TestWithParam<TCoNormKind> {};
+
+TEST_P(TCoNormBoundTest, BoundedBelowByMax) {
+  // Every t-co-norm satisfies s(x,y) >= max(x,y).
+  TCoNormKind kind = GetParam();
+  Rng rng(47);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble(), y = rng.NextDouble();
+    EXPECT_GE(ApplyTCoNorm(kind, x, y), std::max(x, y) - 1e-12)
+        << TCoNormName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCoNorms, TCoNormBoundTest,
+                         ::testing::Values(TCoNormKind::kMaximum,
+                                           TCoNormKind::kProbSum,
+                                           TCoNormKind::kLukasiewicz,
+                                           TCoNormKind::kHamacher,
+                                           TCoNormKind::kEinstein,
+                                           TCoNormKind::kDrastic),
+                         [](const auto& info) {
+                           std::string name = TCoNormName(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(TNormValuesTest, SpotChecks) {
+  EXPECT_DOUBLE_EQ(ApplyTNorm(TNormKind::kMinimum, 0.3, 0.7), 0.3);
+  EXPECT_DOUBLE_EQ(ApplyTNorm(TNormKind::kProduct, 0.5, 0.4), 0.2);
+  EXPECT_DOUBLE_EQ(ApplyTNorm(TNormKind::kLukasiewicz, 0.5, 0.4), 0.0);
+  EXPECT_DOUBLE_EQ(ApplyTNorm(TNormKind::kLukasiewicz, 0.8, 0.7), 0.5);
+  EXPECT_DOUBLE_EQ(ApplyTNorm(TNormKind::kDrastic, 0.9, 0.9), 0.0);
+  EXPECT_DOUBLE_EQ(ApplyTNorm(TNormKind::kDrastic, 1.0, 0.9), 0.9);
+  EXPECT_DOUBLE_EQ(ApplyTCoNorm(TCoNormKind::kProbSum, 0.5, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(ApplyTCoNorm(TCoNormKind::kLukasiewicz, 0.8, 0.7), 1.0);
+}
+
+TEST(TNormValuesTest, HamacherHandlesZeroZero) {
+  EXPECT_DOUBLE_EQ(ApplyTNorm(TNormKind::kHamacher, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ApplyTCoNorm(TCoNormKind::kHamacher, 1.0, 1.0), 1.0);
+}
+
+TEST(NegationTest, StandardAndFamilies) {
+  EXPECT_DOUBLE_EQ(StandardNegation(0.3), 0.7);
+  // Sugeno with lambda = 0 is standard.
+  NegationFn sugeno0 = SugenoNegation(0.0);
+  NegationFn yager1 = YagerNegation(1.0);
+  Rng rng(53);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_NEAR(sugeno0(x), 1.0 - x, 1e-12);
+    EXPECT_NEAR(yager1(x), 1.0 - x, 1e-12);
+  }
+  // All negations are involutive at the endpoints and order-reversing.
+  for (double lambda : {-0.5, 0.0, 1.0, 4.0}) {
+    NegationFn n = SugenoNegation(lambda);
+    EXPECT_NEAR(n(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(n(1.0), 0.0, 1e-12);
+    EXPECT_GT(n(0.2), n(0.8));
+    // Sugeno negations are involutions: n(n(x)) == x.
+    for (double x : {0.1, 0.4, 0.9}) {
+      EXPECT_NEAR(n(n(x)), x, 1e-12);
+    }
+  }
+}
+
+TEST(DeMorganDualTest, BuildsCoNormFromTNorm) {
+  BinaryScoringFn t = [](double x, double y) {
+    return ApplyTNorm(TNormKind::kProduct, x, y);
+  };
+  BinaryScoringFn s = DeMorganDual(t, [](double x) { return 1.0 - x; });
+  Rng rng(59);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble(), y = rng.NextDouble();
+    EXPECT_NEAR(s(x, y), x + y - x * y, 1e-12);
+  }
+}
+
+TEST(ValidateAxiomsTest, CatchesViolations) {
+  // Arithmetic mean is not a t-norm: fails ∧-conservation (paper §3 notes
+  // avg(0, 1) = 1/2 rather than 0).
+  BinaryScoringFn avg = [](double x, double y) { return (x + y) / 2.0; };
+  Status s = ValidateTNormAxioms(avg);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+
+  // A non-commutative function fails.
+  BinaryScoringFn first = [](double x, double y) { return x * (y + 1) / 2; };
+  EXPECT_FALSE(ValidateTNormAxioms(first).ok());
+
+  // A non-monotone function fails.
+  BinaryScoringFn hump = [](double x, double y) {
+    return std::min(std::min(x, y), 1.0 - std::min(x, y));
+  };
+  EXPECT_FALSE(ValidateTNormAxioms(hump).ok());
+
+  EXPECT_FALSE(ValidateTNormAxioms(avg, 1).ok());  // bad grid
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,255 @@
+// Tests of the Fagin–Wimmers weighting machinery against every property the
+// paper states: the formula (5) itself, D1 (equal weights), D2 (zero-weight
+// dropping), D3 (continuity), D3' (local linearity), well-definedness under
+// ties, and the inheritance of monotonicity and strictness.
+
+#include "core/weights.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+namespace {
+
+Weighting W(std::vector<double> theta) {
+  Result<Weighting> w = Weighting::Create(std::move(theta));
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return *w;
+}
+
+TEST(WeightingTest, CreateValidates) {
+  EXPECT_FALSE(Weighting::Create({}).ok());
+  EXPECT_FALSE(Weighting::Create({0.5, -0.1, 0.6}).ok());
+  EXPECT_FALSE(Weighting::Create({0.5, 0.6}).ok());  // sums to 1.1
+  EXPECT_TRUE(Weighting::Create({0.5, 0.5}).ok());
+  EXPECT_TRUE(Weighting::Create({1.0}).ok());
+}
+
+TEST(WeightingTest, FromSlidersNormalizes) {
+  Result<Weighting> w = Weighting::FromSliders({2.0, 1.0, 1.0});
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ((*w)[0], 0.5);
+  EXPECT_DOUBLE_EQ((*w)[1], 0.25);
+  EXPECT_FALSE(Weighting::FromSliders({0.0, 0.0}).ok());
+  EXPECT_FALSE(Weighting::FromSliders({-1.0, 2.0}).ok());
+}
+
+TEST(WeightingTest, EqualAndOrdered) {
+  Weighting eq = Weighting::Equal(4);
+  EXPECT_EQ(eq.size(), 4u);
+  EXPECT_TRUE(eq.IsOrdered());
+  EXPECT_DOUBLE_EQ(eq[2], 0.25);
+  EXPECT_TRUE(W({0.5, 0.3, 0.2}).IsOrdered());
+  EXPECT_FALSE(W({0.3, 0.5, 0.2}).IsOrdered());
+}
+
+TEST(WeightingTest, MixIsConvexCombination) {
+  Weighting a = W({0.8, 0.2});
+  Weighting b = W({0.4, 0.6});
+  Result<Weighting> mid = a.Mix(b, 0.5);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_DOUBLE_EQ((*mid)[0], 0.6);
+  EXPECT_DOUBLE_EQ((*mid)[1], 0.4);
+  EXPECT_FALSE(a.Mix(W({1.0}), 0.5).ok());
+  EXPECT_FALSE(a.Mix(b, 1.5).ok());
+}
+
+TEST(FaginWimmersTest, AverageRuleGivesWeightedAverage) {
+  // For f = avg, the weighted version must be the plain weighted average
+  // θ1·x1 + θ2·x2 (the motivating example of paper §5).
+  Weighting theta = W({2.0 / 3.0, 1.0 / 3.0});
+  Rng rng(83);
+  for (int i = 0; i < 500; ++i) {
+    double x1 = rng.NextDouble(), x2 = rng.NextDouble();
+    double got =
+        FaginWimmersScore(*ArithmeticMeanRule(), theta, std::vector{x1, x2});
+    EXPECT_NEAR(got, (2.0 * x1 + x2) / 3.0, 1e-12);
+  }
+}
+
+TEST(FaginWimmersTest, ExplicitFormulaForMin) {
+  // Formula (5) with m = 2, ordered weights: (θ1-θ2)·f(x1) + 2θ2·f(x1,x2).
+  Weighting theta = W({0.7, 0.3});
+  double x1 = 0.5, x2 = 0.9;
+  double expected = (0.7 - 0.3) * x1 + 2.0 * 0.3 * std::min(x1, x2);
+  EXPECT_NEAR(
+      FaginWimmersScore(*MinRule(), theta, std::vector{x1, x2}), expected,
+      1e-12);
+}
+
+TEST(FaginWimmersTest, ArgumentOrderFollowsWeightsNotPositions) {
+  // With weights (0.3, 0.7) the second argument is the most important, so
+  // the formula must use prefix f(x2), then f(x2, x1).
+  Weighting theta = W({0.3, 0.7});
+  double x1 = 0.2, x2 = 0.9;
+  double expected = (0.7 - 0.3) * x2 + 2.0 * 0.3 * std::min(x1, x2);
+  EXPECT_NEAR(
+      FaginWimmersScore(*MinRule(), theta, std::vector{x1, x2}), expected,
+      1e-12);
+}
+
+TEST(FaginWimmersTest, D1EqualWeightsReduceToUnweighted) {
+  Rng rng(89);
+  for (size_t m : {1u, 2u, 3u, 5u}) {
+    Weighting eq = Weighting::Equal(m);
+    for (const ScoringRulePtr& rule :
+         {MinRule(), ArithmeticMeanRule(), GeometricMeanRule(), MaxRule()}) {
+      for (int i = 0; i < 100; ++i) {
+        std::vector<double> x = UniformGrades(&rng, m);
+        EXPECT_NEAR(FaginWimmersScore(*rule, eq, x), rule->Apply(x), 1e-12)
+            << rule->name() << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(FaginWimmersTest, D2ZeroWeightArgumentCanBeDropped) {
+  Rng rng(97);
+  Weighting with_zero = W({0.6, 0.4, 0.0});
+  Weighting dropped = W({0.6, 0.4});
+  for (const ScoringRulePtr& rule : {MinRule(), ArithmeticMeanRule()}) {
+    for (int i = 0; i < 200; ++i) {
+      double x1 = rng.NextDouble(), x2 = rng.NextDouble(),
+             x3 = rng.NextDouble();
+      double full =
+          FaginWimmersScore(*rule, with_zero, std::vector{x1, x2, x3});
+      double partial = FaginWimmersScore(*rule, dropped, std::vector{x1, x2});
+      EXPECT_NEAR(full, partial, 1e-12) << rule->name();
+    }
+  }
+}
+
+TEST(FaginWimmersTest, D3ContinuityInTheWeights) {
+  // Small weight perturbations change the score by O(perturbation).
+  Rng rng(101);
+  std::vector<double> x{0.3, 0.8, 0.6};
+  double eps = 1e-7;
+  Weighting base = W({0.5, 0.3, 0.2});
+  Weighting nudged = W({0.5 + eps, 0.3, 0.2 - eps});
+  double a = FaginWimmersScore(*MinRule(), base, x);
+  double b = FaginWimmersScore(*MinRule(), nudged, x);
+  EXPECT_NEAR(a, b, 1e-5);
+}
+
+TEST(FaginWimmersTest, D3PrimeLocalLinearityForOrderedWeightings) {
+  // f_{αΘ + (1-α)Θ'}(X) = α·f_Θ(X) + (1-α)·f_Θ'(X) for ordered Θ, Θ'.
+  Rng rng(103);
+  Weighting t1 = W({0.7, 0.2, 0.1});
+  Weighting t2 = W({0.4, 0.35, 0.25});
+  for (const ScoringRulePtr& rule : {MinRule(), GeometricMeanRule()}) {
+    for (double alpha : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+      Result<Weighting> mixed = t1.Mix(t2, alpha);
+      ASSERT_TRUE(mixed.ok());
+      for (int i = 0; i < 100; ++i) {
+        std::vector<double> x = UniformGrades(&rng, 3);
+        double lhs = FaginWimmersScore(*rule, *mixed, x);
+        double rhs = alpha * FaginWimmersScore(*rule, t1, x) +
+                     (1.0 - alpha) * FaginWimmersScore(*rule, t2, x);
+        EXPECT_NEAR(lhs, rhs, 1e-12) << rule->name();
+      }
+    }
+  }
+}
+
+TEST(FaginWimmersTest, WellDefinedUnderTiedWeights) {
+  // Paper §5: if θ2 = θ3 the tied prefix choice is multiplied by zero, so
+  // either order gives the same value. Compare against the convex form
+  // computed with the reversed tie order by permuting the arguments.
+  Weighting theta = W({0.5, 0.25, 0.25});
+  std::vector<double> x{0.9, 0.2, 0.7};
+  std::vector<double> x_swapped{0.9, 0.7, 0.2};  // swap the tied args
+  double a = FaginWimmersScore(*MinRule(), theta, x);
+  double b = FaginWimmersScore(*MinRule(), theta, x_swapped);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(FaginWimmersTest, CoefficientsFormConvexCombination) {
+  // The result always lies between min and max of the prefix values, being
+  // a convex combination of f(x1), f(x1,x2), ..., f(x1..xm).
+  Rng rng(107);
+  Weighting theta = W({0.5, 0.3, 0.2});
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x = UniformGrades(&rng, 3);
+    std::vector<double> sorted_x = x;  // weights already ordered
+    double f1 = x[0];
+    double f2 = std::min(x[0], x[1]);
+    double f3 = std::min({x[0], x[1], x[2]});
+    double lo = std::min({f1, f2, f3});
+    double hi = std::max({f1, f2, f3});
+    double got = FaginWimmersScore(*MinRule(), theta, x);
+    EXPECT_GE(got, lo - 1e-12);
+    EXPECT_LE(got, hi + 1e-12);
+  }
+}
+
+TEST(WeightedRuleTest, InheritsMonotonicityAndStrictness) {
+  // Paper §5: "monotonicity and strictness of the (unweighted) f is
+  // inherited by the (weighted) functions."
+  Weighting theta = W({0.6, 0.4});
+  ScoringRulePtr weighted_min = WeightedRule(MinRule(), theta);
+  EXPECT_TRUE(weighted_min->monotone());
+  EXPECT_TRUE(weighted_min->strict());
+  Rng rng(109);
+  EXPECT_TRUE(CheckMonotoneEmpirically(*weighted_min, 2, 1000, &rng));
+  EXPECT_TRUE(CheckStrictEmpirically(*weighted_min, 2, 1000, &rng));
+
+  ScoringRulePtr weighted_max = WeightedRule(MaxRule(), theta);
+  EXPECT_TRUE(weighted_max->monotone());
+  EXPECT_FALSE(weighted_max->strict());  // max was never strict
+
+  // A zero weight removes strictness of the full-arity rule (that argument
+  // can be 0 while the score stays 1).
+  ScoringRulePtr degenerate = WeightedRule(MinRule(), W({1.0, 0.0}));
+  EXPECT_FALSE(degenerate->strict());
+  std::vector<double> x{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(degenerate->Apply(x), 1.0);
+}
+
+TEST(OwaRuleTest, RecoversMinMaxAndMean) {
+  Rng rng(113);
+  ScoringRulePtr as_min = OwaRule(W({0.0, 0.0, 1.0}));
+  ScoringRulePtr as_max = OwaRule(W({1.0, 0.0, 0.0}));
+  ScoringRulePtr as_avg = OwaRule(Weighting::Equal(3));
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x = UniformGrades(&rng, 3);
+    EXPECT_DOUBLE_EQ(as_min->Apply(x), MinRule()->Apply(x));
+    EXPECT_DOUBLE_EQ(as_max->Apply(x), MaxRule()->Apply(x));
+    EXPECT_NEAR(as_avg->Apply(x), ArithmeticMeanRule()->Apply(x), 1e-12);
+  }
+}
+
+TEST(OwaRuleTest, WeightsAttachToRanksNotArguments) {
+  // 0.7 on the largest, 0.3 on the smallest — regardless of position.
+  ScoringRulePtr owa = OwaRule(W({0.7, 0.3}));
+  std::vector<double> a{0.2, 0.8};
+  std::vector<double> b{0.8, 0.2};
+  EXPECT_DOUBLE_EQ(owa->Apply(a), 0.7 * 0.8 + 0.3 * 0.2);
+  EXPECT_DOUBLE_EQ(owa->Apply(a), owa->Apply(b));
+}
+
+TEST(OwaRuleTest, PropertiesMatchDeclaredFlags) {
+  Rng rng(127);
+  ScoringRulePtr strict_owa = OwaRule(W({0.5, 0.3, 0.2}));
+  EXPECT_TRUE(strict_owa->monotone());
+  EXPECT_TRUE(strict_owa->strict());
+  EXPECT_TRUE(CheckMonotoneEmpirically(*strict_owa, 3, 500, &rng));
+  EXPECT_TRUE(CheckStrictEmpirically(*strict_owa, 3, 500, &rng));
+
+  ScoringRulePtr lax_owa = OwaRule(W({0.5, 0.5, 0.0}));
+  EXPECT_FALSE(lax_owa->strict());
+  std::vector<double> almost{1.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(lax_owa->Apply(almost), 1.0);  // the witness
+  EXPECT_NE(lax_owa->name().find("owa"), std::string::npos);
+}
+
+TEST(WeightedRuleTest, NameMentionsWeightsAndBase) {
+  ScoringRulePtr rule = WeightedRule(MinRule(), W({0.75, 0.25}));
+  EXPECT_NE(rule->name().find("min"), std::string::npos);
+  EXPECT_NE(rule->name().find("0.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,93 @@
+#include "image/color_moments.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(ColorMomentsTest, ValidatesInput) {
+  Palette p = Palette::Uniform(8);
+  EXPECT_FALSE(ComputeColorMoments(p, Histogram{0.5, 0.5}).ok());
+  EXPECT_FALSE(ComputeColorMoments(p, Histogram(8, 0.2)).ok());  // mass 1.6
+}
+
+TEST(ColorMomentsTest, PointMassHasZeroSpread) {
+  Palette p = Palette::Uniform(8);
+  Histogram h(8, 0.0);
+  h[3] = 1.0;
+  Result<ColorMoments> m = ComputeColorMoments(p, h);
+  ASSERT_TRUE(m.ok());
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(m->mean[c], p.color(3)[c]);
+    EXPECT_NEAR(m->stddev[c], 0.0, 1e-12);
+    EXPECT_NEAR(m->skewness[c], 0.0, 1e-9);
+  }
+}
+
+TEST(ColorMomentsTest, MeanMatchesAverageColor) {
+  Rng rng(941);
+  Palette p = Palette::Uniform(27, &rng);
+  for (int i = 0; i < 20; ++i) {
+    Histogram h = RandomHistogram(&rng, 27);
+    Result<ColorMoments> m = ComputeColorMoments(p, h);
+    ASSERT_TRUE(m.ok());
+    Rgb avg = AverageColor(p, h);
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(m->mean[c], avg[c], 1e-12);
+    }
+  }
+}
+
+TEST(ColorMomentsTest, SkewnessSignReflectsAsymmetry) {
+  // Two-point distribution with most mass at the low end of a channel has
+  // positive skew on that channel.
+  Palette p = Palette::Uniform(8);
+  // Find the colors with min and max red channel.
+  size_t lo = 0, hi = 0;
+  for (size_t i = 1; i < 8; ++i) {
+    if (p.color(i)[0] < p.color(lo)[0]) lo = i;
+    if (p.color(i)[0] > p.color(hi)[0]) hi = i;
+  }
+  Histogram h(8, 0.0);
+  h[lo] = 0.9;
+  h[hi] = 0.1;
+  Result<ColorMoments> m = ComputeColorMoments(p, h);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->skewness[0], 0.0);
+}
+
+TEST(ColorMomentDistanceTest, MetricBasicsAndWeights) {
+  Rng rng(947);
+  Palette p = Palette::Uniform(27, &rng);
+  ColorMoments a = *ComputeColorMoments(p, RandomHistogram(&rng, 27));
+  ColorMoments b = *ComputeColorMoments(p, RandomHistogram(&rng, 27));
+  EXPECT_DOUBLE_EQ(ColorMomentDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(ColorMomentDistance(a, b), ColorMomentDistance(b, a));
+  // Zeroing all weights zeroes the distance; scaling weights scales it.
+  EXPECT_DOUBLE_EQ(ColorMomentDistance(a, b, {0.0, 0.0, 0.0}), 0.0);
+  double base = ColorMomentDistance(a, b);
+  EXPECT_NEAR(ColorMomentDistance(a, b, {2.0, 2.0, 2.0}), 2.0 * base, 1e-12);
+  EXPECT_DOUBLE_EQ(ColorMomentGradeFromDistance(0.0), 1.0);
+}
+
+TEST(ColorMomentsTest, MomentsTrackHistogramSimilarity) {
+  // A histogram is closer in moment space to a small perturbation of
+  // itself than to an unrelated histogram.
+  Rng rng(953);
+  Palette p = Palette::Uniform(27, &rng);
+  Histogram h = RandomHistogram(&rng, 27);
+  Histogram perturbed = h;
+  // Move 2% of mass between two bins.
+  perturbed[0] = std::max(0.0, perturbed[0] - 0.02);
+  perturbed[1] += h[0] - perturbed[0];
+  Histogram other = RandomHistogram(&rng, 27);
+  ColorMoments mh = *ComputeColorMoments(p, h);
+  ColorMoments mp = *ComputeColorMoments(p, perturbed);
+  ColorMoments mo = *ComputeColorMoments(p, other);
+  EXPECT_LT(ColorMomentDistance(mh, mp), ColorMomentDistance(mh, mo));
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,187 @@
+// Quadratic-form distance (paper formula (1)) and the distance-bounding
+// filter (paper formula (2), d >= d̂): metric sanity, PSD structure, the
+// no-false-dismissal property, and FilteredKnn == ExactKnn.
+
+#include <gtest/gtest.h>
+
+#include "image/bounding.h"
+#include "image/quadratic_distance.h"
+
+namespace fuzzydb {
+namespace {
+
+class QfdTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(439);
+    palette_ = Palette::Uniform(GetParam(), &rng);
+    Result<QuadraticFormDistance> qfd =
+        QuadraticFormDistance::Create(palette_);
+    ASSERT_TRUE(qfd.ok()) << qfd.status().ToString();
+    qfd_ = std::move(*qfd);
+  }
+
+  Palette palette_;
+  QuadraticFormDistance qfd_;
+};
+
+TEST_P(QfdTest, SimilarityMatrixIsSymmetricWithUnitDiagonal) {
+  const Matrix& a = qfd_.similarity();
+  EXPECT_TRUE(a.IsSymmetric());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.At(i, i), 1.0);
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_GE(a.At(i, j), -1e-12);
+      EXPECT_LE(a.At(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(QfdTest, CenteredMatrixIsPositiveSemidefinite) {
+  // All eigenvalues of B = P A P must be >= 0: the distance is well-defined
+  // on histogram differences.
+  for (double lambda : qfd_.eigenvalues()) {
+    EXPECT_GE(lambda, 0.0);
+  }
+  EXPECT_GT(qfd_.eigenvalues().front(), 0.0);
+}
+
+TEST_P(QfdTest, DistanceIsAPseudometricOnHistograms) {
+  Rng rng(443);
+  const size_t k = GetParam();
+  for (int i = 0; i < 30; ++i) {
+    Histogram x = RandomHistogram(&rng, k);
+    Histogram y = RandomHistogram(&rng, k);
+    Histogram z = RandomHistogram(&rng, k);
+    EXPECT_NEAR(qfd_.Distance(x, x), 0.0, 1e-9);
+    EXPECT_NEAR(qfd_.Distance(x, y), qfd_.Distance(y, x), 1e-12);
+    EXPECT_GE(qfd_.Distance(x, y), 0.0);
+    // Triangle inequality holds because d is a seminorm of the difference.
+    EXPECT_LE(qfd_.Distance(x, z),
+              qfd_.Distance(x, y) + qfd_.Distance(y, z) + 1e-9);
+  }
+}
+
+TEST_P(QfdTest, MaxDistanceBoundsAllPairs) {
+  Rng rng(449);
+  const size_t k = GetParam();
+  for (int i = 0; i < 100; ++i) {
+    Histogram x = RandomHistogram(&rng, k, 1, 0.0);  // extreme: single peak
+    Histogram y = RandomHistogram(&rng, k, 1, 0.0);
+    EXPECT_LE(qfd_.Distance(x, y), qfd_.MaxDistance() + 1e-9);
+  }
+}
+
+TEST_P(QfdTest, SimilarColorsAreCloserThanDissimilarOnes) {
+  // A histogram concentrated on one bin should be closer to one
+  // concentrated on that bin's nearest neighbour than to the farthest bin.
+  const size_t k = GetParam();
+  size_t i = 0;
+  size_t nearest = 0, farthest = 0;
+  double dn = 1e9, df = -1.0;
+  for (size_t j = 1; j < k; ++j) {
+    double d = RgbDistance(palette_.color(i), palette_.color(j));
+    if (d < dn) {
+      dn = d;
+      nearest = j;
+    }
+    if (d > df) {
+      df = d;
+      farthest = j;
+    }
+  }
+  Histogram hi(k, 0.0), hn(k, 0.0), hf(k, 0.0);
+  hi[i] = 1.0;
+  hn[nearest] = 1.0;
+  hf[farthest] = 1.0;
+  EXPECT_LT(qfd_.Distance(hi, hn), qfd_.Distance(hi, hf));
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, QfdTest,
+                         ::testing::Values(8, 27, 64),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+class EigenFilterTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EigenFilterTest, LowerBoundsTheTrueDistance) {
+  // Paper formula (2): d(x,y) >= d̂(x̂,ŷ) for every pair — the filter can
+  // never cause a false dismissal.
+  const size_t filter_dim = GetParam();
+  Rng rng(457);
+  Palette palette = Palette::Uniform(64, &rng);
+  QuadraticFormDistance qfd = *QuadraticFormDistance::Create(palette);
+  Result<EigenFilter> filter = EigenFilter::Create(qfd, filter_dim);
+  ASSERT_TRUE(filter.ok());
+  for (int i = 0; i < 300; ++i) {
+    Histogram x = RandomHistogram(&rng, 64);
+    Histogram y = RandomHistogram(&rng, 64);
+    double d = qfd.Distance(x, y);
+    double bound = EigenFilter::BoundDistance(filter->Project(x),
+                                              filter->Project(y));
+    EXPECT_LE(bound, d + 1e-9) << "filter dim " << filter_dim;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EigenFilterTest, ::testing::Values(1, 3, 8),
+                         [](const auto& info) {
+                           return "dim" + std::to_string(info.param);
+                         });
+
+TEST(EigenFilterTest, CapturedEnergyGrowsWithDimension) {
+  Rng rng(461);
+  Palette palette = Palette::Uniform(64, &rng);
+  QuadraticFormDistance qfd = *QuadraticFormDistance::Create(palette);
+  double prev = 0.0;
+  for (size_t dim : {1u, 2u, 4u, 8u, 64u}) {
+    EigenFilter f = *EigenFilter::Create(qfd, dim);
+    EXPECT_GE(f.CapturedEnergy(), prev - 1e-12);
+    prev = f.CapturedEnergy();
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);  // full dimension captures everything
+  EXPECT_FALSE(EigenFilter::Create(qfd, 0).ok());
+}
+
+TEST(FilteredKnnTest, MatchesExactKnn) {
+  Rng rng(463);
+  Palette palette = Palette::Uniform(64, &rng);
+  QuadraticFormDistance qfd = *QuadraticFormDistance::Create(palette);
+  EigenFilter filter = *EigenFilter::Create(qfd, 3);
+  std::vector<Histogram> db;
+  for (int i = 0; i < 400; ++i) db.push_back(RandomHistogram(&rng, 64));
+  for (int q = 0; q < 5; ++q) {
+    Histogram target = RandomHistogram(&rng, 64);
+    FilteredSearchStats stats;
+    Result<std::vector<std::pair<size_t, double>>> filtered =
+        FilteredKnn(qfd, filter, db, target, 10, &stats);
+    ASSERT_TRUE(filtered.ok());
+    std::vector<std::pair<size_t, double>> exact =
+        ExactKnn(qfd, db, target, 10);
+    ASSERT_EQ(filtered->size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*filtered)[i].first, exact[i].first) << "rank " << i;
+      EXPECT_NEAR((*filtered)[i].second, exact[i].second, 1e-12);
+    }
+    // The filter must actually skip work.
+    EXPECT_LT(stats.full_distance_computations, db.size());
+    EXPECT_EQ(stats.bound_computations, db.size());
+  }
+}
+
+TEST(FilteredKnnTest, HandlesEdgeCases) {
+  Rng rng(467);
+  Palette palette = Palette::Uniform(8, &rng);
+  QuadraticFormDistance qfd = *QuadraticFormDistance::Create(palette);
+  EigenFilter filter = *EigenFilter::Create(qfd, 2);
+  std::vector<Histogram> db{RandomHistogram(&rng, 8)};
+  Histogram target = RandomHistogram(&rng, 8);
+  EXPECT_FALSE(FilteredKnn(qfd, filter, db, target, 0).ok());
+  Result<std::vector<std::pair<size_t, double>>> r =
+      FilteredKnn(qfd, filter, db, target, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);  // k clamped to database size
+}
+
+}  // namespace
+}  // namespace fuzzydb

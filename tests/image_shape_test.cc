@@ -1,0 +1,180 @@
+#include "image/shape.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace fuzzydb {
+namespace {
+
+TEST(PolygonTest, CreateValidatesAndNormalizesOrientation) {
+  EXPECT_FALSE(Polygon::Create({{0, 0}, {1, 0}}).ok());
+  EXPECT_FALSE(Polygon::Create({{0, 0}, {1, 0}, {2, 0}}).ok());  // collinear
+  // Clockwise input is reversed to CCW (positive area).
+  Result<Polygon> cw = Polygon::Create({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  ASSERT_TRUE(cw.ok());
+  EXPECT_GT(cw->Area(), 0.0);
+}
+
+TEST(PolygonTest, SquareGeometry) {
+  Polygon sq = *Polygon::Create({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_DOUBLE_EQ(sq.Area(), 4.0);
+  EXPECT_DOUBLE_EQ(sq.PerimeterLength(), 8.0);
+  Point2 c = sq.Centroid();
+  EXPECT_NEAR(c.x, 1.0, 1e-12);
+  EXPECT_NEAR(c.y, 1.0, 1e-12);
+}
+
+TEST(PolygonTest, RegularPolygonAreaConvergesToCircle) {
+  // Area of a regular n-gon with circumradius 1 -> pi as n grows.
+  Polygon p = Polygon::Regular(256);
+  EXPECT_NEAR(p.Area(), std::numbers::pi, 1e-2);
+  EXPECT_NEAR(p.PerimeterLength(), 2.0 * std::numbers::pi, 1e-2);
+}
+
+TEST(PolygonTest, TransformsBehave) {
+  Polygon sq = *Polygon::Create({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_NEAR(sq.Translated(5, -2).Area(), sq.Area(), 1e-12);
+  EXPECT_NEAR(sq.Scaled(3.0).Area(), 9.0 * sq.Area(), 1e-12);
+  EXPECT_NEAR(sq.Rotated(0.7).Area(), sq.Area(), 1e-12);
+  Point2 c = sq.Translated(5, -2).Centroid();
+  EXPECT_NEAR(c.x, 5.5, 1e-12);
+  EXPECT_NEAR(c.y, -1.5, 1e-12);
+}
+
+TEST(PolygonTest, RandomStarIsValidAndBounded) {
+  Rng rng(479);
+  for (int i = 0; i < 30; ++i) {
+    Polygon star = Polygon::RandomStar(&rng, 3 + i % 10, 0.5, 1.5);
+    EXPECT_GT(star.Area(), 0.0);
+    for (const Point2& v : star.vertices()) {
+      EXPECT_LE(std::hypot(v.x, v.y), 1.5 + 1e-12);
+      EXPECT_GE(std::hypot(v.x, v.y), 0.5 - 1e-12);
+    }
+  }
+}
+
+TEST(HuMomentsTest, InvariantUnderTranslationRotationAndScale) {
+  Rng rng(487);
+  for (int trial = 0; trial < 10; ++trial) {
+    Polygon shape = Polygon::RandomStar(&rng, 9);
+    HuMoments base = ComputeHuMoments(shape);
+    HuMoments translated = ComputeHuMoments(shape.Translated(3.7, -1.2));
+    HuMoments rotated = ComputeHuMoments(shape.Rotated(1.1));
+    HuMoments scaled = ComputeHuMoments(shape.Scaled(2.5));
+    for (size_t i = 0; i < 7; ++i) {
+      EXPECT_NEAR(translated[i], base[i], 1e-8) << "translate, moment " << i;
+      EXPECT_NEAR(rotated[i], base[i], 1e-8) << "rotate, moment " << i;
+      EXPECT_NEAR(scaled[i], base[i], 1e-8) << "scale, moment " << i;
+    }
+  }
+}
+
+TEST(HuMomentsTest, FirstMomentOfKnownShapes) {
+  // For a disk, I1 = η20 + η02 = 1/(2π) ≈ 0.159; the 64-gon approximates it.
+  HuMoments disk = ComputeHuMoments(Polygon::Regular(64));
+  EXPECT_NEAR(disk[0], 1.0 / (2.0 * std::numbers::pi), 1e-3);
+  // For a square, I1 = 1/6.
+  HuMoments square =
+      ComputeHuMoments(*Polygon::Create({{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+  EXPECT_NEAR(square[0], 1.0 / 6.0, 1e-12);
+}
+
+TEST(HuMomentDistanceTest, DiscriminatesShapes) {
+  HuMoments square =
+      ComputeHuMoments(*Polygon::Create({{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+  HuMoments thin_rect =
+      ComputeHuMoments(*Polygon::Create({{0, 0}, {8, 0}, {8, 1}, {0, 1}}));
+  HuMoments rotated_square = ComputeHuMoments(
+      Polygon::Create({{0, 0}, {1, 0}, {1, 1}, {0, 1}})->Rotated(0.9));
+  EXPECT_LT(HuMomentDistance(square, rotated_square), 1e-6);
+  EXPECT_GT(HuMomentDistance(square, thin_rect), 0.1);
+}
+
+TEST(TurningFunctionTest, SquareHasQuarterTurns) {
+  Polygon sq = *Polygon::Create({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  std::vector<double> tf = TurningFunction(sq, 64);
+  ASSERT_EQ(tf.size(), 64u);
+  // Values must be multiples of pi/2 and non-decreasing for a convex CCW
+  // polygon.
+  for (size_t i = 0; i < tf.size(); ++i) {
+    double quarter = tf[i] / (std::numbers::pi / 2.0);
+    EXPECT_NEAR(quarter, std::round(quarter), 1e-9);
+    if (i > 0) {
+      EXPECT_GE(tf[i], tf[i - 1] - 1e-12);
+    }
+  }
+  // Total turning over the traversed samples spans 3 quarter turns (the
+  // final quarter closes the loop after the last sample).
+  EXPECT_NEAR(tf.back() - tf.front(), 3.0 * std::numbers::pi / 2.0, 1e-9);
+}
+
+TEST(TurningDistanceTest, InvariantUnderRotationAndScale) {
+  Rng rng(491);
+  for (int trial = 0; trial < 10; ++trial) {
+    Polygon shape = Polygon::RandomStar(&rng, 8);
+    std::vector<double> base = TurningFunction(shape, 64);
+    std::vector<double> rotated = TurningFunction(shape.Rotated(0.8), 64);
+    std::vector<double> scaled = TurningFunction(shape.Scaled(3.0), 64);
+    EXPECT_NEAR(TurningDistance(base, rotated), 0.0, 1e-9);
+    EXPECT_NEAR(TurningDistance(base, scaled), 0.0, 1e-9);
+  }
+}
+
+TEST(TurningDistanceTest, DiscriminatesShapeFamilies) {
+  std::vector<double> tri = TurningFunction(Polygon::Regular(3), 64);
+  std::vector<double> hex = TurningFunction(Polygon::Regular(6), 64);
+  std::vector<double> tri2 =
+      TurningFunction(Polygon::Regular(3, 2.5).Rotated(1.0), 64);
+  EXPECT_LT(TurningDistance(tri, tri2), 1e-9);
+  EXPECT_GT(TurningDistance(tri, hex), 0.1);
+}
+
+TEST(SampleBoundaryTest, PointsLieOnThePolygonBoundary) {
+  Polygon sq = *Polygon::Create({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  std::vector<Point2> pts = SampleBoundary(sq, 40);
+  ASSERT_EQ(pts.size(), 40u);
+  for (const Point2& p : pts) {
+    // On the unit square's boundary: one coordinate is 0 or 2.
+    bool on_edge = std::fabs(p.x) < 1e-9 || std::fabs(p.x - 2.0) < 1e-9 ||
+                   std::fabs(p.y) < 1e-9 || std::fabs(p.y - 2.0) < 1e-9;
+    EXPECT_TRUE(on_edge) << "(" << p.x << "," << p.y << ")";
+  }
+  // Equal arc spacing: 10 points per side of the square.
+  EXPECT_NEAR(pts[0].x, 0.0, 1e-12);
+  EXPECT_NEAR(pts[0].y, 0.0, 1e-12);
+}
+
+TEST(HausdorffTest, MetricBasicsOnPointSets) {
+  std::vector<Point2> a{{0, 0}, {1, 0}};
+  std::vector<Point2> b{{0, 0}, {1, 0}, {0, 3}};
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), HausdorffDistance(b, a));
+  // The far point {0,3} dominates: its nearest in `a` is {0,0} at 3.
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 3.0);
+}
+
+TEST(HausdorffShapeDistanceTest, TranslationInvariantOnly) {
+  Rng rng(1409);
+  Polygon shape = Polygon::RandomStar(&rng, 8);
+  EXPECT_NEAR(HausdorffShapeDistance(shape, shape.Translated(7, -3)), 0.0,
+              1e-9);
+  // Scaling changes it (unlike turning functions).
+  EXPECT_GT(HausdorffShapeDistance(shape, shape.Scaled(2.0)), 0.1);
+  // Similar shapes are closer than dissimilar ones.
+  Polygon near_copy = shape.Translated(0.01, 0.0);
+  Polygon other = Polygon::RandomStar(&rng, 8);
+  EXPECT_LE(HausdorffShapeDistance(shape, near_copy),
+            HausdorffShapeDistance(shape, other));
+}
+
+TEST(ShapeGradeTest, MapsDistanceToUnitInterval) {
+  EXPECT_DOUBLE_EQ(ShapeGradeFromDistance(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ShapeGradeFromDistance(1.0), 0.5);
+  EXPECT_GT(ShapeGradeFromDistance(0.1), ShapeGradeFromDistance(0.2));
+  EXPECT_GT(ShapeGradeFromDistance(100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace fuzzydb

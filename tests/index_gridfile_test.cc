@@ -1,0 +1,90 @@
+#include "index/gridfile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+namespace {
+
+std::vector<double> RandomPoint(Rng* rng, size_t dim) {
+  std::vector<double> p(dim);
+  for (double& c : p) c = rng->NextDouble();
+  return p;
+}
+
+TEST(GridFileTest, InsertValidatesInput) {
+  GridFile grid(2);
+  EXPECT_FALSE(grid.Insert(1, std::vector<double>{0.5}).ok());
+  EXPECT_FALSE(grid.Insert(1, std::vector<double>{0.5, -0.1}).ok());
+  EXPECT_TRUE(grid.Insert(1, std::vector<double>{0.5, 0.5}).ok());
+  EXPECT_TRUE(grid.Insert(2, std::vector<double>{1.0, 0.0}).ok());  // border
+  EXPECT_EQ(grid.size(), 2u);
+}
+
+class GridKnnTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GridKnnTest, MatchesLinearScanExactly) {
+  const size_t dim = GetParam();
+  Rng rng(547 + dim);
+  GridFile grid(dim, 4);
+  LinearScanIndex scan(dim);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> p = RandomPoint(&rng, dim);
+    ASSERT_TRUE(grid.Insert(i, p).ok());
+    ASSERT_TRUE(scan.Insert(i, p).ok());
+  }
+  for (int q = 0; q < 10; ++q) {
+    std::vector<double> query = RandomPoint(&rng, dim);
+    for (size_t k : {1u, 7u}) {
+      Result<std::vector<KnnNeighbor>> a = grid.Knn(query, k, nullptr);
+      Result<std::vector<KnnNeighbor>> b = scan.Knn(query, k, nullptr);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(a->size(), b->size());
+      for (size_t i = 0; i < a->size(); ++i) {
+        EXPECT_EQ((*a)[i].id, (*b)[i].id) << "dim " << dim << " rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GridKnnTest, ::testing::Values(2, 3, 6, 12),
+                         [](const auto& info) {
+                           return "dim" + std::to_string(info.param);
+                         });
+
+TEST(GridFileTest, DirectoryGrowsExponentiallyWithDimension) {
+  // The paper's point (§2.1): a dense grid directory is buckets^dim.
+  EXPECT_DOUBLE_EQ(GridFile(2, 4).VirtualDirectorySize(), 16.0);
+  EXPECT_DOUBLE_EQ(GridFile(10, 4).VirtualDirectorySize(), 1048576.0);
+  EXPECT_GT(GridFile(64, 4).VirtualDirectorySize(), 1e38);
+}
+
+TEST(GridFileTest, HighDimensionDegradesToOneCellPerPoint) {
+  Rng rng(557);
+  const size_t n = 400;
+  GridFile low(2, 4), high(24, 4);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(low.Insert(i, RandomPoint(&rng, 2)).ok());
+    ASSERT_TRUE(high.Insert(i, RandomPoint(&rng, 24)).ok());
+  }
+  // Low dimension: many points share cells (16 cells for 400 points).
+  EXPECT_LE(low.OccupiedCells(), 16u);
+  // High dimension: nearly every point is alone in its cell.
+  EXPECT_GT(high.OccupiedCells(), n * 9 / 10);
+}
+
+TEST(GridFileTest, LowDimensionKnnOpensFewBuckets) {
+  Rng rng(563);
+  GridFile grid(2, 8);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(grid.Insert(i, RandomPoint(&rng, 2)).ok());
+  }
+  KnnStats stats;
+  ASSERT_TRUE(grid.Knn(std::vector<double>{0.5, 0.5}, 5, &stats).ok());
+  // Should examine far fewer points than the full 2000.
+  EXPECT_LT(stats.distance_computations, 500u);
+}
+
+}  // namespace
+}  // namespace fuzzydb

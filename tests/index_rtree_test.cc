@@ -1,0 +1,197 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+namespace {
+
+std::vector<double> RandomPoint(Rng* rng, size_t dim) {
+  std::vector<double> p(dim);
+  for (double& c : p) c = rng->NextDouble();
+  return p;
+}
+
+TEST(RectTest, ExtendVolumeEnlargementMinDist) {
+  Rect r(std::vector<double>{0.2, 0.2});
+  EXPECT_DOUBLE_EQ(r.Volume(), 0.0);  // degenerate point
+  Rect other(std::vector<double>{0.6, 0.4});
+  r.Extend(other);
+  EXPECT_NEAR(r.Volume(), 0.4 * 0.2, 1e-12);
+  Rect far(std::vector<double>{1.0, 1.0});
+  EXPECT_GT(r.Enlargement(far), 0.0);
+  // MinDist: inside -> 0; outside -> squared distance to the border.
+  std::vector<double> inside{0.3, 0.3};
+  EXPECT_DOUBLE_EQ(r.MinDist2(inside), 0.0);
+  std::vector<double> outside{0.7, 0.4};
+  EXPECT_NEAR(r.MinDist2(outside), 0.01, 1e-12);
+}
+
+TEST(RTreeTest, InsertValidatesInput) {
+  RTree tree(3);
+  EXPECT_FALSE(tree.Insert(1, std::vector<double>{0.5, 0.5}).ok());
+  EXPECT_FALSE(tree.Insert(1, std::vector<double>{0.5, 0.5, 1.5}).ok());
+  EXPECT_TRUE(tree.Insert(1, std::vector<double>{0.5, 0.5, 0.5}).ok());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RTreeTest, KnnValidatesInput) {
+  RTree tree(2);
+  ASSERT_TRUE(tree.Insert(1, std::vector<double>{0.5, 0.5}).ok());
+  EXPECT_FALSE(tree.Knn(std::vector<double>{0.5}, 1, nullptr).ok());
+  EXPECT_FALSE(tree.Knn(std::vector<double>{0.5, 0.5}, 0, nullptr).ok());
+}
+
+TEST(RTreeTest, GrowsInHeightUnderInsertions) {
+  Rng rng(503);
+  RTree tree(2, /*max_entries=*/8);
+  EXPECT_EQ(tree.Height(), 1u);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Insert(i, RandomPoint(&rng, 2)).ok());
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GE(tree.Height(), 3u);
+}
+
+class RTreeKnnTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeKnnTest, MatchesLinearScanExactly) {
+  const size_t dim = GetParam();
+  Rng rng(509 + dim);
+  RTree tree(dim);
+  LinearScanIndex scan(dim);
+  for (int i = 0; i < 600; ++i) {
+    std::vector<double> p = RandomPoint(&rng, dim);
+    ASSERT_TRUE(tree.Insert(i, p).ok());
+    ASSERT_TRUE(scan.Insert(i, p).ok());
+  }
+  for (int q = 0; q < 10; ++q) {
+    std::vector<double> query = RandomPoint(&rng, dim);
+    for (size_t k : {1u, 5u, 20u}) {
+      Result<std::vector<KnnNeighbor>> a = tree.Knn(query, k, nullptr);
+      Result<std::vector<KnnNeighbor>> b = scan.Knn(query, k, nullptr);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(a->size(), b->size());
+      for (size_t i = 0; i < a->size(); ++i) {
+        EXPECT_EQ((*a)[i].id, (*b)[i].id) << "dim " << dim << " rank " << i;
+        EXPECT_NEAR((*a)[i].distance, (*b)[i].distance, 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RTreeKnnTest, ::testing::Values(2, 4, 8, 16),
+                         [](const auto& info) {
+                           return "dim" + std::to_string(info.param);
+                         });
+
+TEST(RTreeTest, LowDimensionKnnPrunesMostOfTheTree) {
+  Rng rng(521);
+  RTree tree(2);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree.Insert(i, RandomPoint(&rng, 2)).ok());
+  }
+  KnnStats stats;
+  ASSERT_TRUE(tree.Knn(std::vector<double>{0.5, 0.5}, 10, &stats).ok());
+  // In 2-d, best-first search should visit a small fraction of points.
+  EXPECT_LT(stats.distance_computations, 1000u);
+  EXPECT_GT(stats.node_accesses, 0u);
+}
+
+TEST(RTreeTest, KnnLargerThanSizeReturnsEverything) {
+  Rng rng(523);
+  RTree tree(3);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(tree.Insert(i, RandomPoint(&rng, 3)).ok());
+  }
+  Result<std::vector<KnnNeighbor>> r =
+      tree.Knn(std::vector<double>{0.5, 0.5, 0.5}, 100, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 20u);
+}
+
+TEST(RTreeBulkLoadTest, StrTreeMatchesLinearScan) {
+  Rng rng(547);
+  const size_t dim = 3, n = 1000;
+  std::vector<ObjectId> ids(n);
+  std::vector<double> coords(n * dim);
+  LinearScanIndex scan(dim);
+  for (size_t i = 0; i < n; ++i) {
+    ids[i] = i;
+    for (size_t d = 0; d < dim; ++d) {
+      coords[i * dim + d] = rng.NextDouble();
+    }
+    ASSERT_TRUE(scan.Insert(i, {coords.data() + i * dim, dim}).ok());
+  }
+  RTree tree(dim);
+  ASSERT_TRUE(tree.BulkLoadStr(ids, coords).ok());
+  EXPECT_EQ(tree.size(), n);
+  for (int q = 0; q < 10; ++q) {
+    std::vector<double> query = RandomPoint(&rng, dim);
+    Result<std::vector<KnnNeighbor>> a = tree.Knn(query, 8, nullptr);
+    Result<std::vector<KnnNeighbor>> b = scan.Knn(query, 8, nullptr);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].id, (*b)[i].id) << "rank " << i;
+    }
+  }
+}
+
+TEST(RTreeBulkLoadTest, PackedTreeBeatsInsertionBuiltOnNodeAccesses) {
+  Rng rng(557);
+  const size_t dim = 2, n = 5000;
+  std::vector<ObjectId> ids(n);
+  std::vector<double> coords(n * dim);
+  RTree inserted(dim);
+  for (size_t i = 0; i < n; ++i) {
+    ids[i] = i;
+    for (size_t d = 0; d < dim; ++d) {
+      coords[i * dim + d] = rng.NextDouble();
+    }
+    ASSERT_TRUE(inserted.Insert(i, {coords.data() + i * dim, dim}).ok());
+  }
+  RTree packed(dim);
+  ASSERT_TRUE(packed.BulkLoadStr(ids, coords).ok());
+
+  KnnStats ins_stats, pack_stats;
+  for (int q = 0; q < 20; ++q) {
+    std::vector<double> query = RandomPoint(&rng, dim);
+    ASSERT_TRUE(inserted.Knn(query, 10, &ins_stats).ok());
+    ASSERT_TRUE(packed.Knn(query, 10, &pack_stats).ok());
+  }
+  EXPECT_LE(pack_stats.node_accesses, ins_stats.node_accesses);
+}
+
+TEST(RTreeBulkLoadTest, ValidatesAndHandlesEmpty) {
+  RTree tree(2);
+  EXPECT_FALSE(tree.BulkLoadStr({1}, {0.5}).ok());  // wrong coord count
+  EXPECT_FALSE(tree.BulkLoadStr({1}, {0.5, 2.0}).ok());  // out of range
+  EXPECT_TRUE(tree.BulkLoadStr({}, {}).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  Result<std::vector<KnnNeighbor>> r =
+      tree.Knn(std::vector<double>{0.5, 0.5}, 3, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(LinearScanTest, DistancesAreSortedAndComplete) {
+  Rng rng(541);
+  LinearScanIndex scan(4);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(scan.Insert(i, RandomPoint(&rng, 4)).ok());
+  }
+  KnnStats stats;
+  Result<std::vector<KnnNeighbor>> r =
+      scan.Knn(RandomPoint(&rng, 4), 10, &stats);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 10u);
+  for (size_t i = 1; i < r->size(); ++i) {
+    EXPECT_GE((*r)[i].distance, (*r)[i - 1].distance);
+  }
+  EXPECT_EQ(stats.distance_computations, 100u);
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,104 @@
+#include "index/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+namespace {
+
+std::vector<double> RandomPoint(Rng* rng, size_t dim) {
+  std::vector<double> p(dim);
+  for (double& c : p) c = rng->NextDouble();
+  return p;
+}
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  Rng rng(569);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t dim = 1 + rng.NextBounded(10);
+    unsigned bits = 1 + static_cast<unsigned>(rng.NextBounded(
+                            std::min<size_t>(5, 60 / dim)));
+    std::vector<uint32_t> coords(dim);
+    for (uint32_t& c : coords) {
+      c = static_cast<uint32_t>(rng.NextBounded(1u << bits));
+    }
+    uint64_t code = MortonEncode(coords, bits);
+    EXPECT_EQ(MortonDecode(code, dim, bits), coords);
+  }
+}
+
+TEST(MortonTest, Known2DValues) {
+  // Classic 2-d Morton: (x=1, y=0) -> 1, (x=0, y=1) -> 2, (x=1, y=1) -> 3.
+  std::vector<uint32_t> p10{1, 0}, p01{0, 1}, p11{1, 1};
+  EXPECT_EQ(MortonEncode(p10, 1), 1u);
+  EXPECT_EQ(MortonEncode(p01, 1), 2u);
+  EXPECT_EQ(MortonEncode(p11, 1), 3u);
+}
+
+TEST(MortonTest, PreservesLocalityWithinCells) {
+  // Two coords identical in high bits share a z-prefix: codes of points in
+  // the same half-space differ in lower interleaved bits only.
+  std::vector<uint32_t> a{0, 0}, b{1, 1}, c{2, 2};
+  EXPECT_LT(MortonEncode(a, 2), MortonEncode(b, 2));
+  EXPECT_LT(MortonEncode(b, 2), MortonEncode(c, 2));
+}
+
+TEST(LinearQuadtreeTest, AutoPicksFeasibleBits) {
+  EXPECT_EQ(LinearQuadtree(2).bits_per_dim(), 4u);
+  EXPECT_EQ(LinearQuadtree(20).bits_per_dim(), 3u);
+  EXPECT_EQ(LinearQuadtree(32).bits_per_dim(), 1u);
+}
+
+TEST(LinearQuadtreeTest, InsertValidates) {
+  LinearQuadtree qt(2);
+  EXPECT_FALSE(qt.Insert(1, std::vector<double>{0.5}).ok());
+  EXPECT_TRUE(qt.Insert(1, std::vector<double>{0.5, 1.0}).ok());
+  EXPECT_EQ(qt.size(), 1u);
+}
+
+class ZKnnTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ZKnnTest, MatchesLinearScanExactly) {
+  const size_t dim = GetParam();
+  Rng rng(571 + dim);
+  LinearQuadtree qt(dim);
+  LinearScanIndex scan(dim);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> p = RandomPoint(&rng, dim);
+    ASSERT_TRUE(qt.Insert(i, p).ok());
+    ASSERT_TRUE(scan.Insert(i, p).ok());
+  }
+  for (int q = 0; q < 10; ++q) {
+    std::vector<double> query = RandomPoint(&rng, dim);
+    for (size_t k : {1u, 9u}) {
+      Result<std::vector<KnnNeighbor>> a = qt.Knn(query, k, nullptr);
+      Result<std::vector<KnnNeighbor>> b = scan.Knn(query, k, nullptr);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(a->size(), b->size());
+      for (size_t i = 0; i < a->size(); ++i) {
+        EXPECT_EQ((*a)[i].id, (*b)[i].id) << "dim " << dim << " rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ZKnnTest, ::testing::Values(2, 3, 6, 12),
+                         [](const auto& info) {
+                           return "dim" + std::to_string(info.param);
+                         });
+
+TEST(LinearQuadtreeTest, CellOccupancyDegradesWithDimension) {
+  Rng rng(577);
+  const size_t n = 400;
+  LinearQuadtree low(2), high(24);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(low.Insert(i, RandomPoint(&rng, 2)).ok());
+    ASSERT_TRUE(high.Insert(i, RandomPoint(&rng, 24)).ok());
+  }
+  EXPECT_LE(low.OccupiedCells(), 256u);       // capped by the 16x16 grid
+  EXPECT_GT(high.OccupiedCells(), n * 9 / 10);  // nearly private cells
+}
+
+}  // namespace
+}  // namespace fuzzydb

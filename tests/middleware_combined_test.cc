@@ -1,0 +1,99 @@
+#include "middleware/combined.h"
+
+#include <gtest/gtest.h>
+
+#include "middleware/naive.h"
+#include "middleware/nra.h"
+#include "middleware/threshold.h"
+#include "sim/experiment.h"
+#include "sim/workload.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(CombinedTest, ValidatesArguments) {
+  Rng rng(1103);
+  Workload w = IndependentUniform(&rng, 50, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+  EXPECT_FALSE(CombinedTopK(ptrs, *MinRule(), 5, 0).ok());
+  EXPECT_FALSE(CombinedTopK(ptrs, *MinRule(), 0, 1).ok());
+  ScoringRulePtr bad = UserDefinedRule(
+      "antitone", [](std::span<const double> s) { return 1.0 - s[0]; },
+      false, false);
+  EXPECT_EQ(CombinedTopK(ptrs, *bad, 5, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+class CombinedPeriodTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CombinedPeriodTest, CorrectTopKSetAtEveryPeriod) {
+  const size_t h = GetParam();
+  for (uint64_t seed : {1u, 2u}) {
+    Rng rng(1109 + seed);
+    Workload w = IndependentUniform(&rng, 400, 2);
+    Result<std::vector<VectorSource>> sources = w.MakeSources();
+    ASSERT_TRUE(sources.ok());
+    std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+    Result<GradedSet> truth = NaiveAllGrades(ptrs, *MinRule());
+    ASSERT_TRUE(truth.ok());
+    Result<TopKResult> r = CombinedTopK(ptrs, *MinRule(), 10, h);
+    ASSERT_TRUE(r.ok());
+    std::vector<GradedObject> expected = truth->TopK(10);
+    ASSERT_EQ(r->items.size(), expected.size());
+    double kth = expected.back().grade;
+    for (const GradedObject& g : r->items) {
+      EXPECT_GE(*truth->GradeOf(g.id), kth - 1e-12)
+          << "h=" << h << " seed=" << seed;
+      // Reported grades never exceed the truth (lower bounds or exact).
+      EXPECT_LE(g.grade, *truth->GradeOf(g.id) + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, CombinedPeriodTest,
+                         ::testing::Values(1, 2, 8, 64, 100000),
+                         [](const auto& info) {
+                           return "h" + std::to_string(info.param);
+                         });
+
+TEST(CombinedTest, RandomAccessDecreasesWithPeriod) {
+  Rng rng(1117);
+  Workload w = IndependentUniform(&rng, 5000, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+  uint64_t prev_random = UINT64_MAX;
+  for (size_t h : {1u, 8u, 64u, 1000000u}) {
+    Result<TopKResult> r = CombinedTopK(ptrs, *MinRule(), 10, h);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->cost.random, prev_random) << "h=" << h;
+    prev_random = r->cost.random;
+  }
+  // At huge h, CA must do (almost) no random access, like NRA.
+  Result<TopKResult> ca_inf = CombinedTopK(ptrs, *MinRule(), 10, 1000000);
+  ASSERT_TRUE(ca_inf.ok());
+  EXPECT_LE(ca_inf->cost.random, 2u * 10u);
+  Result<TopKResult> nra = NoRandomAccessTopK(ptrs, *MinRule(), 10);
+  ASSERT_TRUE(nra.ok());
+  // Same sorted-depth ballpark as NRA.
+  EXPECT_LE(ca_inf->cost.sorted, nra->cost.sorted * 2);
+}
+
+TEST(CombinedTest, SmallPeriodCanTerminateEarlierThanNRA) {
+  // Resolving blockers with random access lets CA stop at a shallower
+  // sorted depth than pure NRA on at least some instances.
+  Rng rng(1123);
+  Workload w = AntiCorrelated(&rng, 3000, 0.05);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+  Result<TopKResult> ca = CombinedTopK(ptrs, *MinRule(), 10, 1);
+  Result<TopKResult> nra = NoRandomAccessTopK(ptrs, *MinRule(), 10);
+  ASSERT_TRUE(ca.ok() && nra.ok());
+  EXPECT_LE(ca->cost.sorted, nra->cost.sorted);
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,167 @@
+// Tests for the A0-as-a-join operator (paper §4.2).
+
+#include "middleware/join.h"
+
+#include <gtest/gtest.h>
+
+#include "middleware/cost.h"
+#include "middleware/naive.h"
+#include "middleware/threshold.h"
+#include "sim/experiment.h"
+#include "sim/workload.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(TopKJoinTest, CreateValidates) {
+  Result<VectorSource> a = VectorSource::Create({{1, 0.5}});
+  Result<VectorSource> b = VectorSource::Create({{1, 0.6}, {2, 0.1}});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(TopKJoinSource::Create(nullptr, &*b).ok());
+  EXPECT_FALSE(TopKJoinSource::Create(&*a, nullptr).ok());
+  EXPECT_FALSE(TopKJoinSource::Create(&*a, &*b).ok());  // size mismatch
+  ScoringRulePtr bad = UserDefinedRule(
+      "antitone", [](std::span<const double> s) { return 1.0 - s[0]; },
+      false, false);
+  Result<VectorSource> a2 = VectorSource::Create({{1, 0.5}, {2, 0.2}});
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(TopKJoinSource::Create(&*a2, &*b, bad).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TopKJoinTest, StreamsTheExactOverallRanking) {
+  Rng rng(881);
+  Workload w = IndependentUniform(&rng, 250, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+  Result<GradedSet> truth = NaiveAllGrades(ptrs, *MinRule());
+  ASSERT_TRUE(truth.ok());
+  std::vector<GradedObject> expected = truth->Sorted();
+
+  Result<TopKJoinSource> join =
+      TopKJoinSource::Create(ptrs[0], ptrs[1], MinRule());
+  ASSERT_TRUE(join.ok());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    std::optional<GradedObject> next = join->NextSorted();
+    ASSERT_TRUE(next.has_value()) << "position " << i;
+    EXPECT_EQ(next->id, expected[i].id) << "position " << i;
+    EXPECT_NEAR(next->grade, expected[i].grade, 1e-12);
+  }
+  EXPECT_FALSE(join->NextSorted().has_value());
+}
+
+TEST(TopKJoinTest, LazyPullsTouchOnlyAPrefix) {
+  // Asking for the top item must not stream the whole inputs.
+  Rng rng(883);
+  Workload w = IndependentUniform(&rng, 20000, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  AccessCost cost;
+  CountingSource left(&(*sources)[0], &cost);
+  CountingSource right(&(*sources)[1], &cost);
+  Result<TopKJoinSource> join =
+      TopKJoinSource::Create(&left, &right, MinRule());
+  ASSERT_TRUE(join.ok());
+  ASSERT_TRUE(join->NextSorted().has_value());
+  EXPECT_LT(cost.total(), 4000u) << "joined lazily, not exhaustively";
+}
+
+TEST(TopKJoinTest, RandomAccessCombinesGrades) {
+  Result<VectorSource> a = VectorSource::Create({{1, 0.5}, {2, 0.9}});
+  Result<VectorSource> b = VectorSource::Create({{1, 0.7}, {2, 0.3}});
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<TopKJoinSource> join = TopKJoinSource::Create(&*a, &*b, MinRule());
+  ASSERT_TRUE(join.ok());
+  EXPECT_DOUBLE_EQ(join->RandomAccess(1), 0.5);
+  EXPECT_DOUBLE_EQ(join->RandomAccess(2), 0.3);
+  EXPECT_DOUBLE_EQ(join->RandomAccess(99), 0.0);
+}
+
+TEST(TopKJoinTest, RestartReplaysTheStream) {
+  Rng rng(887);
+  Workload w = IndependentUniform(&rng, 50, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+  Result<TopKJoinSource> join =
+      TopKJoinSource::Create(ptrs[0], ptrs[1], MinRule());
+  ASSERT_TRUE(join.ok());
+  std::vector<ObjectId> first_pass;
+  while (auto next = join->NextSorted()) first_pass.push_back(next->id);
+  join->RestartSorted();
+  std::vector<ObjectId> second_pass;
+  while (auto next = join->NextSorted()) second_pass.push_back(next->id);
+  EXPECT_EQ(first_pass, second_pass);
+}
+
+TEST(TopKJoinTest, AtLeastMatchesThresholdSemantics) {
+  Rng rng(907);
+  Workload w = IndependentUniform(&rng, 120, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+  Result<TopKJoinSource> join =
+      TopKJoinSource::Create(ptrs[0], ptrs[1], MinRule());
+  ASSERT_TRUE(join.ok());
+  Result<GradedSet> truth = NaiveAllGrades(ptrs, *MinRule());
+  ASSERT_TRUE(truth.ok());
+  std::vector<GradedObject> expected = truth->AtLeast(0.6);
+  std::vector<GradedObject> got = join->AtLeast(0.6);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, expected[i].id);
+  }
+}
+
+TEST(TopKJoinTest, JoinsComposeIntoPipelines) {
+  // join(join(A, B), C) under min == 3-ary min over (A, B, C).
+  Rng rng(911);
+  Workload w = IndependentUniform(&rng, 200, 3);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+
+  Result<TopKJoinSource> inner =
+      TopKJoinSource::Create(ptrs[0], ptrs[1], MinRule(), "A*B");
+  ASSERT_TRUE(inner.ok());
+  Result<TopKJoinSource> outer =
+      TopKJoinSource::Create(&*inner, ptrs[2], MinRule(), "(A*B)*C");
+  ASSERT_TRUE(outer.ok());
+
+  // Computing the ground truth streams the shared inputs to exhaustion, so
+  // rewind the pipeline (RestartSorted cascades to the inputs).
+  Result<GradedSet> truth = NaiveAllGrades(ptrs, *MinRule());
+  ASSERT_TRUE(truth.ok());
+  outer->RestartSorted();
+  std::vector<GradedObject> expected = truth->Sorted();
+  for (size_t i = 0; i < 20; ++i) {
+    std::optional<GradedObject> next = outer->NextSorted();
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(next->id, expected[i].id) << "position " << i;
+    EXPECT_NEAR(next->grade, expected[i].grade, 1e-12);
+  }
+}
+
+TEST(TopKJoinTest, JoinFeedsOtherAlgorithmsAsAPlainSource) {
+  // A join output can be one input of TA — operators all the way down.
+  Rng rng(919);
+  Workload w = IndependentUniform(&rng, 150, 3);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+  Result<TopKJoinSource> join =
+      TopKJoinSource::Create(ptrs[0], ptrs[1], MinRule());
+  ASSERT_TRUE(join.ok());
+  join->RestartSorted();
+
+  std::vector<GradedSource*> two{&*join, ptrs[2]};
+  Result<TopKResult> top = ThresholdTopK(two, *MinRule(), 5);
+  ASSERT_TRUE(top.ok());
+  Result<GradedSet> truth = NaiveAllGrades(ptrs, *MinRule());
+  ASSERT_TRUE(truth.ok());
+  EXPECT_TRUE(IsValidTopK(top->items, *truth, 5));
+}
+
+}  // namespace
+}  // namespace fuzzydb

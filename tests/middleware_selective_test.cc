@@ -1,0 +1,135 @@
+// Tests for the selective-conjunct plan (paper §4.1's Artist='Beatles'
+// strategy).
+
+#include "middleware/selective.h"
+
+#include <gtest/gtest.h>
+
+#include "middleware/naive.h"
+#include "middleware/threshold.h"
+#include "sim/experiment.h"
+#include "sim/workload.h"
+
+namespace fuzzydb {
+namespace {
+
+// n objects: a 0/1 selective column (given selectivity) + graded columns.
+struct Rig {
+  Workload workload;
+  std::vector<VectorSource> sources;
+  std::vector<GradedSource*> ptrs;  // [selective, others...]
+};
+
+Rig MakeSetup(size_t n, size_t m, double selectivity, uint64_t seed) {
+  Rng rng(seed);
+  Rig s;
+  s.workload = IndependentUniform(&rng, n, m - 1);
+  s.workload.columns.insert(s.workload.columns.begin(),
+                            ZeroOneColumn(&rng, n, selectivity));
+  s.sources = *s.workload.MakeSources();
+  for (VectorSource& src : s.sources) s.ptrs.push_back(&src);
+  return s;
+}
+
+TEST(ZeroAnnihilationTest, ClassifiesRules) {
+  Rng rng(1601);
+  EXPECT_TRUE(CheckZeroAnnihilation(*MinRule(), 3, 200, &rng));
+  EXPECT_TRUE(
+      CheckZeroAnnihilation(*TNormRule(TNormKind::kProduct), 3, 200, &rng));
+  EXPECT_TRUE(CheckZeroAnnihilation(*TNormRule(TNormKind::kLukasiewicz), 3,
+                                    200, &rng));
+  EXPECT_TRUE(CheckZeroAnnihilation(*GeometricMeanRule(), 3, 200, &rng));
+  EXPECT_FALSE(CheckZeroAnnihilation(*ArithmeticMeanRule(), 3, 200, &rng));
+  EXPECT_FALSE(CheckZeroAnnihilation(*MaxRule(), 3, 200, &rng));
+}
+
+TEST(SelectiveProbeTest, MatchesGroundTruthAcrossSelectivities) {
+  for (double selectivity : {0.02, 0.1, 0.4}) {
+    Rig s = MakeSetup(500, 3, selectivity, 1607);
+    ScoringRulePtr min = MinRule();
+    Result<GradedSet> truth = NaiveAllGrades(s.ptrs, *min);
+    ASSERT_TRUE(truth.ok());
+    std::span<GradedSource* const> others(s.ptrs.data() + 1, 2);
+    for (size_t k : {1u, 5u, 40u}) {
+      Result<TopKResult> r =
+          SelectiveProbeTopK(s.ptrs[0], others, *min, k);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_TRUE(IsValidTopK(r->items, *truth, k))
+          << "selectivity " << selectivity << " k " << k;
+    }
+  }
+}
+
+TEST(SelectiveProbeTest, PadsWithZeroGradeObjectsWhenFewMatches) {
+  // 5 matches out of 200 but k = 20: the answer holds all matches plus
+  // grade-0 filler.
+  Rig s = MakeSetup(200, 2, 0.025, 1609);
+  ScoringRulePtr min = MinRule();
+  std::span<GradedSource* const> others(s.ptrs.data() + 1, 1);
+  Result<TopKResult> r = SelectiveProbeTopK(s.ptrs[0], others, *min, 20);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->items.size(), 20u);
+  Result<GradedSet> truth = NaiveAllGrades(s.ptrs, *min);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_TRUE(IsValidTopK(r->items, *truth, 20));
+  size_t zeros = 0;
+  for (const GradedObject& g : r->items) zeros += g.grade == 0.0;
+  EXPECT_GE(zeros, 15u);
+}
+
+TEST(SelectiveProbeTest, BeatsTAOnLowSelectivity) {
+  // The paper's point: with few Beatles albums, probing S is much cheaper
+  // than merging sorted streams.
+  Rig s = MakeSetup(20000, 2, 0.005, 1613);  // 100 matches
+  ScoringRulePtr min = MinRule();
+  std::span<GradedSource* const> others(s.ptrs.data() + 1, 1);
+  Result<TopKResult> probe = SelectiveProbeTopK(s.ptrs[0], others, *min, 10);
+  Result<TopKResult> ta = ThresholdTopK(s.ptrs, *min, 10);
+  ASSERT_TRUE(probe.ok() && ta.ok());
+  // |S| sorted + |S| random = ~200 accesses.
+  EXPECT_LE(probe->cost.total(), 2u * 100u + 10u);
+  EXPECT_LT(probe->cost.total(), ta->cost.total());
+}
+
+TEST(SelectiveProbeTest, RejectsNonAnnihilatingAndNonMonotoneRules) {
+  Rig s = MakeSetup(50, 2, 0.2, 1619);
+  std::span<GradedSource* const> others(s.ptrs.data() + 1, 1);
+  EXPECT_EQ(SelectiveProbeTopK(s.ptrs[0], others, *ArithmeticMeanRule(), 5)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  ScoringRulePtr bad = UserDefinedRule(
+      "antitone", [](std::span<const double> x) { return 1.0 - x[0]; },
+      false, false);
+  EXPECT_EQ(SelectiveProbeTopK(s.ptrs[0], others, *bad, 5).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(SelectiveProbeTopK(nullptr, others, *MinRule(), 5).ok());
+  EXPECT_FALSE(SelectiveProbeTopK(s.ptrs[0], others, *MinRule(), 0).ok());
+}
+
+TEST(SelectiveProbeTest, WorksWithGradedSelectiveListToo) {
+  // The selective list need not be 0/1 — any list whose support is small
+  // qualifies (e.g. a pre-filtered similarity list).
+  Rng rng(1621);
+  const size_t n = 300;
+  std::vector<std::vector<double>> columns(2, std::vector<double>(n, 0.0));
+  std::vector<ObjectId> ids(n);
+  for (size_t i = 0; i < n; ++i) {
+    ids[i] = i + 1;
+    if (i % 10 == 0) columns[0][i] = 0.5 + 0.5 * rng.NextDouble();
+    columns[1][i] = rng.NextDouble();
+  }
+  Result<std::vector<VectorSource>> sources = MakeSources(ids, columns);
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+  ScoringRulePtr product = TNormRule(TNormKind::kProduct);
+  Result<GradedSet> truth = NaiveAllGrades(ptrs, *product);
+  ASSERT_TRUE(truth.ok());
+  std::span<GradedSource* const> others(ptrs.data() + 1, 1);
+  Result<TopKResult> r = SelectiveProbeTopK(ptrs[0], others, *product, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(IsValidTopK(r->items, *truth, 10));
+}
+
+}  // namespace
+}  // namespace fuzzydb

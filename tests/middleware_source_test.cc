@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "middleware/cost.h"
+#include "middleware/vector_source.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(VectorSourceTest, CreateValidates) {
+  EXPECT_FALSE(VectorSource::Create({{1, 0.5}, {1, 0.6}}).ok());
+  EXPECT_FALSE(VectorSource::Create({{1, 1.5}}).ok());
+  EXPECT_FALSE(VectorSource::Create({{1, -0.1}}).ok());
+  EXPECT_TRUE(VectorSource::Create({}).ok());  // empty source is legal
+}
+
+TEST(VectorSourceTest, SortedAccessStreamsDescending) {
+  Result<VectorSource> src =
+      VectorSource::Create({{1, 0.2}, {2, 0.9}, {3, 0.5}, {4, 0.9}});
+  ASSERT_TRUE(src.ok());
+  std::vector<ObjectId> order;
+  while (auto next = src->NextSorted()) order.push_back(next->id);
+  EXPECT_EQ(order, (std::vector<ObjectId>{2, 4, 3, 1}));
+  EXPECT_FALSE(src->NextSorted().has_value());
+  src->RestartSorted();
+  EXPECT_EQ(src->NextSorted()->id, 2u);
+}
+
+TEST(VectorSourceTest, RandomAccessAndUnknownIds) {
+  Result<VectorSource> src = VectorSource::Create({{1, 0.2}, {2, 0.9}});
+  ASSERT_TRUE(src.ok());
+  EXPECT_DOUBLE_EQ(src->RandomAccess(2), 0.9);
+  EXPECT_DOUBLE_EQ(src->RandomAccess(42), 0.0);  // absent -> grade 0
+}
+
+TEST(VectorSourceTest, AtLeastReturnsPrefix) {
+  Result<VectorSource> src =
+      VectorSource::Create({{1, 0.2}, {2, 0.9}, {3, 0.5}});
+  ASSERT_TRUE(src.ok());
+  std::vector<GradedObject> hits = src->AtLeast(0.5);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 2u);
+  EXPECT_EQ(hits[1].id, 3u);
+  EXPECT_EQ(src->AtLeast(0.0).size(), 3u);
+  EXPECT_TRUE(src->AtLeast(0.95).empty());
+}
+
+TEST(CountingSourceTest, ChargesEveryAccessMode) {
+  Result<VectorSource> src =
+      VectorSource::Create({{1, 0.2}, {2, 0.9}, {3, 0.5}});
+  ASSERT_TRUE(src.ok());
+  AccessCost cost;
+  CountingSource counted(&*src, &cost);
+
+  EXPECT_TRUE(counted.NextSorted().has_value());
+  EXPECT_TRUE(counted.NextSorted().has_value());
+  EXPECT_EQ(cost.sorted, 2u);
+
+  counted.RandomAccess(1);
+  counted.RandomAccess(42);
+  EXPECT_EQ(cost.random, 2u);
+
+  // Filter access charges one sorted access per returned object (CG96).
+  counted.AtLeast(0.5);
+  EXPECT_EQ(cost.sorted, 4u);
+
+  // Exhausted sorted access is not charged.
+  counted.RestartSorted();
+  for (int i = 0; i < 10; ++i) counted.NextSorted();
+  EXPECT_EQ(cost.sorted, 7u);
+  EXPECT_EQ(cost.total(), 9u);
+}
+
+TEST(AccessCostTest, ChargedModelWeighsRandomAccesses) {
+  AccessCost cost;
+  cost.sorted = 10;
+  cost.random = 4;
+  EXPECT_EQ(cost.total(), 14u);
+  EXPECT_DOUBLE_EQ(cost.Charged(1.0), 14.0);
+  EXPECT_DOUBLE_EQ(cost.Charged(0.5), 12.0);
+  EXPECT_DOUBLE_EQ(cost.Charged(10.0), 50.0);
+  AccessCost other;
+  other.sorted = 1;
+  other.random = 2;
+  cost += other;
+  EXPECT_EQ(cost.sorted, 11u);
+  EXPECT_EQ(cost.random, 6u);
+}
+
+TEST(MakeSourcesTest, BuildsOneSourcePerColumn) {
+  std::vector<ObjectId> ids{10, 20, 30};
+  std::vector<std::vector<double>> cols{{0.1, 0.2, 0.3}, {0.9, 0.8, 0.7}};
+  Result<std::vector<VectorSource>> sources = MakeSources(ids, cols);
+  ASSERT_TRUE(sources.ok());
+  ASSERT_EQ(sources->size(), 2u);
+  EXPECT_DOUBLE_EQ((*sources)[0].RandomAccess(30), 0.3);
+  EXPECT_DOUBLE_EQ((*sources)[1].RandomAccess(10), 0.9);
+  EXPECT_EQ((*sources)[0].NextSorted()->id, 30u);
+
+  EXPECT_FALSE(MakeSources(ids, {{0.1}}).ok());  // size mismatch
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,146 @@
+#include "relational/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(BTreeTest, InsertAndLookup) {
+  BTreeIndex index(ValueType::kInt64);
+  ASSERT_TRUE(index.Insert(Value(int64_t{5}), 100).ok());
+  ASSERT_TRUE(index.Insert(Value(int64_t{5}), 101).ok());
+  ASSERT_TRUE(index.Insert(Value(int64_t{7}), 102).ok());
+  EXPECT_EQ(index.size(), 3u);
+  Result<std::vector<ObjectId>> hits = index.Lookup(Value(int64_t{5}));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+  EXPECT_TRUE(index.Lookup(Value(int64_t{6}))->empty());
+}
+
+TEST(BTreeTest, RejectsNullAndMistypedKeys) {
+  BTreeIndex index(ValueType::kInt64);
+  EXPECT_FALSE(index.Insert(Value(), 1).ok());
+  EXPECT_FALSE(index.Insert(Value(std::string("x")), 1).ok());
+  EXPECT_FALSE(index.Lookup(Value(1.5)).ok());
+}
+
+TEST(BTreeTest, SplitsGrowHeightAndPreserveContents) {
+  BTreeIndex index(ValueType::kInt64, /*fanout=*/4);
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(index.Insert(Value(int64_t{i}), 1000 + i).ok());
+  }
+  EXPECT_EQ(index.size(), static_cast<size_t>(n));
+  EXPECT_GT(index.Height(), 2u);  // fanout 4 must split repeatedly
+  for (int i = 0; i < n; ++i) {
+    Result<std::vector<ObjectId>> hits = index.Lookup(Value(int64_t{i}));
+    ASSERT_TRUE(hits.ok());
+    ASSERT_EQ(hits->size(), 1u) << "key " << i;
+    EXPECT_EQ((*hits)[0], static_cast<ObjectId>(1000 + i));
+  }
+}
+
+TEST(BTreeTest, RandomizedAgainstReferenceMap) {
+  Rng rng(401);
+  BTreeIndex index(ValueType::kInt64, 8);
+  std::multimap<int64_t, ObjectId> reference;
+  for (int i = 0; i < 3000; ++i) {
+    int64_t key = rng.NextInt(0, 300);
+    ObjectId id = static_cast<ObjectId>(i);
+    ASSERT_TRUE(index.Insert(Value(key), id).ok());
+    reference.emplace(key, id);
+  }
+  for (int64_t key = 0; key <= 300; ++key) {
+    auto [lo, hi] = reference.equal_range(key);
+    std::vector<ObjectId> expected;
+    for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+    std::sort(expected.begin(), expected.end());
+    Result<std::vector<ObjectId>> hits = index.Lookup(Value(key));
+    ASSERT_TRUE(hits.ok());
+    std::vector<ObjectId> got = *hits;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "key " << key;
+  }
+}
+
+TEST(BTreeTest, RangeScanInKeyOrder) {
+  BTreeIndex index(ValueType::kInt64, 6);
+  for (int i = 100; i >= 0; --i) {
+    ASSERT_TRUE(index.Insert(Value(int64_t{i}), static_cast<ObjectId>(i)).ok());
+  }
+  std::vector<int64_t> keys;
+  ASSERT_TRUE(index
+                  .RangeScan(Value(int64_t{10}), Value(int64_t{20}),
+                             [&](const Value& k, ObjectId) {
+                               keys.push_back(k.AsInt64());
+                             })
+                  .ok());
+  ASSERT_EQ(keys.size(), 11u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], static_cast<int64_t>(10 + i));
+  }
+}
+
+TEST(BTreeTest, UnboundedRangeScans) {
+  BTreeIndex index(ValueType::kInt64, 6);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(index.Insert(Value(int64_t{i}), static_cast<ObjectId>(i)).ok());
+  }
+  size_t count = 0;
+  ASSERT_TRUE(
+      index.RangeScan(Value(), Value(), [&](const Value&, ObjectId) {
+        ++count;
+      }).ok());
+  EXPECT_EQ(count, 50u);
+
+  count = 0;
+  ASSERT_TRUE(index
+                  .RangeScan(Value(int64_t{40}), Value(),
+                             [&](const Value&, ObjectId) { ++count; })
+                  .ok());
+  EXPECT_EQ(count, 10u);
+  count = 0;
+  ASSERT_TRUE(index
+                  .RangeScan(Value(), Value(int64_t{9}),
+                             [&](const Value&, ObjectId) { ++count; })
+                  .ok());
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(BTreeTest, EraseRemovesSinglePosting) {
+  BTreeIndex index(ValueType::kString, 4);
+  ASSERT_TRUE(index.Insert(Value(std::string("a")), 1).ok());
+  ASSERT_TRUE(index.Insert(Value(std::string("a")), 2).ok());
+  ASSERT_TRUE(index.Erase(Value(std::string("a")), 1).ok());
+  EXPECT_EQ(index.size(), 1u);
+  Result<std::vector<ObjectId>> hits = index.Lookup(Value(std::string("a")));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(*hits, std::vector<ObjectId>{2});
+  EXPECT_EQ(index.Erase(Value(std::string("a")), 99).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(index.Erase(Value(std::string("zz")), 1).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BTreeTest, StringKeysSortLexicographically) {
+  BTreeIndex index(ValueType::kString, 4);
+  for (const char* name : {"pear", "apple", "fig", "banana", "cherry"}) {
+    ASSERT_TRUE(index.Insert(Value(std::string(name)), 1).ok());
+  }
+  std::vector<std::string> keys;
+  ASSERT_TRUE(index
+                  .RangeScan(Value(), Value(),
+                             [&](const Value& k, ObjectId) {
+                               keys.push_back(k.AsString());
+                             })
+                  .ok());
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple", "banana", "cherry",
+                                            "fig", "pear"}));
+}
+
+}  // namespace
+}  // namespace fuzzydb

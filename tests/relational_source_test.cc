@@ -1,0 +1,118 @@
+#include "relational/relational_source.h"
+
+#include <gtest/gtest.h>
+
+#include "middleware/naive.h"
+
+namespace fuzzydb {
+namespace {
+
+class RelationalSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema = *Schema::Create(
+        {{"Artist", ValueType::kString}, {"Year", ValueType::kInt64}});
+    table_ = std::make_unique<Table>("cds", std::move(schema));
+    auto row = [](const char* artist, int64_t year) {
+      return std::vector<Value>{Value(std::string(artist)), Value(year)};
+    };
+    ASSERT_TRUE(table_->Insert(1, row("Beatles", 1969)).ok());
+    ASSERT_TRUE(table_->Insert(2, row("Kinks", 1969)).ok());
+    ASSERT_TRUE(table_->Insert(3, row("Beatles", 1965)).ok());
+    ASSERT_TRUE(table_->Insert(4, row("Who", 1971)).ok());
+  }
+
+  Predicate BeatlesPredicate() {
+    return *Predicate::Create(table_->schema(), "Artist", CompareOp::kEq,
+                              Value(std::string("Beatles")));
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(RelationalSourceTest, GradesAreZeroOrOne) {
+  Result<RelationalSource> src =
+      RelationalSource::Create(table_.get(), BeatlesPredicate());
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ(src->Size(), 4u);
+  EXPECT_EQ(src->num_matches(), 2u);
+  EXPECT_DOUBLE_EQ(src->RandomAccess(1), 1.0);
+  EXPECT_DOUBLE_EQ(src->RandomAccess(2), 0.0);
+  EXPECT_DOUBLE_EQ(src->RandomAccess(3), 1.0);
+  EXPECT_DOUBLE_EQ(src->RandomAccess(999), 0.0);
+}
+
+TEST_F(RelationalSourceTest, SortedAccessStreamsMatchesFirst) {
+  Result<RelationalSource> src =
+      RelationalSource::Create(table_.get(), BeatlesPredicate());
+  ASSERT_TRUE(src.ok());
+  std::vector<GradedObject> stream;
+  while (auto next = src->NextSorted()) stream.push_back(*next);
+  ASSERT_EQ(stream.size(), 4u);
+  EXPECT_EQ(stream[0].id, 1u);
+  EXPECT_DOUBLE_EQ(stream[0].grade, 1.0);
+  EXPECT_EQ(stream[1].id, 3u);
+  EXPECT_DOUBLE_EQ(stream[1].grade, 1.0);
+  EXPECT_DOUBLE_EQ(stream[2].grade, 0.0);
+  EXPECT_DOUBLE_EQ(stream[3].grade, 0.0);
+}
+
+TEST_F(RelationalSourceTest, UsesIndexForEqualityWhenAvailable) {
+  ASSERT_TRUE(table_->CreateIndex("Artist").ok());
+  Result<RelationalSource> indexed =
+      RelationalSource::Create(table_.get(), BeatlesPredicate());
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_TRUE(indexed->used_index());
+  EXPECT_EQ(indexed->num_matches(), 2u);
+
+  // Range predicates fall back to scanning even with an index present.
+  Predicate range = *Predicate::Create(table_->schema(), "Year",
+                                       CompareOp::kGe, Value(int64_t{1969}));
+  Result<RelationalSource> scanned =
+      RelationalSource::Create(table_.get(), std::move(range));
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_FALSE(scanned->used_index());
+  EXPECT_EQ(scanned->num_matches(), 3u);
+}
+
+TEST_F(RelationalSourceTest, IndexAndScanProduceIdenticalSources) {
+  Result<RelationalSource> scan =
+      RelationalSource::Create(table_.get(), BeatlesPredicate());
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(table_->CreateIndex("Artist").ok());
+  Result<RelationalSource> indexed =
+      RelationalSource::Create(table_.get(), BeatlesPredicate());
+  ASSERT_TRUE(indexed.ok());
+  scan->RestartSorted();
+  indexed->RestartSorted();
+  for (;;) {
+    auto a = scan->NextSorted();
+    auto b = indexed->NextSorted();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    EXPECT_EQ(a->id, b->id);
+    EXPECT_DOUBLE_EQ(a->grade, b->grade);
+  }
+}
+
+TEST_F(RelationalSourceTest, AtLeastRespectsThreshold) {
+  Result<RelationalSource> src =
+      RelationalSource::Create(table_.get(), BeatlesPredicate());
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ(src->AtLeast(0.5).size(), 2u);
+  EXPECT_EQ(src->AtLeast(0.0).size(), 4u);
+}
+
+TEST_F(RelationalSourceTest, NameDescribesPredicate) {
+  Result<RelationalSource> src =
+      RelationalSource::Create(table_.get(), BeatlesPredicate());
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ(src->name(), "cds:Artist='Beatles'");
+}
+
+TEST_F(RelationalSourceTest, RejectsNullTable) {
+  EXPECT_FALSE(RelationalSource::Create(nullptr, BeatlesPredicate()).ok());
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,94 @@
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+namespace fuzzydb {
+namespace {
+
+Schema CdSchema() {
+  return *Schema::Create({{"Artist", ValueType::kString},
+                          {"Album", ValueType::kString},
+                          {"Year", ValueType::kInt64}});
+}
+
+std::vector<Value> Row(const char* artist, const char* album, int64_t year) {
+  return {Value(std::string(artist)), Value(std::string(album)), Value(year)};
+}
+
+TEST(TableTest, InsertGetScan) {
+  Table t("cds", CdSchema());
+  ASSERT_TRUE(t.Insert(1, Row("Beatles", "Abbey Road", 1969)).ok());
+  ASSERT_TRUE(t.Insert(2, Row("Kinks", "Arthur", 1969)).ok());
+  EXPECT_EQ(t.size(), 2u);
+
+  Result<const std::vector<Value>*> row = t.Get(1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((**row)[0].AsString(), "Beatles");
+  EXPECT_FALSE(t.Get(99).ok());
+
+  std::vector<ObjectId> seen;
+  t.Scan([&](ObjectId id, const std::vector<Value>&) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<ObjectId>{1, 2}));
+}
+
+TEST(TableTest, InsertValidatesSchemaAndDuplicates) {
+  Table t("cds", CdSchema());
+  EXPECT_FALSE(t.Insert(1, {Value(std::string("x"))}).ok());  // arity
+  EXPECT_FALSE(
+      t.Insert(1, {Value(int64_t{1}), Value(std::string("y")),
+                   Value(int64_t{2})})
+          .ok());  // type
+  ASSERT_TRUE(t.Insert(1, Row("Beatles", "Help!", 1965)).ok());
+  EXPECT_EQ(t.Insert(1, Row("Beatles", "Help!", 1965)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, DeleteRemovesRowAndPostings) {
+  Table t("cds", CdSchema());
+  ASSERT_TRUE(t.CreateIndex("Artist").ok());
+  ASSERT_TRUE(t.Insert(1, Row("Beatles", "Abbey Road", 1969)).ok());
+  ASSERT_TRUE(t.Insert(2, Row("Beatles", "Help!", 1965)).ok());
+  ASSERT_TRUE(t.Delete(1).ok());
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.Get(1).ok());
+  EXPECT_EQ(t.Delete(1).code(), StatusCode::kNotFound);
+  const BTreeIndex* index = t.IndexOn("Artist");
+  ASSERT_NE(index, nullptr);
+  Result<std::vector<ObjectId>> hits =
+      index->Lookup(Value(std::string("Beatles")));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(*hits, std::vector<ObjectId>{2});
+}
+
+TEST(TableTest, IndexBuiltOverExistingAndFutureRows) {
+  Table t("cds", CdSchema());
+  ASSERT_TRUE(t.Insert(1, Row("Beatles", "Abbey Road", 1969)).ok());
+  ASSERT_TRUE(t.CreateIndex("Artist").ok());
+  ASSERT_TRUE(t.Insert(2, Row("Beatles", "Revolver", 1966)).ok());
+  ASSERT_TRUE(t.Insert(3, Row("Who", "Tommy", 1969)).ok());
+
+  const BTreeIndex* index = t.IndexOn("Artist");
+  ASSERT_NE(index, nullptr);
+  Result<std::vector<ObjectId>> hits =
+      index->Lookup(Value(std::string("Beatles")));
+  ASSERT_TRUE(hits.ok());
+  std::vector<ObjectId> got = *hits;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<ObjectId>{1, 2}));
+
+  EXPECT_EQ(t.IndexOn("Year"), nullptr);
+  EXPECT_FALSE(t.CreateIndex("Nope").ok());
+}
+
+TEST(TableTest, NullColumnValuesAreNotIndexed) {
+  Table t("cds", CdSchema());
+  ASSERT_TRUE(t.CreateIndex("Artist").ok());
+  ASSERT_TRUE(
+      t.Insert(1, {Value(), Value(std::string("Untitled")), Value()}).ok());
+  const BTreeIndex* index = t.IndexOn("Artist");
+  EXPECT_EQ(index->size(), 0u);
+  ASSERT_TRUE(t.Delete(1).ok());  // must not fail on the unindexed NULL
+}
+
+}  // namespace
+}  // namespace fuzzydb

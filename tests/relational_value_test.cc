@@ -1,0 +1,119 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/predicate.h"
+#include "relational/schema.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(ValueTest, TypesAndGetters) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value(std::string("hi")).type(), ValueType::kString);
+  EXPECT_EQ(Value(int64_t{5}).AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value(std::string("hi")).AsString(), "hi");
+}
+
+TEST(ValueTest, CompareSameType) {
+  EXPECT_EQ(*Value(int64_t{1}).Compare(Value(int64_t{2})), -1);
+  EXPECT_EQ(*Value(int64_t{2}).Compare(Value(int64_t{2})), 0);
+  EXPECT_EQ(*Value(3.5).Compare(Value(1.0)), 1);
+  EXPECT_EQ(*Value(std::string("a")).Compare(Value(std::string("b"))), -1);
+}
+
+TEST(ValueTest, CompareNullOrdering) {
+  EXPECT_EQ(*Value().Compare(Value()), 0);
+  EXPECT_EQ(*Value().Compare(Value(int64_t{1})), -1);
+  EXPECT_EQ(*Value(int64_t{1}).Compare(Value()), 1);
+}
+
+TEST(ValueTest, CrossTypeComparisonErrors) {
+  Result<int> r = Value(int64_t{1}).Compare(Value(1.0));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(std::string("x")).ToString(), "'x'");
+}
+
+TEST(SchemaTest, CreateValidates) {
+  EXPECT_FALSE(Schema::Create({}).ok());
+  EXPECT_FALSE(Schema::Create({{"a", ValueType::kNull}}).ok());
+  EXPECT_FALSE(Schema::Create({{"a", ValueType::kInt64},
+                               {"a", ValueType::kString}})
+                   .ok());
+  Result<Schema> s = Schema::Create(
+      {{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_columns(), 2u);
+  EXPECT_EQ(*s->IndexOf("b"), 1u);
+  EXPECT_FALSE(s->IndexOf("zz").ok());
+}
+
+TEST(SchemaTest, ValidateRowChecksArityAndTypes) {
+  Schema s = *Schema::Create(
+      {{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  EXPECT_TRUE(s.ValidateRow({Value(int64_t{1}), Value(std::string("x"))}).ok());
+  EXPECT_TRUE(s.ValidateRow({Value(), Value()}).ok());  // NULLs allowed
+  EXPECT_FALSE(s.ValidateRow({Value(int64_t{1})}).ok());
+  EXPECT_FALSE(
+      s.ValidateRow({Value(std::string("x")), Value(std::string("y"))}).ok());
+}
+
+TEST(PredicateTest, CreateBindsAndTypeChecks) {
+  Schema s = *Schema::Create(
+      {{"age", ValueType::kInt64}, {"name", ValueType::kString}});
+  EXPECT_TRUE(
+      Predicate::Create(s, "age", CompareOp::kGe, Value(int64_t{18})).ok());
+  EXPECT_FALSE(Predicate::Create(s, "zz", CompareOp::kEq,
+                                 Value(int64_t{1}))
+                   .ok());
+  EXPECT_FALSE(
+      Predicate::Create(s, "age", CompareOp::kEq, Value(std::string("x")))
+          .ok());
+  EXPECT_FALSE(Predicate::Create(s, "age", CompareOp::kEq, Value()).ok());
+}
+
+TEST(PredicateTest, EvalAllOperators) {
+  Schema s = *Schema::Create({{"x", ValueType::kInt64}});
+  std::vector<Value> row{Value(int64_t{5})};
+  auto eval = [&](CompareOp op, int64_t lit) {
+    return Predicate::Create(s, "x", op, Value(lit))->Eval(row);
+  };
+  EXPECT_TRUE(eval(CompareOp::kEq, 5));
+  EXPECT_FALSE(eval(CompareOp::kEq, 6));
+  EXPECT_TRUE(eval(CompareOp::kNe, 6));
+  EXPECT_TRUE(eval(CompareOp::kLt, 6));
+  EXPECT_FALSE(eval(CompareOp::kLt, 5));
+  EXPECT_TRUE(eval(CompareOp::kLe, 5));
+  EXPECT_TRUE(eval(CompareOp::kGt, 4));
+  EXPECT_TRUE(eval(CompareOp::kGe, 5));
+  EXPECT_FALSE(eval(CompareOp::kGe, 6));
+}
+
+TEST(PredicateTest, NullColumnValueIsFalse) {
+  Schema s = *Schema::Create({{"x", ValueType::kInt64}});
+  Predicate p =
+      *Predicate::Create(s, "x", CompareOp::kEq, Value(int64_t{5}));
+  EXPECT_FALSE(p.Eval({Value()}));
+  Predicate ne =
+      *Predicate::Create(s, "x", CompareOp::kNe, Value(int64_t{5}));
+  EXPECT_FALSE(ne.Eval({Value()}));  // SQL unknown, not true
+}
+
+TEST(PredicateTest, ToStringMatchesRunningExample) {
+  Schema s = *Schema::Create({{"Artist", ValueType::kString}});
+  Predicate p = *Predicate::Create(s, "Artist", CompareOp::kEq,
+                                   Value(std::string("Beatles")));
+  EXPECT_EQ(p.ToString(), "Artist='Beatles'");
+}
+
+}  // namespace
+}  // namespace fuzzydb

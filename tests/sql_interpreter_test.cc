@@ -1,0 +1,206 @@
+#include "sql/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "middleware/vector_source.h"
+
+namespace fuzzydb {
+namespace {
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Color~red and Shape~round over a 5-object universe.
+    ASSERT_TRUE(catalog_
+                    .RegisterSource(
+                        "Color", "red",
+                        std::make_unique<VectorSource>(*VectorSource::Create(
+                            {{1, 0.9}, {2, 0.8}, {3, 0.3}, {4, 0.6},
+                             {5, 0.1}})))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .RegisterSource(
+                        "Shape", "round",
+                        std::make_unique<VectorSource>(*VectorSource::Create(
+                            {{1, 0.2}, {2, 0.7}, {3, 0.9}, {4, 0.5},
+                             {5, 0.95}})))
+                    .ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(InterpreterTest, ConjunctionUnderMin) {
+  Result<ExecutionResult> r = RunSelect(
+      "SELECT TOP 2 FROM images WHERE Color ~ 'red' AND Shape ~ 'round'",
+      &catalog_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // min grades: 1->0.2, 2->0.7, 3->0.3, 4->0.5, 5->0.1; top-2 = {2, 4}.
+  ASSERT_EQ(r->topk.items.size(), 2u);
+  EXPECT_EQ(r->topk.items[0].id, 2u);
+  EXPECT_DOUBLE_EQ(r->topk.items[0].grade, 0.7);
+  EXPECT_EQ(r->topk.items[1].id, 4u);
+  EXPECT_DOUBLE_EQ(r->topk.items[1].grade, 0.5);
+}
+
+TEST_F(InterpreterTest, DisjunctionUsesShortcut) {
+  Result<ExecutionResult> r = RunSelect(
+      "SELECT TOP 1 FROM images WHERE Color ~ 'red' OR Shape ~ 'round'",
+      &catalog_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->algorithm_used, Algorithm::kDisjunctionShortcut);
+  // max grades peak at object 5 (0.95).
+  EXPECT_EQ(r->topk.items[0].id, 5u);
+  EXPECT_DOUBLE_EQ(r->topk.items[0].grade, 0.95);
+}
+
+TEST_F(InterpreterTest, WeightsChangeTheWinner) {
+  // Unweighted min ranks object 2 (0.7) over object 4 (0.5); with weights
+  // 9:1 on color the scores become
+  //   object 1: (0.9-0.1)*0.9 + 2*0.1*min(0.9,0.2) = 0.76
+  //   object 2: (0.9-0.1)*0.8 + 2*0.1*min(0.8,0.7) = 0.78
+  // so object 2 still wins but with a very different grade, and object 1
+  // overtakes object 4 (0.58) for second place.
+  Result<ExecutionResult> r = RunSelect(
+      "SELECT TOP 2 FROM images WHERE Color ~ 'red' AND Shape ~ 'round' "
+      "WEIGHTS (9, 1)",
+      &catalog_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->topk.items.size(), 2u);
+  EXPECT_EQ(r->topk.items[0].id, 2u);
+  EXPECT_NEAR(r->topk.items[0].grade, 0.78, 1e-12);
+  EXPECT_EQ(r->topk.items[1].id, 1u);
+  EXPECT_NEAR(r->topk.items[1].grade, 0.76, 1e-12);
+}
+
+TEST_F(InterpreterTest, ViaOverridesAlgorithm) {
+  Result<ExecutionResult> r = RunSelect(
+      "SELECT TOP 2 FROM images WHERE Color ~ 'red' AND Shape ~ 'round' "
+      "VIA naive",
+      &catalog_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->algorithm_used, Algorithm::kNaive);
+  EXPECT_EQ(r->topk.cost.sorted, 10u);  // m*N = 2*5
+}
+
+TEST_F(InterpreterTest, UsingChangesTheRule) {
+  Result<ExecutionResult> r = RunSelect(
+      "SELECT TOP 1 FROM images WHERE Color ~ 'red' AND Shape ~ 'round' "
+      "USING product",
+      &catalog_);
+  ASSERT_TRUE(r.ok());
+  // product grades: 1->0.18, 2->0.56, 3->0.27, 4->0.30, 5->0.095.
+  EXPECT_EQ(r->topk.items[0].id, 2u);
+  EXPECT_NEAR(r->topk.items[0].grade, 0.56, 1e-12);
+}
+
+TEST_F(InterpreterTest, CombinedAlgorithmRunsViaCa) {
+  Result<ExecutionResult> r = RunSelect(
+      "SELECT TOP 2 FROM images WHERE Color ~ 'red' AND Shape ~ 'round' "
+      "VIA ca",
+      &catalog_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->algorithm_used, Algorithm::kCombined);
+  // Same winners as the min ground truth (grades may be lower bounds, but
+  // on this 5-object universe CA resolves everything).
+  ASSERT_EQ(r->topk.items.size(), 2u);
+  EXPECT_EQ(r->topk.items[0].id, 2u);
+  EXPECT_EQ(r->topk.items[1].id, 4u);
+}
+
+TEST_F(InterpreterTest, OwaRuleRunsEndToEnd) {
+  // OWA with all weight on the largest rank == max: object 5 (0.95) wins.
+  Result<ExecutionResult> r = RunSelect(
+      "SELECT TOP 1 FROM images WHERE Color ~ 'red' AND Shape ~ 'round' "
+      "USING owa WEIGHTS (1, 0)",
+      &catalog_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->topk.items[0].id, 5u);
+  EXPECT_DOUBLE_EQ(r->topk.items[0].grade, 0.95);
+}
+
+TEST_F(InterpreterTest, NegationFallsBackToNaive) {
+  Result<ExecutionResult> r = RunSelect(
+      "SELECT TOP 1 FROM images WHERE Color ~ 'red' AND NOT Shape ~ 'round'",
+      &catalog_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->algorithm_used, Algorithm::kNaive);
+  // min(color, 1-shape): 1->0.8... object 1: min(0.9, 0.8)=0.8 wins.
+  EXPECT_EQ(r->topk.items[0].id, 1u);
+  EXPECT_DOUBLE_EQ(r->topk.items[0].grade, 0.8);
+}
+
+TEST_F(InterpreterTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(RunSelect("garbage", &catalog_).ok());
+  EXPECT_FALSE(
+      RunSelect("SELECT TOP 1 FROM x WHERE Nope ~ 'y'", &catalog_).ok());
+  EXPECT_FALSE(RunSelect("SELECT TOP 1 FROM x WHERE Color ~ 'red'", nullptr)
+                   .ok());
+  // Forcing the shortcut on a conjunction must fail loudly.
+  EXPECT_FALSE(RunSelect(
+                   "SELECT TOP 1 FROM x WHERE Color ~ 'red' AND "
+                   "Shape ~ 'round' VIA shortcut",
+                   &catalog_)
+                   .ok());
+}
+
+TEST_F(InterpreterTest, ExplainReportsThePlanWithoutExecuting) {
+  Result<PlanChoice> plan = ExplainSelect(
+      "EXPLAIN SELECT TOP 2 FROM images WHERE Color ~ 'red' AND "
+      "Shape ~ 'round'",
+      &catalog_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GT(plan->considered.size(), 1u);
+  EXPECT_GT(plan->estimated_cost, 0.0);
+  std::string text = FormatPlan(*plan);
+  EXPECT_NE(text.find("plan:"), std::string::npos);
+  EXPECT_NE(text.find("<= chosen"), std::string::npos);
+
+  // RunSelect must refuse EXPLAIN statements.
+  Result<ExecutionResult> run = RunSelect(
+      "EXPLAIN SELECT TOP 2 FROM images WHERE Color ~ 'red'", &catalog_);
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(InterpreterTest, ExplainRespectsViaAndCostModel) {
+  Result<PlanChoice> pinned = ExplainSelect(
+      "EXPLAIN SELECT TOP 2 FROM images WHERE Color ~ 'red' AND "
+      "Shape ~ 'round' VIA naive",
+      &catalog_);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned->algorithm, Algorithm::kNaive);
+  EXPECT_EQ(pinned->considered.size(), 1u);
+
+  // Expensive random access drives the plan to NRA.
+  CostModel pricey;
+  pricey.random_unit = 100.0;
+  Result<PlanChoice> plan = ExplainSelect(
+      "SELECT TOP 2 FROM images WHERE Color ~ 'red' AND Shape ~ 'round'",
+      &catalog_, pricey);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->algorithm == Algorithm::kNoRandomAccess ||
+              plan->algorithm == Algorithm::kNaive);
+}
+
+TEST_F(InterpreterTest, ExplainErrorsOnUnknownAttribute) {
+  EXPECT_FALSE(
+      ExplainSelect("SELECT TOP 2 FROM x WHERE Nope ~ 'y'", &catalog_).ok());
+  EXPECT_FALSE(ExplainSelect("SELECT TOP 2 FROM x WHERE Color ~ 'red'",
+                             nullptr)
+                   .ok());
+}
+
+TEST_F(InterpreterTest, FormatResultIsReadable) {
+  Result<ExecutionResult> r = RunSelect(
+      "SELECT TOP 2 FROM images WHERE Color ~ 'red' AND Shape ~ 'round'",
+      &catalog_);
+  ASSERT_TRUE(r.ok());
+  std::string text = FormatResult(*r);
+  EXPECT_NE(text.find("object"), std::string::npos);
+  EXPECT_NE(text.find("grade 0.7"), std::string::npos);
+  EXPECT_NE(text.find("algorithm: ta"), std::string::npos);
+  EXPECT_NE(text.find("total cost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,84 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace fuzzydb {
+namespace {
+
+std::vector<TokenType> Types(const std::string& source) {
+  Result<std::vector<Token>> tokens = Lex(source);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenType> out;
+  for (const Token& t : *tokens) out.push_back(t.type);
+  return out;
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  EXPECT_EQ(Types("select SELECT SeLeCt"),
+            (std::vector<TokenType>{TokenType::kSelect, TokenType::kSelect,
+                                    TokenType::kSelect, TokenType::kEnd}));
+}
+
+TEST(LexerTest, FullStatementTokenization) {
+  Result<std::vector<Token>> tokens =
+      Lex("SELECT TOP 10 FROM cds WHERE Artist='Beatles' AND "
+          "AlbumColor ~ 'red';");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> expect{
+      TokenType::kSelect, TokenType::kTop,      TokenType::kNumber,
+      TokenType::kFrom,   TokenType::kIdentifier, TokenType::kWhere,
+      TokenType::kIdentifier, TokenType::kEquals, TokenType::kString,
+      TokenType::kAnd,    TokenType::kIdentifier, TokenType::kSimilar,
+      TokenType::kString, TokenType::kSemicolon, TokenType::kEnd};
+  ASSERT_EQ(tokens->size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ((*tokens)[i].type, expect[i]) << "token " << i;
+  }
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 10.0);
+  EXPECT_EQ((*tokens)[8].text, "Beatles");
+}
+
+TEST(LexerTest, StringsUnescapeDoubledQuotes) {
+  Result<std::vector<Token>> tokens = Lex("'it''s red'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's red");
+}
+
+TEST(LexerTest, NumbersIntegerAndDecimal) {
+  Result<std::vector<Token>> tokens = Lex("42 3.14 .5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 42.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 3.14);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 0.5);
+}
+
+TEST(LexerTest, IdentifiersWithUnderscoresAndDigits) {
+  Result<std::vector<Token>> tokens = Lex("Album_Color2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "Album_Color2");
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  Result<std::vector<Token>> unterminated = Lex("WHERE x = 'oops");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find("offset 10"),
+            std::string::npos);
+
+  Result<std::vector<Token>> bad_char = Lex("a @ b");
+  ASSERT_FALSE(bad_char.ok());
+  EXPECT_NE(bad_char.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(LexerTest, EmptyInputYieldsOnlyEnd) {
+  EXPECT_EQ(Types("   \t\n "), std::vector<TokenType>{TokenType::kEnd});
+}
+
+TEST(LexerTest, TokenTypeNamesAreHuman) {
+  EXPECT_EQ(TokenTypeName(TokenType::kSelect), "SELECT");
+  EXPECT_EQ(TokenTypeName(TokenType::kSimilar), "'~'");
+  EXPECT_EQ(TokenTypeName(TokenType::kEnd), "end of input");
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,171 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace fuzzydb {
+namespace {
+
+TEST(ParserTest, RunningExampleParses) {
+  Result<SelectStatement> stmt = ParseSelect(
+      "SELECT TOP 10 FROM cds WHERE Artist = 'Beatles' AND "
+      "AlbumColor ~ 'red';");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->k, 10u);
+  EXPECT_EQ(stmt->collection, "cds");
+  EXPECT_FALSE(stmt->via.has_value());
+  ASSERT_EQ(stmt->query->kind(), Query::Kind::kAnd);
+  ASSERT_EQ(stmt->query->children().size(), 2u);
+  EXPECT_EQ(stmt->query->children()[0]->attribute(), "Artist");
+  EXPECT_EQ(stmt->query->children()[0]->target(), "Beatles");
+  EXPECT_EQ(stmt->query->children()[1]->attribute(), "AlbumColor");
+  EXPECT_EQ(stmt->query->rule()->name(), "min");
+}
+
+TEST(ParserTest, PrecedenceAndOverOr) {
+  Result<SelectStatement> stmt = ParseSelect(
+      "SELECT TOP 5 FROM db WHERE a~'1' AND b~'2' OR c~'3'");
+  ASSERT_TRUE(stmt.ok());
+  // (a AND b) OR c
+  ASSERT_EQ(stmt->query->kind(), Query::Kind::kOr);
+  ASSERT_EQ(stmt->query->children().size(), 2u);
+  EXPECT_EQ(stmt->query->children()[0]->kind(), Query::Kind::kAnd);
+  EXPECT_EQ(stmt->query->children()[1]->kind(), Query::Kind::kAtomic);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  Result<SelectStatement> stmt = ParseSelect(
+      "SELECT TOP 5 FROM db WHERE a~'1' AND (b~'2' OR c~'3')");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->query->kind(), Query::Kind::kAnd);
+  EXPECT_EQ(stmt->query->children()[1]->kind(), Query::Kind::kOr);
+}
+
+TEST(ParserTest, NotParses) {
+  Result<SelectStatement> stmt =
+      ParseSelect("SELECT TOP 5 FROM db WHERE NOT a~'1' AND b~'2'");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->query->kind(), Query::Kind::kAnd);
+  EXPECT_EQ(stmt->query->children()[0]->kind(), Query::Kind::kNot);
+  EXPECT_FALSE(stmt->query->IsMonotone());
+}
+
+TEST(ParserTest, UsingClauseSetsTheRule) {
+  Result<SelectStatement> stmt = ParseSelect(
+      "SELECT TOP 5 FROM db WHERE a~'1' AND b~'2' USING product");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->query->rule()->name(), "product");
+  EXPECT_FALSE(
+      ParseSelect("SELECT TOP 5 FROM db WHERE a~'1' AND b~'2' USING nope")
+          .ok());
+  // USING needs a top-level combination.
+  EXPECT_FALSE(
+      ParseSelect("SELECT TOP 5 FROM db WHERE a~'1' USING min").ok());
+}
+
+TEST(ParserTest, WeightsClauseBuildsWeightedQuery) {
+  Result<SelectStatement> stmt = ParseSelect(
+      "SELECT TOP 5 FROM db WHERE a~'1' AND b~'2' WEIGHTS (2, 1)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(stmt->query->weights().has_value());
+  EXPECT_NEAR((*stmt->query->weights())[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR((*stmt->query->weights())[1], 1.0 / 3.0, 1e-12);
+  // Arity mismatch between weights and conjuncts fails.
+  EXPECT_FALSE(ParseSelect(
+                   "SELECT TOP 5 FROM db WHERE a~'1' AND b~'2' WEIGHTS (1)")
+                   .ok());
+}
+
+TEST(ParserTest, UsingAndWeightsCompose) {
+  Result<SelectStatement> stmt = ParseSelect(
+      "SELECT TOP 5 FROM db WHERE a~'1' AND b~'2' USING avg WEIGHTS (3, 1)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NE(stmt->query->rule()->name().find("avg"), std::string::npos);
+  EXPECT_NE(stmt->query->rule()->name().find("weighted"), std::string::npos);
+}
+
+TEST(ParserTest, ViaClauseForcesAlgorithm) {
+  Result<SelectStatement> stmt = ParseSelect(
+      "SELECT TOP 5 FROM db WHERE a~'1' AND b~'2' VIA fagin");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(stmt->via.has_value());
+  EXPECT_EQ(*stmt->via, Algorithm::kFagin);
+  EXPECT_FALSE(
+      ParseSelect("SELECT TOP 5 FROM db WHERE a~'1' VIA warp").ok());
+}
+
+TEST(ParserTest, TargetsMayBeStringsNumbersOrIdentifiers) {
+  Result<SelectStatement> stmt = ParseSelect(
+      "SELECT TOP 1 FROM db WHERE year = 1969 AND artist = Beatles");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->query->children()[0]->target(), "1969");
+  EXPECT_EQ(stmt->query->children()[1]->target(), "Beatles");
+}
+
+TEST(ParserTest, SyntaxErrorsAreInformative) {
+  Result<SelectStatement> missing_top =
+      ParseSelect("SELECT 10 FROM db WHERE a~'1'");
+  ASSERT_FALSE(missing_top.ok());
+  EXPECT_NE(missing_top.status().message().find("TOP"), std::string::npos);
+
+  EXPECT_FALSE(ParseSelect("SELECT TOP 0 FROM db WHERE a~'1'").ok());
+  EXPECT_FALSE(ParseSelect("SELECT TOP 2.5 FROM db WHERE a~'1'").ok());
+  EXPECT_FALSE(ParseSelect("SELECT TOP 5 FROM db WHERE a ! '1'").ok());
+  EXPECT_FALSE(ParseSelect("SELECT TOP 5 FROM db WHERE (a~'1'").ok());
+  EXPECT_FALSE(ParseSelect("SELECT TOP 5 FROM db WHERE a~'1' garbage").ok());
+  EXPECT_FALSE(ParseSelect("").ok());
+}
+
+TEST(ParserTest, OwaRequiresAndConsumesWeights) {
+  Result<SelectStatement> stmt = ParseSelect(
+      "SELECT TOP 5 FROM db WHERE a~'1' AND b~'2' USING owa WEIGHTS (1, 3)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_NE(stmt->query->rule()->name().find("owa"), std::string::npos);
+  // OWA weights attach to ranks, not the Fagin–Wimmers transform.
+  EXPECT_FALSE(stmt->query->weights().has_value());
+
+  EXPECT_FALSE(
+      ParseSelect("SELECT TOP 5 FROM db WHERE a~'1' AND b~'2' USING owa")
+          .ok());
+  EXPECT_FALSE(ParseSelect("SELECT TOP 5 FROM db WHERE a~'1' AND b~'2' "
+                           "USING owa WEIGHTS (1)")
+                   .ok());
+}
+
+TEST(ParserTest, ExplainFlagParses) {
+  Result<SelectStatement> plain =
+      ParseSelect("SELECT TOP 5 FROM db WHERE a~'1'");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->explain);
+
+  Result<SelectStatement> explained =
+      ParseSelect("EXPLAIN SELECT TOP 5 FROM db WHERE a~'1' AND b~'2'");
+  ASSERT_TRUE(explained.ok());
+  EXPECT_TRUE(explained->explain);
+  EXPECT_EQ(explained->k, 5u);
+
+  // EXPLAIN must be followed by SELECT.
+  EXPECT_FALSE(ParseSelect("EXPLAIN TOP 5 FROM db WHERE a~'1'").ok());
+}
+
+TEST(RuleByNameTest, AllDocumentedNamesResolve) {
+  for (const char* name : {"min", "max", "product", "lukasiewicz", "hamacher",
+                           "einstein", "avg", "geomean", "harmonic",
+                           "median"}) {
+    EXPECT_TRUE(RuleByName(name).ok()) << name;
+  }
+  EXPECT_FALSE(RuleByName("bogus").ok());
+}
+
+TEST(AlgorithmByNameTest, AllDocumentedNamesResolve) {
+  EXPECT_EQ(*AlgorithmByName("auto"), Algorithm::kAuto);
+  EXPECT_EQ(*AlgorithmByName("naive"), Algorithm::kNaive);
+  EXPECT_EQ(*AlgorithmByName("fagin"), Algorithm::kFagin);
+  EXPECT_EQ(*AlgorithmByName("ta"), Algorithm::kThreshold);
+  EXPECT_EQ(*AlgorithmByName("nra"), Algorithm::kNoRandomAccess);
+  EXPECT_EQ(*AlgorithmByName("filtered"), Algorithm::kFilteredSimulation);
+  EXPECT_EQ(*AlgorithmByName("shortcut"), Algorithm::kDisjunctionShortcut);
+  EXPECT_FALSE(AlgorithmByName("warp").ok());
+}
+
+}  // namespace
+}  // namespace fuzzydb
