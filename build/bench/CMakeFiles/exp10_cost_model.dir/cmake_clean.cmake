@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_cost_model.dir/exp10_cost_model.cc.o"
+  "CMakeFiles/exp10_cost_model.dir/exp10_cost_model.cc.o.d"
+  "exp10_cost_model"
+  "exp10_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_optimizer.dir/exp11_optimizer.cc.o"
+  "CMakeFiles/exp11_optimizer.dir/exp11_optimizer.cc.o.d"
+  "exp11_optimizer"
+  "exp11_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_filter_strategies.dir/exp12_filter_strategies.cc.o"
+  "CMakeFiles/exp12_filter_strategies.dir/exp12_filter_strategies.cc.o.d"
+  "exp12_filter_strategies"
+  "exp12_filter_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_filter_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp13_color_methods.dir/exp13_color_methods.cc.o"
+  "CMakeFiles/exp13_color_methods.dir/exp13_color_methods.cc.o.d"
+  "exp13_color_methods"
+  "exp13_color_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp13_color_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp14_shape_methods.dir/exp14_shape_methods.cc.o"
+  "CMakeFiles/exp14_shape_methods.dir/exp14_shape_methods.cc.o.d"
+  "exp14_shape_methods"
+  "exp14_shape_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp14_shape_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp15_join_pipeline.dir/exp15_join_pipeline.cc.o"
+  "CMakeFiles/exp15_join_pipeline.dir/exp15_join_pipeline.cc.o.d"
+  "exp15_join_pipeline"
+  "exp15_join_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp15_join_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_fa_scaling.dir/exp1_fa_scaling.cc.o"
+  "CMakeFiles/exp1_fa_scaling.dir/exp1_fa_scaling.cc.o.d"
+  "exp1_fa_scaling"
+  "exp1_fa_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_fa_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

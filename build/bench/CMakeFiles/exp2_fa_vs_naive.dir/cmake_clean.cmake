@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_fa_vs_naive.dir/exp2_fa_vs_naive.cc.o"
+  "CMakeFiles/exp2_fa_vs_naive.dir/exp2_fa_vs_naive.cc.o.d"
+  "exp2_fa_vs_naive"
+  "exp2_fa_vs_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_fa_vs_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

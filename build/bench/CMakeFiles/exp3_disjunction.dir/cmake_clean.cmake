@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_disjunction.dir/exp3_disjunction.cc.o"
+  "CMakeFiles/exp3_disjunction.dir/exp3_disjunction.cc.o.d"
+  "exp3_disjunction"
+  "exp3_disjunction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_disjunction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_weighted.dir/exp4_weighted.cc.o"
+  "CMakeFiles/exp4_weighted.dir/exp4_weighted.cc.o.d"
+  "exp4_weighted"
+  "exp4_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_filter_bound.dir/exp5_filter_bound.cc.o"
+  "CMakeFiles/exp5_filter_bound.dir/exp5_filter_bound.cc.o.d"
+  "exp5_filter_bound"
+  "exp5_filter_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_filter_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

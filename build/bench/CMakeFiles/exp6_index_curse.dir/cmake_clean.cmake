@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp6_index_curse.dir/exp6_index_curse.cc.o"
+  "CMakeFiles/exp6_index_curse.dir/exp6_index_curse.cc.o.d"
+  "exp6_index_curse"
+  "exp6_index_curse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp6_index_curse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

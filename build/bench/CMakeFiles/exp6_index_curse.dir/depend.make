@@ -1,0 +1,2 @@
+# Empty dependencies file for exp6_index_curse.
+# This may be replaced when dependencies are built.

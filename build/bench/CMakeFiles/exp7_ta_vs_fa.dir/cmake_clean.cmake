@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp7_ta_vs_fa.dir/exp7_ta_vs_fa.cc.o"
+  "CMakeFiles/exp7_ta_vs_fa.dir/exp7_ta_vs_fa.cc.o.d"
+  "exp7_ta_vs_fa"
+  "exp7_ta_vs_fa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp7_ta_vs_fa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

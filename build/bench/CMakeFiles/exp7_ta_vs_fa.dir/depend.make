@@ -1,0 +1,2 @@
+# Empty dependencies file for exp7_ta_vs_fa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp8_correlation.dir/exp8_correlation.cc.o"
+  "CMakeFiles/exp8_correlation.dir/exp8_correlation.cc.o.d"
+  "exp8_correlation"
+  "exp8_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp8_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp9_precompute.dir/exp9_precompute.cc.o"
+  "CMakeFiles/exp9_precompute.dir/exp9_precompute.cc.o.d"
+  "exp9_precompute"
+  "exp9_precompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp9_precompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cd_store.dir/cd_store.cc.o"
+  "CMakeFiles/cd_store.dir/cd_store.cc.o.d"
+  "cd_store"
+  "cd_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cd_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

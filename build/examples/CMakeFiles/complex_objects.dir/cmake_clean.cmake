@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_objects.dir/complex_objects.cc.o"
+  "CMakeFiles/complex_objects.dir/complex_objects.cc.o.d"
+  "complex_objects"
+  "complex_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_queries.dir/sql_queries.cc.o"
+  "CMakeFiles/sql_queries.dir/sql_queries.cc.o.d"
+  "sql_queries"
+  "sql_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_sliders.dir/weighted_sliders.cc.o"
+  "CMakeFiles/weighted_sliders.dir/weighted_sliders.cc.o.d"
+  "weighted_sliders"
+  "weighted_sliders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_sliders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/catalog/CMakeFiles/fuzzydb_catalog.dir/catalog.cc.o" "gcc" "src/catalog/CMakeFiles/fuzzydb_catalog.dir/catalog.cc.o.d"
+  "/root/repo/src/catalog/id_mapping.cc" "src/catalog/CMakeFiles/fuzzydb_catalog.dir/id_mapping.cc.o" "gcc" "src/catalog/CMakeFiles/fuzzydb_catalog.dir/id_mapping.cc.o.d"
+  "/root/repo/src/catalog/subobject.cc" "src/catalog/CMakeFiles/fuzzydb_catalog.dir/subobject.cc.o" "gcc" "src/catalog/CMakeFiles/fuzzydb_catalog.dir/subobject.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/middleware/CMakeFiles/fuzzydb_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fuzzydb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fuzzydb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

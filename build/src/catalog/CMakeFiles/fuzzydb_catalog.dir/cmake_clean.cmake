@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzydb_catalog.dir/catalog.cc.o"
+  "CMakeFiles/fuzzydb_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/fuzzydb_catalog.dir/id_mapping.cc.o"
+  "CMakeFiles/fuzzydb_catalog.dir/id_mapping.cc.o.d"
+  "CMakeFiles/fuzzydb_catalog.dir/subobject.cc.o"
+  "CMakeFiles/fuzzydb_catalog.dir/subobject.cc.o.d"
+  "libfuzzydb_catalog.a"
+  "libfuzzydb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzydb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzydb_common.dir/matrix.cc.o"
+  "CMakeFiles/fuzzydb_common.dir/matrix.cc.o.d"
+  "CMakeFiles/fuzzydb_common.dir/random.cc.o"
+  "CMakeFiles/fuzzydb_common.dir/random.cc.o.d"
+  "CMakeFiles/fuzzydb_common.dir/stats.cc.o"
+  "CMakeFiles/fuzzydb_common.dir/stats.cc.o.d"
+  "CMakeFiles/fuzzydb_common.dir/status.cc.o"
+  "CMakeFiles/fuzzydb_common.dir/status.cc.o.d"
+  "libfuzzydb_common.a"
+  "libfuzzydb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzydb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/equivalence.cc" "src/core/CMakeFiles/fuzzydb_core.dir/equivalence.cc.o" "gcc" "src/core/CMakeFiles/fuzzydb_core.dir/equivalence.cc.o.d"
+  "/root/repo/src/core/graded_set.cc" "src/core/CMakeFiles/fuzzydb_core.dir/graded_set.cc.o" "gcc" "src/core/CMakeFiles/fuzzydb_core.dir/graded_set.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/fuzzydb_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/fuzzydb_core.dir/query.cc.o.d"
+  "/root/repo/src/core/scoring.cc" "src/core/CMakeFiles/fuzzydb_core.dir/scoring.cc.o" "gcc" "src/core/CMakeFiles/fuzzydb_core.dir/scoring.cc.o.d"
+  "/root/repo/src/core/set_ops.cc" "src/core/CMakeFiles/fuzzydb_core.dir/set_ops.cc.o" "gcc" "src/core/CMakeFiles/fuzzydb_core.dir/set_ops.cc.o.d"
+  "/root/repo/src/core/tnorms.cc" "src/core/CMakeFiles/fuzzydb_core.dir/tnorms.cc.o" "gcc" "src/core/CMakeFiles/fuzzydb_core.dir/tnorms.cc.o.d"
+  "/root/repo/src/core/weights.cc" "src/core/CMakeFiles/fuzzydb_core.dir/weights.cc.o" "gcc" "src/core/CMakeFiles/fuzzydb_core.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fuzzydb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

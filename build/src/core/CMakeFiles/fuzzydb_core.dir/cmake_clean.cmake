@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzydb_core.dir/equivalence.cc.o"
+  "CMakeFiles/fuzzydb_core.dir/equivalence.cc.o.d"
+  "CMakeFiles/fuzzydb_core.dir/graded_set.cc.o"
+  "CMakeFiles/fuzzydb_core.dir/graded_set.cc.o.d"
+  "CMakeFiles/fuzzydb_core.dir/query.cc.o"
+  "CMakeFiles/fuzzydb_core.dir/query.cc.o.d"
+  "CMakeFiles/fuzzydb_core.dir/scoring.cc.o"
+  "CMakeFiles/fuzzydb_core.dir/scoring.cc.o.d"
+  "CMakeFiles/fuzzydb_core.dir/set_ops.cc.o"
+  "CMakeFiles/fuzzydb_core.dir/set_ops.cc.o.d"
+  "CMakeFiles/fuzzydb_core.dir/tnorms.cc.o"
+  "CMakeFiles/fuzzydb_core.dir/tnorms.cc.o.d"
+  "CMakeFiles/fuzzydb_core.dir/weights.cc.o"
+  "CMakeFiles/fuzzydb_core.dir/weights.cc.o.d"
+  "libfuzzydb_core.a"
+  "libfuzzydb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzydb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

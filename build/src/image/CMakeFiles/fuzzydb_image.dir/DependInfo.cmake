@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/bounding.cc" "src/image/CMakeFiles/fuzzydb_image.dir/bounding.cc.o" "gcc" "src/image/CMakeFiles/fuzzydb_image.dir/bounding.cc.o.d"
+  "/root/repo/src/image/color.cc" "src/image/CMakeFiles/fuzzydb_image.dir/color.cc.o" "gcc" "src/image/CMakeFiles/fuzzydb_image.dir/color.cc.o.d"
+  "/root/repo/src/image/color_moments.cc" "src/image/CMakeFiles/fuzzydb_image.dir/color_moments.cc.o" "gcc" "src/image/CMakeFiles/fuzzydb_image.dir/color_moments.cc.o.d"
+  "/root/repo/src/image/image_store.cc" "src/image/CMakeFiles/fuzzydb_image.dir/image_store.cc.o" "gcc" "src/image/CMakeFiles/fuzzydb_image.dir/image_store.cc.o.d"
+  "/root/repo/src/image/indexed_search.cc" "src/image/CMakeFiles/fuzzydb_image.dir/indexed_search.cc.o" "gcc" "src/image/CMakeFiles/fuzzydb_image.dir/indexed_search.cc.o.d"
+  "/root/repo/src/image/precompute.cc" "src/image/CMakeFiles/fuzzydb_image.dir/precompute.cc.o" "gcc" "src/image/CMakeFiles/fuzzydb_image.dir/precompute.cc.o.d"
+  "/root/repo/src/image/qbic_source.cc" "src/image/CMakeFiles/fuzzydb_image.dir/qbic_source.cc.o" "gcc" "src/image/CMakeFiles/fuzzydb_image.dir/qbic_source.cc.o.d"
+  "/root/repo/src/image/quadratic_distance.cc" "src/image/CMakeFiles/fuzzydb_image.dir/quadratic_distance.cc.o" "gcc" "src/image/CMakeFiles/fuzzydb_image.dir/quadratic_distance.cc.o.d"
+  "/root/repo/src/image/shape.cc" "src/image/CMakeFiles/fuzzydb_image.dir/shape.cc.o" "gcc" "src/image/CMakeFiles/fuzzydb_image.dir/shape.cc.o.d"
+  "/root/repo/src/image/texture.cc" "src/image/CMakeFiles/fuzzydb_image.dir/texture.cc.o" "gcc" "src/image/CMakeFiles/fuzzydb_image.dir/texture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/middleware/CMakeFiles/fuzzydb_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fuzzydb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fuzzydb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fuzzydb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

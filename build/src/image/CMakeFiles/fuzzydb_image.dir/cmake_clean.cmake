@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzydb_image.dir/bounding.cc.o"
+  "CMakeFiles/fuzzydb_image.dir/bounding.cc.o.d"
+  "CMakeFiles/fuzzydb_image.dir/color.cc.o"
+  "CMakeFiles/fuzzydb_image.dir/color.cc.o.d"
+  "CMakeFiles/fuzzydb_image.dir/color_moments.cc.o"
+  "CMakeFiles/fuzzydb_image.dir/color_moments.cc.o.d"
+  "CMakeFiles/fuzzydb_image.dir/image_store.cc.o"
+  "CMakeFiles/fuzzydb_image.dir/image_store.cc.o.d"
+  "CMakeFiles/fuzzydb_image.dir/indexed_search.cc.o"
+  "CMakeFiles/fuzzydb_image.dir/indexed_search.cc.o.d"
+  "CMakeFiles/fuzzydb_image.dir/precompute.cc.o"
+  "CMakeFiles/fuzzydb_image.dir/precompute.cc.o.d"
+  "CMakeFiles/fuzzydb_image.dir/qbic_source.cc.o"
+  "CMakeFiles/fuzzydb_image.dir/qbic_source.cc.o.d"
+  "CMakeFiles/fuzzydb_image.dir/quadratic_distance.cc.o"
+  "CMakeFiles/fuzzydb_image.dir/quadratic_distance.cc.o.d"
+  "CMakeFiles/fuzzydb_image.dir/shape.cc.o"
+  "CMakeFiles/fuzzydb_image.dir/shape.cc.o.d"
+  "CMakeFiles/fuzzydb_image.dir/texture.cc.o"
+  "CMakeFiles/fuzzydb_image.dir/texture.cc.o.d"
+  "libfuzzydb_image.a"
+  "libfuzzydb_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzydb_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

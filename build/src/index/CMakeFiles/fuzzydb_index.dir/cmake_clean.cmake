@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzydb_index.dir/gridfile.cc.o"
+  "CMakeFiles/fuzzydb_index.dir/gridfile.cc.o.d"
+  "CMakeFiles/fuzzydb_index.dir/rtree.cc.o"
+  "CMakeFiles/fuzzydb_index.dir/rtree.cc.o.d"
+  "CMakeFiles/fuzzydb_index.dir/spatial.cc.o"
+  "CMakeFiles/fuzzydb_index.dir/spatial.cc.o.d"
+  "CMakeFiles/fuzzydb_index.dir/zorder.cc.o"
+  "CMakeFiles/fuzzydb_index.dir/zorder.cc.o.d"
+  "libfuzzydb_index.a"
+  "libfuzzydb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzydb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

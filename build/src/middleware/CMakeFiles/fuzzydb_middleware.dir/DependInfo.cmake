@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/combined.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/combined.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/combined.cc.o.d"
+  "/root/repo/src/middleware/composite_rule.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/composite_rule.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/composite_rule.cc.o.d"
+  "/root/repo/src/middleware/disjunction.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/disjunction.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/disjunction.cc.o.d"
+  "/root/repo/src/middleware/executor.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/executor.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/executor.cc.o.d"
+  "/root/repo/src/middleware/fagin.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/fagin.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/fagin.cc.o.d"
+  "/root/repo/src/middleware/filtered.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/filtered.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/filtered.cc.o.d"
+  "/root/repo/src/middleware/join.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/join.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/join.cc.o.d"
+  "/root/repo/src/middleware/naive.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/naive.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/naive.cc.o.d"
+  "/root/repo/src/middleware/nra.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/nra.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/nra.cc.o.d"
+  "/root/repo/src/middleware/optimizer.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/optimizer.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/optimizer.cc.o.d"
+  "/root/repo/src/middleware/selective.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/selective.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/selective.cc.o.d"
+  "/root/repo/src/middleware/threshold.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/threshold.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/threshold.cc.o.d"
+  "/root/repo/src/middleware/topk.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/topk.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/topk.cc.o.d"
+  "/root/repo/src/middleware/vector_source.cc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/vector_source.cc.o" "gcc" "src/middleware/CMakeFiles/fuzzydb_middleware.dir/vector_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fuzzydb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fuzzydb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

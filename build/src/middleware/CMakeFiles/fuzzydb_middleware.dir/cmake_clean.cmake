@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzydb_middleware.dir/combined.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/combined.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/composite_rule.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/composite_rule.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/disjunction.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/disjunction.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/executor.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/executor.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/fagin.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/fagin.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/filtered.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/filtered.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/join.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/join.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/naive.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/naive.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/nra.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/nra.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/optimizer.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/optimizer.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/selective.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/selective.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/threshold.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/threshold.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/topk.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/topk.cc.o.d"
+  "CMakeFiles/fuzzydb_middleware.dir/vector_source.cc.o"
+  "CMakeFiles/fuzzydb_middleware.dir/vector_source.cc.o.d"
+  "libfuzzydb_middleware.a"
+  "libfuzzydb_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzydb_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfuzzydb_middleware.a"
+)

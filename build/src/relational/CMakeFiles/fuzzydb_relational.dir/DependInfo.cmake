@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/btree.cc" "src/relational/CMakeFiles/fuzzydb_relational.dir/btree.cc.o" "gcc" "src/relational/CMakeFiles/fuzzydb_relational.dir/btree.cc.o.d"
+  "/root/repo/src/relational/predicate.cc" "src/relational/CMakeFiles/fuzzydb_relational.dir/predicate.cc.o" "gcc" "src/relational/CMakeFiles/fuzzydb_relational.dir/predicate.cc.o.d"
+  "/root/repo/src/relational/relational_source.cc" "src/relational/CMakeFiles/fuzzydb_relational.dir/relational_source.cc.o" "gcc" "src/relational/CMakeFiles/fuzzydb_relational.dir/relational_source.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/fuzzydb_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/fuzzydb_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/fuzzydb_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/fuzzydb_relational.dir/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/fuzzydb_relational.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/fuzzydb_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/middleware/CMakeFiles/fuzzydb_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fuzzydb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fuzzydb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

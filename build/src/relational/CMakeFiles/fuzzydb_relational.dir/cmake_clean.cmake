@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzydb_relational.dir/btree.cc.o"
+  "CMakeFiles/fuzzydb_relational.dir/btree.cc.o.d"
+  "CMakeFiles/fuzzydb_relational.dir/predicate.cc.o"
+  "CMakeFiles/fuzzydb_relational.dir/predicate.cc.o.d"
+  "CMakeFiles/fuzzydb_relational.dir/relational_source.cc.o"
+  "CMakeFiles/fuzzydb_relational.dir/relational_source.cc.o.d"
+  "CMakeFiles/fuzzydb_relational.dir/schema.cc.o"
+  "CMakeFiles/fuzzydb_relational.dir/schema.cc.o.d"
+  "CMakeFiles/fuzzydb_relational.dir/table.cc.o"
+  "CMakeFiles/fuzzydb_relational.dir/table.cc.o.d"
+  "CMakeFiles/fuzzydb_relational.dir/value.cc.o"
+  "CMakeFiles/fuzzydb_relational.dir/value.cc.o.d"
+  "libfuzzydb_relational.a"
+  "libfuzzydb_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzydb_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzydb_sim.dir/experiment.cc.o"
+  "CMakeFiles/fuzzydb_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/fuzzydb_sim.dir/workload.cc.o"
+  "CMakeFiles/fuzzydb_sim.dir/workload.cc.o.d"
+  "libfuzzydb_sim.a"
+  "libfuzzydb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzydb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

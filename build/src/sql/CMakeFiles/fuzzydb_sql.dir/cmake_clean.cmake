@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzydb_sql.dir/interpreter.cc.o"
+  "CMakeFiles/fuzzydb_sql.dir/interpreter.cc.o.d"
+  "CMakeFiles/fuzzydb_sql.dir/lexer.cc.o"
+  "CMakeFiles/fuzzydb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/fuzzydb_sql.dir/parser.cc.o"
+  "CMakeFiles/fuzzydb_sql.dir/parser.cc.o.d"
+  "libfuzzydb_sql.a"
+  "libfuzzydb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzydb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_subobject_test.dir/catalog_subobject_test.cc.o"
+  "CMakeFiles/catalog_subobject_test.dir/catalog_subobject_test.cc.o.d"
+  "catalog_subobject_test"
+  "catalog_subobject_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_subobject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

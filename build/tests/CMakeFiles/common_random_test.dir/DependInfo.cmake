@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_random_test.cc" "tests/CMakeFiles/common_random_test.dir/common_random_test.cc.o" "gcc" "tests/CMakeFiles/common_random_test.dir/common_random_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/fuzzydb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/fuzzydb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fuzzydb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/fuzzydb_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fuzzydb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/fuzzydb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/fuzzydb_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fuzzydb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fuzzydb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

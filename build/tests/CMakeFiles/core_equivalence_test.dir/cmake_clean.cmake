@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_equivalence_test.dir/core_equivalence_test.cc.o"
+  "CMakeFiles/core_equivalence_test.dir/core_equivalence_test.cc.o.d"
+  "core_equivalence_test"
+  "core_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_graded_set_test.dir/core_graded_set_test.cc.o"
+  "CMakeFiles/core_graded_set_test.dir/core_graded_set_test.cc.o.d"
+  "core_graded_set_test"
+  "core_graded_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_graded_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tnorms_test.dir/core_tnorms_test.cc.o"
+  "CMakeFiles/core_tnorms_test.dir/core_tnorms_test.cc.o.d"
+  "core_tnorms_test"
+  "core_tnorms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tnorms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

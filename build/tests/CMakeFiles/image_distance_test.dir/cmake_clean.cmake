@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_distance_test.dir/image_distance_test.cc.o"
+  "CMakeFiles/image_distance_test.dir/image_distance_test.cc.o.d"
+  "image_distance_test"
+  "image_distance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

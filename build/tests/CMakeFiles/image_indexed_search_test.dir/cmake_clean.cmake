@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_indexed_search_test.dir/image_indexed_search_test.cc.o"
+  "CMakeFiles/image_indexed_search_test.dir/image_indexed_search_test.cc.o.d"
+  "image_indexed_search_test"
+  "image_indexed_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_indexed_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

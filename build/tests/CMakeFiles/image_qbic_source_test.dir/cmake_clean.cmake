@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_qbic_source_test.dir/image_qbic_source_test.cc.o"
+  "CMakeFiles/image_qbic_source_test.dir/image_qbic_source_test.cc.o.d"
+  "image_qbic_source_test"
+  "image_qbic_source_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_qbic_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

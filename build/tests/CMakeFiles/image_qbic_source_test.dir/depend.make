@@ -1,0 +1,2 @@
+# Empty dependencies file for image_qbic_source_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_shape_test.dir/image_shape_test.cc.o"
+  "CMakeFiles/image_shape_test.dir/image_shape_test.cc.o.d"
+  "image_shape_test"
+  "image_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_gridfile_test.dir/index_gridfile_test.cc.o"
+  "CMakeFiles/index_gridfile_test.dir/index_gridfile_test.cc.o.d"
+  "index_gridfile_test"
+  "index_gridfile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_gridfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_algorithms_test.dir/middleware_algorithms_test.cc.o"
+  "CMakeFiles/middleware_algorithms_test.dir/middleware_algorithms_test.cc.o.d"
+  "middleware_algorithms_test"
+  "middleware_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_combined_test.dir/middleware_combined_test.cc.o"
+  "CMakeFiles/middleware_combined_test.dir/middleware_combined_test.cc.o.d"
+  "middleware_combined_test"
+  "middleware_combined_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_combined_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

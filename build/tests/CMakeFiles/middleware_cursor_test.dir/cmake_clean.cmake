@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_cursor_test.dir/middleware_cursor_test.cc.o"
+  "CMakeFiles/middleware_cursor_test.dir/middleware_cursor_test.cc.o.d"
+  "middleware_cursor_test"
+  "middleware_cursor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_cursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

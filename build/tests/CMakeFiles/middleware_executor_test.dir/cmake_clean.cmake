@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_executor_test.dir/middleware_executor_test.cc.o"
+  "CMakeFiles/middleware_executor_test.dir/middleware_executor_test.cc.o.d"
+  "middleware_executor_test"
+  "middleware_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_join_test.dir/middleware_join_test.cc.o"
+  "CMakeFiles/middleware_join_test.dir/middleware_join_test.cc.o.d"
+  "middleware_join_test"
+  "middleware_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

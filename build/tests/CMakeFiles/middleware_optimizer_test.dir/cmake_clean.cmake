@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_optimizer_test.dir/middleware_optimizer_test.cc.o"
+  "CMakeFiles/middleware_optimizer_test.dir/middleware_optimizer_test.cc.o.d"
+  "middleware_optimizer_test"
+  "middleware_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

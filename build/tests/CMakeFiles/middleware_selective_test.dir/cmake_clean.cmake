@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_selective_test.dir/middleware_selective_test.cc.o"
+  "CMakeFiles/middleware_selective_test.dir/middleware_selective_test.cc.o.d"
+  "middleware_selective_test"
+  "middleware_selective_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_selective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_source_test.dir/middleware_source_test.cc.o"
+  "CMakeFiles/middleware_source_test.dir/middleware_source_test.cc.o.d"
+  "middleware_source_test"
+  "middleware_source_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

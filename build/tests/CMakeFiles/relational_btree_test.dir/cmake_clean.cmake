@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_btree_test.dir/relational_btree_test.cc.o"
+  "CMakeFiles/relational_btree_test.dir/relational_btree_test.cc.o.d"
+  "relational_btree_test"
+  "relational_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_source_test.dir/relational_source_test.cc.o"
+  "CMakeFiles/relational_source_test.dir/relational_source_test.cc.o.d"
+  "relational_source_test"
+  "relational_source_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

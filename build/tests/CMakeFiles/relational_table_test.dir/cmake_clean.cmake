@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_table_test.dir/relational_table_test.cc.o"
+  "CMakeFiles/relational_table_test.dir/relational_table_test.cc.o.d"
+  "relational_table_test"
+  "relational_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
