@@ -1,0 +1,75 @@
+// A fixed-size, cache-line-aligned array of doubles. Row-major feature
+// buffers (e.g. the eigen-space embeddings of image/embedding_store.h) live
+// in one of these so batched scans walk contiguous, 64-byte-aligned memory —
+// the layout the compiler's vectorizer and the prefetcher both want.
+
+#ifndef FUZZYDB_COMMON_ALIGNED_BUFFER_H_
+#define FUZZYDB_COMMON_ALIGNED_BUFFER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <utility>
+
+namespace fuzzydb {
+
+/// Owning buffer of `size()` doubles whose storage starts on a 64-byte
+/// boundary. Value-semantic (deep copy); zero-initialized.
+class AlignedBuffer {
+ public:
+  /// Alignment of the first element, in bytes (one x86 cache line; also the
+  /// natural alignment for 512-bit vector loads).
+  static constexpr size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(size_t size) : size_(size) {
+    if (size_ == 0) return;
+    // aligned_alloc requires the byte size to be a multiple of the alignment.
+    const size_t bytes =
+        (size_ * sizeof(double) + kAlignment - 1) / kAlignment * kAlignment;
+    data_ = static_cast<double*>(std::aligned_alloc(kAlignment, bytes));
+    assert(data_ != nullptr);
+    std::memset(data_, 0, bytes);
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(double));
+  }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) *this = AlignedBuffer(other);
+    return *this;
+  }
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : size_(std::exchange(other.size_, 0)),
+        data_(std::exchange(other.data_, nullptr)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      size_ = std::exchange(other.size_, 0);
+      data_ = std::exchange(other.data_, nullptr);
+    }
+    return *this;
+  }
+  ~AlignedBuffer() { std::free(data_); }
+
+  size_t size() const { return size_; }
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+
+  double& operator[](size_t i) { return data_[i]; }
+  double operator[](size_t i) const { return data_[i]; }
+
+  std::span<double> span() { return {data_, size_}; }
+  std::span<const double> span() const { return {data_, size_}; }
+
+ private:
+  size_t size_ = 0;
+  double* data_ = nullptr;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_COMMON_ALIGNED_BUFFER_H_

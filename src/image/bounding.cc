@@ -16,12 +16,11 @@ Result<EigenFilter> EigenFilter::Create(const QuadraticFormDistance& qfd,
   filter.rows_.resize(dim);
   const std::vector<double>& lambda = qfd.eigenvalues();
   for (size_t j = 0; j < dim; ++j) {
-    double scale = std::sqrt(lambda[j]);
-    std::span<const double> v = qfd.eigenvectors().Row(j);
-    filter.rows_[j].resize(qfd.dimension());
-    for (size_t i = 0; i < qfd.dimension(); ++i) {
-      filter.rows_[j][i] = scale * v[i];
-    }
+    // Row j of the embedding basis is sqrt(λ_j)·v_j; copying it (rather
+    // than recomputing) guarantees the filter projection equals the first
+    // `dim` coordinates of the full embedding bit-for-bit.
+    std::span<const double> row = qfd.embedding_basis().Row(j);
+    filter.rows_[j].assign(row.begin(), row.end());
   }
   double total = std::accumulate(lambda.begin(), lambda.end(), 0.0);
   double kept = std::accumulate(lambda.begin(),

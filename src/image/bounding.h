@@ -8,6 +8,13 @@
 // x̂_j = sqrt(λ_j) <x, v_j>; then d̂ = Euclidean distance, and
 // d(x,y)^2 = Σ_j λ_j <x-y, v_j>^2 >= Σ_{j<=s} λ_j <x-y, v_j>^2 = d̂(x̂,ŷ)^2.
 // With s = 3 this is exactly a "dimension 3 color vector" summarizing x.
+//
+// The summary is precisely the first s coordinates of the full eigen-space
+// embedding (quadratic_distance.h), and FilteredKnn below is the two-level
+// special case of the multi-level cascade in embedding_store.h — kept as
+// the paper-faithful baseline; new code should prefer
+// EmbeddingStore::CascadeKnn, which refines in O(k) instead of O(k^2) per
+// candidate.
 
 #ifndef FUZZYDB_IMAGE_BOUNDING_H_
 #define FUZZYDB_IMAGE_BOUNDING_H_

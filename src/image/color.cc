@@ -43,6 +43,13 @@ Palette Palette::Uniform(size_t k, Rng* rng) {
   return p;
 }
 
+Result<Palette> Palette::FromColors(std::vector<Rgb> colors) {
+  if (colors.empty()) return Status::InvalidArgument("empty palette");
+  Palette p;
+  p.colors_ = std::move(colors);
+  return p;
+}
+
 size_t Palette::Nearest(const Rgb& rgb) const {
   size_t best = 0;
   double best_d = RgbDistance(colors_[0], rgb);

@@ -27,6 +27,10 @@ class Palette {
   /// (lattice positions, jittered by `rng` if provided).
   static Palette Uniform(size_t k, Rng* rng = nullptr);
 
+  /// A palette with exactly the given colors (e.g. degenerate or
+  /// adversarial geometries in tests). Fails on an empty list.
+  static Result<Palette> FromColors(std::vector<Rgb> colors);
+
   size_t size() const { return colors_.size(); }
   const Rgb& color(size_t i) const { return colors_[i]; }
 

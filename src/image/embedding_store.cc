@@ -1,0 +1,162 @@
+#include "image/embedding_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace fuzzydb {
+
+namespace {
+
+// Left-to-right squared-distance accumulation over [begin, end) of one row.
+// Every code path below (batch kernel, level-0 bound, incremental
+// refinement) sums dimensions in this same order, which is what makes the
+// cascade's numbers bit-identical to the batched exact kernel's.
+inline double AccumulateSquared(const double* row, const double* target,
+                                size_t begin, size_t end, double acc) {
+  for (size_t j = begin; j < end; ++j) {
+    const double diff = row[j] - target[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<EmbeddingStore> EmbeddingStore::Build(
+    const QuadraticFormDistance& qfd, const std::vector<Histogram>& database) {
+  if (database.empty()) return Status::InvalidArgument("empty database");
+  const size_t k = qfd.dimension();
+  for (const Histogram& h : database) {
+    if (h.size() != k) {
+      return Status::InvalidArgument("histogram has wrong bin count");
+    }
+  }
+  EmbeddingStore store(database.size(), k);
+  for (size_t i = 0; i < database.size(); ++i) {
+    qfd.EmbedInto(database[i], store.MutableRow(i));
+  }
+  return store;
+}
+
+void EmbeddingStore::BatchDistances(std::span<const double> target,
+                                    std::span<double> out) const {
+  assert(target.size() == dim_ && out.size() == size_);
+  const double* t = target.data();
+  for (size_t i = 0; i < size_; ++i) {
+    const double* row = data_.data() + i * dim_;
+    out[i] = std::sqrt(AccumulateSquared(row, t, 0, dim_, 0.0));
+  }
+}
+
+std::vector<std::pair<size_t, double>> EmbeddingStore::ExactKnn(
+    std::span<const double> target, size_t k) const {
+  std::vector<std::pair<size_t, double>> out;
+  if (k == 0 || size_ == 0) return out;
+  k = std::min(k, size_);
+  assert(target.size() == dim_);
+
+  const double* t = target.data();
+  std::vector<std::pair<double, size_t>> all(size_);  // (d^2, index)
+  for (size_t i = 0; i < size_; ++i) {
+    const double* row = data_.data() + i * dim_;
+    all[i] = {AccumulateSquared(row, t, 0, dim_, 0.0), i};
+  }
+  // Selection runs on squared distances: sqrt can round two distinct d^2 to
+  // the same double, and the cascade compares d^2 — keeping the selection
+  // key identical keeps the two paths' answers identical.
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k),
+                    all.end());
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.emplace_back(all[i].second, std::sqrt(all[i].first));
+  }
+  return out;
+}
+
+std::vector<std::pair<size_t, double>> EmbeddingStore::CascadeKnn(
+    std::span<const double> target, size_t k, const CascadeOptions& options,
+    CascadeStats* stats) const {
+  std::vector<std::pair<size_t, double>> out;
+  if (k == 0 || size_ == 0) return out;
+  k = std::min(k, size_);
+  assert(target.size() == dim_);
+
+  const size_t s0 = std::clamp<size_t>(options.prefix_dim, 1, dim_);
+  const size_t step = std::max<size_t>(options.step, 1);
+  const double* t = target.data();
+
+  // Level 0: the s0-dim prefix bound for every object, one contiguous pass.
+  std::vector<double> bound(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    bound[i] = AccumulateSquared(data_.data() + i * dim_, t, 0, s0, 0.0);
+  }
+  if (stats != nullptr) stats->bound_computations = size_;
+
+  // Visit candidates in ascending (bound, index) order.
+  std::vector<size_t> order(size_);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&bound](size_t a, size_t b) {
+    if (bound[a] != bound[b]) return bound[a] < bound[b];
+    return a < b;
+  });
+
+  // Current k best as (d^2, index); "worst" is the lexicographic maximum,
+  // matching ExactKnn's tie-break (distance ascending, then index).
+  std::vector<std::pair<double, size_t>> best;
+  best.reserve(k);
+  size_t worst_pos = 0;
+  auto recompute_worst = [&best, &worst_pos]() {
+    worst_pos = 0;
+    for (size_t p = 1; p < best.size(); ++p) {
+      if (best[p] > best[worst_pos]) worst_pos = p;
+    }
+  };
+
+  for (size_t idx : order) {
+    const double b = bound[idx];
+    // Strict >: a candidate whose bound ties the worst d^2 could still win
+    // its tie on index, so only a strictly larger bound ends the scan.
+    if (best.size() == k && b > best[worst_pos].first) break;
+
+    // Refine dimension-incrementally from the prefix, early-exiting as soon
+    // as the partial sum (a valid lower bound at every length) provably
+    // exceeds the current k-th best.
+    const double* row = data_.data() + idx * dim_;
+    double acc = b;
+    size_t j = s0;
+    bool pruned = false;
+    while (j < dim_ && !pruned) {
+      const size_t stop = std::min(dim_, j + step);
+      acc = AccumulateSquared(row, t, j, stop, acc);
+      j = stop;
+      if (j < dim_ && best.size() == k && acc > best[worst_pos].first) {
+        pruned = true;
+      }
+    }
+    if (stats != nullptr) {
+      ++stats->candidates_refined;
+      stats->dims_accumulated += j - s0;
+      if (j == dim_) ++stats->full_distance_computations;
+    }
+    if (pruned) continue;
+
+    if (best.size() < k) {
+      best.emplace_back(acc, idx);
+      if (best.size() == k) recompute_worst();
+    } else if (std::pair(acc, idx) < best[worst_pos]) {
+      best[worst_pos] = {acc, idx};
+      recompute_worst();
+    }
+  }
+
+  std::sort(best.begin(), best.end());
+  out.reserve(best.size());
+  for (const auto& [d2, idx] : best) {
+    out.emplace_back(idx, std::sqrt(d2));
+  }
+  return out;
+}
+
+}  // namespace fuzzydb

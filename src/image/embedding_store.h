@@ -1,0 +1,120 @@
+// The eigen-space embedding layer for the quadratic-form color distance
+// (paper §2.1, formula (2) generalized).
+//
+// At ingest every histogram x is projected once into eigen-space,
+// e_j(x) = sqrt(λ_j)·⟨x, v_j⟩ over all k eigenpairs of B = P A P — an O(k^2)
+// cost paid once per object. The embeddings live in one flat, row-major,
+// cache-line-aligned buffer. Query time then gets three things:
+//
+//   1. exact distances in O(k): d(x, y) = |e(x) - e(y)|_2, no allocation;
+//   2. a *cascade* of lower bounds: the eigenvalues are sorted descending,
+//      so the partial sum over any prefix of embedding dimensions already
+//      lower-bounds d^2 — formula (2) is the s = 3 special case, and every
+//      s in 1..k is a valid filter level with no false dismissals;
+//   3. batched kernels over the contiguous buffer that the compiler can
+//      keep in registers / vectorize (one row per object, unit stride).
+//
+// CascadeKnn() exploits (2) end to end: a cheap s-dim prefix bound orders
+// the candidates, then each surviving candidate is refined
+// dimension-incrementally with early exit as soon as its partial sum
+// provably exceeds the current k-th best. This generalizes the two-level
+// FilteredKnn of bounding.h (project-3-dims, then full O(k^2) distance) into
+// a multi-level filter whose refinement work per candidate is proportional
+// to how close the candidate actually is.
+
+#ifndef FUZZYDB_IMAGE_EMBEDDING_STORE_H_
+#define FUZZYDB_IMAGE_EMBEDDING_STORE_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "image/quadratic_distance.h"
+
+namespace fuzzydb {
+
+/// Counters from a cascaded search.
+struct CascadeStats {
+  /// Prefix-bound evaluations (one per stored object).
+  size_t bound_computations = 0;
+  /// Candidates refined past the level-0 prefix bound.
+  size_t candidates_refined = 0;
+  /// Refinements carried to the full embedding dimension — the analogue of
+  /// FilteredSearchStats::full_distance_computations.
+  size_t full_distance_computations = 0;
+  /// Total embedding dimensions accumulated past level 0, across all
+  /// candidates (the cascade's actual refinement work).
+  size_t dims_accumulated = 0;
+};
+
+/// Tuning knobs for CascadeKnn().
+struct CascadeOptions {
+  /// Level-0 bound length s: the prefix scanned for every object (clamped
+  /// to the embedding dimension). Deeper prefixes cost more per object but
+  /// admit fewer candidates into refinement.
+  size_t prefix_dim = 8;
+  /// Dimensions added per refinement level before re-checking the current
+  /// k-th best (the cascade's level granularity).
+  size_t step = 16;
+};
+
+/// A flat row-major collection of eigen-space embeddings: row i is the full
+/// k-dim embedding of object i, 64-byte aligned, unit stride.
+class EmbeddingStore {
+ public:
+  /// An empty store; usable instances come from Build() or the sizing
+  /// constructor plus MutableRow() fills.
+  EmbeddingStore() = default;
+
+  /// A zero-filled store for `count` embeddings of dimension `dim`
+  /// (ingest-time API: fill rows via MutableRow + EmbedInto).
+  EmbeddingStore(size_t count, size_t dim)
+      : size_(count), dim_(dim), data_(count * dim) {}
+
+  /// Projects every histogram of `database` once (O(k^2) each).
+  static Result<EmbeddingStore> Build(const QuadraticFormDistance& qfd,
+                                      const std::vector<Histogram>& database);
+
+  size_t size() const { return size_; }
+  size_t dim() const { return dim_; }
+
+  /// The stored embedding of object i.
+  std::span<const double> Row(size_t i) const {
+    return {data_.data() + i * dim_, dim_};
+  }
+  /// Writable row for ingest.
+  std::span<double> MutableRow(size_t i) {
+    return {data_.data() + i * dim_, dim_};
+  }
+
+  /// The batched exact kernel: out[i] = |Row(i) - target|_2 for every
+  /// stored object. `target` must be a full-dimension embedding (from
+  /// QuadraticFormDistance::Embed) and `out` must have size() entries.
+  /// One contiguous unit-stride pass over the buffer.
+  void BatchDistances(std::span<const double> target,
+                      std::span<double> out) const;
+
+  /// Exact top-k by the batched kernel: k smallest distances, ascending,
+  /// ties broken by index. O(n·k_dim) + selection.
+  std::vector<std::pair<size_t, double>> ExactKnn(
+      std::span<const double> target, size_t k) const;
+
+  /// The cascaded filter search. Identical results to ExactKnn() — same
+  /// indices, same order, bit-identical distances (the partial sums
+  /// accumulate in the same order as the batched kernel) — but full-depth
+  /// refinements only for objects that are genuinely competitive.
+  /// k = 0 returns an empty result; k > size() clamps.
+  std::vector<std::pair<size_t, double>> CascadeKnn(
+      std::span<const double> target, size_t k,
+      const CascadeOptions& options = {}, CascadeStats* stats = nullptr) const;
+
+ private:
+  size_t size_ = 0;
+  size_t dim_ = 0;
+  AlignedBuffer data_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_IMAGE_EMBEDDING_STORE_H_

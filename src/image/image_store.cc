@@ -43,6 +43,15 @@ Result<ImageStore> ImageStore::Generate(const ImageStoreOptions& options) {
     rec.texture = *features;
     store.images_.push_back(std::move(rec));
   }
+
+  // Ingest-time embedding: O(bins^2) once per image, so every later color
+  // distance against this collection is O(bins).
+  store.embeddings_ =
+      EmbeddingStore(store.images_.size(), options.palette_size);
+  for (size_t i = 0; i < store.images_.size(); ++i) {
+    store.qfd_.EmbedInto(store.images_[i].histogram,
+                         store.embeddings_.MutableRow(i));
+  }
   return store;
 }
 
@@ -58,8 +67,11 @@ Result<const ImageRecord*> ImageStore::Find(ObjectId id) const {
 
 double ImageStore::ColorGrade(const Histogram& x,
                               const Histogram& target) const {
-  double d = qfd_.Distance(x, target);
-  double g = 1.0 - d / qfd_.MaxDistance();
+  return ColorGradeFromDistance(qfd_.Distance(x, target));
+}
+
+double ImageStore::ColorGradeFromDistance(double distance) const {
+  double g = 1.0 - distance / qfd_.MaxDistance();
   return std::clamp(g, 0.0, 1.0);
 }
 

@@ -12,6 +12,7 @@
 #include "common/random.h"
 #include "core/graded_set.h"
 #include "image/color.h"
+#include "image/embedding_store.h"
 #include "image/quadratic_distance.h"
 #include "image/shape.h"
 #include "image/texture.h"
@@ -57,15 +58,25 @@ class ImageStore {
   const Palette& palette() const { return palette_; }
   const QuadraticFormDistance& color_distance() const { return qfd_; }
 
+  /// The eigen-space embeddings of all image histograms, projected once at
+  /// generation time (row i embeds image(i).histogram). Batched and
+  /// cascaded color searches run over this buffer in O(bins) per pair.
+  const EmbeddingStore& embeddings() const { return embeddings_; }
+
   /// Color grade in [0,1] of histogram `x` against a target histogram:
   /// 1 - d(x, t) / MaxDistance().
   double ColorGrade(const Histogram& x, const Histogram& target) const;
+
+  /// The same grade map applied to an already-computed color distance
+  /// (e.g. from the embedding kernels).
+  double ColorGradeFromDistance(double distance) const;
 
  private:
   ImageStore() = default;
   std::vector<ImageRecord> images_;
   Palette palette_;
   QuadraticFormDistance qfd_;
+  EmbeddingStore embeddings_;
 };
 
 }  // namespace fuzzydb

@@ -28,15 +28,21 @@ Result<GeminiIndex> GeminiIndex::Build(
   index.offset_ = bound;
   index.scale_ = 1.0 / (2.0 * bound);
 
+  Result<EmbeddingStore> embeddings = EmbeddingStore::Build(*qfd, *database);
+  if (!embeddings.ok()) return embeddings.status();
+  index.embeddings_ = std::move(embeddings).value();
+
+  // The filter summary is the first dim coordinates of the full embedding,
+  // so the R-tree keys come straight out of the embedding rows.
   const size_t dim = index.filter_.dim();
   std::vector<ObjectId> ids(database->size());
   std::vector<double> coords(database->size() * dim);
   for (size_t i = 0; i < database->size(); ++i) {
     ids[i] = i;
-    std::vector<double> summary = index.filter_.Project((*database)[i]);
+    std::span<const double> row = index.embeddings_.Row(i);
     for (size_t j = 0; j < dim; ++j) {
       coords[i * dim + j] =
-          std::clamp((summary[j] + index.offset_) * index.scale_, 0.0, 1.0);
+          std::clamp((row[j] + index.offset_) * index.scale_, 0.0, 1.0);
     }
   }
   index.rtree_ = std::make_unique<RTree>(dim);
@@ -50,10 +56,12 @@ Result<std::vector<std::pair<size_t, double>>> GeminiIndex::Knn(
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   k = std::min(k, database_->size());
 
-  std::vector<double> summary = filter_.Project(target);
-  std::vector<double> unit(summary.size());
-  for (size_t j = 0; j < summary.size(); ++j) {
-    unit[j] = std::clamp((summary[j] + offset_) * scale_, 0.0, 1.0);
+  // One O(k^2) projection of the target; its prefix is the R-tree query
+  // point and its full length powers the O(k) refinements below.
+  std::vector<double> target_embedding = qfd_->Embed(target);
+  std::vector<double> unit(filter_.dim());
+  for (size_t j = 0; j < unit.size(); ++j) {
+    unit[j] = std::clamp((target_embedding[j] + offset_) * scale_, 0.0, 1.0);
   }
 
   RTree::NearestIterator it(rtree_.get(), unit);
@@ -70,7 +78,7 @@ Result<std::vector<std::pair<size_t, double>>> GeminiIndex::Knn(
     double bound = cand->distance / scale_;  // back to summary units
     if (best.size() >= k && bound >= kth) break;  // d >= d̂ >= kth: done
     size_t idx = static_cast<size_t>(cand->id);
-    double d = qfd_->Distance((*database_)[idx], target);
+    double d = EuclideanDistance(embeddings_.Row(idx), target_embedding);
     ++refinements;
     if (best.size() < k) {
       best.emplace_back(idx, d);

@@ -2,8 +2,10 @@
 // potentially have a multidimensional index on short color vectors"):
 // index the low-dimensional eigen summaries in an R-tree, stream candidates
 // out in ascending summary distance with the incremental nearest-neighbour
-// iterator, refine each with the full quadratic-form distance, and stop as
-// soon as the summary distance exceeds the current k-th best full distance.
+// iterator, refine each with the exact distance — computed in O(k) over the
+// full eigen-space embeddings (embedding_store.h), not as an O(k^2)
+// quadratic form — and stop as soon as the summary distance exceeds the
+// current k-th best full distance.
 // The lower-bounding property d >= d̂ guarantees no false dismissals, and
 // the R-tree replaces FilteredKnn's per-query O(N log N) summary sort with
 // sub-linear index traversal.
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "image/bounding.h"
+#include "image/embedding_store.h"
 #include "index/rtree.h"
 
 namespace fuzzydb {
@@ -45,6 +48,11 @@ class GeminiIndex {
   const QuadraticFormDistance* qfd_ = nullptr;
   EigenFilter filter_;
   const std::vector<Histogram>* database_ = nullptr;
+  // Full eigen-space embeddings of the database, built once at Build():
+  // the R-tree keys are their first filter_.dim() coordinates, and
+  // refinement is O(k) Euclidean distance over rows instead of an O(k^2)
+  // quadratic form per candidate.
+  EmbeddingStore embeddings_;
   std::unique_ptr<RTree> rtree_;
   // Uniform affine map: unit = (summary + offset_) * scale_.
   double scale_ = 1.0;

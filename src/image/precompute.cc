@@ -12,12 +12,16 @@ Result<PairwiseDistanceCache> PairwiseDistanceCache::Build(
   PairwiseDistanceCache cache;
   cache.n_ = n;
   cache.packed_.resize(n * (n - 1) / 2);
-  const QuadraticFormDistance& qfd = store.color_distance();
+  // Distances come from the store's eigen-space embeddings: O(bins) per
+  // pair via the batched kernel instead of an O(bins^2) quadratic form.
+  // Each row's batch covers the whole store; the packed triangle keeps the
+  // j < i prefix.
+  const EmbeddingStore& embeddings = store.embeddings();
+  std::vector<double> row(n);
   for (size_t i = 1; i < n; ++i) {
-    for (size_t j = 0; j < i; ++j) {
-      cache.packed_[i * (i - 1) / 2 + j] =
-          qfd.Distance(store.image(i).histogram, store.image(j).histogram);
-    }
+    embeddings.BatchDistances(embeddings.Row(i), row);
+    std::copy(row.begin(), row.begin() + static_cast<long>(i),
+              cache.packed_.begin() + static_cast<long>(i * (i - 1) / 2));
   }
   return cache;
 }

@@ -8,12 +8,12 @@ namespace {
 
 std::vector<GradedObject> AtLeastFromSorted(
     const std::vector<GradedObject>& sorted, double threshold) {
-  std::vector<GradedObject> out;
-  for (const GradedObject& g : sorted) {
-    if (g.grade < threshold) break;
-    out.push_back(g);
-  }
-  return out;
+  // The list is grade-descending, so the qualifying objects are exactly the
+  // prefix before the partition point — found by binary search.
+  auto end = std::partition_point(
+      sorted.begin(), sorted.end(),
+      [threshold](const GradedObject& g) { return g.grade >= threshold; });
+  return {sorted.begin(), end};
 }
 
 }  // namespace
@@ -29,8 +29,15 @@ Result<QbicColorSource> QbicColorSource::Create(const ImageStore* store,
   QbicColorSource src;
   src.label_ = std::move(label);
   src.sorted_.reserve(store->size());
-  for (const ImageRecord& rec : store->images()) {
-    double grade = store->ColorGrade(rec.histogram, target);
+  // Grade through the embedding layer: one O(bins^2) projection of the
+  // target, then one batched O(bins)-per-image pass over the store's
+  // contiguous embedding buffer.
+  std::vector<double> target_embedding = store->color_distance().Embed(target);
+  std::vector<double> distances(store->size());
+  store->embeddings().BatchDistances(target_embedding, distances);
+  for (size_t i = 0; i < store->size(); ++i) {
+    const ImageRecord& rec = store->image(i);
+    double grade = store->ColorGradeFromDistance(distances[i]);
     src.sorted_.push_back({rec.id, grade});
     src.grades_.emplace(rec.id, grade);
   }

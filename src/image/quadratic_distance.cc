@@ -57,16 +57,40 @@ Result<QuadraticFormDistance> QuadraticFormDistance::Create(
     lambda = std::max(lambda, 0.0);  // clamp eigensolver roundoff
   }
   qfd.max_distance_ = std::sqrt(2.0 * qfd.eigen_.values.front());
+
+  qfd.embedding_basis_ = Matrix(k, k);
+  for (size_t j = 0; j < k; ++j) {
+    const double scale = std::sqrt(qfd.eigen_.values[j]);
+    std::span<const double> v = qfd.eigen_.vectors.Row(j);
+    for (size_t i = 0; i < k; ++i) {
+      qfd.embedding_basis_.At(j, i) = scale * v[i];
+    }
+  }
   return qfd;
 }
 
 double QuadraticFormDistance::Distance(const Histogram& x,
                                        const Histogram& y) const {
   assert(x.size() == dimension() && y.size() == dimension());
-  std::vector<double> z(x.size());
-  for (size_t i = 0; i < x.size(); ++i) z[i] = x[i] - y[i];
-  double q = a_.QuadraticForm(z);
+  thread_local std::vector<double> scratch;
+  scratch.resize(x.size());
+  for (size_t i = 0; i < x.size(); ++i) scratch[i] = x[i] - y[i];
+  double q = a_.QuadraticForm(scratch);
   return std::sqrt(std::max(q, 0.0));
+}
+
+void QuadraticFormDistance::EmbedInto(std::span<const double> x,
+                                      std::span<double> out) const {
+  assert(x.size() == dimension() && out.size() == dimension());
+  for (size_t j = 0; j < dimension(); ++j) {
+    out[j] = Dot(embedding_basis_.Row(j), x);
+  }
+}
+
+std::vector<double> QuadraticFormDistance::Embed(const Histogram& x) const {
+  std::vector<double> out(dimension());
+  EmbedInto(x, out);
+  return out;
 }
 
 }  // namespace fuzzydb

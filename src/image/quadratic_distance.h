@@ -11,6 +11,18 @@
 // well-defined. We work with B = P A P (P the centering projector), which is
 // PSD everywhere and agrees with A on differences of histograms; its
 // eigen-decomposition also powers the distance-bounding filter.
+//
+// The eigendecomposition additionally gives an *isometric embedding*: with
+// e_j(x) = sqrt(λ_j)·⟨x, v_j⟩ (all k eigenpairs, descending λ),
+//
+//   d(x, y)^2 = Σ_j λ_j ⟨x-y, v_j⟩^2 = |e(x) - e(y)|_2^2,
+//
+// so after an O(k^2) projection per object at ingest, every exact distance
+// is plain Euclidean distance in embedded space — O(k) per pair. Because the
+// eigenvalues are sorted descending, every prefix of the embedding is a
+// lower bound on d (paper formula (2) generalized to all prefix lengths);
+// image/embedding_store.h builds the batched kernels and the cascaded filter
+// on top of this.
 
 #ifndef FUZZYDB_IMAGE_QUADRATIC_DISTANCE_H_
 #define FUZZYDB_IMAGE_QUADRATIC_DISTANCE_H_
@@ -29,8 +41,23 @@ class QuadraticFormDistance {
   /// Builds A from the palette's RGB geometry and diagonalizes B = P A P.
   static Result<QuadraticFormDistance> Create(const Palette& palette);
 
-  /// d(x, y); histograms must have palette-size bins.
+  /// d(x, y); histograms must have palette-size bins. Allocation-free: the
+  /// difference vector lives in a per-thread scratch buffer.
   double Distance(const Histogram& x, const Histogram& y) const;
+
+  /// Writes the eigen-space embedding e_j = sqrt(λ_j)·⟨x, v_j⟩ of `x` into
+  /// `out` (both sized dimension()). Euclidean distance between embeddings
+  /// equals Distance() exactly (up to eigensolver roundoff), and every
+  /// prefix of the embedding lower-bounds it.
+  void EmbedInto(std::span<const double> x, std::span<double> out) const;
+
+  /// Convenience allocating form of EmbedInto().
+  std::vector<double> Embed(const Histogram& x) const;
+
+  /// Row j is sqrt(λ_j)·v_j — the embedding is the matrix-vector product of
+  /// this basis with the histogram. The distance-bounding filter's rows are
+  /// exactly the first rows of this matrix.
+  const Matrix& embedding_basis() const { return embedding_basis_; }
 
   /// An upper bound on Distance over all pairs of histograms:
   /// sqrt(2 * λ_max(B)) since |x-y|_2^2 <= 2 for unit-mass histograms.
@@ -51,6 +78,7 @@ class QuadraticFormDistance {
  private:
   Matrix a_;
   EigenDecomposition eigen_;  // of B = P A P, negatives clamped to 0
+  Matrix embedding_basis_;    // row j = sqrt(λ_j) * v_j
   double max_distance_ = 0.0;
 };
 

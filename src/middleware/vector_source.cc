@@ -33,12 +33,12 @@ double VectorSource::RandomAccess(ObjectId id) {
 }
 
 std::vector<GradedObject> VectorSource::AtLeast(double threshold) {
-  std::vector<GradedObject> out;
-  for (const GradedObject& g : sorted_) {
-    if (g.grade < threshold) break;
-    out.push_back(g);
-  }
-  return out;
+  // sorted_ is grade-descending, so the answer is the prefix before the
+  // partition point — binary search instead of a linear scan.
+  auto end = std::partition_point(
+      sorted_.begin(), sorted_.end(),
+      [threshold](const GradedObject& g) { return g.grade >= threshold; });
+  return {sorted_.begin(), end};
 }
 
 Result<std::vector<VectorSource>> MakeSources(

@@ -169,6 +169,34 @@ TEST(FilteredKnnTest, MatchesExactKnn) {
   }
 }
 
+TEST(FilteredKnnTest, DuplicateDistancesBreakTiesByIndex) {
+  // Repeated histograms make the k-th best distance a massive tie; the
+  // answer must still be deterministic (distance ascending, then index) and
+  // identical to the exact scan.
+  Rng rng(479);
+  Palette palette = Palette::Uniform(27, &rng);
+  QuadraticFormDistance qfd = *QuadraticFormDistance::Create(palette);
+  EigenFilter filter = *EigenFilter::Create(qfd, 3);
+  std::vector<Histogram> distinct;
+  for (int i = 0; i < 4; ++i) distinct.push_back(RandomHistogram(&rng, 27));
+  std::vector<Histogram> db;
+  for (int copy = 0; copy < 15; ++copy) {
+    for (const Histogram& h : distinct) db.push_back(h);
+  }
+  Histogram target = distinct[1];
+  Result<std::vector<std::pair<size_t, double>>> filtered =
+      FilteredKnn(qfd, filter, db, target, 20);
+  ASSERT_TRUE(filtered.ok());
+  std::vector<std::pair<size_t, double>> exact = ExactKnn(qfd, db, target, 20);
+  ASSERT_EQ(filtered->size(), exact.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ((*filtered)[i].first, exact[i].first) << "rank " << i;
+    if (i > 0 && exact[i].second == exact[i - 1].second) {
+      EXPECT_LT(exact[i - 1].first, exact[i].first);
+    }
+  }
+}
+
 TEST(FilteredKnnTest, HandlesEdgeCases) {
   Rng rng(467);
   Palette palette = Palette::Uniform(8, &rng);

@@ -1,0 +1,311 @@
+// The eigen-space embedding layer: embedded Euclidean distance must agree
+// with the quadratic form Matrix::QuadraticForm to 1e-9, every prefix of an
+// embedding must lower-bound the full distance, and the cascaded filter
+// must return exactly the same top-k (indices, order, distances) as the
+// batched exact kernel — including under duplicates and degenerate
+// palettes.
+
+#include "image/embedding_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/bounding.h"
+#include "image/image_store.h"
+
+namespace fuzzydb {
+namespace {
+
+std::vector<Histogram> RandomDatabase(Rng* rng, size_t n, size_t bins) {
+  std::vector<Histogram> db;
+  db.reserve(n);
+  for (size_t i = 0; i < n; ++i) db.push_back(RandomHistogram(rng, bins));
+  return db;
+}
+
+TEST(EmbeddingTest, EmbeddedDistanceMatchesQuadraticForm) {
+  Rng rng(1009);
+  for (size_t bins : {8u, 27u, 64u}) {
+    Palette palette = Palette::Uniform(bins, &rng);
+    QuadraticFormDistance qfd = *QuadraticFormDistance::Create(palette);
+    for (int trial = 0; trial < 50; ++trial) {
+      Histogram x = RandomHistogram(&rng, bins);
+      Histogram y = RandomHistogram(&rng, bins);
+      std::vector<double> z(bins);
+      for (size_t i = 0; i < bins; ++i) z[i] = x[i] - y[i];
+      double reference =
+          std::sqrt(std::max(qfd.similarity().QuadraticForm(z), 0.0));
+      double embedded = EuclideanDistance(qfd.Embed(x), qfd.Embed(y));
+      EXPECT_NEAR(embedded, reference, 1e-9) << "bins " << bins;
+      EXPECT_NEAR(embedded, qfd.Distance(x, y), 1e-9) << "bins " << bins;
+    }
+  }
+}
+
+TEST(EmbeddingTest, EveryPrefixLowerBoundsTheDistance) {
+  Rng rng(1013);
+  Palette palette = Palette::Uniform(64, &rng);
+  QuadraticFormDistance qfd = *QuadraticFormDistance::Create(palette);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> ex = qfd.Embed(RandomHistogram(&rng, 64));
+    std::vector<double> ey = qfd.Embed(RandomHistogram(&rng, 64));
+    double full = 0.0;
+    for (size_t j = 0; j < 64; ++j) {
+      double diff = ex[j] - ey[j];
+      full += diff * diff;
+    }
+    double partial = 0.0;
+    for (size_t j = 0; j < 64; ++j) {
+      double diff = ex[j] - ey[j];
+      partial += diff * diff;
+      // Partial sums are nondecreasing and never exceed the full squared
+      // distance: formula (2) at every prefix length.
+      EXPECT_LE(partial, full + 1e-12);
+    }
+    EXPECT_NEAR(partial, full, 1e-12);
+  }
+}
+
+TEST(EmbeddingTest, BatchDistancesMatchesPairwiseDistances) {
+  Rng rng(1019);
+  Palette palette = Palette::Uniform(27, &rng);
+  QuadraticFormDistance qfd = *QuadraticFormDistance::Create(palette);
+  std::vector<Histogram> db = RandomDatabase(&rng, 100, 27);
+  EmbeddingStore store = *EmbeddingStore::Build(qfd, db);
+  ASSERT_EQ(store.size(), db.size());
+  ASSERT_EQ(store.dim(), 27u);
+
+  Histogram target = RandomHistogram(&rng, 27);
+  std::vector<double> target_embedding = qfd.Embed(target);
+  std::vector<double> batch(db.size());
+  store.BatchDistances(target_embedding, batch);
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_NEAR(batch[i], qfd.Distance(db[i], target), 1e-9) << "row " << i;
+    EXPECT_DOUBLE_EQ(
+        batch[i], EuclideanDistance(store.Row(i), target_embedding));
+  }
+}
+
+TEST(EmbeddingTest, BuildValidates) {
+  Rng rng(1021);
+  Palette palette = Palette::Uniform(8, &rng);
+  QuadraticFormDistance qfd = *QuadraticFormDistance::Create(palette);
+  EXPECT_FALSE(EmbeddingStore::Build(qfd, {}).ok());
+  EXPECT_FALSE(EmbeddingStore::Build(qfd, {Histogram(5, 0.2)}).ok());
+}
+
+TEST(EmbeddingTest, ImageStoreEmbedsAtIngest) {
+  ImageStoreOptions options;
+  options.num_images = 50;
+  options.palette_size = 27;
+  Result<ImageStore> store = ImageStore::Generate(options);
+  ASSERT_TRUE(store.ok());
+  const EmbeddingStore& embeddings = store->embeddings();
+  ASSERT_EQ(embeddings.size(), store->size());
+  ASSERT_EQ(embeddings.dim(), 27u);
+  const QuadraticFormDistance& qfd = store->color_distance();
+  for (size_t i = 0; i < store->size(); i += 9) {
+    std::vector<double> expected = qfd.Embed(store->image(i).histogram);
+    std::span<const double> row = embeddings.Row(i);
+    for (size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_DOUBLE_EQ(row[j], expected[j]);
+    }
+  }
+}
+
+class CascadeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1031);
+    palette_ = Palette::Uniform(64, &rng);
+    qfd_ = *QuadraticFormDistance::Create(palette_);
+    db_ = RandomDatabase(&rng, 500, 64);
+    store_ = *EmbeddingStore::Build(qfd_, db_);
+  }
+
+  // Cascade output must equal ExactKnn output *exactly*: same indices, same
+  // order, bit-identical distances.
+  void ExpectIdentical(const std::vector<std::pair<size_t, double>>& got,
+                       const std::vector<std::pair<size_t, double>>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].first, want[i].first) << "rank " << i;
+      EXPECT_EQ(got[i].second, want[i].second) << "rank " << i;
+    }
+  }
+
+  Palette palette_;
+  QuadraticFormDistance qfd_;
+  std::vector<Histogram> db_;
+  EmbeddingStore store_;
+};
+
+TEST_F(CascadeTest, MatchesExactKnnAcrossOptionsAndQueries) {
+  Rng rng(1033);
+  for (int q = 0; q < 8; ++q) {
+    std::vector<double> target = qfd_.Embed(RandomHistogram(&rng, 64));
+    std::vector<std::pair<size_t, double>> exact = store_.ExactKnn(target, 10);
+    for (CascadeOptions options :
+         {CascadeOptions{1, 1}, CascadeOptions{3, 7}, CascadeOptions{8, 16},
+          CascadeOptions{64, 16}}) {
+      CascadeStats stats;
+      ExpectIdentical(store_.CascadeKnn(target, 10, options, &stats), exact);
+      EXPECT_EQ(stats.bound_computations, db_.size());
+    }
+  }
+}
+
+TEST_F(CascadeTest, MatchesLegacyExactKnnIndicesWithin1e9) {
+  // Cross-path equivalence: the cascade (embedded arithmetic) against the
+  // seed ExactKnn (quadratic-form arithmetic).
+  Rng rng(1039);
+  for (int q = 0; q < 5; ++q) {
+    Histogram target = RandomHistogram(&rng, 64);
+    std::vector<std::pair<size_t, double>> legacy =
+        ExactKnn(qfd_, db_, target, 10);
+    std::vector<std::pair<size_t, double>> cascade =
+        store_.CascadeKnn(qfd_.Embed(target), 10);
+    ASSERT_EQ(cascade.size(), legacy.size());
+    for (size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ(cascade[i].first, legacy[i].first) << "rank " << i;
+      EXPECT_NEAR(cascade[i].second, legacy[i].second, 1e-9);
+    }
+  }
+}
+
+TEST_F(CascadeTest, RefinesFarFewerCandidatesThanTwoLevelFilter) {
+  Rng rng(1049);
+  EigenFilter filter = *EigenFilter::Create(qfd_, 3);
+  size_t two_level_full = 0;
+  size_t cascade_full = 0;
+  for (int q = 0; q < 5; ++q) {
+    Histogram target = RandomHistogram(&rng, 64);
+    FilteredSearchStats filtered_stats;
+    ASSERT_TRUE(
+        FilteredKnn(qfd_, filter, db_, target, 10, &filtered_stats).ok());
+    CascadeStats cascade_stats;
+    store_.CascadeKnn(qfd_.Embed(target), 10, {}, &cascade_stats);
+    two_level_full += filtered_stats.full_distance_computations;
+    cascade_full += cascade_stats.full_distance_computations;
+  }
+  // Equal recall (both exact); the cascade must carry fewer candidates to
+  // full precision than the two-level filter refines.
+  EXPECT_LT(cascade_full, two_level_full);
+}
+
+TEST_F(CascadeTest, EdgeCases) {
+  std::vector<double> target = qfd_.Embed(db_[0]);
+  // k = 0: empty answer, no error.
+  EXPECT_TRUE(store_.CascadeKnn(target, 0).empty());
+  EXPECT_TRUE(store_.ExactKnn(target, 0).empty());
+  // k >= N clamps to the full collection, still exactly ordered.
+  std::vector<std::pair<size_t, double>> all =
+      store_.CascadeKnn(target, db_.size() + 100);
+  ExpectIdentical(all, store_.ExactKnn(target, db_.size()));
+  EXPECT_EQ(all.size(), db_.size());
+  // Self-query: the query object ranks first at distance exactly 0.
+  EXPECT_EQ(all[0].first, 0u);
+  EXPECT_EQ(all[0].second, 0.0);
+  // Single-element store.
+  EmbeddingStore one = *EmbeddingStore::Build(qfd_, {db_[0]});
+  std::vector<std::pair<size_t, double>> single = one.CascadeKnn(target, 5);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].first, 0u);
+}
+
+TEST_F(CascadeTest, DuplicateDistancesBreakTiesByIndexDeterministically) {
+  // A database of few distinct histograms, each repeated many times: almost
+  // every comparison is a tie, so any nondeterministic tie handling shows.
+  Rng rng(1051);
+  std::vector<Histogram> distinct = RandomDatabase(&rng, 5, 64);
+  std::vector<Histogram> db;
+  for (int copy = 0; copy < 20; ++copy) {
+    for (const Histogram& h : distinct) db.push_back(h);
+  }
+  EmbeddingStore store = *EmbeddingStore::Build(qfd_, db);
+  std::vector<double> target = qfd_.Embed(distinct[2]);
+  std::vector<std::pair<size_t, double>> exact = store.ExactKnn(target, 23);
+  // Ties resolve by ascending index.
+  for (size_t i = 1; i < exact.size(); ++i) {
+    if (exact[i].second == exact[i - 1].second) {
+      EXPECT_LT(exact[i - 1].first, exact[i].first);
+    }
+  }
+  for (CascadeOptions options :
+       {CascadeOptions{1, 4}, CascadeOptions{8, 16}, CascadeOptions{64, 16}}) {
+    ExpectIdentical(store.CascadeKnn(target, 23, options), exact);
+  }
+}
+
+TEST(CascadeDegenerateTest, FlatSpectrumPaletteStaysExact) {
+  // A regular-tetrahedron palette makes all colors mutually equidistant:
+  // A = I, so B = P has the flattest possible spectrum and a short prefix
+  // captures the least energy any palette allows (1/(k-1) per dimension).
+  // The bound is nearly uninformative — correctness must not depend on it.
+  Result<Palette> palette = Palette::FromColors({{0.0, 0.0, 0.0},
+                                                 {1.0, 1.0, 0.0},
+                                                 {1.0, 0.0, 1.0},
+                                                 {0.0, 1.0, 1.0}});
+  ASSERT_TRUE(palette.ok());
+  QuadraticFormDistance qfd = *QuadraticFormDistance::Create(*palette);
+  EigenFilter filter = *EigenFilter::Create(qfd, 1);
+  EXPECT_NEAR(filter.CapturedEnergy(), 1.0 / 3.0, 1e-6);
+
+  Rng rng(1061);
+  std::vector<Histogram> db = RandomDatabase(&rng, 200, 4);
+  EmbeddingStore store = *EmbeddingStore::Build(qfd, db);
+  for (int q = 0; q < 5; ++q) {
+    Histogram target = RandomHistogram(&rng, 4, 2);
+    std::vector<double> target_embedding = qfd.Embed(target);
+    std::vector<std::pair<size_t, double>> exact =
+        store.ExactKnn(target_embedding, 10);
+    std::vector<std::pair<size_t, double>> cascade =
+        store.CascadeKnn(target_embedding, 10, {1, 1});
+    ASSERT_EQ(cascade.size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(cascade[i].first, exact[i].first);
+      EXPECT_EQ(cascade[i].second, exact[i].second);
+    }
+    // The legacy two-level filter must also stay exact here.
+    Result<std::vector<std::pair<size_t, double>>> filtered =
+        FilteredKnn(qfd, filter, db, target, 10);
+    ASSERT_TRUE(filtered.ok());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ((*filtered)[i].first, exact[i].first);
+    }
+  }
+}
+
+TEST(CascadeDegenerateTest, ClusteredPaletteCollapsesDistancesButStaysExact) {
+  // Two tight clusters of nearly identical colors: one dominant eigenpair
+  // (the between-cluster axis) and the rest ~0 — within-cluster distances
+  // nearly collapse, producing masses of near-ties.
+  std::vector<Rgb> colors;
+  for (int i = 0; i < 4; ++i) {
+    double eps = 1e-6 * static_cast<double>(i);
+    colors.push_back({0.1 + eps, 0.1, 0.1});
+    colors.push_back({0.9 - eps, 0.9, 0.9});
+  }
+  Result<Palette> palette = Palette::FromColors(std::move(colors));
+  ASSERT_TRUE(palette.ok());
+  QuadraticFormDistance qfd = *QuadraticFormDistance::Create(*palette);
+
+  Rng rng(1063);
+  std::vector<Histogram> db = RandomDatabase(&rng, 200, 8);
+  EmbeddingStore store = *EmbeddingStore::Build(qfd, db);
+  for (int q = 0; q < 5; ++q) {
+    std::vector<double> target = qfd.Embed(RandomHistogram(&rng, 8));
+    std::vector<std::pair<size_t, double>> exact = store.ExactKnn(target, 15);
+    std::vector<std::pair<size_t, double>> cascade =
+        store.CascadeKnn(target, 15, {2, 2});
+    ASSERT_EQ(cascade.size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(cascade[i].first, exact[i].first) << "rank " << i;
+      EXPECT_EQ(cascade[i].second, exact[i].second) << "rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fuzzydb

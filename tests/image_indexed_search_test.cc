@@ -102,7 +102,9 @@ TEST_F(GeminiTest, KnnMatchesExactSearch) {
     ASSERT_EQ(got->size(), expected.size());
     for (size_t i = 0; i < expected.size(); ++i) {
       EXPECT_EQ((*got)[i].first, expected[i].first) << "rank " << i;
-      EXPECT_NEAR((*got)[i].second, expected[i].second, 1e-12);
+      // GEMINI refines in embedded space; ExactKnn evaluates the quadratic
+      // form — the two agree up to eigensolver roundoff.
+      EXPECT_NEAR((*got)[i].second, expected[i].second, 1e-9);
     }
     // Refinement must touch well under the whole database.
     EXPECT_LT(stats.full_distance_computations, db_.size() / 2);

@@ -89,7 +89,9 @@ TEST(PrecomputeTest, CacheAgreesWithDirectComputation) {
     for (size_t j = 0; j < store->size(); j += 11) {
       double direct =
           qfd.Distance(store->image(i).histogram, store->image(j).histogram);
-      EXPECT_NEAR(cache->Distance(i, j), direct, 1e-12);
+      // The cache is built through the eigen-space embedding kernel, which
+      // agrees with the quadratic form up to eigensolver roundoff.
+      EXPECT_NEAR(cache->Distance(i, j), direct, 1e-9);
     }
   }
   EXPECT_DOUBLE_EQ(cache->Distance(5, 5), 0.0);
