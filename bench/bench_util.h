@@ -9,13 +9,11 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <utility>
-#include <vector>
 
+#include "json_report.h"
 #include "sim/experiment.h"
 
 namespace fuzzydb {
@@ -24,44 +22,6 @@ namespace fuzzydb {
 inline void Banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
 }
-
-/// Machine-readable bench output: a flat JSON object of "key": value pairs
-/// (dotted keys for structure, e.g. "cascade.ops_per_sec"), written in one
-/// shot so later PRs can track a perf trajectory across runs.
-class JsonReport {
- public:
-  void Set(const std::string& key, double value) {
-    std::ostringstream os;
-    os.precision(10);
-    os << value;
-    entries_.emplace_back(key, os.str());
-  }
-  void Set(const std::string& key, size_t value) {
-    entries_.emplace_back(key, std::to_string(value));
-  }
-  void Set(const std::string& key, const std::string& value) {
-    entries_.emplace_back(key, "\"" + value + "\"");
-  }
-
-  /// Writes `{ "k": v, ... }` to `path` and says so on stdout.
-  void WriteFile(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) {
-      std::cerr << "cannot write " << path << "\n";
-      return;
-    }
-    out << "{\n";
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      out << "  \"" << entries_[i].first << "\": " << entries_[i].second
-          << (i + 1 < entries_.size() ? ",\n" : "\n");
-    }
-    out << "}\n";
-    std::cout << "wrote " << path << " (" << entries_.size() << " metrics)\n";
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> entries_;
-};
 
 /// Aborts the bench loudly if a Status is not OK (benches have no gtest).
 inline void CheckOk(const Status& status, const char* what) {

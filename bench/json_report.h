@@ -1,0 +1,102 @@
+// Machine-readable bench output: a flat JSON object of "key": value pairs
+// (dotted keys for structure, e.g. "cascade.ops_per_sec"), written in one
+// shot so later PRs can track a perf trajectory across runs.
+//
+// Standalone (no benchmark/gtest dependency) so the emitter itself is unit
+// tested: earlier revisions wrote bare `nan`/`inf` tokens and raw strings,
+// which silently produced invalid JSON the first time a metric divided by
+// zero or a label contained a quote.
+
+#ifndef FUZZYDB_BENCH_JSON_REPORT_H_
+#define FUZZYDB_BENCH_JSON_REPORT_H_
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fuzzydb {
+
+class JsonReport {
+ public:
+  void Set(const std::string& key, double value) {
+    // JSON has no nan/inf literals; emit null rather than corrupt the file.
+    if (!std::isfinite(value)) {
+      entries_.emplace_back(key, "null");
+      return;
+    }
+    std::ostringstream os;
+    os.precision(10);
+    os << value;
+    entries_.emplace_back(key, os.str());
+  }
+  void Set(const std::string& key, size_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void Set(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, Quote(value));
+  }
+
+  /// The full `{ "k": v, ... }` document.
+  std::string ToString() const {
+    std::ostringstream out;
+    out << "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      out << "  " << Quote(entries_[i].first) << ": " << entries_[i].second
+          << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+    return out.str();
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  /// Writes ToString() to `path` and says so on stdout.
+  void WriteFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return;
+    }
+    out << ToString();
+    std::cout << "wrote " << path << " (" << entries_.size() << " metrics)\n";
+  }
+
+ private:
+  // RFC 8259 string escaping: quote, backslash, and control characters.
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_BENCH_JSON_REPORT_H_

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/squared_distance.h"
+
 namespace fuzzydb {
 
 Matrix Matrix::Identity(size_t n) {
@@ -135,12 +137,10 @@ double Dot(std::span<const double> a, std::span<const double> b) {
 
 double EuclideanDistance(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
+  // Shares the lane-blocked kernel with the batched embedding scans so that
+  // a distance computed here is bit-identical to the same row's entry from
+  // EmbeddingStore::BatchDistances.
+  return std::sqrt(SquaredDistance(a.data(), b.data(), a.size()));
 }
 
 }  // namespace fuzzydb

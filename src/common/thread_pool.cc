@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace fuzzydb {
+
+ThreadPool::ThreadPool(size_t num_executors) {
+  const size_t workers = num_executors > 1 ? num_executors - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  // One job at a time: queue behind any job another thread is running.
+  done_cv_.wait(lock, [this] { return job_fn_ == nullptr; });
+  job_fn_ = &fn;
+  job_n_ = n;
+  job_next_ = 0;
+  job_done_ = 0;
+  ++job_id_;
+  job_cv_.notify_all();
+  // The submitting thread is an executor too.
+  while (job_next_ < job_n_) {
+    const size_t i = job_next_++;
+    lock.unlock();
+    fn(i);
+    lock.lock();
+    ++job_done_;
+  }
+  done_cv_.wait(lock, [this] { return job_done_ == job_n_; });
+  job_fn_ = nullptr;
+  done_cv_.notify_all();  // wake both queued submitters and nobody else
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_job = 0;
+  while (true) {
+    job_cv_.wait(lock, [&] {
+      return stop_ || (job_fn_ != nullptr && job_id_ != seen_job);
+    });
+    if (stop_) return;
+    seen_job = job_id_;
+    const std::function<void(size_t)>* fn = job_fn_;
+    while (job_fn_ == fn && job_next_ < job_n_) {
+      const size_t i = job_next_++;
+      lock.unlock();
+      (*fn)(i);
+      lock.lock();
+      if (++job_done_ == job_n_) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+std::vector<ShardRange> MakeShards(size_t n, size_t shards) {
+  shards = std::max<size_t>(shards, 1);
+  std::vector<ShardRange> out(shards);
+  const size_t base = n / shards;
+  const size_t extra = n % shards;
+  size_t begin = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t len = base + (s < extra ? 1 : 0);
+    out[s] = {begin, begin + len};
+    begin += len;
+  }
+  return out;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,84 @@
+// A small fixed-size thread pool driving blocking parallel-for loops — the
+// execution substrate for the sharded embedding kernels
+// (image/embedding_store.h) and any other data-parallel scan.
+//
+// Design points:
+//   - ParallelFor(n, fn) blocks until every fn(i) has returned; the calling
+//     thread participates, so a pool of E executors spawns E-1 workers and
+//     ThreadPool(1) degenerates to a plain serial loop with no threads.
+//   - Work is claimed index-by-index under the pool mutex: shards are the
+//     unit of scheduling, so callers should pass a handful of coarse shards
+//     per executor, not one index per element.
+//   - Concurrent ParallelFor calls from different threads serialize (one job
+//     at a time); nested calls from inside fn are not allowed.
+//   - All state is mutex/condvar protected (no lock-free cleverness), which
+//     keeps the pool ThreadSanitizer-clean by construction.
+
+#ifndef FUZZYDB_COMMON_THREAD_POOL_H_
+#define FUZZYDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fuzzydb {
+
+/// Fixed pool of worker threads for blocking parallel loops.
+class ThreadPool {
+ public:
+  /// A pool with `num_executors` total executors: the calling thread plus
+  /// `num_executors - 1` workers. 0 is treated as 1 (fully serial).
+  explicit ThreadPool(size_t num_executors);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executors, counting the thread that calls ParallelFor.
+  size_t executors() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), spread across the executors; returns
+  /// once all calls have completed. `fn` must not throw and must not call
+  /// ParallelFor on the same pool (jobs from *different* threads are safe
+  /// and simply serialize).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Process-wide shared pool sized to the hardware concurrency (always at
+  /// least one executor). Never destroyed before exit.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers: a new job is available
+  std::condition_variable done_cv_;  // submitters: job finished / slot free
+  const std::function<void(size_t)>* job_fn_ = nullptr;  // null = no job
+  size_t job_n_ = 0;     // total indices in the current job
+  size_t job_next_ = 0;  // next unclaimed index
+  size_t job_done_ = 0;  // indices whose fn() has returned
+  uint64_t job_id_ = 0;  // bumps per job so workers never re-enter one
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Contiguous index range [begin, end) of one shard.
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// Splits [0, n) into `shards` near-equal contiguous ranges (the first
+/// n % shards ranges get one extra element). Deterministic in (n, shards)
+/// only — the basis for bit-identical sharded scans at any thread count.
+/// Empty ranges are kept so indices align with shard numbers.
+std::vector<ShardRange> MakeShards(size_t n, size_t shards);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_COMMON_THREAD_POOL_H_

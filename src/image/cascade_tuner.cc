@@ -1,0 +1,88 @@
+#include "image/cascade_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fuzzydb {
+
+double CascadeTuner::Cost(const CascadeStats& stats, size_t prefix_dim,
+                          double candidate_overhead, size_t queries) {
+  if (queries == 0) return 0.0;
+  const double level0 = static_cast<double>(stats.bound_computations) *
+                        static_cast<double>(prefix_dim);
+  const double refine = static_cast<double>(stats.dims_accumulated) +
+                        candidate_overhead *
+                            static_cast<double>(stats.candidates_refined);
+  return (level0 + refine) / static_cast<double>(queries);
+}
+
+std::vector<size_t> CascadeTuner::SpectrumPrefixes(
+    std::span<const double> eigenvalues,
+    std::span<const double> energy_fractions) {
+  std::vector<size_t> out;
+  if (eigenvalues.empty()) return out;
+  double total = 0.0;
+  for (double v : eigenvalues) total += std::max(v, 0.0);
+  for (double fraction : energy_fractions) {
+    size_t depth = eigenvalues.size();
+    if (total > 0.0) {
+      double cum = 0.0;
+      for (size_t j = 0; j < eigenvalues.size(); ++j) {
+        cum += std::max(eigenvalues[j], 0.0);
+        if (cum >= fraction * total) {
+          depth = j + 1;
+          break;
+        }
+      }
+    } else {
+      depth = 1;  // degenerate spectrum: every prefix is equally blind
+    }
+    out.push_back(std::clamp<size_t>(depth, 1, eigenvalues.size()));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TunedCascade CascadeTuner::Tune(
+    const EmbeddingStore& store, std::span<const double> eigenvalues,
+    const std::vector<std::vector<double>>& calibration,
+    const CascadeTunerOptions& options) {
+  TunedCascade result;
+  result.options = CascadeOptions{};
+
+  std::vector<size_t> prefixes = options.prefix_grid;
+  if (prefixes.empty()) {
+    const double kFractions[] = {0.25, 0.50, 0.75, 0.90};
+    prefixes = SpectrumPrefixes(eigenvalues, kFractions);
+  }
+  if (prefixes.empty()) prefixes.push_back(CascadeOptions{}.prefix_dim);
+  std::vector<size_t> steps = options.step_grid;
+  if (steps.empty()) steps.push_back(CascadeOptions{}.step);
+
+  const size_t k = std::max<size_t>(options.k, 1);
+  bool first = true;
+  for (size_t prefix : prefixes) {
+    prefix = std::clamp<size_t>(prefix, 1, std::max<size_t>(store.dim(), 1));
+    for (size_t step : steps) {
+      CascadeCandidate candidate;
+      candidate.options = {prefix, std::max<size_t>(step, 1)};
+      for (const std::vector<double>& target : calibration) {
+        store.CascadeKnn(target, k, candidate.options, &candidate.stats);
+      }
+      candidate.cost = Cost(candidate.stats, prefix,
+                            options.candidate_overhead, calibration.size());
+      // Strict <: ties keep the earlier (smaller prefix, smaller step)
+      // configuration, making the sweep order part of the contract.
+      if (first || candidate.cost < result.cost) {
+        result.options = candidate.options;
+        result.cost = candidate.cost;
+        first = false;
+      }
+      result.sweep.push_back(std::move(candidate));
+    }
+  }
+  return result;
+}
+
+}  // namespace fuzzydb

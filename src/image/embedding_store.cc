@@ -5,21 +5,54 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/squared_distance.h"
+
 namespace fuzzydb {
 
 namespace {
 
-// Left-to-right squared-distance accumulation over [begin, end) of one row.
-// Every code path below (batch kernel, level-0 bound, incremental
-// refinement) sums dimensions in this same order, which is what makes the
-// cascade's numbers bit-identical to the batched exact kernel's.
-inline double AccumulateSquared(const double* row, const double* target,
-                                size_t begin, size_t end, double acc) {
-  for (size_t j = begin; j < end; ++j) {
-    const double diff = row[j] - target[j];
-    acc += diff * diff;
+// Every code path (batch kernel, level-0 bound, incremental refinement,
+// serial or sharded) accumulates squared differences through the same
+// lane-blocked SquaredDistanceAccumulator, whose state after [a,b) then
+// [b,c) is bit-identical to one [a,c) pass. That split invariance is what
+// makes the cascade's numbers bit-identical to the batched exact kernel's,
+// and the sharded scans bit-identical to the serial ones.
+
+// Sorts pairs lexicographically and keeps the k smallest — the shared merge
+// step of the sharded top-k paths. Selection runs on squared distances: the
+// final sqrt can round two distinct d^2 to the same double, so comparing
+// (d^2, index) keeps every path's tie-break identical.
+void KeepKSmallest(std::vector<std::pair<double, size_t>>* pairs, size_t k) {
+  k = std::min(k, pairs->size());
+  std::partial_sort(pairs->begin(), pairs->begin() + static_cast<long>(k),
+                    pairs->end());
+  pairs->resize(k);
+}
+
+std::vector<std::pair<size_t, double>> ToOutput(
+    std::vector<std::pair<double, size_t>> best) {
+  std::sort(best.begin(), best.end());
+  std::vector<std::pair<size_t, double>> out;
+  out.reserve(best.size());
+  for (const auto& [d2, idx] : best) {
+    out.emplace_back(idx, std::sqrt(d2));
   }
-  return acc;
+  return out;
+}
+
+// Runs fn(shard_index) for every shard, on the pool when given.
+void RunShards(ThreadPool* pool, size_t shards,
+               const std::function<void(size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(shards, fn);
+  } else {
+    for (size_t s = 0; s < shards; ++s) fn(s);
+  }
+}
+
+size_t ResolveShards(size_t shards, ThreadPool* pool, size_t n) {
+  if (shards == 0) shards = pool != nullptr ? pool->executors() : 1;
+  return std::max<size_t>(1, std::min(shards, std::max<size_t>(n, 1)));
 }
 
 }  // namespace
@@ -42,121 +75,183 @@ Result<EmbeddingStore> EmbeddingStore::Build(
 
 void EmbeddingStore::BatchDistances(std::span<const double> target,
                                     std::span<double> out) const {
+  BatchDistances(target, out, /*pool=*/nullptr, /*shards=*/1);
+}
+
+void EmbeddingStore::BatchDistances(std::span<const double> target,
+                                    std::span<double> out, ThreadPool* pool,
+                                    size_t shards) const {
   assert(target.size() == dim_ && out.size() == size_);
-  const double* t = target.data();
-  for (size_t i = 0; i < size_; ++i) {
-    const double* row = data_.data() + i * dim_;
-    out[i] = std::sqrt(AccumulateSquared(row, t, 0, dim_, 0.0));
-  }
+  const double* FUZZYDB_RESTRICT t = target.data();
+  const std::vector<ShardRange> ranges =
+      MakeShards(size_, ResolveShards(shards, pool, size_));
+  RunShards(pool, ranges.size(), [&](size_t s) {
+    for (size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+      const double* FUZZYDB_RESTRICT row = data_.data() + i * dim_;
+      out[i] = std::sqrt(SquaredDistance(row, t, dim_));
+    }
+  });
 }
 
 std::vector<std::pair<size_t, double>> EmbeddingStore::ExactKnn(
     std::span<const double> target, size_t k) const {
-  std::vector<std::pair<size_t, double>> out;
-  if (k == 0 || size_ == 0) return out;
+  return ExactKnn(target, k, /*pool=*/nullptr, /*shards=*/1);
+}
+
+std::vector<std::pair<size_t, double>> EmbeddingStore::ExactKnn(
+    std::span<const double> target, size_t k, ThreadPool* pool,
+    size_t shards) const {
+  if (k == 0 || size_ == 0) return {};
   k = std::min(k, size_);
   assert(target.size() == dim_);
 
-  const double* t = target.data();
-  std::vector<std::pair<double, size_t>> all(size_);  // (d^2, index)
-  for (size_t i = 0; i < size_; ++i) {
-    const double* row = data_.data() + i * dim_;
-    all[i] = {AccumulateSquared(row, t, 0, dim_, 0.0), i};
+  const double* FUZZYDB_RESTRICT t = target.data();
+  const std::vector<ShardRange> ranges =
+      MakeShards(size_, ResolveShards(shards, pool, size_));
+  // Per-shard local top-k of (d^2, index); the global k smallest pairs are
+  // contained in the union of the shard-local k smallest.
+  std::vector<std::vector<std::pair<double, size_t>>> local(ranges.size());
+  RunShards(pool, ranges.size(), [&](size_t s) {
+    const ShardRange r = ranges[s];
+    std::vector<std::pair<double, size_t>>& mine = local[s];
+    mine.reserve(r.size());
+    for (size_t i = r.begin; i < r.end; ++i) {
+      const double* FUZZYDB_RESTRICT row = data_.data() + i * dim_;
+      mine.emplace_back(SquaredDistance(row, t, dim_), i);
+    }
+    KeepKSmallest(&mine, k);
+  });
+
+  std::vector<std::pair<double, size_t>> merged;
+  merged.reserve(ranges.size() * k);
+  for (const auto& mine : local) {
+    merged.insert(merged.end(), mine.begin(), mine.end());
   }
-  // Selection runs on squared distances: sqrt can round two distinct d^2 to
-  // the same double, and the cascade compares d^2 — keeping the selection
-  // key identical keeps the two paths' answers identical.
-  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k),
-                    all.end());
-  out.reserve(k);
-  for (size_t i = 0; i < k; ++i) {
-    out.emplace_back(all[i].second, std::sqrt(all[i].first));
-  }
-  return out;
+  KeepKSmallest(&merged, k);
+  return ToOutput(std::move(merged));
 }
 
 std::vector<std::pair<size_t, double>> EmbeddingStore::CascadeKnn(
     std::span<const double> target, size_t k, const CascadeOptions& options,
     CascadeStats* stats) const {
-  std::vector<std::pair<size_t, double>> out;
-  if (k == 0 || size_ == 0) return out;
+  return CascadeKnn(target, k, options, stats, /*pool=*/nullptr, /*shards=*/1);
+}
+
+std::vector<std::pair<size_t, double>> EmbeddingStore::CascadeKnn(
+    std::span<const double> target, size_t k, const CascadeOptions& options,
+    CascadeStats* stats, ThreadPool* pool, size_t shards) const {
+  if (k == 0 || size_ == 0) return {};
   k = std::min(k, size_);
   assert(target.size() == dim_);
 
+  const std::vector<ShardRange> ranges =
+      MakeShards(size_, ResolveShards(shards, pool, size_));
+  std::vector<std::vector<std::pair<double, size_t>>> local(ranges.size());
+  std::vector<CascadeStats> local_stats(ranges.size());
+  RunShards(pool, ranges.size(), [&](size_t s) {
+    CascadeShard(target.data(), k, options, ranges[s], &local[s],
+                 &local_stats[s]);
+  });
+
+  std::vector<std::pair<double, size_t>> merged;
+  merged.reserve(ranges.size() * k);
+  for (const auto& mine : local) {
+    merged.insert(merged.end(), mine.begin(), mine.end());
+  }
+  KeepKSmallest(&merged, k);
+  if (stats != nullptr) {
+    // Summed in shard order — deterministic in (size, shards), independent
+    // of thread scheduling.
+    for (const CascadeStats& ls : local_stats) {
+      stats->bound_computations += ls.bound_computations;
+      stats->candidates_refined += ls.candidates_refined;
+      stats->full_distance_computations += ls.full_distance_computations;
+      stats->dims_accumulated += ls.dims_accumulated;
+    }
+  }
+  return ToOutput(std::move(merged));
+}
+
+void EmbeddingStore::CascadeShard(
+    const double* target, size_t k, const CascadeOptions& options,
+    ShardRange range, std::vector<std::pair<double, size_t>>* best,
+    CascadeStats* stats) const {
+  const size_t n = range.size();
+  if (n == 0) return;
+  k = std::min(k, n);
   const size_t s0 = std::clamp<size_t>(options.prefix_dim, 1, dim_);
   const size_t step = std::max<size_t>(options.step, 1);
-  const double* t = target.data();
+  const double* FUZZYDB_RESTRICT t = target;
 
-  // Level 0: the s0-dim prefix bound for every object, one contiguous pass.
-  std::vector<double> bound(size_);
-  for (size_t i = 0; i < size_; ++i) {
-    bound[i] = AccumulateSquared(data_.data() + i * dim_, t, 0, s0, 0.0);
+  // Level 0: the s0-dim prefix bound for every row of the shard, one
+  // contiguous pass. The accumulator state is kept so refinement can resume
+  // from the prefix without recomputing it.
+  std::vector<SquaredDistanceAccumulator> prefix(n);
+  std::vector<double> bound(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* FUZZYDB_RESTRICT row =
+        data_.data() + (range.begin + i) * dim_;
+    prefix[i].Accumulate(row, t, 0, s0);
+    bound[i] = prefix[i].Total();
   }
-  if (stats != nullptr) stats->bound_computations = size_;
+  stats->bound_computations += n;
 
   // Visit candidates in ascending (bound, index) order.
-  std::vector<size_t> order(size_);
+  std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(), [&bound](size_t a, size_t b) {
     if (bound[a] != bound[b]) return bound[a] < bound[b];
     return a < b;
   });
 
-  // Current k best as (d^2, index); "worst" is the lexicographic maximum,
-  // matching ExactKnn's tie-break (distance ascending, then index).
-  std::vector<std::pair<double, size_t>> best;
-  best.reserve(k);
+  // Current k best as (d^2, global index); "worst" is the lexicographic
+  // maximum, matching ExactKnn's tie-break (distance ascending, then index).
+  best->reserve(k);
   size_t worst_pos = 0;
-  auto recompute_worst = [&best, &worst_pos]() {
+  auto recompute_worst = [best, &worst_pos]() {
     worst_pos = 0;
-    for (size_t p = 1; p < best.size(); ++p) {
-      if (best[p] > best[worst_pos]) worst_pos = p;
+    for (size_t p = 1; p < best->size(); ++p) {
+      if ((*best)[p] > (*best)[worst_pos]) worst_pos = p;
     }
   };
 
-  for (size_t idx : order) {
-    const double b = bound[idx];
+  for (size_t local_idx : order) {
+    const double b = bound[local_idx];
     // Strict >: a candidate whose bound ties the worst d^2 could still win
     // its tie on index, so only a strictly larger bound ends the scan.
-    if (best.size() == k && b > best[worst_pos].first) break;
+    if (best->size() == k && b > (*best)[worst_pos].first) break;
 
     // Refine dimension-incrementally from the prefix, early-exiting as soon
     // as the partial sum (a valid lower bound at every length) provably
     // exceeds the current k-th best.
-    const double* row = data_.data() + idx * dim_;
-    double acc = b;
+    const size_t idx = range.begin + local_idx;
+    const double* FUZZYDB_RESTRICT row = data_.data() + idx * dim_;
+    SquaredDistanceAccumulator acc = prefix[local_idx];
     size_t j = s0;
     bool pruned = false;
     while (j < dim_ && !pruned) {
       const size_t stop = std::min(dim_, j + step);
-      acc = AccumulateSquared(row, t, j, stop, acc);
+      acc.Accumulate(row, t, j, stop);
       j = stop;
-      if (j < dim_ && best.size() == k && acc > best[worst_pos].first) {
+      if (j < dim_ && best->size() == k &&
+          acc.Total() > (*best)[worst_pos].first) {
         pruned = true;
       }
     }
-    if (stats != nullptr) {
-      ++stats->candidates_refined;
-      stats->dims_accumulated += j - s0;
-      if (j == dim_) ++stats->full_distance_computations;
-    }
+    ++stats->candidates_refined;
+    stats->dims_accumulated += j - s0;
+    if (j == dim_) ++stats->full_distance_computations;
     if (pruned) continue;
 
-    if (best.size() < k) {
-      best.emplace_back(acc, idx);
-      if (best.size() == k) recompute_worst();
-    } else if (std::pair(acc, idx) < best[worst_pos]) {
-      best[worst_pos] = {acc, idx};
+    const double d2 = acc.Total();
+    if (best->size() < k) {
+      best->emplace_back(d2, idx);
+      if (best->size() == k) recompute_worst();
+    } else if (std::pair(d2, idx) < (*best)[worst_pos]) {
+      (*best)[worst_pos] = {d2, idx};
       recompute_worst();
     }
   }
-
-  std::sort(best.begin(), best.end());
-  out.reserve(best.size());
-  for (const auto& [d2, idx] : best) {
-    out.emplace_back(idx, std::sqrt(d2));
-  }
-  return out;
 }
 
 }  // namespace fuzzydb

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/aligned_buffer.h"
+#include "common/thread_pool.h"
 #include "image/quadratic_distance.h"
 
 namespace fuzzydb {
@@ -95,10 +96,27 @@ class EmbeddingStore {
   void BatchDistances(std::span<const double> target,
                       std::span<double> out) const;
 
+  /// Sharded batch kernel: the rows are split into `shards` contiguous
+  /// ranges (default: one per pool executor) scanned concurrently on
+  /// `pool`, or serially when `pool` is null. Bit-identical to the serial
+  /// overload for every shard count — rows are independent.
+  void BatchDistances(std::span<const double> target, std::span<double> out,
+                      ThreadPool* pool, size_t shards = 0) const;
+
   /// Exact top-k by the batched kernel: k smallest distances, ascending,
   /// ties broken by index. O(n·k_dim) + selection.
   std::vector<std::pair<size_t, double>> ExactKnn(
       std::span<const double> target, size_t k) const;
+
+  /// Sharded exact top-k: each shard selects its local k smallest
+  /// (d^2, index) pairs and the merge keeps the global k smallest. Since
+  /// every row's d^2 is computed by the same split-invariant kernel and the
+  /// selection key is the same lexicographic (d^2, index) order, the result
+  /// is bit-identical to the serial ExactKnn at any shard count, with or
+  /// without a pool.
+  std::vector<std::pair<size_t, double>> ExactKnn(
+      std::span<const double> target, size_t k, ThreadPool* pool,
+      size_t shards = 0) const;
 
   /// The cascaded filter search. Identical results to ExactKnn() — same
   /// indices, same order, bit-identical distances (the partial sums
@@ -109,7 +127,26 @@ class EmbeddingStore {
       std::span<const double> target, size_t k,
       const CascadeOptions& options = {}, CascadeStats* stats = nullptr) const;
 
+  /// Sharded cascade: every shard runs the full cascade on its own row
+  /// range (local bounds, local ordering, local top-k) and the merge keeps
+  /// the global k smallest (d^2, index) pairs. Answers are bit-identical to
+  /// the serial cascade — and therefore to ExactKnn — at any shard count;
+  /// `stats` (summed over shards, deterministic) may report more refinement
+  /// work than the serial run because each shard prunes against its own
+  /// local k-th best.
+  std::vector<std::pair<size_t, double>> CascadeKnn(
+      std::span<const double> target, size_t k, const CascadeOptions& options,
+      CascadeStats* stats, ThreadPool* pool, size_t shards = 0) const;
+
  private:
+  // The cascade restricted to rows [range.begin, range.end): appends up to
+  // k local best (d^2, index) pairs to `best` (unsorted) and adds this
+  // shard's counters to `stats`.
+  void CascadeShard(const double* target, size_t k,
+                    const CascadeOptions& options, ShardRange range,
+                    std::vector<std::pair<double, size_t>>* best,
+                    CascadeStats* stats) const;
+
   size_t size_ = 0;
   size_t dim_ = 0;
   AlignedBuffer data_;

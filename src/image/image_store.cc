@@ -52,6 +52,26 @@ Result<ImageStore> ImageStore::Generate(const ImageStoreOptions& options) {
     store.qfd_.EmbedInto(store.images_[i].histogram,
                          store.embeddings_.MutableRow(i));
   }
+
+  // Tune the cascade for this palette's spectrum once per collection, on a
+  // small calibration sample of its own embeddings — tuning only changes
+  // costs, never answers, so this is safe to do unconditionally.
+  if (options.tune_cascade) {
+    const size_t sample = std::min<size_t>(store.images_.size(), 8);
+    std::vector<std::vector<double>> calibration;
+    calibration.reserve(sample);
+    for (size_t q = 0; q < sample; ++q) {
+      const size_t i = q * store.images_.size() / sample;
+      std::span<const double> row = store.embeddings_.Row(i);
+      calibration.emplace_back(row.begin(), row.end());
+    }
+    CascadeTunerOptions tuner;
+    tuner.step_grid = {8, 16, 32};
+    store.tuned_cascade_ =
+        CascadeTuner::Tune(store.embeddings_, store.qfd_.eigenvalues(),
+                           calibration, tuner)
+            .options;
+  }
   return store;
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "core/graded_set.h"
+#include "image/cascade_tuner.h"
 #include "image/color.h"
 #include "image/embedding_store.h"
 #include "image/quadratic_distance.h"
@@ -39,6 +40,9 @@ struct ImageStoreOptions {
   size_t texture_patch_side = 32;
   uint64_t seed = 7;
   ObjectId first_id = 1;
+  /// Run the cascade tuner at generation time so tuned_cascade() reflects
+  /// this palette's spectrum. Tuning never changes answers, only costs.
+  bool tune_cascade = true;
 };
 
 /// An immutable collection of synthetic images plus the distance machinery
@@ -71,12 +75,18 @@ class ImageStore {
   /// (e.g. from the embedding kernels).
   double ColorGradeFromDistance(double distance) const;
 
+  /// Cascade options the tuner picked for this palette's eigen spectrum at
+  /// Generate() time (defaults if tuning was disabled). Passing these to
+  /// EmbeddingStore::CascadeKnn changes cost, never answers.
+  const CascadeOptions& tuned_cascade() const { return tuned_cascade_; }
+
  private:
   ImageStore() = default;
   std::vector<ImageRecord> images_;
   Palette palette_;
   QuadraticFormDistance qfd_;
   EmbeddingStore embeddings_;
+  CascadeOptions tuned_cascade_;
 };
 
 }  // namespace fuzzydb

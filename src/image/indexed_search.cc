@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/squared_distance.h"
+
 namespace fuzzydb {
 
 Result<GeminiIndex> GeminiIndex::Build(
@@ -48,6 +50,24 @@ Result<GeminiIndex> GeminiIndex::Build(
   index.rtree_ = std::make_unique<RTree>(dim);
   FUZZYDB_RETURN_NOT_OK(
       index.rtree_->BulkLoadStr(std::move(ids), std::move(coords)));
+
+  // Tune the refinement step for this palette's spectrum on a small
+  // calibration sample of the database's own embeddings. The prefix is
+  // pinned to the summary dimension: the R-tree already paid for it.
+  CascadeTunerOptions tuner;
+  tuner.prefix_grid = {dim};
+  tuner.step_grid = {4, 8, 16, 32};
+  const size_t sample = std::min<size_t>(database->size(), 8);
+  std::vector<std::vector<double>> calibration;
+  calibration.reserve(sample);
+  for (size_t q = 0; q < sample; ++q) {
+    const size_t i = q * database->size() / sample;
+    std::span<const double> row = index.embeddings_.Row(i);
+    calibration.emplace_back(row.begin(), row.end());
+  }
+  index.tuned_ = CascadeTuner::Tune(index.embeddings_, qfd->eigenvalues(),
+                                    calibration, tuner)
+                     .options;
   return index;
 }
 
@@ -65,9 +85,12 @@ Result<std::vector<std::pair<size_t, double>>> GeminiIndex::Knn(
   }
 
   RTree::NearestIterator it(rtree_.get(), unit);
-  std::vector<std::pair<size_t, double>> best;  // (index, full d), unsorted
-  double kth = std::numeric_limits<double>::infinity();
-  size_t refinements = 0;
+  std::vector<std::pair<size_t, double>> best;  // (index, full d^2), unsorted
+  double kth2 = std::numeric_limits<double>::infinity();  // worst kept d^2
+  double kth = std::numeric_limits<double>::infinity();   // its sqrt
+  size_t full_refinements = 0;
+  const size_t dim = embeddings_.dim();
+  const size_t step = std::max<size_t>(tuned_.step, 1);
   auto worst_it = [&best]() {
     return std::max_element(best.begin(), best.end(),
                             [](const auto& a, const auto& b) {
@@ -78,24 +101,45 @@ Result<std::vector<std::pair<size_t, double>>> GeminiIndex::Knn(
     double bound = cand->distance / scale_;  // back to summary units
     if (best.size() >= k && bound >= kth) break;  // d >= d̂ >= kth: done
     size_t idx = static_cast<size_t>(cand->id);
-    double d = EuclideanDistance(embeddings_.Row(idx), target_embedding);
-    ++refinements;
+    // Refine through the split-invariant kernel, `step` dimensions at a
+    // time (the tuner's pick for this spectrum), abandoning the candidate
+    // as soon as its partial sum — a lower bound on d^2 at every depth —
+    // exceeds the current k-th best. A pruned candidate would have been
+    // rejected by the full comparison too, so results are unchanged.
+    const double* row = embeddings_.Row(idx).data();
+    SquaredDistanceAccumulator acc;
+    size_t j = 0;
+    bool pruned = false;
+    while (j < dim && !pruned) {
+      const size_t next_depth = std::min(dim, j + step);
+      acc.Accumulate(row, target_embedding.data(), j, next_depth);
+      j = next_depth;
+      if (j < dim && best.size() >= k && acc.Total() > kth2) pruned = true;
+    }
+    if (pruned) continue;
+    ++full_refinements;
+    const double d2 = acc.Total();
     if (best.size() < k) {
-      best.emplace_back(idx, d);
-      if (best.size() == k) kth = worst_it()->second;
-    } else if (d < kth) {
-      *worst_it() = {idx, d};
-      kth = worst_it()->second;
+      best.emplace_back(idx, d2);
+      if (best.size() == k) {
+        kth2 = worst_it()->second;
+        kth = std::sqrt(kth2);
+      }
+    } else if (d2 < kth2) {
+      *worst_it() = {idx, d2};
+      kth2 = worst_it()->second;
+      kth = std::sqrt(kth2);
     }
   }
   if (stats != nullptr) {
-    stats->full_distance_computations = refinements;
+    stats->full_distance_computations = full_refinements;
     stats->bound_computations = it.stats().distance_computations;
   }
   std::sort(best.begin(), best.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second < b.second;
     return a.first < b.first;
   });
+  for (auto& [idx, d2] : best) d2 = std::sqrt(d2);
   return best;
 }
 

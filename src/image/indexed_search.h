@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "image/bounding.h"
+#include "image/cascade_tuner.h"
 #include "image/embedding_store.h"
 #include "index/rtree.h"
 
@@ -42,6 +43,11 @@ class GeminiIndex {
   size_t size() const { return database_->size(); }
   const EigenFilter& filter() const { return filter_; }
 
+  /// The refinement options the tuner picked for this palette spectrum at
+  /// Build() time (prefix fixed to the index's summary dimension; the step
+  /// drives the early-exit granularity of Knn refinement).
+  const CascadeOptions& tuned_cascade() const { return tuned_; }
+
  private:
   GeminiIndex() = default;
 
@@ -57,6 +63,8 @@ class GeminiIndex {
   // Uniform affine map: unit = (summary + offset_) * scale_.
   double scale_ = 1.0;
   double offset_ = 0.0;
+  // Spectrum-tuned refinement options (see tuned_cascade()).
+  CascadeOptions tuned_;
 };
 
 }  // namespace fuzzydb

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/thread_pool.h"
+
 namespace fuzzydb {
 
 Result<PairwiseDistanceCache> PairwiseDistanceCache::Build(
@@ -14,15 +16,22 @@ Result<PairwiseDistanceCache> PairwiseDistanceCache::Build(
   cache.packed_.resize(n * (n - 1) / 2);
   // Distances come from the store's eigen-space embeddings: O(bins) per
   // pair via the batched kernel instead of an O(bins^2) quadratic form.
-  // Each row's batch covers the whole store; the packed triangle keeps the
-  // j < i prefix.
+  // Row i only needs the j < i prefix, so each row's kernel runs over
+  // exactly that prefix of the buffer and fills its disjoint slice of the
+  // packed triangle — embarrassingly parallel across row shards, and
+  // bit-identical to the serial fill at any shard count.
   const EmbeddingStore& embeddings = store.embeddings();
-  std::vector<double> row(n);
-  for (size_t i = 1; i < n; ++i) {
-    embeddings.BatchDistances(embeddings.Row(i), row);
-    std::copy(row.begin(), row.begin() + static_cast<long>(i),
-              cache.packed_.begin() + static_cast<long>(i * (i - 1) / 2));
-  }
+  ThreadPool* pool = ThreadPool::Shared();
+  const std::vector<ShardRange> shards =
+      MakeShards(n - 1, std::min<size_t>(pool->executors(), n - 1));
+  pool->ParallelFor(shards.size(), [&](size_t s) {
+    std::vector<double> row(n);
+    for (size_t i = shards[s].begin + 1; i < shards[s].end + 1; ++i) {
+      embeddings.BatchDistances(embeddings.Row(i), row);
+      std::copy(row.begin(), row.begin() + static_cast<long>(i),
+                cache.packed_.begin() + static_cast<long>(i * (i - 1) / 2));
+    }
+  });
   return cache;
 }
 

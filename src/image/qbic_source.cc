@@ -31,10 +31,11 @@ Result<QbicColorSource> QbicColorSource::Create(const ImageStore* store,
   src.sorted_.reserve(store->size());
   // Grade through the embedding layer: one O(bins^2) projection of the
   // target, then one batched O(bins)-per-image pass over the store's
-  // contiguous embedding buffer.
+  // contiguous embedding buffer, sharded across the shared pool.
   std::vector<double> target_embedding = store->color_distance().Embed(target);
   std::vector<double> distances(store->size());
-  store->embeddings().BatchDistances(target_embedding, distances);
+  store->embeddings().BatchDistances(target_embedding, distances,
+                                     ThreadPool::Shared());
   for (size_t i = 0; i < store->size(); ++i) {
     const ImageRecord& rec = store->image(i);
     double grade = store->ColorGradeFromDistance(distances[i]);

@@ -34,10 +34,21 @@ Result<TopKResult> FaginTopK(std::span<GradedSource* const> sources,
       if (!next.has_value()) {
         done[j] = true;
         ++exhausted;
+        // An exhausted list has implicitly been read to the end: every
+        // object it never delivered sits there with grade 0 (absent means
+        // grade 0). Credit it as seen on list j, or Phase 1 can never
+        // reach k matches and degenerates into a full scan of the longer
+        // lists.
+        for (auto& [id, count] : seen_count) {
+          if (!seen[j].count(id) && ++count == m) ++matches;
+        }
         continue;
       }
       seen[j].emplace(next->id, next->grade);
-      if (++seen_count[next->id] == m) ++matches;
+      // A fresh object starts with one virtual credit per already-exhausted
+      // list (those lists grade it 0, which counts as "seen" under A0).
+      auto it = seen_count.try_emplace(next->id, exhausted).first;
+      if (++it->second == m) ++matches;
     }
   }
 
@@ -98,10 +109,16 @@ Result<TopKResult> FaginCursor::NextBatch(size_t k) {
       if (!next.has_value()) {
         exhausted_[j] = true;
         ++num_exhausted;
+        // Same virtual credit as FaginTopK: an exhausted list grades every
+        // undelivered object 0, so they all count as seen on it.
+        for (auto& [id, count] : seen_count_) {
+          if (!seen_[j].count(id) && ++count == m) ++matches_;
+        }
         continue;
       }
       seen_[j].emplace(next->id, next->grade);
-      if (++seen_count_[next->id] == m) ++matches_;
+      auto it = seen_count_.try_emplace(next->id, num_exhausted).first;
+      if (++it->second == m) ++matches_;
     }
   }
 

@@ -51,8 +51,9 @@ class FaginCursor {
   AccessCost cost_;
   // Per-list grades seen under sorted access.
   std::vector<std::unordered_map<ObjectId, double>> seen_;
-  // id -> number of lists it has appeared on; matches_ counts ids seen on
-  // all lists.
+  // id -> number of lists it has appeared on (exhausted lists count for
+  // every object: anything they never delivered has grade 0 there);
+  // matches_ counts ids seen on all lists.
   std::unordered_map<ObjectId, size_t> seen_count_;
   size_t matches_ = 0;
   // Overall grades of every object seen so far (filled per batch).

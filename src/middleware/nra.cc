@@ -65,6 +65,10 @@ Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
       if (!next.has_value()) {
         done[j] = true;
         ++exhausted;
+        // Grades still unknown on an exhausted list are exactly 0 (absent
+        // means grade 0), so upper bounds built from last_seen must use 0
+        // here — both for partially-seen objects and for unseen ones.
+        last_seen[j] = 0.0;
         continue;
       }
       last_seen[j] = next->grade;

@@ -50,6 +50,11 @@ Result<TopKResult> ThresholdTopK(std::span<GradedSource* const> sources,
       if (!next.has_value()) {
         done[j] = true;
         ++exhausted;
+        // An exhausted list grades every unseen object 0 (absent means
+        // grade 0), so its contribution to the threshold drops to 0 — not
+        // its stale last grade. Without this, TA keeps scanning the other
+        // lists long after the threshold should have fallen.
+        last_seen[j] = 0.0;
         continue;
       }
       last_seen[j] = next->grade;

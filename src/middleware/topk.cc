@@ -9,10 +9,6 @@ Status ValidateTopKArgs(std::span<GradedSource* const> sources,
   }
   for (GradedSource* s : sources) {
     if (s == nullptr) return Status::InvalidArgument("null source");
-    if (s->Size() != sources[0]->Size()) {
-      return Status::InvalidArgument(
-          "all sources must grade the same object universe");
-    }
   }
   if (rule == nullptr) return Status::InvalidArgument("null scoring rule");
   if (k == 0) return Status::InvalidArgument("k must be >= 1");

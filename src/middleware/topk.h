@@ -29,7 +29,9 @@ struct TopKResult {
 };
 
 /// Validates common argument errors shared by all algorithms: at least one
-/// source, all sources the same size, rule non-null, k >= 1.
+/// source, no null sources, rule non-null, k >= 1. Sources may have unequal
+/// sorted-list lengths: an object absent from a list has grade 0 there (the
+/// fuzzy convention every RandomAccess implementation already follows).
 Status ValidateTopKArgs(std::span<GradedSource* const> sources,
                         const ScoringRule* rule, size_t k);
 

@@ -1,0 +1,74 @@
+// JsonReport emitter tests: the bench JSON files feed the perf-trajectory
+// tooling, so the output must stay parseable — non-finite doubles become
+// null (JSON has no nan/inf literals) and strings are escaped per RFC 8259.
+
+#include "bench/json_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fuzzydb {
+namespace {
+
+TEST(JsonReportTest, EmptyReportIsAnEmptyObject) {
+  JsonReport report;
+  EXPECT_EQ(report.ToString(), "{\n}\n");
+  EXPECT_EQ(report.size(), 0u);
+}
+
+TEST(JsonReportTest, FormatsScalars) {
+  JsonReport report;
+  report.Set("a.double", 2.5);
+  report.Set("a.count", static_cast<size_t>(42));
+  report.Set("a.label", std::string("plain"));
+  EXPECT_EQ(report.ToString(),
+            "{\n"
+            "  \"a.double\": 2.5,\n"
+            "  \"a.count\": 42,\n"
+            "  \"a.label\": \"plain\"\n"
+            "}\n");
+}
+
+TEST(JsonReportTest, NonFiniteDoublesBecomeNull) {
+  JsonReport report;
+  report.Set("nan", std::nan(""));
+  report.Set("inf", std::numeric_limits<double>::infinity());
+  report.Set("ninf", -std::numeric_limits<double>::infinity());
+  report.Set("fine", 1.0);
+  EXPECT_EQ(report.ToString(),
+            "{\n"
+            "  \"nan\": null,\n"
+            "  \"inf\": null,\n"
+            "  \"ninf\": null,\n"
+            "  \"fine\": 1\n"
+            "}\n");
+}
+
+TEST(JsonReportTest, EscapesStringsAndKeys) {
+  JsonReport report;
+  report.Set("quote", std::string("say \"hi\""));
+  report.Set("backslash", std::string("a\\b"));
+  report.Set("newline", std::string("line1\nline2"));
+  report.Set("control", std::string("bell\x01" "end"));
+  report.Set(std::string("weird\tkey"), static_cast<size_t>(1));
+  EXPECT_EQ(report.ToString(),
+            "{\n"
+            "  \"quote\": \"say \\\"hi\\\"\",\n"
+            "  \"backslash\": \"a\\\\b\",\n"
+            "  \"newline\": \"line1\\nline2\",\n"
+            "  \"control\": \"bell\\u0001end\",\n"
+            "  \"weird\\tkey\": 1\n"
+            "}\n");
+}
+
+TEST(JsonReportTest, PrecisionSurvivesRoundTripishValues) {
+  JsonReport report;
+  report.Set("pi", 3.141592653589793);
+  // precision(10) keeps 10 significant digits.
+  EXPECT_NE(report.ToString().find("3.141592654"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -1,0 +1,133 @@
+// ThreadPool / MakeShards unit tests. The pool is the substrate for the
+// sharded embedding kernels, so the properties pinned here — every index
+// runs exactly once, callers participate, concurrent jobs serialize, and
+// shard geometry depends only on (n, shards) — are what the bit-identical
+// guarantees in image/embedding_store.h stand on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(MakeShardsTest, SplitsEvenlyWithRemainderUpFront) {
+  std::vector<ShardRange> shards = MakeShards(10, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].begin, 0u);
+  EXPECT_EQ(shards[0].end, 4u);  // first shard takes the extra element
+  EXPECT_EQ(shards[1].begin, 4u);
+  EXPECT_EQ(shards[1].end, 7u);
+  EXPECT_EQ(shards[2].begin, 7u);
+  EXPECT_EQ(shards[2].end, 10u);
+}
+
+TEST(MakeShardsTest, CoversEveryIndexExactlyOnce) {
+  for (size_t n : {0u, 1u, 2u, 7u, 64u, 1000u}) {
+    for (size_t s : {1u, 2u, 3u, 7u, 8u, 200u}) {
+      std::vector<ShardRange> shards = MakeShards(n, s);
+      ASSERT_EQ(shards.size(), s) << "n=" << n << " s=" << s;
+      size_t covered = 0;
+      size_t expect_begin = 0;
+      for (const ShardRange& r : shards) {
+        EXPECT_EQ(r.begin, expect_begin);
+        EXPECT_LE(r.begin, r.end);
+        covered += r.size();
+        expect_begin = r.end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(shards.back().end, n);
+    }
+  }
+}
+
+TEST(MakeShardsTest, ZeroShardsClampsToOne) {
+  std::vector<ShardRange> shards = MakeShards(5, 0);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0].begin, 0u);
+  EXPECT_EQ(shards[0].end, 5u);
+}
+
+TEST(ThreadPoolTest, SingleExecutorRunsSeriallyOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.executors(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(16);
+  pool.ParallelFor(16, [&](size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ZeroExecutorsTreatedAsOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.executors(), 1u);
+  size_t count = 0;
+  pool.ParallelFor(5, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  for (size_t executors : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(executors);
+    EXPECT_EQ(pool.executors(), executors);
+    for (size_t n : {0u, 1u, 2u, 5u, 100u}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "executors=" << executors
+                                     << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ManySmallJobsBackToBack) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int job = 0; job < 200; ++job) {
+    pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200u * 8u);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersSerializeAndAllComplete) {
+  ThreadPool pool(3);
+  constexpr size_t kSubmitters = 4;
+  constexpr size_t kIndices = 64;
+  std::vector<std::vector<std::atomic<int>>> hits(kSubmitters);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kIndices);
+  }
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int rep = 0; rep < 20; ++rep) {
+        pool.ParallelFor(kIndices,
+                         [&, s](size_t i) { hits[s][i].fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    for (size_t i = 0; i < kIndices; ++i) {
+      EXPECT_EQ(hits[s][i].load(), 20) << "submitter " << s << " i " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SharedPoolExistsAndWorks) {
+  ThreadPool* pool = ThreadPool::Shared();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GE(pool->executors(), 1u);
+  EXPECT_EQ(pool, ThreadPool::Shared());  // same instance every time
+  std::atomic<size_t> count{0};
+  pool->ParallelFor(32, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32u);
+}
+
+}  // namespace
+}  // namespace fuzzydb

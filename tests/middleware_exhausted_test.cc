@@ -1,0 +1,189 @@
+// Regression tests for top-k halting on exhausted / unequal-length sources.
+//
+// The fuzzy convention (source.h) says an object absent from a list has
+// grade 0 there, so a short list is semantically a long one whose tail is
+// all zeros. Both TA and A0 used to ignore that: TA kept an exhausted
+// list's stale last grade in the threshold, and A0's Phase 1 could never
+// count an object as "seen on every list" once any list dried up — both
+// degenerated into a full scan of the longer lists (and A0 could not even
+// certify k matches that plainly existed). These tests pin the fixed
+// behavior: identical answers to the naive ground truth, with strictly
+// fewer accesses than a full scan.
+
+#include <gtest/gtest.h>
+
+#include "middleware/fagin.h"
+#include "middleware/naive.h"
+#include "middleware/nra.h"
+#include "middleware/threshold.h"
+#include "middleware/vector_source.h"
+#include "sim/experiment.h"
+
+namespace fuzzydb {
+namespace {
+
+// A long list: ids 1..n, grades strictly descending in (0, 1).
+VectorSource LongSource(size_t n) {
+  std::vector<GradedObject> items;
+  items.reserve(n);
+  for (size_t i = 1; i <= n; ++i) {
+    items.push_back({static_cast<ObjectId>(i),
+                     static_cast<double>(n + 1 - i) /
+                         static_cast<double>(n + 1)});
+  }
+  Result<VectorSource> src = VectorSource::Create(std::move(items), "long");
+  EXPECT_TRUE(src.ok());
+  return std::move(src).value();
+}
+
+// A short list graded over a handful of ids buried deep in the long list,
+// so Phase-1 matches cannot come from the top of the long list.
+VectorSource ShortDeepSource(ObjectId first, size_t count) {
+  std::vector<GradedObject> items;
+  for (size_t i = 0; i < count; ++i) {
+    items.push_back({first + i, 0.95 - 0.01 * static_cast<double>(i)});
+  }
+  Result<VectorSource> src = VectorSource::Create(std::move(items), "short");
+  EXPECT_TRUE(src.ok());
+  return std::move(src).value();
+}
+
+constexpr size_t kN = 1000;
+constexpr size_t kK = 3;
+
+TEST(ExhaustedSourcesTest, ThresholdHaltsEarlyOnUnequalLists) {
+  VectorSource a = LongSource(kN);
+  VectorSource b = ShortDeepSource(/*first=*/501, /*count=*/5);
+  std::vector<GradedSource*> ptrs{&a, &b};
+  ScoringRulePtr rule = MinRule();
+
+  Result<GradedSet> truth = NaiveAllGrades(ptrs, *rule);
+  ASSERT_TRUE(truth.ok());
+  Result<TopKResult> ta = ThresholdTopK(ptrs, *rule, kK);
+  ASSERT_TRUE(ta.ok());
+  EXPECT_TRUE(IsValidTopK(ta->items, *truth, kK));
+
+  // Once the short list is exhausted its threshold contribution is 0, and
+  // under min the whole threshold collapses — TA must stop right there,
+  // around depth 6, not at depth ~507 where the long list's grades fall
+  // below the k-th best.
+  const uint64_t full_scan = a.Size() + b.Size();
+  EXPECT_LT(ta->cost.sorted, full_scan);
+  EXPECT_LE(ta->cost.sorted, 30u);
+}
+
+TEST(ExhaustedSourcesTest, FaginHaltsEarlyOnUnequalLists) {
+  VectorSource a = LongSource(kN);
+  VectorSource b = ShortDeepSource(/*first=*/501, /*count=*/5);
+  std::vector<GradedSource*> ptrs{&a, &b};
+  ScoringRulePtr rule = MinRule();
+
+  Result<GradedSet> truth = NaiveAllGrades(ptrs, *rule);
+  ASSERT_TRUE(truth.ok());
+  Result<TopKResult> fagin = FaginTopK(ptrs, *rule, kK);
+  ASSERT_TRUE(fagin.ok());
+  EXPECT_TRUE(IsValidTopK(fagin->items, *truth, kK));
+
+  // A0 semantics: after the short list is exhausted, every object counts as
+  // seen on it (grade 0). Phase 1 then certifies k matches within a few
+  // rounds instead of draining the long list for objects the short one
+  // will never deliver.
+  const uint64_t full_scan = a.Size() + b.Size();
+  EXPECT_LT(fagin->cost.sorted, full_scan);
+  EXPECT_LE(fagin->cost.sorted, 30u);
+}
+
+TEST(ExhaustedSourcesTest, AllAlgorithmsAgreeOnUnequalLists) {
+  VectorSource a1 = LongSource(kN);
+  VectorSource b1 = ShortDeepSource(501, 5);
+  std::vector<GradedSource*> ptrs{&a1, &b1};
+  ScoringRulePtr rule = MinRule();
+  Result<GradedSet> truth = NaiveAllGrades(ptrs, *rule);
+  ASSERT_TRUE(truth.ok());
+
+  Result<TopKResult> naive = NaiveTopK(ptrs, *rule, kK);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_TRUE(IsValidTopK(naive->items, *truth, kK));
+
+  // NRA has no random access, so it must read the long list down to the
+  // short list's ids — but it still terminates and certifies membership.
+  Result<TopKResult> nra = NoRandomAccessTopK(ptrs, *rule, kK);
+  ASSERT_TRUE(nra.ok());
+  ASSERT_EQ(nra->items.size(), kK);
+  std::vector<GradedObject> expected = truth->TopK(kK);
+  for (const GradedObject& g : nra->items) {
+    EXPECT_GE(*truth->GradeOf(g.id), expected.back().grade - 1e-12);
+  }
+}
+
+TEST(ExhaustedSourcesTest, EmptySourceIsAllZeros) {
+  VectorSource a = LongSource(kN);
+  Result<VectorSource> empty = VectorSource::Create({}, "empty");
+  ASSERT_TRUE(empty.ok());
+  std::vector<GradedSource*> ptrs{&a, &*empty};
+  ScoringRulePtr rule = MinRule();
+  Result<GradedSet> truth = NaiveAllGrades(ptrs, *rule);
+  ASSERT_TRUE(truth.ok());
+
+  // Under min every overall grade is 0; both algorithms must notice after a
+  // couple of rounds instead of scanning all of the long list.
+  Result<TopKResult> ta = ThresholdTopK(ptrs, *rule, 2);
+  ASSERT_TRUE(ta.ok());
+  EXPECT_TRUE(IsValidTopK(ta->items, *truth, 2));
+  EXPECT_LE(ta->cost.sorted, 10u);
+
+  Result<TopKResult> fagin = FaginTopK(ptrs, *rule, 2);
+  ASSERT_TRUE(fagin.ok());
+  EXPECT_TRUE(IsValidTopK(fagin->items, *truth, 2));
+  EXPECT_LE(fagin->cost.sorted, 10u);
+}
+
+TEST(ExhaustedSourcesTest, AllSourcesEmptyYieldEmptyResult) {
+  Result<VectorSource> e1 = VectorSource::Create({}, "e1");
+  Result<VectorSource> e2 = VectorSource::Create({}, "e2");
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  std::vector<GradedSource*> ptrs{&*e1, &*e2};
+  ScoringRulePtr rule = MinRule();
+
+  Result<TopKResult> ta = ThresholdTopK(ptrs, *rule, 5);
+  ASSERT_TRUE(ta.ok());
+  EXPECT_TRUE(ta->items.empty());
+
+  Result<TopKResult> fagin = FaginTopK(ptrs, *rule, 5);
+  ASSERT_TRUE(fagin.ok());
+  EXPECT_TRUE(fagin->items.empty());
+
+  Result<TopKResult> nra = NoRandomAccessTopK(ptrs, *rule, 5);
+  ASSERT_TRUE(nra.ok());
+  EXPECT_TRUE(nra->items.empty());
+}
+
+TEST(ExhaustedSourcesTest, FaginCursorBatchesAcrossExhaustion) {
+  VectorSource a = LongSource(kN);
+  VectorSource b = ShortDeepSource(501, 5);
+  std::vector<GradedSource*> ptrs{&a, &b};
+  Result<GradedSet> truth = NaiveAllGrades(ptrs, *MinRule());
+  ASSERT_TRUE(truth.ok());
+
+  Result<FaginCursor> cursor = FaginCursor::Create(ptrs, MinRule());
+  ASSERT_TRUE(cursor.ok());
+  Result<TopKResult> first = cursor->NextBatch(2);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(IsValidTopK(first->items, *truth, 2));
+
+  Result<TopKResult> second = cursor->NextBatch(2);
+  ASSERT_TRUE(second.ok());
+  std::vector<GradedObject> both = first->items;
+  both.insert(both.end(), second->items.begin(), second->items.end());
+  EXPECT_TRUE(IsValidTopK(both, *truth, 4));
+
+  // The short list exhausted inside the first batch; the virtual credit
+  // must carry into later batches so they stay cheap too.
+  const uint64_t full_scan = a.Size() + b.Size();
+  EXPECT_LT(cursor->cost().sorted, full_scan);
+  EXPECT_LE(cursor->cost().sorted, 60u);
+}
+
+}  // namespace
+}  // namespace fuzzydb
