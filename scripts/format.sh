@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# clang-format helper (non-gating; .clang-format carries the style).
+#
+#   scripts/format.sh          reformat src/ tests/ bench/ examples/ in place
+#   scripts/format.sh --check  report files that differ; exit 0 regardless
+#                              (advisory — formatting never blocks a build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FMT=""
+for cand in clang-format clang-format-19 clang-format-18 clang-format-17 \
+            clang-format-16 clang-format-15 clang-format-14; do
+  if command -v "$cand" >/dev/null 2>&1; then FMT="$cand"; break; fi
+done
+if [ -z "$FMT" ]; then
+  echo "format: clang-format not found; nothing to do"
+  exit 0
+fi
+
+mapfile -t FILES < <(find src tests bench examples \
+  \( -name '*.h' -o -name '*.cc' \) | sort)
+
+if [ "${1:-}" = "--check" ]; then
+  DIFFS=0
+  for f in "${FILES[@]}"; do
+    if ! "$FMT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+      echo "format: would reformat $f"
+      DIFFS=$((DIFFS + 1))
+    fi
+  done
+  echo "format: ${DIFFS} of ${#FILES[@]} files differ from .clang-format"
+  exit 0
+fi
+
+"$FMT" -i "${FILES[@]}"
+echo "format: reformatted ${#FILES[@]} files"

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy over src/ plus a portable check set.
+#
+#   scripts/lint.sh [--strict]
+#
+# Two layers:
+#   1. Portable checks (always run, no toolchain needed): include-guard
+#      naming, banned patterns, file hygiene. These keep the gate meaningful
+#      on machines without clang-tidy.
+#   2. clang-tidy (when available, or when --strict / FUZZYDB_LINT_STRICT=1
+#      demands it): the .clang-tidy check set over every src/ translation
+#      unit, driven from compile_commands.json. Zero findings required.
+#
+# CI runs with --strict so a missing tool can never silently pass.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+STRICT="${FUZZYDB_LINT_STRICT:-0}"
+if [ "${1:-}" = "--strict" ]; then STRICT=1; fi
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAIL=0
+
+# ---------------------------------------------------------------------------
+# Layer 1: portable checks.
+
+echo "== lint: portable checks =="
+
+# Include guards must follow FUZZYDB_<PATH>_H_ (matching the file path).
+while IFS= read -r header; do
+  rel="${header#src/}"
+  want="FUZZYDB_$(echo "${rel%.h}" | tr '[:lower:]/' '[:upper:]_')_H_"
+  if ! grep -q "#ifndef ${want}" "$header"; then
+    echo "lint: $header: include guard should be ${want}"
+    FAIL=1
+  fi
+done < <(find src -name '*.h' | sort)
+
+# Banned patterns in library code.
+if grep -rn --include='*.h' --include='*.cc' 'using namespace std' src; then
+  echo "lint: 'using namespace std' is banned in src/"
+  FAIL=1
+fi
+if grep -rn --include='*.h' 'using namespace' src; then
+  echo "lint: namespace-level 'using namespace' is banned in headers"
+  FAIL=1
+fi
+if grep -rln --include='*.h' --include='*.cc' $'\t' src tests bench; then
+  echo "lint: tab characters found (2-space indent is the house style)"
+  FAIL=1
+fi
+# <iostream> in a header drags the global-stream constructors into every TU;
+# .cc files that really print (the sim harness) may include it directly.
+if grep -rn --include='*.h' '#include <iostream>' src; then
+  echo "lint: src/ headers must not include <iostream> (use <iosfwd>)"
+  FAIL=1
+fi
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "lint: portable checks FAILED"
+  exit 1
+fi
+echo "lint: portable checks OK"
+
+# ---------------------------------------------------------------------------
+# Layer 2: clang-tidy.
+
+TIDY=""
+for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+            clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then TIDY="$cand"; break; fi
+done
+
+if [ -z "$TIDY" ]; then
+  if [ "$STRICT" = "1" ]; then
+    echo "lint: clang-tidy not found but strict mode demands it" >&2
+    exit 1
+  fi
+  echo "lint: clang-tidy not found; skipping layer 2 (CI runs it strictly)"
+  exit 0
+fi
+
+echo "== lint: $($TIDY --version | head -n 1) =="
+
+BUILD_DIR="build-lint"
+cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+# Every library translation unit; tests/bench use gtest/benchmark macros
+# that the check set is not tuned for.
+mapfile -t FILES < <(find src -name '*.cc' | sort)
+
+if ! "$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"; then
+  echo "lint: clang-tidy FAILED (findings above)"
+  exit 1
+fi
+echo "lint: clang-tidy OK (${#FILES[@]} files, zero findings)"

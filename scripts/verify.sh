@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Build-and-test gate for local use and CI.
 #
-#   scripts/verify.sh [plain|asan|tsan|all]
+#   scripts/verify.sh [plain|asan|tsan|checks|lint|all]
 #
-#   plain  Release build, full ctest suite (the tier-1 gate).
-#   asan   AddressSanitizer + UBSan build, full ctest suite.
-#   tsan   ThreadSanitizer build; runs the concurrency-relevant tests
-#          (thread pool, sharded kernels, embedding layer, precompute).
-#   all    plain + asan + tsan (default).
+#   plain   Release build at CHECKIN warning level (-Werror), full ctest
+#           suite (the tier-1 gate).
+#   asan    AddressSanitizer + UBSan build, full ctest suite.
+#   tsan    ThreadSanitizer build; runs the concurrency-relevant tests
+#           (thread pool, sharded kernels, embedding layer, precompute).
+#   checks  FUZZYDB_CHECKS=ON build: paper-invariant contract macros compiled
+#           in and the src/analysis property auditors exercised by the full
+#           suite (analysis_contract_test runs its instrumentation leg).
+#   lint    scripts/lint.sh (portable checks + clang-tidy when available).
+#   all     plain + asan + tsan + checks + lint (default).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,9 +20,6 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 MODE="${1:-all}"
 
-# Note: FUZZYDB_WARNING_LEVEL stays at PRODUCTION — gcc 12 emits a
-# -Wrestrict false positive inside gtest's parameterized-name generation
-# (middleware_combined_test.cc), so CHECKIN/-Werror cannot gate CI yet.
 configure_and_test() {
   local build_dir="$1"; shift
   local test_filter="$1"; shift
@@ -33,19 +35,27 @@ configure_and_test() {
 
 case "${MODE}" in
   plain)
-    configure_and_test build-verify "" ;;
+    configure_and_test build-verify "" \
+      -DFUZZYDB_WARNING_LEVEL=CHECKIN ;;
   asan)
     configure_and_test build-asan "" -DFUZZYDB_SANITIZE=ON ;;
   tsan)
     configure_and_test build-tsan \
       "thread_pool|parallel_kernel|embedding|qbic|image_store" \
       -DFUZZYDB_TSAN=ON ;;
+  checks)
+    configure_and_test build-checks "" \
+      -DFUZZYDB_CHECKS=ON -DFUZZYDB_WARNING_LEVEL=CHECKIN ;;
+  lint)
+    scripts/lint.sh ;;
   all)
     "$0" plain
     "$0" asan
-    "$0" tsan ;;
+    "$0" tsan
+    "$0" checks
+    "$0" lint ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|checks|lint|all]" >&2
     exit 2 ;;
 esac
 

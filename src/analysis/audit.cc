@@ -1,0 +1,49 @@
+#include "analysis/audit.h"
+
+#include <sstream>
+#include <utility>
+
+namespace fuzzydb {
+
+void AuditReport::Fail(std::string contract, std::string detail) {
+  findings_.push_back({std::move(contract), std::move(detail)});
+}
+
+void AuditReport::Absorb(const AuditReport& other) {
+  checks_run_ += other.checks_run_;
+  for (const AuditFinding& f : other.findings_) {
+    findings_.push_back({other.subject_ + ": " + f.contract, f.detail});
+  }
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream out;
+  if (ok()) {
+    out << "audit(" << subject_ << "): OK, " << checks_run_ << " checks";
+    return out.str();
+  }
+  out << "audit(" << subject_ << "): " << findings_.size()
+      << " contract violation(s) in " << checks_run_ << " checks";
+  for (const AuditFinding& f : findings_) {
+    out << "\n  [" << f.contract << "] " << f.detail;
+  }
+  return out.str();
+}
+
+Status AuditReport::ToStatus() const {
+  if (ok()) return Status::OK();
+  return Status::FailedPrecondition(ToString());
+}
+
+std::string FormatTuple(const std::vector<double>& values) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << values[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace fuzzydb

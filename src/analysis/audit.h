@@ -1,0 +1,68 @@
+// Shared report type for the paper-invariant property auditors (DESIGN §3d).
+//
+// An auditor verifies one of the algebraic contracts the paper's theorems
+// are conditional on (t-norm axioms, De Morgan duality, scoring-rule
+// monotonicity/strictness, cascade lower-bounding, sorted-access order) on
+// randomized inputs. Auditors can only refute, never prove — but every
+// refutation comes with a concrete witness so the report is actionable: the
+// exact inputs, the values computed from them, and which contract they
+// break.
+
+#ifndef FUZZYDB_ANALYSIS_AUDIT_H_
+#define FUZZYDB_ANALYSIS_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fuzzydb {
+
+/// One refuted contract with its witness.
+struct AuditFinding {
+  /// The contract violated, e.g. "monotonicity" or "lower-bound".
+  std::string contract;
+  /// Witness detail: inputs, computed values, and the failed comparison.
+  std::string detail;
+};
+
+/// The outcome of auditing one subject (a rule, a norm pair, a cascade).
+class AuditReport {
+ public:
+  explicit AuditReport(std::string subject) : subject_(std::move(subject)) {}
+
+  /// True iff no contract was refuted.
+  bool ok() const { return findings_.empty(); }
+
+  const std::string& subject() const { return subject_; }
+  const std::vector<AuditFinding>& findings() const { return findings_; }
+  size_t checks_run() const { return checks_run_; }
+
+  /// Records one executed check (pass or fail).
+  void CountCheck() { ++checks_run_; }
+  /// Records a refutation with its witness.
+  void Fail(std::string contract, std::string detail);
+
+  /// Merges another report's counters and findings (prefixing the other
+  /// subject onto each finding's contract tag).
+  void Absorb(const AuditReport& other);
+
+  /// "audit(<subject>): OK, N checks" or a multi-line failure listing.
+  std::string ToString() const;
+
+  /// OK, or FailedPrecondition carrying ToString() — the form the
+  /// middleware uses to reject a bad registration outright.
+  Status ToStatus() const;
+
+ private:
+  std::string subject_;
+  size_t checks_run_ = 0;
+  std::vector<AuditFinding> findings_;
+};
+
+/// Formats a score tuple as "[0.25, 1, 0.5]" for witness messages.
+std::string FormatTuple(const std::vector<double>& values);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ANALYSIS_AUDIT_H_

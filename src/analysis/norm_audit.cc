@@ -1,0 +1,146 @@
+#include "analysis/norm_audit.h"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+
+namespace {
+
+// Random samples plus every {0, ½, 1} corner — the corners are where the
+// conservation axioms and the drastic norms' discontinuities live.
+std::vector<double> SamplePoints(Rng* rng, size_t samples) {
+  std::vector<double> pts = {0.0, 0.5, 1.0};
+  pts.reserve(samples + 3);
+  for (size_t i = 0; i < samples; ++i) pts.push_back(rng->NextDouble());
+  return pts;
+}
+
+std::string Witness(std::initializer_list<double> inputs, double got,
+                    double want, double tol) {
+  std::ostringstream out;
+  out << "at " << FormatTuple(std::vector<double>(inputs)) << ": got " << got
+      << ", want " << want << " (tol " << tol << ")";
+  return out.str();
+}
+
+// The axioms shared by t-norms and t-co-norms; `unit` is 1 for a t-norm
+// (t(x,1) = x) and 0 for a t-co-norm (s(x,0) = x).
+AuditReport AuditNormAxioms(const BinaryScoringFn& f, std::string_view name,
+                            double unit, const NormAuditOptions& options) {
+  AuditReport report{std::string(name)};
+  Rng rng(options.seed);
+  const std::vector<double> pts = SamplePoints(&rng, options.samples);
+  const double tol = options.tol;
+  const char* conservation =
+      unit == 1.0 ? "conservation t(x,1)=x" : "conservation s(x,0)=x";
+
+  for (double x : pts) {
+    report.CountCheck();
+    const double fx = f(x, unit);
+    if (std::abs(fx - x) > tol) {
+      report.Fail(conservation, Witness({x, unit}, fx, x, tol));
+    }
+  }
+  for (size_t i = 0; i + 1 < pts.size() && report.ok(); i += 2) {
+    const double x = pts[i];
+    const double y = pts[i + 1];
+    report.CountCheck();
+    const double fxy = f(x, y);
+    const double fyx = f(y, x);
+    if (std::abs(fxy - fyx) > tol) {
+      report.Fail("commutativity", Witness({x, y}, fxy, fyx, tol));
+    }
+    // Monotonicity in the first argument: compare against a dominating x'.
+    const double xp = x + (1.0 - x) * rng.NextDouble();
+    report.CountCheck();
+    const double fxpy = f(xp, y);
+    if (fxy > fxpy + tol) {
+      std::ostringstream out;
+      out << "f(" << x << ", " << y << ") = " << fxy << " > f(" << xp << ", "
+          << y << ") = " << fxpy << " though " << x << " <= " << xp;
+      report.Fail("monotonicity", out.str());
+    }
+  }
+  for (size_t i = 0; i + 2 < pts.size() && report.ok(); i += 3) {
+    const double x = pts[i];
+    const double y = pts[i + 1];
+    const double z = pts[i + 2];
+    report.CountCheck();
+    const double left = f(f(x, y), z);
+    const double right = f(x, f(y, z));
+    if (std::abs(left - right) > tol) {
+      report.Fail("associativity", Witness({x, y, z}, left, right, tol));
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+AuditReport AuditTNorm(const BinaryScoringFn& t, std::string_view name,
+                       const NormAuditOptions& options) {
+  return AuditNormAxioms(t, name, /*unit=*/1.0, options);
+}
+
+AuditReport AuditTCoNorm(const BinaryScoringFn& s, std::string_view name,
+                         const NormAuditOptions& options) {
+  return AuditNormAxioms(s, name, /*unit=*/0.0, options);
+}
+
+AuditReport AuditDeMorganPair(const BinaryScoringFn& t,
+                              const BinaryScoringFn& s, const NegationFn& n,
+                              std::string_view pair_name,
+                              const NormAuditOptions& options) {
+  AuditReport report{std::string(pair_name)};
+  Rng rng(options.seed);
+  const std::vector<double> pts = SamplePoints(&rng, options.samples);
+  const double tol = options.tol;
+
+  for (double x : pts) {
+    report.CountCheck();
+    const double nnx = n(n(x));
+    if (std::abs(nnx - x) > tol) {
+      report.Fail("strong negation n(n(x))=x", Witness({x}, nnx, x, tol));
+    }
+  }
+  for (size_t i = 0; i + 1 < pts.size() && report.ok(); i += 2) {
+    const double x = pts[i];
+    const double y = pts[i + 1];
+    report.CountCheck();
+    const double direct = s(x, y);
+    const double dual = n(t(n(x), n(y)));
+    if (std::abs(direct - dual) > tol) {
+      std::ostringstream out;
+      out << "s(" << x << ", " << y << ") = " << direct
+          << " but n(t(n(x),n(y))) = " << dual << " (tol " << tol << ")";
+      report.Fail("De Morgan duality", out.str());
+    }
+  }
+  return report;
+}
+
+AuditReport AuditRegisteredNormPairs(const NormAuditOptions& options) {
+  AuditReport report("registered norm/conorm pairs");
+  constexpr TNormKind kKinds[] = {
+      TNormKind::kMinimum,   TNormKind::kProduct, TNormKind::kLukasiewicz,
+      TNormKind::kHamacher,  TNormKind::kEinstein, TNormKind::kDrastic,
+  };
+  for (TNormKind kind : kKinds) {
+    const TCoNormKind dual = DualCoNorm(kind);
+    auto t = [kind](double x, double y) { return ApplyTNorm(kind, x, y); };
+    auto s = [dual](double x, double y) { return ApplyTCoNorm(dual, x, y); };
+    report.Absorb(AuditTNorm(t, "tnorm:" + TNormName(kind), options));
+    report.Absorb(AuditTCoNorm(s, "conorm:" + TCoNormName(dual), options));
+    report.Absorb(AuditDeMorganPair(
+        t, s, StandardNegation,
+        "dual:" + TNormName(kind) + "/" + TCoNormName(dual), options));
+  }
+  return report;
+}
+
+}  // namespace fuzzydb

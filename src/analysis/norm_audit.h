@@ -1,0 +1,53 @@
+// Randomized auditors for the t-norm / t-co-norm axioms and De Morgan
+// duality (paper §3, Theorem 3.1; axioms of [BD86, Mi89]).
+//
+// core/tnorms.h already grid-validates the axioms at registration time;
+// these auditors complement that with randomized sampling (which reaches
+// points no fixed grid contains) and with witness-carrying reports, and add
+// the duality contract s(x,y) = n(t(n(x),n(y))) that the grid validator
+// does not cover.
+
+#ifndef FUZZYDB_ANALYSIS_NORM_AUDIT_H_
+#define FUZZYDB_ANALYSIS_NORM_AUDIT_H_
+
+#include <string_view>
+
+#include "analysis/audit.h"
+#include "core/tnorms.h"
+
+namespace fuzzydb {
+
+/// Knobs for the norm auditors.
+struct NormAuditOptions {
+  /// Random samples per axiom (boundary points are always added).
+  size_t samples = 256;
+  /// Comparison tolerance for the equational axioms.
+  double tol = 1e-9;
+  /// PRNG seed — audits are deterministic given options.
+  uint64_t seed = 0x5eed0a7d17ULL;
+};
+
+/// Audits the four t-norm axioms — ∧-conservation t(x,1)=x, monotonicity,
+/// commutativity, associativity — on random points plus the {0,1} corners.
+AuditReport AuditTNorm(const BinaryScoringFn& t, std::string_view name,
+                       const NormAuditOptions& options = {});
+
+/// Dual audit for a t-co-norm: ∨-conservation s(x,0)=x instead.
+AuditReport AuditTCoNorm(const BinaryScoringFn& s, std::string_view name,
+                         const NormAuditOptions& options = {});
+
+/// Audits De Morgan duality: s(x,y) = n(t(n(x),n(y))) for all sampled x,y,
+/// and that the negation is strong (involutive, n(n(x)) = x).
+AuditReport AuditDeMorganPair(const BinaryScoringFn& t,
+                              const BinaryScoringFn& s, const NegationFn& n,
+                              std::string_view pair_name,
+                              const NormAuditOptions& options = {});
+
+/// Audits every registered TNormKind / TCoNormKind: axioms for each, plus
+/// duality of each (kind, DualCoNorm(kind)) pair under standard negation.
+/// The report absorbs one sub-report per audited subject.
+AuditReport AuditRegisteredNormPairs(const NormAuditOptions& options = {});
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ANALYSIS_NORM_AUDIT_H_

@@ -1,0 +1,163 @@
+#include "analysis/scoring_audit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/random.h"
+#include "core/weights.h"
+
+namespace fuzzydb {
+
+namespace {
+
+std::string PairWitness(const std::vector<double>& lo,
+                        const std::vector<double>& hi, double flo,
+                        double fhi) {
+  std::ostringstream out;
+  out << "Apply(" << FormatTuple(lo) << ") = " << flo << " > Apply("
+      << FormatTuple(hi) << ") = " << fhi
+      << " though the first tuple is pointwise <= the second";
+  return out.str();
+}
+
+}  // namespace
+
+AuditReport AuditScoringRule(const ScoringRule& rule,
+                             const ScoringAuditOptions& options) {
+  AuditReport report(rule.name());
+  Rng rng(options.seed);
+  const size_t m = std::max<size_t>(options.arity, 1);
+  std::vector<double> lo(m);
+  std::vector<double> hi(m);
+
+  // Range: scores must land in [0,1] for random and corner tuples.
+  for (size_t s = 0; s < options.samples; ++s) {
+    for (size_t i = 0; i < m; ++i) lo[i] = rng.NextDouble();
+    report.CountCheck();
+    const double v = rule.Apply(lo);
+    if (!(v >= 0.0 && v <= 1.0)) {
+      std::ostringstream out;
+      out << "Apply(" << FormatTuple(lo) << ") = " << v
+          << " falls outside [0, 1]";
+      report.Fail("range", out.str());
+      break;
+    }
+  }
+
+  if (rule.monotone()) {
+    // Random dominated pairs: lo <= hi pointwise.
+    for (size_t s = 0; s < options.samples && report.ok(); ++s) {
+      for (size_t i = 0; i < m; ++i) {
+        const double a = rng.NextDouble();
+        const double b = rng.NextDouble();
+        lo[i] = std::min(a, b);
+        hi[i] = std::max(a, b);
+      }
+      report.CountCheck();
+      const double flo = rule.Apply(lo);
+      const double fhi = rule.Apply(hi);
+      if (flo > fhi + options.tol) {
+        report.Fail("monotonicity (declared monotone() == true)",
+                    PairWitness(lo, hi, flo, fhi));
+      }
+    }
+    // Boundary: all-zeros <= random <= all-ones.
+    std::fill(lo.begin(), lo.end(), 0.0);
+    const double f0 = rule.Apply(lo);
+    std::fill(hi.begin(), hi.end(), 1.0);
+    const double f1 = rule.Apply(hi);
+    for (size_t s = 0; s < options.samples / 4 + 1 && report.ok(); ++s) {
+      std::vector<double> mid(m);
+      for (size_t i = 0; i < m; ++i) mid[i] = rng.NextDouble();
+      report.CountCheck();
+      const double fm = rule.Apply(mid);
+      if (f0 > fm + options.tol) {
+        report.Fail("monotonicity (declared monotone() == true)",
+                    PairWitness(lo, mid, f0, fm));
+      } else if (fm > f1 + options.tol) {
+        report.Fail("monotonicity (declared monotone() == true)",
+                    PairWitness(mid, hi, fm, f1));
+      }
+    }
+  }
+
+  if (rule.strict() && report.ok()) {
+    std::fill(hi.begin(), hi.end(), 1.0);
+    report.CountCheck();
+    const double f1 = rule.Apply(hi);
+    if (std::abs(f1 - 1.0) > options.tol) {
+      std::ostringstream out;
+      out << "Apply(" << FormatTuple(hi) << ") = " << f1
+          << ", want 1 (tol " << options.tol << ")";
+      report.Fail("strictness (declared strict() == true)", out.str());
+    }
+    for (size_t s = 0; s < options.samples && report.ok(); ++s) {
+      // Mix exact-1 components with interior values (strictness failures
+      // usually need coordinates pinned at the maximum), then force one
+      // coordinate well below 1.
+      std::vector<double> t(m);
+      for (size_t i = 0; i < m; ++i) {
+        t[i] = rng.NextBernoulli(0.5) ? 1.0 : rng.NextDouble();
+      }
+      const size_t drop = static_cast<size_t>(rng.NextBounded(m));
+      t[drop] = 0.5 * rng.NextDouble();
+      report.CountCheck();
+      const double ft = rule.Apply(t);
+      if (ft >= 1.0 - options.tol) {
+        std::ostringstream out;
+        out << "Apply(" << FormatTuple(t) << ") = " << ft
+            << " though component " << drop << " is " << t[drop]
+            << " < 1; a strict rule must score below 1";
+        report.Fail("strictness (declared strict() == true)", out.str());
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport AuditShippedScoringRules(const ScoringAuditOptions& options) {
+  AuditReport report("shipped scoring rules");
+  std::vector<ScoringRulePtr> rules = {
+      MinRule(),
+      MaxRule(),
+      ArithmeticMeanRule(),
+      GeometricMeanRule(),
+      HarmonicMeanRule(),
+      MedianRule(),
+  };
+  for (TNormKind kind :
+       {TNormKind::kMinimum, TNormKind::kProduct, TNormKind::kLukasiewicz,
+        TNormKind::kHamacher, TNormKind::kEinstein, TNormKind::kDrastic}) {
+    rules.push_back(TNormRule(kind));
+  }
+  for (TCoNormKind kind :
+       {TCoNormKind::kMaximum, TCoNormKind::kProbSum,
+        TCoNormKind::kLukasiewicz, TCoNormKind::kHamacher,
+        TCoNormKind::kEinstein, TCoNormKind::kDrastic}) {
+    rules.push_back(TCoNormRule(kind));
+  }
+
+  for (size_t arity : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    ScoringAuditOptions opt = options;
+    opt.arity = arity;
+    for (const ScoringRulePtr& rule : rules) {
+      report.Absorb(AuditScoringRule(*rule, opt));
+    }
+    // Weighted (Fagin–Wimmers) and OWA instances at this arity.
+    std::vector<double> raw(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      raw[i] = static_cast<double>(arity - i);
+    }
+    Result<Weighting> theta = Weighting::FromSliders(raw);
+    if (theta.ok()) {
+      report.Absorb(AuditScoringRule(*WeightedRule(MinRule(), *theta), opt));
+      report.Absorb(
+          AuditScoringRule(*WeightedRule(ArithmeticMeanRule(), *theta), opt));
+      report.Absorb(AuditScoringRule(*OwaRule(Weighting::Equal(arity)), opt));
+    }
+  }
+  return report;
+}
+
+}  // namespace fuzzydb

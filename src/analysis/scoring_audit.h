@@ -1,0 +1,46 @@
+// Auditor for the two scoring-rule properties Theorems 4.1/4.2 are
+// conditional on: monotonicity (the A0/TA/NRA upper bound needs it) and
+// strictness (the optimality lower bound needs it). Every rule declares
+// both via ScoringRule::monotone()/strict(); the auditor re-checks the
+// declarations empirically — the same vetting the Garlic middleware had to
+// apply to user-defined rules (paper §4.2) — and reports witnesses.
+
+#ifndef FUZZYDB_ANALYSIS_SCORING_AUDIT_H_
+#define FUZZYDB_ANALYSIS_SCORING_AUDIT_H_
+
+#include "analysis/audit.h"
+#include "core/scoring.h"
+
+namespace fuzzydb {
+
+/// Knobs for the scoring-rule auditor.
+struct ScoringAuditOptions {
+  /// Arity at which the rule is exercised.
+  size_t arity = 4;
+  /// Random dominated pairs / strictness probes drawn.
+  size_t samples = 512;
+  /// Tolerance for the monotonicity comparison.
+  double tol = 1e-12;
+  /// PRNG seed — audits are deterministic given options.
+  uint64_t seed = 0x5c0416a9d1ULL;
+};
+
+/// Audits `rule` at options.arity:
+///   - range: Apply always lands in [0, 1];
+///   - monotonicity (if declared): random dominated pairs x <= x' must give
+///     Apply(x) <= Apply(x') + tol, plus the {0,1}-corner boundaries;
+///   - strictness (if declared): Apply(1,...,1) = 1 and every random tuple
+///     with at least one component < 1 must score < 1.
+/// A declared-but-refuted property yields a witness naming both tuples and
+/// both scores, so the registrant can see exactly which inputs break it.
+AuditReport AuditScoringRule(const ScoringRule& rule,
+                             const ScoringAuditOptions& options = {});
+
+/// Audits every shipped rule family (min/max, all t-norm and co-norm
+/// iterations, means, median, examples of Fagin–Wimmers weighted rules and
+/// OWA) at arities {1, 2, 4, 7}.
+AuditReport AuditShippedScoringRules(const ScoringAuditOptions& options = {});
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ANALYSIS_SCORING_AUDIT_H_

@@ -1,0 +1,82 @@
+#include "analysis/source_audit.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fuzzydb {
+
+AuditReport AuditSortedAccess(GradedSource* source,
+                              const SourceAuditOptions& options) {
+  AuditReport report(source->name());
+  source->RestartSorted();
+
+  std::vector<GradedObject> streamed;
+  std::unordered_set<ObjectId> ids;
+  std::optional<GradedObject> prev;
+  for (size_t n = 0; n < options.max_items; ++n) {
+    std::optional<GradedObject> next = source->NextSorted();
+    if (!next.has_value()) break;
+    report.CountCheck();
+    if (!(next->grade >= 0.0 && next->grade <= 1.0)) {
+      std::ostringstream out;
+      out << "position " << n << ": object " << next->id << " has grade "
+          << next->grade << " outside [0, 1]";
+      report.Fail("grade range", out.str());
+      break;
+    }
+    if (prev.has_value() && GradeDescending(*next, *prev)) {
+      std::ostringstream out;
+      out << "position " << n << ": object " << next->id << " (grade "
+          << next->grade << ") streamed after object " << prev->id
+          << " (grade " << prev->grade
+          << ") but sorts before it — sorted access must be grade-"
+             "descending with ties by id ascending";
+      report.Fail("sorted order", out.str());
+      break;
+    }
+    if (!ids.insert(next->id).second) {
+      std::ostringstream out;
+      out << "position " << n << ": object " << next->id
+          << " streamed twice";
+      report.Fail("duplicate id", out.str());
+      break;
+    }
+    streamed.push_back(*next);
+    prev = next;
+  }
+
+  report.CountCheck();
+  if (streamed.size() > source->Size()) {
+    std::ostringstream out;
+    out << "stream delivered " << streamed.size()
+        << " objects but Size() is " << source->Size();
+    report.Fail("stream length", out.str());
+  }
+
+  if (!streamed.empty()) {
+    Rng rng(options.seed);
+    const size_t probes = std::min(options.random_probes, streamed.size());
+    for (size_t p = 0; p < probes; ++p) {
+      const GradedObject& obj =
+          streamed[static_cast<size_t>(rng.NextBounded(streamed.size()))];
+      report.CountCheck();
+      const double grade = source->RandomAccess(obj.id);
+      if (std::abs(grade - obj.grade) > options.tol) {
+        std::ostringstream out;
+        out << "object " << obj.id << ": RandomAccess says " << grade
+            << " but sorted access streamed " << obj.grade;
+        report.Fail("random-access consistency", out.str());
+        break;
+      }
+    }
+  }
+
+  source->RestartSorted();
+  return report;
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,39 @@
+// Auditor for the GradedSource access contract (paper §4): sorted access
+// must stream grades in non-increasing order with ties broken by id
+// ascending, every grade must be a valid fuzzy grade in [0,1], and random
+// access must agree with what the stream delivered. A0/TA/NRA's correctness
+// proofs all assume this — a subsystem that mis-sorts silently breaks every
+// top-k answer, which is exactly the kind of integration bug the Garlic
+// middleware hit (paper §4.2).
+
+#ifndef FUZZYDB_ANALYSIS_SOURCE_AUDIT_H_
+#define FUZZYDB_ANALYSIS_SOURCE_AUDIT_H_
+
+#include "analysis/audit.h"
+#include "middleware/source.h"
+
+namespace fuzzydb {
+
+/// Knobs for the source auditor.
+struct SourceAuditOptions {
+  /// Cap on the number of sorted accesses performed (the stream is drained
+  /// up to this many items).
+  size_t max_items = 100000;
+  /// Streamed objects re-probed through RandomAccess for consistency.
+  size_t random_probes = 64;
+  /// Tolerance for the RandomAccess-vs-stream grade comparison.
+  double tol = 0.0;
+  /// PRNG seed for probe selection.
+  uint64_t seed = 0x50a6ce5eedULL;
+};
+
+/// Drains `source`'s sorted stream (after RestartSorted) and audits order,
+/// grade range, duplicate ids, stream length vs Size(), and RandomAccess
+/// consistency on sampled streamed objects. The cursor is restarted again
+/// before returning, so the source is reusable afterwards.
+AuditReport AuditSortedAccess(GradedSource* source,
+                              const SourceAuditOptions& options = {});
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ANALYSIS_SOURCE_AUDIT_H_

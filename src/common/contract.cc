@@ -1,0 +1,38 @@
+#include "common/contract.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fuzzydb {
+
+namespace {
+
+void DefaultHandler(const char* file, int line, const char* expr,
+                    const std::string& message) {
+  std::fprintf(stderr, "%s:%d: contract violated: %s — %s\n", file, line,
+               expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+ContractViolationHandler g_handler = nullptr;
+
+}  // namespace
+
+ContractViolationHandler SetContractViolationHandler(
+    ContractViolationHandler handler) {
+  ContractViolationHandler previous = g_handler;
+  g_handler = handler;
+  return previous;
+}
+
+namespace internal {
+
+void ContractFail(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  (g_handler != nullptr ? g_handler : DefaultHandler)(file, line, expr,
+                                                      message);
+}
+
+}  // namespace internal
+}  // namespace fuzzydb

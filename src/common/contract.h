@@ -1,0 +1,74 @@
+// Paper-invariant contract macros (DESIGN §3d).
+//
+// The algorithmic guarantees of the paper are conditional: Theorems 4.1/4.2
+// hold only for monotone (and, for the lower bound, strict) scoring rules,
+// Theorem 3.1 only for t-norm/co-norm pairs satisfying the Bellman–Giertz
+// axioms, and the cascade filter is dismissal-free only while every cheap
+// level lower-bounds the exact distance [HSE+95]. FUZZYDB_DCHECK /
+// FUZZYDB_INVARIANT let the hot loops assert those conditions inline:
+// compiled to real checks when the build sets -DFUZZYDB_CHECKS=ON (debug and
+// the CI "checks" leg), compiled to nothing in release builds — the
+// expressions stay type-checked but are never evaluated.
+
+#ifndef FUZZYDB_COMMON_CONTRACT_H_
+#define FUZZYDB_COMMON_CONTRACT_H_
+
+#include <string>
+
+namespace fuzzydb {
+
+/// Handler invoked on a failed contract check. The default prints
+/// "file:line: contract violated: <expr> — <message>" to stderr and aborts;
+/// tests install a capturing handler (which may throw to unwind).
+using ContractViolationHandler = void (*)(const char* file, int line,
+                                          const char* expr,
+                                          const std::string& message);
+
+/// Installs `handler` and returns the previous one. nullptr restores the
+/// default abort handler. Not thread-safe; intended for test setup.
+ContractViolationHandler SetContractViolationHandler(
+    ContractViolationHandler handler);
+
+/// True iff this translation unit was compiled with contract checks on.
+constexpr bool ContractChecksEnabled() {
+#ifdef FUZZYDB_ENABLE_CHECKS
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace internal {
+
+/// Dispatches to the installed handler (default: print + abort).
+void ContractFail(const char* file, int line, const char* expr,
+                  const std::string& message);
+
+}  // namespace internal
+}  // namespace fuzzydb
+
+#ifdef FUZZYDB_ENABLE_CHECKS
+#define FUZZYDB_DCHECK(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::fuzzydb::internal::ContractFail(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                                       \
+  } while (false)
+#else
+// Dead branch: the condition and message stay compiled (so checked code
+// cannot rot) but are never evaluated and fold away entirely.
+#define FUZZYDB_DCHECK(cond, msg)    \
+  do {                               \
+    if (false) {                     \
+      static_cast<void>(cond);       \
+      static_cast<void>(msg);        \
+    }                                \
+  } while (false)
+#endif
+
+/// Alias of FUZZYDB_DCHECK for checks that encode a *paper invariant*
+/// (threshold monotonicity, lower-bounding filters, sorted-stream order)
+/// rather than a local programming precondition.
+#define FUZZYDB_INVARIANT(cond, msg) FUZZYDB_DCHECK(cond, msg)
+
+#endif  // FUZZYDB_COMMON_CONTRACT_H_

@@ -145,8 +145,8 @@ class UserDefinedRuleImpl final : public ScoringRule {
  private:
   std::string name_;
   std::function<double(std::span<const double>)> fn_;
-  bool monotone_;
-  bool strict_;
+  bool monotone_ = false;
+  bool strict_ = false;
 };
 
 }  // namespace

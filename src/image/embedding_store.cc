@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <string>
 
+#include "common/contract.h"
 #include "common/squared_distance.h"
 
 namespace fuzzydb {
@@ -231,13 +233,29 @@ void EmbeddingStore::CascadeShard(
     bool pruned = false;
     while (j < dim_ && !pruned) {
       const size_t stop = std::min(dim_, j + step);
+      const double before = acc.Total();
       acc.Accumulate(row, t, j, stop);
       j = stop;
+      // The cascade is dismissal-free only while every level lower-bounds
+      // the next ([HSE+95]): accumulating non-negative squared terms can
+      // never shrink the partial sum, exactly, in floating point.
+      FUZZYDB_INVARIANT(acc.Total() >= before,
+                        "cascade partial sum shrank from " +
+                            std::to_string(before) + " to " +
+                            std::to_string(acc.Total()) + " at dim " +
+                            std::to_string(j) + " for row " +
+                            std::to_string(idx));
       if (j < dim_ && best->size() == k &&
           acc.Total() > (*best)[worst_pos].first) {
         pruned = true;
       }
     }
+    // A fully refined candidate's exact d^2 must dominate its level-0
+    // bound, or the bound could have falsely dismissed it.
+    FUZZYDB_INVARIANT(pruned || acc.Total() >= b,
+                      "cascade level-0 bound " + std::to_string(b) +
+                          " exceeds exact d^2 " + std::to_string(acc.Total()) +
+                          " for row " + std::to_string(idx));
     ++stats->candidates_refined;
     stats->dims_accumulated += j - s0;
     if (j == dim_) ++stats->full_distance_computations;

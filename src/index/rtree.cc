@@ -422,9 +422,9 @@ size_t RTree::Height() const {
 // certifies it as the next nearest neighbour.
 struct RTree::NearestIterator::Frontier {
   struct Item {
-    double key;           // squared distance
-    const Node* node;     // null for a resolved point entry
-    KnnNeighbor entry;    // valid when node == nullptr
+    double key = 0.0;        // squared distance
+    const Node* node = nullptr;  // null for a resolved point entry
+    KnnNeighbor entry;           // valid when node == nullptr
     bool operator>(const Item& other) const {
       if (key != other.key) return key > other.key;
       // Deterministic ties: resolved entries first, then by id.

@@ -93,9 +93,9 @@ Result<std::vector<KnnNeighbor>> LinearQuadtree::Knn(
   // Group the sorted array into runs of equal Morton code ("cells"), rank
   // them by mindist to the query, then open best-first.
   struct CellRun {
-    double mind2;
-    size_t begin;
-    size_t end;
+    double mind2 = 0.0;
+    size_t begin = 0;
+    size_t end = 0;
   };
   std::vector<CellRun> runs;
   for (size_t i = 0; i < entries_.size();) {

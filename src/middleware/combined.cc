@@ -63,10 +63,10 @@ Result<TopKResult> CombinedTopK(std::span<GradedSource* const> sources,
   };
 
   struct Bounded {
-    ObjectId id;
-    double lower;
-    double upper;
-    bool complete;
+    ObjectId id = 0;
+    double lower = 0.0;
+    double upper = 0.0;
+    bool complete = false;
   };
   std::vector<Bounded> winners;
 

@@ -48,9 +48,9 @@ class CompositeQueryRuleImpl final : public ScoringRule {
 
  private:
   QueryPtr query_;
-  size_t num_atoms_;
-  bool monotone_;
-  bool strict_;
+  size_t num_atoms_ = 0;
+  bool monotone_ = false;
+  bool strict_ = false;
 };
 
 }  // namespace

@@ -7,7 +7,9 @@
 #define FUZZYDB_MIDDLEWARE_COST_H_
 
 #include <cstdint>
+#include <optional>
 
+#include "common/contract.h"
 #include "middleware/source.h"
 
 namespace fuzzydb {
@@ -47,11 +49,33 @@ class CountingSource final : public GradedSource {
 
   std::optional<GradedObject> NextSorted() override {
     std::optional<GradedObject> next = inner_->NextSorted();
-    if (next.has_value()) ++cost_->sorted;
+    if (next.has_value()) {
+      ++cost_->sorted;
+      FUZZYDB_DCHECK(
+          next->grade >= 0.0 && next->grade <= 1.0,
+          "source '" + inner_->name() + "' streamed grade outside [0,1]");
+      // Every middleware algorithm routes sorted access through this
+      // wrapper, so one check covers A0/TA/NRA/CA alike: the stream must be
+      // grade-descending with ties by id ascending (paper §4) or the
+      // halting thresholds below are meaningless.
+      FUZZYDB_INVARIANT(
+          !prev_streamed_.has_value() ||
+              !GradeDescending(*next, *prev_streamed_),
+          "source '" + inner_->name() +
+              "' violated sorted-access order: object " +
+              std::to_string(next->id) + " (grade " +
+              std::to_string(next->grade) + ") after object " +
+              std::to_string(prev_streamed_->id) + " (grade " +
+              std::to_string(prev_streamed_->grade) + ")");
+      prev_streamed_ = *next;
+    }
     return next;
   }
 
-  void RestartSorted() override { inner_->RestartSorted(); }
+  void RestartSorted() override {
+    prev_streamed_.reset();
+    inner_->RestartSorted();
+  }
 
   double RandomAccess(ObjectId id) override {
     ++cost_->random;
@@ -69,6 +93,8 @@ class CountingSource final : public GradedSource {
  private:
   GradedSource* inner_;
   AccessCost* cost_;
+  // Last streamed object, for the sorted-order contract check.
+  std::optional<GradedObject> prev_streamed_;
 };
 
 }  // namespace fuzzydb

@@ -77,8 +77,10 @@ Result<ExecutionResult> ExecuteTopK(QueryPtr query,
     if (!CheckMonotoneEmpirically(*rule, atoms.size(), options.verify_samples,
                                   &rng)) {
       return Status::FailedPrecondition(
-          "scoring rule claims monotonicity but an empirical check refuted "
-          "it; refusing to run A0/TA (Garlic rule-vetting, paper §4.2)");
+          "scoring rule '" + rule->name() +
+          "' claims monotonicity but an empirical check refuted it; "
+          "refusing to run A0/TA (Garlic rule-vetting, paper §4.2). Run "
+          "AuditScoringRule from src/analysis for a witness.");
     }
   }
 

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/contract.h"
+
 namespace fuzzydb {
 
 namespace {
@@ -51,12 +53,13 @@ Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
   };
 
   struct Bounded {
-    ObjectId id;
-    double lower;
-    double upper;
-    bool complete;
+    ObjectId id = 0;
+    double lower = 0.0;
+    double upper = 0.0;
+    bool complete = false;
   };
   std::vector<Bounded> winners;
+  double prev_unseen_upper = 1.0;
 
   while (exhausted < m) {
     for (size_t j = 0; j < m; ++j) {
@@ -92,6 +95,15 @@ Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
     bounds.reserve(seen.size());
     for (const auto& [id, p] : seen) {
       bounds.push_back({id, lower_of(p), upper_of(p), p.num_known == m});
+      // A monotone rule applied to known-or-0 grades can never exceed the
+      // same rule applied to known-or-last_seen grades.
+      FUZZYDB_INVARIANT(bounds.back().lower <= bounds.back().upper + 1e-12,
+                        "NRA lower bound " +
+                            std::to_string(bounds.back().lower) +
+                            " exceeds upper bound " +
+                            std::to_string(bounds.back().upper) +
+                            " for object " + std::to_string(id) +
+                            " under rule " + rule.name());
     }
     std::nth_element(bounds.begin(), bounds.begin() + static_cast<long>(k - 1),
                      bounds.end(), [](const Bounded& a, const Bounded& b) {
@@ -100,6 +112,14 @@ Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
                      });
     double kth_lower = bounds[k - 1].lower;
     double max_other_upper = rule.Apply(last_seen);  // unseen objects
+    // Same monotone non-increase as TA's threshold (Theorem 4.2 analogue):
+    // the ceiling on what an unseen object can still score only ever falls.
+    FUZZYDB_INVARIANT(max_other_upper <= prev_unseen_upper + 1e-12,
+                      "NRA unseen-object threshold rose from " +
+                          std::to_string(prev_unseen_upper) + " to " +
+                          std::to_string(max_other_upper) + " under rule " +
+                          rule.name());
+    prev_unseen_upper = max_other_upper;
     for (size_t i = k; i < bounds.size(); ++i) {
       max_other_upper = std::max(max_other_upper, bounds[i].upper);
     }

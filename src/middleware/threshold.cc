@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/contract.h"
+
 namespace fuzzydb {
 
 namespace {
@@ -42,6 +44,7 @@ Result<TopKResult> ThresholdTopK(std::span<GradedSource* const> sources,
   std::vector<bool> done(m, false);
   std::vector<double> scores(m);
   size_t exhausted = 0;
+  double prev_threshold = 1.0;
 
   while (exhausted < m) {
     for (size_t j = 0; j < m; ++j) {
@@ -72,7 +75,18 @@ Result<TopKResult> ThresholdTopK(std::span<GradedSource* const> sources,
       }
     }
     // Threshold check once per round of parallel sorted accesses.
-    if (best.size() >= k && best.top().grade >= rule.Apply(last_seen)) break;
+    const double threshold = rule.Apply(last_seen);
+    // Theorem 4.1's halting argument needs the threshold to only ever fall:
+    // last_seen is pointwise non-increasing (sorted access; exhausted lists
+    // drop to 0) and the rule is monotone, so a rise means a broken source
+    // or a mis-declared rule.
+    FUZZYDB_INVARIANT(threshold <= prev_threshold + 1e-12,
+                      "TA halting threshold rose from " +
+                          std::to_string(prev_threshold) + " to " +
+                          std::to_string(threshold) +
+                          " under rule " + rule.name());
+    prev_threshold = threshold;
+    if (best.size() >= k && best.top().grade >= threshold) break;
   }
 
   result.items.resize(best.size());

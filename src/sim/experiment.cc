@@ -1,6 +1,7 @@
 #include "sim/experiment.h"
 
 #include <iomanip>
+#include <iostream>
 #include <sstream>
 
 namespace fuzzydb {
@@ -39,6 +40,8 @@ void TablePrinter::Print(std::ostream& os) const {
   os << std::string(total, '-') << "\n";
   for (size_t r = 1; r < rows_.size(); ++r) print_row(rows_[r]);
 }
+
+void TablePrinter::Print() const { Print(std::cout); }
 
 Result<std::vector<CostPoint>> SweepCost(const WorkloadFactory& factory,
                                          const AlgorithmRunner& runner,

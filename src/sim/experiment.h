@@ -7,7 +7,7 @@
 #define FUZZYDB_SIM_EXPERIMENT_H_
 
 #include <functional>
-#include <iostream>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -30,7 +30,9 @@ class TablePrinter {
   static std::string Num(double v, int precision = 4);
 
   /// Renders the table with a header rule.
-  void Print(std::ostream& os = std::cout) const;
+  void Print(std::ostream& os) const;
+  /// Renders to stdout (keeps <iostream> out of this header).
+  void Print() const;
 
  private:
   std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header

@@ -100,7 +100,11 @@ TEST_P(QfdTest, SimilarColorsAreCloserThanDissimilarOnes) {
 INSTANTIATE_TEST_SUITE_P(BinCounts, QfdTest,
                          ::testing::Values(8, 27, 64),
                          [](const auto& info) {
-                           return "k" + std::to_string(info.param);
+                           // append, not operator+(const char*, string&&):
+                           // gcc 12 -Wrestrict misfires on the latter.
+                           std::string name = "k";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 class EigenFilterTest : public ::testing::TestWithParam<size_t> {};
@@ -126,7 +130,9 @@ TEST_P(EigenFilterTest, LowerBoundsTheTrueDistance) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, EigenFilterTest, ::testing::Values(1, 3, 8),
                          [](const auto& info) {
-                           return "dim" + std::to_string(info.param);
+                           std::string name = "dim";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(EigenFilterTest, CapturedEnergyGrowsWithDimension) {

@@ -222,7 +222,9 @@ TEST_F(ParallelKernelTest, SpectrumPrefixesFollowTheEigenmass) {
   for (size_t i = 0; i < prefixes.size(); ++i) {
     EXPECT_GE(prefixes[i], 1u);
     EXPECT_LE(prefixes[i], flat.size());
-    if (i > 0) EXPECT_LT(prefixes[i - 1], prefixes[i]);
+    if (i > 0) {
+      EXPECT_LT(prefixes[i - 1], prefixes[i]);
+    }
   }
 }
 

@@ -50,7 +50,9 @@ TEST_P(GridKnnTest, MatchesLinearScanExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, GridKnnTest, ::testing::Values(2, 3, 6, 12),
                          [](const auto& info) {
-                           return "dim" + std::to_string(info.param);
+                           std::string name = "dim";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(GridFileTest, DirectoryGrowsExponentiallyWithDimension) {

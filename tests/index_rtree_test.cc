@@ -83,7 +83,9 @@ TEST_P(RTreeKnnTest, MatchesLinearScanExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, RTreeKnnTest, ::testing::Values(2, 4, 8, 16),
                          [](const auto& info) {
-                           return "dim" + std::to_string(info.param);
+                           std::string name = "dim";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(RTreeTest, LowDimensionKnnPrunesMostOfTheTree) {

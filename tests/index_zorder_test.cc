@@ -85,7 +85,9 @@ TEST_P(ZKnnTest, MatchesLinearScanExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, ZKnnTest, ::testing::Values(2, 3, 6, 12),
                          [](const auto& info) {
-                           return "dim" + std::to_string(info.param);
+                           std::string name = "dim";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(LinearQuadtreeTest, CellOccupancyDegradesWithDimension) {

@@ -55,7 +55,12 @@ TEST_P(CombinedPeriodTest, CorrectTopKSetAtEveryPeriod) {
 INSTANTIATE_TEST_SUITE_P(Periods, CombinedPeriodTest,
                          ::testing::Values(1, 2, 8, 64, 100000),
                          [](const auto& info) {
-                           return "h" + std::to_string(info.param);
+                           // Built via append rather than operator+(const
+                           // char*, string&&): gcc 12's -Wrestrict misfires
+                           // on the inlined insert path of the latter.
+                           std::string name = "h";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(CombinedTest, RandomAccessDecreasesWithPeriod) {
