@@ -6,8 +6,10 @@
 #   plain   Release build at CHECKIN warning level (-Werror), full ctest
 #           suite (the tier-1 gate).
 #   asan    AddressSanitizer + UBSan build, full ctest suite.
-#   tsan    ThreadSanitizer build; runs the concurrency-relevant tests
-#           (thread pool, sharded kernels, embedding layer, precompute).
+#   tsan    ThreadSanitizer build; runs the ctest label `concurrency`
+#           (thread pool, sharded kernels, embedding layer, parallel
+#           middleware, schedule fuzzers) with halt_on_error and a retry
+#           only for timeouts — data-race findings are never retried away.
 #   checks  FUZZYDB_CHECKS=ON build: paper-invariant contract macros compiled
 #           in and the src/analysis property auditors exercised by the full
 #           suite (analysis_contract_test runs its instrumentation leg).
@@ -40,9 +42,11 @@ case "${MODE}" in
   asan)
     configure_and_test build-asan "" -DFUZZYDB_SANITIZE=ON ;;
   tsan)
-    configure_and_test build-tsan \
-      "thread_pool|parallel_kernel|embedding|qbic|image_store" \
-      -DFUZZYDB_TSAN=ON ;;
+    cmake -B build-tsan -S . -DFUZZYDB_TSAN=ON
+    cmake --build build-tsan -j "${JOBS}"
+    TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-tsan \
+      --output-on-failure -j "${JOBS}" -L concurrency \
+      --repeat after-timeout:3 ;;
   checks)
     configure_and_test build-checks "" \
       -DFUZZYDB_CHECKS=ON -DFUZZYDB_WARNING_LEVEL=CHECKIN ;;

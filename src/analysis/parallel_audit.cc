@@ -1,0 +1,232 @@
+#include "analysis/parallel_audit.h"
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+
+#include "middleware/fagin.h"
+#include "middleware/nra.h"
+#include "middleware/threshold.h"
+
+namespace fuzzydb {
+
+AccessLog AccessLogSource::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+size_t AccessLogSource::Size() const { return inner_->Size(); }
+
+std::optional<GradedObject> AccessLogSource::NextSorted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<GradedObject> next = inner_->NextSorted();
+  if (next.has_value()) log_.sorted.push_back(*next);
+  return next;
+}
+
+void AccessLogSource::RestartSorted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  inner_->RestartSorted();
+}
+
+double AccessLogSource::RandomAccess(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_.random.push_back(id);
+  return inner_->RandomAccess(id);
+}
+
+std::vector<GradedObject> AccessLogSource::AtLeast(double threshold) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_->AtLeast(threshold);
+}
+
+std::string AccessLogSource::name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return "logged(" + inner_->name() + ")";
+}
+
+namespace {
+
+const char* AlgorithmTag(AuditedAlgorithm algorithm) {
+  switch (algorithm) {
+    case AuditedAlgorithm::kFagin:
+      return "fagin-a0";
+    case AuditedAlgorithm::kThreshold:
+      return "ta";
+    case AuditedAlgorithm::kNoRandomAccess:
+      return "nra";
+  }
+  return "unknown";
+}
+
+Result<TopKResult> RunOnce(AuditedAlgorithm algorithm,
+                           std::span<GradedSource* const> sources,
+                           const ScoringRule& rule, size_t k,
+                           const ParallelOptions& options) {
+  switch (algorithm) {
+    case AuditedAlgorithm::kFagin:
+      return FaginTopK(sources, rule, k, options);
+    case AuditedAlgorithm::kThreshold:
+      return ThresholdTopK(sources, rule, k, options);
+    case AuditedAlgorithm::kNoRandomAccess:
+      return NoRandomAccessTopK(sources, rule, k, options);
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+bool BitEqual(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+std::string DescribeObject(const GradedObject& g) {
+  std::ostringstream out;
+  out << "(id=" << g.id << ", grade=" << g.grade << ")";
+  return out.str();
+}
+
+}  // namespace
+
+AuditReport AuditParallelEquivalence(std::span<GradedSource* const> sources,
+                                     const ScoringRule& rule,
+                                     AuditedAlgorithm algorithm,
+                                     const ParallelAuditOptions& options) {
+  AuditReport report(std::string("parallel-equivalence/") +
+                     AlgorithmTag(algorithm));
+  const size_t m = sources.size();
+
+  // Two independently logged runs over the same raw sources. The runs
+  // restart every sorted cursor up front, so back-to-back execution is safe.
+  std::vector<std::unique_ptr<AccessLogSource>> serial_logged;
+  serial_logged.reserve(m);
+  for (GradedSource* s : sources) {
+    serial_logged.push_back(std::make_unique<AccessLogSource>(s));
+  }
+  std::vector<GradedSource*> serial_ptrs;
+  for (auto& s : serial_logged) serial_ptrs.push_back(s.get());
+  Result<TopKResult> serial =
+      RunOnce(algorithm, serial_ptrs, rule, options.k, ParallelOptions{});
+
+  std::vector<std::unique_ptr<AccessLogSource>> parallel_logged;
+  parallel_logged.reserve(m);
+  for (GradedSource* s : sources) {
+    parallel_logged.push_back(std::make_unique<AccessLogSource>(s));
+  }
+  std::vector<GradedSource*> parallel_ptrs;
+  for (auto& s : parallel_logged) parallel_ptrs.push_back(s.get());
+  Result<TopKResult> parallel =
+      RunOnce(algorithm, parallel_ptrs, rule, options.k, options.parallel);
+
+  report.CountCheck();
+  if (serial.ok() != parallel.ok()) {
+    report.Fail("status",
+                std::string("serial ") +
+                    (serial.ok() ? "OK" : serial.status().ToString()) +
+                    " vs parallel " +
+                    (parallel.ok() ? "OK" : parallel.status().ToString()));
+    return report;
+  }
+  if (!serial.ok()) return report;  // both failed identically: equivalent
+
+  // Answer equivalence: ids in rank order, bitwise grades, exactness flag.
+  report.CountCheck();
+  if (serial->items.size() != parallel->items.size()) {
+    std::ostringstream out;
+    out << "serial returned " << serial->items.size() << " items, parallel "
+        << parallel->items.size();
+    report.Fail("top-k-size", out.str());
+  } else {
+    for (size_t r = 0; r < serial->items.size(); ++r) {
+      report.CountCheck();
+      const GradedObject& a = serial->items[r];
+      const GradedObject& b = parallel->items[r];
+      if (a.id != b.id || !BitEqual(a.grade, b.grade)) {
+        std::ostringstream out;
+        out << "rank " << r << ": serial " << DescribeObject(a)
+            << " vs parallel " << DescribeObject(b);
+        report.Fail("top-k-item", out.str());
+      }
+    }
+  }
+  report.CountCheck();
+  if (serial->grades_exact != parallel->grades_exact) {
+    report.Fail("grades-exact",
+                std::string("serial ") +
+                    (serial->grades_exact ? "true" : "false") +
+                    " vs parallel " +
+                    (parallel->grades_exact ? "true" : "false"));
+  }
+
+  // Consumed access accounting must be schedule-independent. (The
+  // speculative overhang AccessCost::prefetched is explicitly exempt.)
+  if (serial->per_source.size() == m && parallel->per_source.size() == m) {
+    for (size_t j = 0; j < m; ++j) {
+      report.CountCheck();
+      const AccessCost& sc = serial->per_source[j];
+      const AccessCost& pc = parallel->per_source[j];
+      if (sc.sorted != pc.sorted || sc.random != pc.random) {
+        std::ostringstream out;
+        out << "source " << j << ": serial consumed (sorted=" << sc.sorted
+            << ", random=" << sc.random << ") vs parallel (sorted="
+            << pc.sorted << ", random=" << pc.random << ")";
+        report.Fail("consumed-count", out.str());
+      }
+    }
+  } else {
+    report.CountCheck();
+    std::ostringstream out;
+    out << "expected per-source cost for " << m << " sources, got serial="
+        << serial->per_source.size()
+        << " parallel=" << parallel->per_source.size();
+    report.Fail("per-source-cost", out.str());
+  }
+
+  // Log equivalence at the raw source: the parallel sorted log must extend
+  // the serial one by at most prefetch_depth speculative items, and the
+  // random sequence must match exactly.
+  const size_t depth = options.parallel.prefetch_depth;
+  for (size_t j = 0; j < m; ++j) {
+    AccessLog s_log = serial_logged[j]->log();
+    AccessLog p_log = parallel_logged[j]->log();
+
+    report.CountCheck();
+    if (p_log.sorted.size() < s_log.sorted.size() ||
+        p_log.sorted.size() > s_log.sorted.size() + depth) {
+      std::ostringstream out;
+      out << "source " << j << ": serial issued " << s_log.sorted.size()
+          << " sorted accesses, parallel " << p_log.sorted.size()
+          << " (allowed overhang <= " << depth << ")";
+      report.Fail("sorted-overhang", out.str());
+    }
+    size_t shared = std::min(s_log.sorted.size(), p_log.sorted.size());
+    for (size_t p = 0; p < shared; ++p) {
+      const GradedObject& a = s_log.sorted[p];
+      const GradedObject& b = p_log.sorted[p];
+      if (a.id != b.id || !BitEqual(a.grade, b.grade)) {
+        std::ostringstream out;
+        out << "source " << j << " position " << p << ": serial "
+            << DescribeObject(a) << " vs parallel " << DescribeObject(b);
+        report.Fail("sorted-prefix", out.str());
+        break;  // one witness per source is enough
+      }
+    }
+
+    report.CountCheck();
+    if (s_log.random != p_log.random) {
+      size_t p = 0;
+      while (p < s_log.random.size() && p < p_log.random.size() &&
+             s_log.random[p] == p_log.random[p]) {
+        ++p;
+      }
+      std::ostringstream out;
+      out << "source " << j << ": random sequences diverge at position " << p
+          << " (serial len " << s_log.random.size() << ", parallel len "
+          << p_log.random.size() << ")";
+      report.Fail("random-sequence", out.str());
+    }
+  }
+
+  return report;
+}
+
+}  // namespace fuzzydb

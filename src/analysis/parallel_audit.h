@@ -1,0 +1,84 @@
+// Auditor for the parallel-execution equivalence contract (DESIGN §3e): a
+// parallel A0/TA/NRA run must return exactly the serial answer — same top-k
+// objects, bitwise-identical grades, identical per-source consumed access
+// counts — and its access *log* at each inner source must be the serial log
+// extended by at most `prefetch_depth` speculative sorted accesses, with the
+// random-access sequence untouched. Theorems 4.1/4.2 charge access counts,
+// not issue order, so any divergence here is a middleware bug, not a
+// scheduling artifact. Like every auditor it can only refute, never prove,
+// but each refutation carries a concrete witness (source index, log
+// position, the two access records that differ).
+
+#ifndef FUZZYDB_ANALYSIS_PARALLEL_AUDIT_H_
+#define FUZZYDB_ANALYSIS_PARALLEL_AUDIT_H_
+
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "analysis/audit.h"
+#include "middleware/parallel.h"
+#include "middleware/source.h"
+#include "middleware/topk.h"
+
+namespace fuzzydb {
+
+/// Everything one source was asked, in issue order.
+struct AccessLog {
+  /// Sorted accesses that returned an object (exhausted pulls not recorded).
+  std::vector<GradedObject> sorted;
+  /// Random-access probe ids.
+  std::vector<ObjectId> random;
+};
+
+/// Decorator that records every access against an inner source. Thread-safe:
+/// the parallel layer may probe from pool threads, so all recording happens
+/// under an internal mutex. RestartSorted does NOT clear the log — a log
+/// spans the whole run, restarts included.
+class AccessLogSource final : public GradedSource {
+ public:
+  explicit AccessLogSource(GradedSource* inner) : inner_(inner) {}
+
+  /// Snapshot of the log so far.
+  AccessLog log() const;
+
+  size_t Size() const override;
+  std::optional<GradedObject> NextSorted() override;
+  void RestartSorted() override;
+  double RandomAccess(ObjectId id) override;
+  std::vector<GradedObject> AtLeast(double threshold) override;
+  std::string name() const override;
+
+ private:
+  mutable std::mutex mu_;
+  GradedSource* inner_;
+  AccessLog log_;
+};
+
+/// Which algorithm the auditor replays.
+enum class AuditedAlgorithm { kFagin, kThreshold, kNoRandomAccess };
+
+/// Knobs for the equivalence audit.
+struct ParallelAuditOptions {
+  size_t k = 10;
+  /// The parallel configuration under audit (serial() configs are legal and
+  /// must trivially pass).
+  ParallelOptions parallel;
+};
+
+/// Runs `algorithm` twice over `sources` — once serially, once under
+/// `options.parallel` — with per-source access logging, and audits:
+///   - answer equivalence: same ids, bitwise-same grades, same grades_exact;
+///   - per-source consumed sorted/random counts equal;
+///   - the serial sorted log is a prefix of the parallel log, extended by at
+///     most prefetch_depth speculative accesses per source;
+///   - random-access sequences identical per source.
+/// The sources' sorted cursors are restarted by the runs themselves.
+AuditReport AuditParallelEquivalence(std::span<GradedSource* const> sources,
+                                     const ScoringRule& rule,
+                                     AuditedAlgorithm algorithm,
+                                     const ParallelAuditOptions& options);
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_ANALYSIS_PARALLEL_AUDIT_H_

@@ -4,7 +4,13 @@
 
 namespace fuzzydb {
 
-ThreadPool::ThreadPool(size_t num_executors) {
+InlineExecutor* InlineExecutor::Get() {
+  static InlineExecutor executor;
+  return &executor;
+}
+
+ThreadPool::ThreadPool(size_t num_executors, size_t max_queued_tasks)
+    : max_queued_tasks_(max_queued_tasks) {
   const size_t workers = num_executors > 1 ? num_executors - 1 : 0;
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -19,6 +25,29 @@ ThreadPool::~ThreadPool() {
   }
   job_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // A workerless pool never accepted tasks; with workers, WorkerLoop drains
+  // the queue before honoring stop_, so nothing is left behind.
+}
+
+bool ThreadPool::TryPost(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || workers_.empty() || tasks_.size() >= max_queued_tasks_) {
+      return false;
+    }
+    tasks_.push_back(std::move(task));
+  }
+  job_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  if (!TryPost(task)) task();
+}
+
+size_t ThreadPool::queued_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -54,18 +83,32 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_job = 0;
   while (true) {
     job_cv_.wait(lock, [&] {
-      return stop_ || (job_fn_ != nullptr && job_id_ != seen_job);
+      return stop_ || !tasks_.empty() ||
+             (job_fn_ != nullptr && job_id_ != seen_job);
     });
-    if (stop_) return;
-    seen_job = job_id_;
-    const std::function<void(size_t)>* fn = job_fn_;
-    while (job_fn_ == fn && job_next_ < job_n_) {
-      const size_t i = job_next_++;
-      lock.unlock();
-      (*fn)(i);
-      lock.lock();
-      if (++job_done_ == job_n_) done_cv_.notify_all();
+    // Blocking ParallelFor jobs take priority over fire-and-forget tasks:
+    // a submitter is waiting on the job, nobody waits on a queued task.
+    if (job_fn_ != nullptr && job_id_ != seen_job) {
+      seen_job = job_id_;
+      const std::function<void(size_t)>* fn = job_fn_;
+      while (job_fn_ == fn && job_next_ < job_n_) {
+        const size_t i = job_next_++;
+        lock.unlock();
+        (*fn)(i);
+        lock.lock();
+        if (++job_done_ == job_n_) done_cv_.notify_all();
+      }
+      continue;
     }
+    if (!tasks_.empty()) {
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (stop_) return;  // only once the task queue has drained
   }
 }
 

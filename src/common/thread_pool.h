@@ -1,6 +1,7 @@
 // A small fixed-size thread pool driving blocking parallel-for loops — the
 // execution substrate for the sharded embedding kernels
-// (image/embedding_store.h) and any other data-parallel scan.
+// (image/embedding_store.h), the middleware prefetch/batch layer
+// (middleware/parallel.h), and any other data-parallel scan.
 //
 // Design points:
 //   - ParallelFor(n, fn) blocks until every fn(i) has returned; the calling
@@ -11,6 +12,11 @@
 //     per executor, not one index per element.
 //   - Concurrent ParallelFor calls from different threads serialize (one job
 //     at a time); nested calls from inside fn are not allowed.
+//   - TryPost enqueues a fire-and-forget task onto a *bounded* queue; when
+//     the queue is full (or the pool has no workers) it refuses, which is
+//     the backpressure signal: the caller runs the work itself instead of
+//     piling up unbounded speculative tasks. Blocking jobs take priority
+//     over queued tasks, so prefetching never delays a ParallelFor.
 //   - All state is mutex/condvar protected (no lock-free cleverness), which
 //     keeps the pool ThreadSanitizer-clean by construction.
 
@@ -20,6 +26,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -27,13 +34,35 @@
 
 namespace fuzzydb {
 
-/// Fixed pool of worker threads for blocking parallel loops.
-class ThreadPool {
+/// Minimal task-submission interface. Schedule() runs `task` now (inline, on
+/// the calling thread) or later (on any thread); every accepted task runs
+/// exactly once, and implementations must not drop tasks silently while
+/// callers can still observe their effects. The indirection exists so tests
+/// can inject hostile schedulers (deferred, shuffled) under the middleware
+/// prefetch layer.
+class TaskExecutor {
+ public:
+  virtual ~TaskExecutor() = default;
+  virtual void Schedule(std::function<void()> task) = 0;
+};
+
+/// A TaskExecutor that always runs the task inline on the calling thread.
+/// Stateless; Get() returns a process-wide instance.
+class InlineExecutor final : public TaskExecutor {
+ public:
+  void Schedule(std::function<void()> task) override { task(); }
+  static InlineExecutor* Get();
+};
+
+/// Fixed pool of worker threads for blocking parallel loops plus a bounded
+/// queue of fire-and-forget tasks.
+class ThreadPool : public TaskExecutor {
  public:
   /// A pool with `num_executors` total executors: the calling thread plus
   /// `num_executors - 1` workers. 0 is treated as 1 (fully serial).
-  explicit ThreadPool(size_t num_executors);
-  ~ThreadPool();
+  /// `max_queued_tasks` bounds the TryPost queue.
+  explicit ThreadPool(size_t num_executors, size_t max_queued_tasks = 64);
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -47,6 +76,19 @@ class ThreadPool {
   /// and simply serialize).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Enqueues `task` to run on a worker thread. Returns false — without
+  /// running or keeping the task — when the queue is at max_queued_tasks or
+  /// the pool has no workers; that refusal is the backpressure signal.
+  /// Tasks still queued when the destructor runs are drained, not dropped.
+  bool TryPost(std::function<void()> task);
+
+  /// TaskExecutor: TryPost, falling back to running inline on refusal (the
+  /// backpressure path — the submitter absorbs the work itself).
+  void Schedule(std::function<void()> task) override;
+
+  /// Queued (not yet started) TryPost tasks; test/diagnostic aid.
+  size_t queued_tasks() const;
+
   /// Process-wide shared pool sized to the hardware concurrency (always at
   /// least one executor). Never destroyed before exit.
   static ThreadPool* Shared();
@@ -54,14 +96,16 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable job_cv_;   // workers: a new job is available
+  mutable std::mutex mu_;
+  std::condition_variable job_cv_;   // workers: a new job or task is ready
   std::condition_variable done_cv_;  // submitters: job finished / slot free
   const std::function<void(size_t)>* job_fn_ = nullptr;  // null = no job
   size_t job_n_ = 0;     // total indices in the current job
   size_t job_next_ = 0;  // next unclaimed index
   size_t job_done_ = 0;  // indices whose fn() has returned
   uint64_t job_id_ = 0;  // bumps per job so workers never re-enter one
+  std::deque<std::function<void()>> tasks_;  // TryPost queue (bounded)
+  const size_t max_queued_tasks_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -14,13 +14,27 @@
 
 namespace fuzzydb {
 
-/// Counts of the two access modes.
+/// Counts of the two access modes, plus the speculative work the prefetch
+/// layer did on the algorithm's behalf.
 struct AccessCost {
   uint64_t sorted = 0;
   uint64_t random = 0;
+  /// Sorted accesses a PrefetchSource issued ahead of consumption that the
+  /// algorithm never popped. Kept out of `sorted` (and `total()`) so the
+  /// Theorem 4.1 cost claims stay stated in consumed accesses — the counts
+  /// the serial loop would have issued — while the speculative overhang is
+  /// still visible instead of silently hidden. Schedule-dependent: two runs
+  /// may waste different amounts even though `sorted`/`random` are
+  /// bit-identical.
+  uint64_t prefetched = 0;
 
-  /// The paper's database access cost: sorted + random.
+  /// The paper's database access cost: sorted + random. Excludes
+  /// `prefetched` (see above).
   uint64_t total() const { return sorted + random; }
+
+  /// Every inner access actually issued, speculation included — what the
+  /// subsystems really served, as opposed to what the cost model charges.
+  uint64_t total_issued() const { return sorted + random + prefetched; }
 
   /// Charged cost with a per-random-access unit price relative to one
   /// sorted access costing 1 (paper §4's "more realistic cost measure").
@@ -32,6 +46,7 @@ struct AccessCost {
   AccessCost& operator+=(const AccessCost& other) {
     sorted += other.sorted;
     random += other.random;
+    prefetched += other.prefetched;
     return *this;
   }
 };

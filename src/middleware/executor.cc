@@ -113,13 +113,13 @@ Result<ExecutionResult> ExecuteTopK(QueryPtr query,
       r = NaiveTopK(sources, *rule, k);
       break;
     case Algorithm::kFagin:
-      r = FaginTopK(sources, *rule, k);
+      r = FaginTopK(sources, *rule, k, options.parallel);
       break;
     case Algorithm::kThreshold:
-      r = ThresholdTopK(sources, *rule, k);
+      r = ThresholdTopK(sources, *rule, k, options.parallel);
       break;
     case Algorithm::kNoRandomAccess:
-      r = NoRandomAccessTopK(sources, *rule, k);
+      r = NoRandomAccessTopK(sources, *rule, k, options.parallel);
       break;
     case Algorithm::kFilteredSimulation:
       r = FilteredSimulationTopK(sources, *rule, k);

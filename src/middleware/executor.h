@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "core/query.h"
+#include "middleware/parallel.h"
 #include "middleware/topk.h"
 
 namespace fuzzydb {
@@ -49,6 +50,10 @@ struct ExecutorOptions {
   /// CA's random-access period h (used when algorithm == kCombined);
   /// typically the random/sorted price ratio.
   size_t combined_period = 1;
+  /// Parallel execution layer for A0/TA/NRA plans (prefetch + batched
+  /// random access); the default is fully serial. Answers and consumed
+  /// access counts are identical either way (DESIGN §3e).
+  ParallelOptions parallel;
 };
 
 /// Chosen plan plus the result.

@@ -2,10 +2,18 @@
 
 #include <algorithm>
 
+#include "middleware/parallel.h"
+
 namespace fuzzydb {
 
 Result<TopKResult> FaginTopK(std::span<GradedSource* const> sources,
                              const ScoringRule& rule, size_t k) {
+  return FaginTopK(sources, rule, k, ParallelOptions{});
+}
+
+Result<TopKResult> FaginTopK(std::span<GradedSource* const> sources,
+                             const ScoringRule& rule, size_t k,
+                             const ParallelOptions& options) {
   FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(sources, &rule, k));
   if (!rule.monotone()) {
     return Status::FailedPrecondition(
@@ -14,12 +22,7 @@ Result<TopKResult> FaginTopK(std::span<GradedSource* const> sources,
 
   const size_t m = sources.size();
   TopKResult result;
-  std::vector<CountingSource> counted;
-  counted.reserve(m);
-  for (GradedSource* s : sources) {
-    s->RestartSorted();
-    counted.emplace_back(s, &result.cost);
-  }
+  ParallelSourceSet set(sources, options);
 
   // Phase 1: parallel sorted access until >= k objects seen on every list.
   std::vector<std::unordered_map<ObjectId, double>> seen(m);
@@ -30,7 +33,7 @@ Result<TopKResult> FaginTopK(std::span<GradedSource* const> sources,
   while (matches < k && exhausted < m) {
     for (size_t j = 0; j < m; ++j) {
       if (done[j]) continue;
-      std::optional<GradedObject> next = counted[j].NextSorted();
+      std::optional<GradedObject> next = set.counted(j).NextSorted();
       if (!next.has_value()) {
         done[j] = true;
         ++exhausted;
@@ -52,18 +55,34 @@ Result<TopKResult> FaginTopK(std::span<GradedSource* const> sources,
     }
   }
 
-  // Phase 2: random access for every seen object's missing grades.
-  // Phase 3: compute overall grades and pick the k best.
-  std::vector<GradedObject> candidates;
-  candidates.reserve(seen_count.size());
-  std::vector<double> scores(m);
+  // Phase 2: random access for every seen object's missing grades — one
+  // batched, pool-sharded resolve instead of per-object sequential probes.
+  // Per-source probe order is the seen_count iteration order either way.
+  std::vector<ObjectId> order;
+  order.reserve(seen_count.size());
+  std::vector<std::vector<double>> rows;
+  rows.resize(seen_count.size());
+  std::vector<ProbeList> probes(m);
   for (const auto& [id, count] : seen_count) {
+    const size_t r = order.size();
+    rows[r].assign(m, 0.0);
     for (size_t j = 0; j < m; ++j) {
       auto it = seen[j].find(id);
-      scores[j] = (it != seen[j].end()) ? it->second
-                                        : counted[j].RandomAccess(id);
+      if (it != seen[j].end()) {
+        rows[r][j] = it->second;
+      } else {
+        probes[j].probes.push_back({r, id});
+      }
     }
-    candidates.push_back({id, rule.Apply(scores)});
+    order.push_back(id);
+  }
+  ResolveProbes(set.counted(), probes, &rows, set.pool());
+
+  // Phase 3: compute overall grades and pick the k best.
+  std::vector<GradedObject> candidates;
+  candidates.reserve(order.size());
+  for (size_t r = 0; r < order.size(); ++r) {
+    candidates.push_back({order[r], rule.Apply(rows[r])});
   }
 
   k = std::min(k, candidates.size());
@@ -71,6 +90,7 @@ Result<TopKResult> FaginTopK(std::span<GradedSource* const> sources,
                     candidates.end(), GradeDescending);
   candidates.resize(k);
   result.items = std::move(candidates);
+  set.Finalize(&result);
   return result;
 }
 

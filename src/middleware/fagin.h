@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "middleware/parallel.h"
 #include "middleware/topk.h"
 
 namespace fuzzydb {
@@ -25,6 +26,14 @@ namespace fuzzydb {
 /// guarantee monotonicity).
 Result<TopKResult> FaginTopK(std::span<GradedSource* const> sources,
                              const ScoringRule& rule, size_t k);
+
+/// A0 with the parallel execution layer (DESIGN §3e): per-source sorted
+/// prefetch in Phase 1 plus one batched, pool-sharded random-access resolve
+/// in Phase 2. Bit-identical result and per-source consumed access counts
+/// versus the serial variant at every depth and pool size.
+Result<TopKResult> FaginTopK(std::span<GradedSource* const> sources,
+                             const ScoringRule& rule, size_t k,
+                             const ParallelOptions& options);
 
 /// Resumable variant: after finding the top k, "continue where we left off"
 /// to get the next batch (paper §4.1 notes A0 supports this). Each call to

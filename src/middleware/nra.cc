@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/contract.h"
+#include "middleware/parallel.h"
 
 namespace fuzzydb {
 
@@ -20,6 +21,12 @@ struct Partial {
 
 Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
                                       const ScoringRule& rule, size_t k) {
+  return NoRandomAccessTopK(sources, rule, k, ParallelOptions{});
+}
+
+Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
+                                      const ScoringRule& rule, size_t k,
+                                      const ParallelOptions& options) {
   FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(sources, &rule, k));
   if (!rule.monotone()) {
     return Status::FailedPrecondition(
@@ -28,12 +35,10 @@ Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
 
   const size_t m = sources.size();
   TopKResult result;
-  std::vector<CountingSource> counted;
-  counted.reserve(m);
-  for (GradedSource* s : sources) {
-    s->RestartSorted();
-    counted.emplace_back(s, &result.cost);
-  }
+  // NRA never does random access, so the parallel layer contributes only
+  // per-source prefetch: the bound bookkeeping below consumes one item per
+  // list per round regardless of how far the fill tasks ran ahead.
+  ParallelSourceSet set(sources, options);
 
   std::unordered_map<ObjectId, Partial> seen;
   std::vector<double> last_seen(m, 1.0);
@@ -64,7 +69,7 @@ Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
   while (exhausted < m) {
     for (size_t j = 0; j < m; ++j) {
       if (done[j]) continue;
-      std::optional<GradedObject> next = counted[j].NextSorted();
+      std::optional<GradedObject> next = set.counted(j).NextSorted();
       if (!next.has_value()) {
         done[j] = true;
         ++exhausted;
@@ -148,6 +153,7 @@ Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
     if (!w.complete) result.grades_exact = false;
   }
   std::sort(result.items.begin(), result.items.end(), GradeDescending);
+  set.Finalize(&result);
   return result;
 }
 

@@ -11,6 +11,7 @@
 #ifndef FUZZYDB_MIDDLEWARE_NRA_H_
 #define FUZZYDB_MIDDLEWARE_NRA_H_
 
+#include "middleware/parallel.h"
 #include "middleware/topk.h"
 
 namespace fuzzydb {
@@ -21,6 +22,14 @@ namespace fuzzydb {
 /// bound.
 Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
                                       const ScoringRule& rule, size_t k);
+
+/// NRA with the parallel execution layer (DESIGN §3e): per-source sorted
+/// prefetch (NRA has no random accesses to batch). Bit-identical result and
+/// per-source consumed access counts versus the serial variant at every
+/// depth and pool size.
+Result<TopKResult> NoRandomAccessTopK(std::span<GradedSource* const> sources,
+                                      const ScoringRule& rule, size_t k,
+                                      const ParallelOptions& options);
 
 }  // namespace fuzzydb
 

@@ -1,0 +1,190 @@
+#include "middleware/parallel.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+
+namespace fuzzydb {
+
+// All fields live behind one mutex, and fill tasks hold the state via
+// shared_ptr: a task the executor runs after the decorator died (or after a
+// RestartSorted) either no-ops on `cancelled` or harmlessly prefetches the
+// restarted stream. Holding `mu` across inner accesses is what serializes
+// the single-threaded inner source against concurrent fills and probes.
+struct PrefetchSource::State {
+  std::mutex mu;
+  GradedSource* inner = nullptr;
+  size_t depth = 1;
+  std::deque<GradedObject> buffer;
+  bool exhausted = false;       // inner stream ended (until restart)
+  bool fill_scheduled = false;  // a refill task is scheduled or running
+  bool cancelled = false;       // Quiesce()/destructor: no more async fills
+  uint64_t fetched = 0;
+  uint64_t consumed = 0;
+
+  // Fills the ring buffer up to depth. Caller holds mu.
+  void FillLocked() {
+    while (!exhausted && buffer.size() < depth) {
+      std::optional<GradedObject> next = inner->NextSorted();
+      if (!next.has_value()) {
+        exhausted = true;
+        break;
+      }
+      ++fetched;
+      buffer.push_back(*next);
+    }
+  }
+};
+
+PrefetchSource::PrefetchSource(GradedSource* inner, size_t depth,
+                               TaskExecutor* executor)
+    : state_(std::make_shared<State>()), executor_(executor) {
+  state_->inner = inner;
+  state_->depth = std::max<size_t>(depth, 1);
+}
+
+PrefetchSource::~PrefetchSource() {
+  if (state_ == nullptr) return;  // moved-from
+  // Taking the mutex waits out a running fill; cancelling makes any task
+  // still queued in the executor a no-op.
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->cancelled = true;
+}
+
+PrefetchSource::Stats PrefetchSource::Quiesce() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->cancelled = true;
+  return {state_->fetched, state_->consumed};
+}
+
+PrefetchSource::Stats PrefetchSource::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return {state_->fetched, state_->consumed};
+}
+
+size_t PrefetchSource::Size() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->inner->Size();
+}
+
+std::optional<GradedObject> PrefetchSource::NextSorted() {
+  std::optional<GradedObject> out;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->buffer.empty() && !state_->exhausted) {
+      // Synchronous fallback: progress must never depend on the executor
+      // getting around to a fill task. Fetch just the one item the consumer
+      // needs — running ahead is the async path's job.
+      std::optional<GradedObject> next = state_->inner->NextSorted();
+      if (next.has_value()) {
+        ++state_->fetched;
+        state_->buffer.push_back(*next);
+      } else {
+        state_->exhausted = true;
+      }
+    }
+    if (!state_->buffer.empty()) {
+      out = state_->buffer.front();
+      state_->buffer.pop_front();
+      ++state_->consumed;
+    }
+  }
+  if (out.has_value()) ScheduleRefillIfNeeded();
+  return out;
+}
+
+void PrefetchSource::ScheduleRefillIfNeeded() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->cancelled || state_->exhausted || state_->fill_scheduled ||
+        state_->buffer.size() >= state_->depth) {
+      return;
+    }
+    state_->fill_scheduled = true;
+  }
+  // Outside the lock: Schedule may run the task inline (InlineExecutor, or
+  // a full ThreadPool queue applying backpressure).
+  executor_->Schedule([state = state_] {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->cancelled) state->FillLocked();
+    state->fill_scheduled = false;
+  });
+}
+
+void PrefetchSource::RestartSorted() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  // Anything fetched but not consumed stays in `fetched`, so the overhang
+  // shows up in wasted() — a restart does not launder speculation.
+  state_->buffer.clear();
+  state_->exhausted = false;
+  state_->inner->RestartSorted();
+}
+
+double PrefetchSource::RandomAccess(ObjectId id) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->inner->RandomAccess(id);
+}
+
+std::vector<GradedObject> PrefetchSource::AtLeast(double threshold) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->inner->AtLeast(threshold);
+}
+
+std::string PrefetchSource::name() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->inner->name();
+}
+
+void ResolveProbes(std::span<CountingSource> counted,
+                   std::span<const ProbeList> probes,
+                   std::vector<std::vector<double>>* rows, ThreadPool* pool) {
+  const size_t m = counted.size();
+  auto resolve_source = [&](size_t l) {
+    // One thread per source: probes stay in discovery order and the
+    // per-source cost tally is only ever touched from here.
+    for (const auto& [row, id] : probes[l].probes) {
+      (*rows)[row][l] = counted[l].RandomAccess(id);
+    }
+  };
+  size_t total = 0;
+  for (const ProbeList& p : probes) total += p.probes.size();
+  if (pool != nullptr && pool->executors() > 1 && total > 1) {
+    pool->ParallelFor(m, resolve_source);
+  } else {
+    for (size_t l = 0; l < m; ++l) resolve_source(l);
+  }
+}
+
+ParallelSourceSet::ParallelSourceSet(std::span<GradedSource* const> sources,
+                                     const ParallelOptions& options)
+    : pool_(options.pool) {
+  const size_t m = sources.size();
+  per_source_.resize(m);
+  counted_.reserve(m);
+  if (options.prefetch_depth > 0) {
+    TaskExecutor* executor = options.EffectiveExecutor();
+    prefetch_.reserve(m);
+    for (GradedSource* s : sources) {
+      prefetch_.emplace_back(s, options.prefetch_depth, executor);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      counted_.emplace_back(&prefetch_[j], &per_source_[j]);
+    }
+  } else {
+    for (size_t j = 0; j < m; ++j) {
+      counted_.emplace_back(sources[j], &per_source_[j]);
+    }
+  }
+  for (CountingSource& c : counted_) c.RestartSorted();
+}
+
+void ParallelSourceSet::Finalize(TopKResult* result) {
+  for (size_t j = 0; j < prefetch_.size(); ++j) {
+    per_source_[j].prefetched += prefetch_[j].Quiesce().wasted();
+  }
+  result->cost = AccessCost{};
+  for (const AccessCost& c : per_source_) result->cost += c;
+  result->per_source = std::move(per_source_);
+}
+
+}  // namespace fuzzydb

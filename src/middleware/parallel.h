@@ -1,0 +1,162 @@
+// Parallel middleware execution layer (DESIGN §3e).
+//
+// Fagin–Lotem–Naor's analysis of the top-k algorithms charges only *how
+// many* sorted/random accesses are made, never the order the middleware
+// issues them in, so overlapping accesses across the m independent
+// subsystems is free in the cost model. This layer exploits exactly that
+// freedom and nothing else:
+//
+//   - PrefetchSource runs ahead on one source's sorted stream into a bounded
+//     ring buffer, filled by tasks on a TaskExecutor (normally the shared
+//     ThreadPool). The consuming algorithm still pops one item per source
+//     per round, so every halting threshold is computed from exactly the
+//     same consumed access prefix as the serial loop — depth bounds how far
+//     speculation may run ahead, never what the algorithm sees.
+//   - ResolveProbes batches one round's missing-grade random accesses and
+//     shards them BY SOURCE across the pool: each source's probes stay in
+//     discovery order on one thread, so per-source access sequences (and
+//     counts) are identical to the serial loop's, and no CountingSource
+//     tally is ever touched by two threads.
+//
+// Consequence, enforced by tests/middleware_parallel_test.cc rather than
+// claimed: identical top-k sets, identical grades, and identical per-source
+// sorted/random access counts at any prefetch depth and pool size. Only
+// AccessCost::prefetched (speculative overhang) is schedule-dependent.
+
+#ifndef FUZZYDB_MIDDLEWARE_PARALLEL_H_
+#define FUZZYDB_MIDDLEWARE_PARALLEL_H_
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "middleware/cost.h"
+#include "middleware/source.h"
+#include "middleware/topk.h"
+
+namespace fuzzydb {
+
+/// Knobs for the parallel variants of A0/TA/NRA. The default (“serial”)
+/// value reproduces the historical single-threaded loops exactly.
+struct ParallelOptions {
+  /// Shards one round's batched random accesses (and backs prefetch tasks
+  /// unless `executor` overrides). Null: probes resolve sequentially.
+  ThreadPool* pool = nullptr;
+  /// Ring-buffer depth each source may run ahead on its sorted stream.
+  /// 0 disables prefetching (sources are consumed directly).
+  size_t prefetch_depth = 0;
+  /// Executor for prefetch fill tasks; tests inject hostile schedulers
+  /// here. Null: use `pool`, or inline execution when `pool` is null too.
+  TaskExecutor* executor = nullptr;
+
+  /// True when this configuration changes nothing versus the serial loop.
+  bool serial() const {
+    return pool == nullptr && prefetch_depth == 0 && executor == nullptr;
+  }
+  /// The executor prefetch tasks actually use.
+  TaskExecutor* EffectiveExecutor() const {
+    if (executor != nullptr) return executor;
+    if (pool != nullptr) return pool;
+    return InlineExecutor::Get();
+  }
+};
+
+/// Decorator that prefetches an inner source's sorted stream into a bounded
+/// ring buffer via fill tasks on a TaskExecutor.
+///
+/// Concurrency contract: NextSorted/RestartSorted/RandomAccess may be called
+/// by the consumer while a fill task runs; all inner-source access is
+/// serialized under one internal mutex, so any single-threaded GradedSource
+/// is safe underneath. Progress never depends on the executor actually
+/// running a task — an empty buffer falls back to a synchronous fetch — so
+/// hostile schedulers (deferred, shuffled, dropped-after-Quiesce) cannot
+/// deadlock or reorder the stream. Fill tasks hold only shared state, so
+/// the decorator may be destroyed while a deferred task is still pending;
+/// the task then no-ops.
+class PrefetchSource final : public GradedSource {
+ public:
+  /// Speculation accounting. `fetched` counts inner sorted accesses issued
+  /// (consumed or not); wasted() is the overhang the cost model reports as
+  /// AccessCost::prefetched.
+  struct Stats {
+    uint64_t fetched = 0;
+    uint64_t consumed = 0;
+    uint64_t wasted() const { return fetched - consumed; }
+  };
+
+  /// `inner` and `executor` must outlive this decorator (but see above:
+  /// tasks the executor still holds after destruction are harmless).
+  /// depth is clamped to >= 1.
+  PrefetchSource(GradedSource* inner, size_t depth, TaskExecutor* executor);
+  ~PrefetchSource() override;
+
+  PrefetchSource(PrefetchSource&&) = default;
+  PrefetchSource& operator=(PrefetchSource&&) = default;
+
+  /// Permanently stops scheduling refills and waits out any running fill,
+  /// then returns final stats. Sorted access still works afterwards
+  /// (synchronously). Idempotent.
+  Stats Quiesce();
+
+  /// Snapshot of the accounting (waits out any running fill).
+  Stats stats() const;
+
+  size_t Size() const override;
+  std::optional<GradedObject> NextSorted() override;
+  void RestartSorted() override;
+  double RandomAccess(ObjectId id) override;
+  std::vector<GradedObject> AtLeast(double threshold) override;
+  std::string name() const override;
+
+ private:
+  struct State;
+  void ScheduleRefillIfNeeded();
+
+  std::shared_ptr<State> state_;  // shared with in-flight fill tasks
+  TaskExecutor* executor_;
+};
+
+/// One round's random-access probes against one source: (row, id) pairs in
+/// discovery order, where `row` indexes the caller's score matrix.
+struct ProbeList {
+  std::vector<std::pair<size_t, ObjectId>> probes;
+};
+
+/// Resolves probes[l] against counted[l] for every l, writing grades into
+/// (*rows)[row][l]. Shards by source on `pool` when it has workers; the
+/// per-source probe order is preserved either way, so per-source access
+/// logs and counts match the sequential path exactly.
+void ResolveProbes(std::span<CountingSource> counted,
+                   std::span<const ProbeList> probes,
+                   std::vector<std::vector<double>>* rows, ThreadPool* pool);
+
+/// Per-run source scaffolding shared by A0/TA/NRA: wraps each raw source in
+/// an optional PrefetchSource (when options ask for prefetching) under a
+/// CountingSource charging a per-source AccessCost, restarts the sorted
+/// cursors, and on Finalize() quiesces the prefetchers and folds the
+/// per-source tallies (speculative overhang included) into the result.
+class ParallelSourceSet {
+ public:
+  ParallelSourceSet(std::span<GradedSource* const> sources,
+                    const ParallelOptions& options);
+
+  size_t size() const { return counted_.size(); }
+  CountingSource& counted(size_t j) { return counted_[j]; }
+  std::span<CountingSource> counted() { return counted_; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// Quiesces prefetchers and fills result->per_source / result->cost.
+  void Finalize(TopKResult* result);
+
+ private:
+  std::vector<PrefetchSource> prefetch_;  // empty when depth == 0
+  std::vector<AccessCost> per_source_;
+  std::vector<CountingSource> counted_;
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_MIDDLEWARE_PARALLEL_H_

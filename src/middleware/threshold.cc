@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/contract.h"
+#include "middleware/parallel.h"
 
 namespace fuzzydb {
 
@@ -22,6 +23,12 @@ struct WorstFirst {
 
 Result<TopKResult> ThresholdTopK(std::span<GradedSource* const> sources,
                                  const ScoringRule& rule, size_t k) {
+  return ThresholdTopK(sources, rule, k, ParallelOptions{});
+}
+
+Result<TopKResult> ThresholdTopK(std::span<GradedSource* const> sources,
+                                 const ScoringRule& rule, size_t k,
+                                 const ParallelOptions& options) {
   FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(sources, &rule, k));
   if (!rule.monotone()) {
     return Status::FailedPrecondition(
@@ -30,26 +37,34 @@ Result<TopKResult> ThresholdTopK(std::span<GradedSource* const> sources,
 
   const size_t m = sources.size();
   TopKResult result;
-  std::vector<CountingSource> counted;
-  counted.reserve(m);
-  for (GradedSource* s : sources) {
-    s->RestartSorted();
-    counted.emplace_back(s, &result.cost);
-  }
+  ParallelSourceSet set(sources, options);
 
   std::priority_queue<GradedObject, std::vector<GradedObject>, WorstFirst>
       best;  // holds at most k items; top() is the current k-th best
   std::unordered_set<ObjectId> processed;
   std::vector<double> last_seen(m, 1.0);
   std::vector<bool> done(m, false);
-  std::vector<double> scores(m);
   size_t exhausted = 0;
   double prev_threshold = 1.0;
 
+  // Round-local scratch, reused across rounds.
+  struct Fresh {
+    ObjectId id = 0;
+    size_t list = 0;   // the list that streamed it first this round
+    double grade = 0;  // its streamed grade there
+  };
+  std::vector<Fresh> fresh;
+  std::vector<std::vector<double>> rows;  // rows[r][l]: grade of fresh[r]
+  std::vector<ProbeList> probes(m);
+
   while (exhausted < m) {
+    // 1) One sorted access per live list — the same round-depth access
+    //    prefix as the serial loop, whatever the prefetchers ran ahead.
+    fresh.clear();
+    for (ProbeList& p : probes) p.probes.clear();
     for (size_t j = 0; j < m; ++j) {
       if (done[j]) continue;
-      std::optional<GradedObject> next = counted[j].NextSorted();
+      std::optional<GradedObject> next = set.counted(j).NextSorted();
       if (!next.has_value()) {
         done[j] = true;
         ++exhausted;
@@ -62,16 +77,30 @@ Result<TopKResult> ThresholdTopK(std::span<GradedSource* const> sources,
       }
       last_seen[j] = next->grade;
       if (processed.insert(next->id).second) {
-        for (size_t l = 0; l < m; ++l) {
-          scores[l] = (l == j) ? next->grade : counted[l].RandomAccess(next->id);
-        }
-        GradedObject overall{next->id, rule.Apply(scores)};
-        if (best.size() < k) {
-          best.push(overall);
-        } else if (GradeDescending(overall, best.top())) {
-          best.pop();
-          best.push(overall);
-        }
+        fresh.push_back({next->id, j, next->grade});
+      }
+    }
+    // 2) The round's missing-grade probes, batched and sharded by source
+    //    instead of issued as m-1 sequential calls per fresh object. Each
+    //    source's probes stay in discovery order, so per-source access
+    //    sequences match the serial loop exactly.
+    if (rows.size() < fresh.size()) rows.resize(fresh.size());
+    for (size_t r = 0; r < fresh.size(); ++r) {
+      rows[r].assign(m, 0.0);
+      rows[r][fresh[r].list] = fresh[r].grade;
+      for (size_t l = 0; l < m; ++l) {
+        if (l != fresh[r].list) probes[l].probes.push_back({r, fresh[r].id});
+      }
+    }
+    ResolveProbes(set.counted(), probes, &rows, set.pool());
+    // 3) Heap updates in discovery order (the serial processing order).
+    for (size_t r = 0; r < fresh.size(); ++r) {
+      GradedObject overall{fresh[r].id, rule.Apply(rows[r])};
+      if (best.size() < k) {
+        best.push(overall);
+      } else if (GradeDescending(overall, best.top())) {
+        best.pop();
+        best.push(overall);
       }
     }
     // Threshold check once per round of parallel sorted accesses.
@@ -94,6 +123,7 @@ Result<TopKResult> ThresholdTopK(std::span<GradedSource* const> sources,
     result.items[i] = best.top();
     best.pop();
   }
+  set.Finalize(&result);
   return result;
 }
 

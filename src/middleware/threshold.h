@@ -12,6 +12,7 @@
 #ifndef FUZZYDB_MIDDLEWARE_THRESHOLD_H_
 #define FUZZYDB_MIDDLEWARE_THRESHOLD_H_
 
+#include "middleware/parallel.h"
 #include "middleware/topk.h"
 
 namespace fuzzydb {
@@ -19,6 +20,14 @@ namespace fuzzydb {
 /// Runs TA. Requires a monotone rule.
 Result<TopKResult> ThresholdTopK(std::span<GradedSource* const> sources,
                                  const ScoringRule& rule, size_t k);
+
+/// TA with the parallel execution layer (DESIGN §3e): per-source sorted
+/// prefetch plus round-batched, pool-sharded random access. Bit-identical
+/// result and per-source consumed access counts versus the serial variant
+/// at every depth and pool size.
+Result<TopKResult> ThresholdTopK(std::span<GradedSource* const> sources,
+                                 const ScoringRule& rule, size_t k,
+                                 const ParallelOptions& options);
 
 }  // namespace fuzzydb
 

@@ -23,6 +23,12 @@ struct TopKResult {
   /// Database access cost incurred (paper §4), summed over all subsystems.
   AccessCost cost;
 
+  /// Per-subsystem breakdown of `cost`, indexed like the sources span.
+  /// Populated by A0/TA/NRA (the algorithms with parallel variants, so the
+  /// determinism harness can assert source-by-source equality); other
+  /// algorithms may leave it empty.
+  std::vector<AccessCost> per_source;
+
   /// True when `items[i].grade` is the exact overall grade. NRA (which never
   /// does random access) may report only a certified lower bound.
   bool grades_exact = true;

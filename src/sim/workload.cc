@@ -82,4 +82,48 @@ std::vector<double> ZeroOneColumn(Rng* rng, size_t n, double selectivity) {
   return col;
 }
 
+Workload QuantizedUniform(Rng* rng, size_t n, size_t m, size_t levels) {
+  assert(levels >= 2);
+  Workload w;
+  w.ids = SequentialIds(n);
+  w.columns.assign(m, std::vector<double>(n));
+  const double denom = static_cast<double>(levels - 1);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < n; ++i) {
+      w.columns[j][i] =
+          static_cast<double>(rng->NextBounded(levels)) / denom;
+    }
+  }
+  return w;
+}
+
+Result<std::vector<VectorSource>> MakeTruncatedSources(
+    const Workload& w, const std::vector<size_t>& keep) {
+  if (keep.size() != w.m()) {
+    return Status::InvalidArgument("keep.size() must equal workload m");
+  }
+  std::vector<VectorSource> sources;
+  sources.reserve(w.m());
+  for (size_t j = 0; j < w.m(); ++j) {
+    std::vector<GradedObject> items;
+    items.reserve(w.n());
+    for (size_t i = 0; i < w.n(); ++i) {
+      items.push_back({w.ids[i], w.columns[j][i]});
+    }
+    // Keep the top keep[j] under the sorted-access order (grade descending,
+    // ties by id ascending) so truncation removes the list's tail.
+    std::sort(items.begin(), items.end(),
+              [](const GradedObject& a, const GradedObject& b) {
+                if (a.grade != b.grade) return a.grade > b.grade;
+                return a.id < b.id;
+              });
+    items.resize(std::min(keep[j], items.size()));
+    Result<VectorSource> src =
+        VectorSource::Create(std::move(items), "trunc" + std::to_string(j));
+    if (!src.ok()) return src.status();
+    sources.push_back(std::move(*src));
+  }
+  return sources;
+}
+
 }  // namespace fuzzydb

@@ -53,6 +53,20 @@ Workload PathologicalMiddle(size_t n);
 /// shuffled among the rest (grades exactly 0 or 1).
 std::vector<double> ZeroOneColumn(Rng* rng, size_t n, double selectivity);
 
+/// Grades quantized to `levels` equally spaced values {0, 1/(L-1), ..., 1},
+/// independent across subqueries. With levels << n every sorted list is a
+/// storm of duplicate grades, exercising the tie-breaking and
+/// threshold-plateau paths of the halting rules (levels >= 2).
+Workload QuantizedUniform(Rng* rng, size_t n, size_t m, size_t levels);
+
+/// Materializes sources where list j keeps only its top keep[j] objects
+/// (0 = an empty list; values above n are clamped). Sorted access exhausts
+/// early on a truncated list; RandomAccess grades the dropped objects 0, the
+/// fuzzy convention for "not in this subsystem's answer". Models subsystems
+/// with unequal answer-set sizes. keep.size() must equal w.m().
+Result<std::vector<VectorSource>> MakeTruncatedSources(
+    const Workload& w, const std::vector<size_t>& keep);
+
 }  // namespace fuzzydb
 
 #endif  // FUZZYDB_SIM_WORKLOAD_H_

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -15,6 +17,28 @@
 
 namespace fuzzydb {
 namespace {
+
+// Condition-variable latch for synchronizing with fire-and-forget tasks.
+// Tests must never sleep-and-hope: they wait on an explicit signal.
+class Latch {
+ public:
+  explicit Latch(size_t count) : remaining_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (remaining_ > 0 && --remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t remaining_;
+};
 
 TEST(MakeShardsTest, SplitsEvenlyWithRemainderUpFront) {
   std::vector<ShardRange> shards = MakeShards(10, 3);
@@ -117,6 +141,127 @@ TEST(ThreadPoolTest, ConcurrentSubmittersSerializeAndAllComplete) {
       EXPECT_EQ(hits[s][i].load(), 20) << "submitter " << s << " i " << i;
     }
   }
+}
+
+TEST(ThreadPoolTaskTest, PostedTaskRunsExactlyOnce) {
+  ThreadPool pool(3);
+  std::atomic<int> runs{0};
+  Latch done(1);
+  ASSERT_TRUE(pool.TryPost([&] {
+    runs.fetch_add(1);
+    done.CountDown();
+  }));
+  done.Wait();
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ThreadPoolTaskTest, WorkerlessPoolRefusesAndScheduleFallsBackInline) {
+  ThreadPool pool(1);  // caller-only: no worker to ever drain a queue
+  EXPECT_FALSE(pool.TryPost([] {}));
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Schedule([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);  // Schedule ran the task inline, synchronously
+  EXPECT_EQ(pool.queued_tasks(), 0u);
+}
+
+TEST(ThreadPoolTaskTest, FullQueueRefusesWithoutRunningOrKeepingTheTask) {
+  // One worker, capacity two. A gate task blocks the worker so the queue
+  // fills deterministically; the refused task must not run, ever.
+  ThreadPool pool(2, 2);
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  Latch worker_blocked(1);
+
+  ASSERT_TRUE(pool.TryPost([&] {
+    worker_blocked.CountDown();
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  }));
+  worker_blocked.Wait();  // the worker is now inside the gate task
+
+  std::atomic<int> queued_runs{0};
+  Latch queued_done(2);
+  ASSERT_TRUE(pool.TryPost([&] {
+    queued_runs.fetch_add(1);
+    queued_done.CountDown();
+  }));
+  ASSERT_TRUE(pool.TryPost([&] {
+    queued_runs.fetch_add(1);
+    queued_done.CountDown();
+  }));
+  EXPECT_EQ(pool.queued_tasks(), 2u);
+
+  std::atomic<bool> refused_ran{false};
+  EXPECT_FALSE(pool.TryPost([&] { refused_ran.store(true); }));
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  queued_done.Wait();  // both accepted tasks ran once unblocked
+  EXPECT_EQ(queued_runs.load(), 2);
+  EXPECT_FALSE(refused_ran.load());
+}
+
+TEST(ThreadPoolTaskTest, DestructorDrainsAcceptedTasks) {
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool(2, 16);
+    std::mutex gate_mu;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    Latch worker_blocked(1);
+    ASSERT_TRUE(pool.TryPost([&] {
+      worker_blocked.CountDown();
+      std::unique_lock<std::mutex> lock(gate_mu);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    }));
+    worker_blocked.Wait();
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(pool.TryPost([&] { runs.fetch_add(1); }));
+    }
+    {
+      std::lock_guard<std::mutex> lock(gate_mu);
+      gate_open = true;
+    }
+    gate_cv.notify_all();
+    // Pool destroyed here with tasks possibly still queued.
+  }
+  EXPECT_EQ(runs.load(), 8);  // drained, not dropped
+}
+
+TEST(ThreadPoolTaskTest, TasksDoNotStarveBlockingJobs) {
+  // Jobs take priority over queued tasks; both complete.
+  ThreadPool pool(3, 64);
+  std::atomic<int> task_runs{0};
+  Latch tasks_done(32);
+  for (int i = 0; i < 32; ++i) {
+    pool.Schedule([&] {
+      task_runs.fetch_add(1);
+      tasks_done.CountDown();
+    });
+  }
+  std::atomic<size_t> job_hits{0};
+  pool.ParallelFor(64, [&](size_t) { job_hits.fetch_add(1); });
+  EXPECT_EQ(job_hits.load(), 64u);
+  tasks_done.Wait();
+  EXPECT_EQ(task_runs.load(), 32);
+}
+
+TEST(ThreadPoolTaskTest, InlineExecutorRunsSynchronously) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  int order = 0;
+  InlineExecutor::Get()->Schedule([&] {
+    ran_on = std::this_thread::get_id();
+    order = 1;
+  });
+  EXPECT_EQ(ran_on, caller);
+  EXPECT_EQ(order, 1);  // completed before Schedule returned
+  EXPECT_EQ(InlineExecutor::Get(), InlineExecutor::Get());
 }
 
 TEST(ThreadPoolTest, SharedPoolExistsAndWorks) {

@@ -3,10 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
+#include "middleware/parallel.h"
+#include "middleware/threshold.h"
 #include "relational/btree.h"
+#include "sim/experiment.h"
+#include "sim/workload.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 
@@ -143,6 +150,119 @@ TEST(BTreeFuzzTest, AdversarialInsertionOrders) {
                                })
                     .ok());
     EXPECT_EQ(scanned, static_cast<size_t>(n)) << "mode " << mode;
+  }
+}
+
+// A hostile single-threaded TaskExecutor for the prefetch layer: accepted
+// tasks land in a pending list and run in seeded-random order at
+// seeded-random moments — some immediately, some long after the work that
+// scheduled them finished, the rest at destruction. Per the TaskExecutor
+// contract every task runs exactly once; everything else (order, delay) is
+// adversarial. PrefetchSource must deliver the exact sorted stream anyway,
+// because its progress never depends on the executor running anything.
+class ShuffledExecutor final : public TaskExecutor {
+ public:
+  explicit ShuffledExecutor(uint64_t seed) : rng_(seed) {}
+  ~ShuffledExecutor() override { Drain(); }
+
+  void Schedule(std::function<void()> task) override {
+    pending_.push_back(std::move(task));
+    while (!pending_.empty() && rng_.NextDouble() < 0.4) {
+      RunRandomPending();
+    }
+  }
+
+  /// Runs everything still deferred (tasks may schedule follow-ups, which
+  /// also run).
+  void Drain() {
+    while (!pending_.empty()) RunRandomPending();
+  }
+
+ private:
+  void RunRandomPending() {
+    size_t i = rng_.NextBounded(pending_.size());
+    std::function<void()> task = std::move(pending_[i]);
+    pending_.erase(pending_.begin() +
+                   static_cast<std::ptrdiff_t>(i));
+    task();  // may re-enter Schedule; the list is already consistent
+  }
+
+  Rng rng_;
+  std::vector<std::function<void()>> pending_;
+};
+
+TEST(ParallelFuzzTest, PrefetchStreamSurvivesHostileSchedules) {
+  // Under every shuffled schedule, the stream a consumer pops from
+  // PrefetchSource — threaded through CountingSource so the sorted-order
+  // contract check is armed in checks builds — must equal the inner list.
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(4200 + seed);
+    size_t n = 1 + rng.NextBounded(120);
+    Workload w = IndependentUniform(&rng, n, 1);
+    Result<std::vector<VectorSource>> sources = w.MakeSources();
+    ASSERT_TRUE(sources.ok());
+    VectorSource& inner = (*sources)[0];
+
+    ShuffledExecutor executor(9000 + seed);
+    size_t depth = 1 + rng.NextBounded(16);
+    PrefetchSource pf(&inner, depth, &executor);
+    AccessCost cost;
+    CountingSource counted(&pf, &cost);
+    counted.RestartSorted();
+
+    std::vector<GradedObject> streamed;
+    while (std::optional<GradedObject> next = counted.NextSorted()) {
+      streamed.push_back(*next);
+      // Occasionally rewind mid-stream; the replayed stream must restart
+      // from the top.
+      if (rng.NextDouble() < 0.02) {
+        counted.RestartSorted();
+        streamed.clear();
+      }
+    }
+    EXPECT_EQ(streamed, inner.sorted_items())
+        << "seed " << seed << " depth " << depth;
+    EXPECT_GE(cost.sorted, inner.sorted_items().size()) << "seed " << seed;
+  }
+}
+
+TEST(ParallelFuzzTest, ParallelTaMatchesSerialUnderHostileSchedules) {
+  // Full-algorithm determinism under the hostile scheduler: TA with a
+  // shuffled-executor prefetch pipeline returns the serial answer and the
+  // serial per-source consumed counts, every seed.
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(5200 + seed);
+    size_t n = 50 + rng.NextBounded(200);
+    size_t m = 2 + rng.NextBounded(3);
+    Workload w = (seed % 2 == 0) ? IndependentUniform(&rng, n, m)
+                                 : QuantizedUniform(&rng, n, m, 3);
+    Result<std::vector<VectorSource>> sources = w.MakeSources();
+    ASSERT_TRUE(sources.ok());
+    std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+    size_t k = 1 + rng.NextBounded(8);
+
+    Result<TopKResult> serial = ThresholdTopK(ptrs, *MinRule(), k);
+    ASSERT_TRUE(serial.ok());
+
+    ShuffledExecutor executor(7700 + seed);
+    ParallelOptions options;
+    options.prefetch_depth = 1 + rng.NextBounded(16);
+    options.executor = &executor;
+    Result<TopKResult> parallel = ThresholdTopK(ptrs, *MinRule(), k, options);
+    ASSERT_TRUE(parallel.ok());
+
+    ASSERT_EQ(serial->items.size(), parallel->items.size()) << seed;
+    for (size_t r = 0; r < serial->items.size(); ++r) {
+      EXPECT_EQ(serial->items[r].id, parallel->items[r].id) << seed;
+      EXPECT_EQ(serial->items[r].grade, parallel->items[r].grade) << seed;
+    }
+    ASSERT_EQ(serial->per_source.size(), parallel->per_source.size());
+    for (size_t j = 0; j < serial->per_source.size(); ++j) {
+      EXPECT_EQ(serial->per_source[j].sorted, parallel->per_source[j].sorted)
+          << "seed " << seed << " source " << j;
+      EXPECT_EQ(serial->per_source[j].random, parallel->per_source[j].random)
+          << "seed " << seed << " source " << j;
+    }
   }
 }
 

@@ -275,7 +275,9 @@ TEST(WeightedAlgorithmsTest, FaginStaysCorrectWithWeightedRules) {
   ScoringRulePtr rule = WeightedRule(MinRule(), *theta);
   Result<GradedSet> truth = NaiveAllGrades(ptrs, *rule);
   ASSERT_TRUE(truth.ok());
-  for (auto run : {FaginTopK, ThresholdTopK}) {
+  using SerialRunner = Result<TopKResult> (*)(std::span<GradedSource* const>,
+                                              const ScoringRule&, size_t);
+  for (SerialRunner run : {SerialRunner(FaginTopK), SerialRunner(ThresholdTopK)}) {
     Result<TopKResult> r = run(ptrs, *rule, 10);
     ASSERT_TRUE(r.ok());
     EXPECT_TRUE(IsValidTopK(r->items, *truth, 10));

@@ -1,0 +1,426 @@
+// Determinism harness for the parallel middleware layer (DESIGN §3e).
+//
+// The headline guarantee under test: A0/TA/NRA with per-source prefetch and
+// batched random access return the SAME top-k objects, bitwise-identical
+// grades, and identical per-source consumed access counts as the serial
+// loops — at every prefetch depth and pool size, including duplicate-grade
+// tie storms and empty/exhausted/unequal-length sources. Speedup is
+// benchmarked elsewhere (bench/exp18); this file pins down correctness.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "analysis/parallel_audit.h"
+#include "common/thread_pool.h"
+#include "middleware/fagin.h"
+#include "middleware/nra.h"
+#include "middleware/parallel.h"
+#include "middleware/threshold.h"
+#include "middleware/vector_source.h"
+#include "sim/experiment.h"
+#include "sim/workload.h"
+
+namespace fuzzydb {
+namespace {
+
+using ParallelRunner = Result<TopKResult> (*)(std::span<GradedSource* const>,
+                                              const ScoringRule&, size_t,
+                                              const ParallelOptions&);
+
+struct AlgoCase {
+  const char* name;
+  ParallelRunner run;
+  AuditedAlgorithm audited;
+};
+
+const AlgoCase kAlgos[] = {
+    {"fagin-a0", static_cast<ParallelRunner>(FaginTopK),
+     AuditedAlgorithm::kFagin},
+    {"ta", static_cast<ParallelRunner>(ThresholdTopK),
+     AuditedAlgorithm::kThreshold},
+    {"nra", static_cast<ParallelRunner>(NoRandomAccessTopK),
+     AuditedAlgorithm::kNoRandomAccess},
+};
+
+bool BitEqual(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+// Asserts the full equivalence contract between a serial and a parallel run
+// of `algo` over the same sources.
+void ExpectEquivalent(const AlgoCase& algo,
+                      std::span<GradedSource* const> ptrs,
+                      const ScoringRule& rule, size_t k,
+                      const ParallelOptions& options,
+                      const std::string& label) {
+  Result<TopKResult> serial = algo.run(ptrs, rule, k, ParallelOptions{});
+  Result<TopKResult> parallel = algo.run(ptrs, rule, k, options);
+  ASSERT_TRUE(serial.ok()) << label;
+  ASSERT_TRUE(parallel.ok()) << label;
+
+  ASSERT_EQ(serial->items.size(), parallel->items.size()) << label;
+  for (size_t r = 0; r < serial->items.size(); ++r) {
+    EXPECT_EQ(serial->items[r].id, parallel->items[r].id)
+        << label << " rank " << r;
+    EXPECT_TRUE(BitEqual(serial->items[r].grade, parallel->items[r].grade))
+        << label << " rank " << r << ": " << serial->items[r].grade << " vs "
+        << parallel->items[r].grade;
+  }
+  EXPECT_EQ(serial->grades_exact, parallel->grades_exact) << label;
+
+  // Consumed access counts are schedule-independent, source by source.
+  ASSERT_EQ(serial->per_source.size(), parallel->per_source.size()) << label;
+  for (size_t j = 0; j < serial->per_source.size(); ++j) {
+    EXPECT_EQ(serial->per_source[j].sorted, parallel->per_source[j].sorted)
+        << label << " source " << j;
+    EXPECT_EQ(serial->per_source[j].random, parallel->per_source[j].random)
+        << label << " source " << j;
+  }
+  EXPECT_EQ(serial->cost.sorted, parallel->cost.sorted) << label;
+  EXPECT_EQ(serial->cost.random, parallel->cost.random) << label;
+  EXPECT_EQ(serial->cost.prefetched, 0u) << label;
+  // The speculative overhang never leaks into the paper's cost measure.
+  EXPECT_EQ(parallel->cost.total(),
+            parallel->cost.sorted + parallel->cost.random)
+      << label;
+}
+
+// One workload under every algorithm × depth × pool-size combination.
+void SweepConfigurations(const std::vector<GradedSource*>& ptrs,
+                         const ScoringRule& rule, size_t k,
+                         const std::string& workload_name) {
+  for (size_t pool_size : {1u, 2u, 7u}) {
+    ThreadPool pool(pool_size);
+    for (size_t depth : {1u, 2u, 8u, 64u}) {
+      ParallelOptions options;
+      options.pool = &pool;
+      options.prefetch_depth = depth;
+      for (const AlgoCase& algo : kAlgos) {
+        ExpectEquivalent(algo, ptrs, rule, k, options,
+                         workload_name + "/" + algo.name + "/pool" +
+                             std::to_string(pool_size) + "/depth" +
+                             std::to_string(depth));
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, IndependentUniformWorkload) {
+  Rng rng(20260801);
+  Workload w = IndependentUniform(&rng, 400, 3);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  SweepConfigurations(SourcePtrs(*sources), *MinRule(), 10, "uniform");
+}
+
+TEST(ParallelEquivalenceTest, TieStormWorkload) {
+  // Four grade levels over 400 objects: every sorted list is a plateau of
+  // duplicates, the regime where a wrong tie-break or an early/late
+  // threshold check would change the answer.
+  Rng rng(20260802);
+  Workload w = QuantizedUniform(&rng, 400, 3, 4);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  SweepConfigurations(SourcePtrs(*sources), *MinRule(), 10, "tie-storm");
+  SweepConfigurations(SourcePtrs(*sources), *ArithmeticMeanRule(), 5,
+                      "tie-storm-avg");
+}
+
+TEST(ParallelEquivalenceTest, UnequalAndEmptySources) {
+  // One full list, one truncated to 30 of 200, one entirely empty: prefetch
+  // must handle exhaustion mid-buffer and sources that exhaust instantly.
+  Rng rng(20260803);
+  Workload w = IndependentUniform(&rng, 200, 3);
+  Result<std::vector<VectorSource>> sources =
+      MakeTruncatedSources(w, {200, 30, 0});
+  ASSERT_TRUE(sources.ok());
+  SweepConfigurations(SourcePtrs(*sources), *MinRule(), 10, "truncated");
+  SweepConfigurations(SourcePtrs(*sources), *ArithmeticMeanRule(), 10,
+                      "truncated-avg");
+}
+
+TEST(ParallelEquivalenceTest, DepthLargerThanList) {
+  // Prefetch depth beyond the whole database: the buffer drains the source
+  // completely up front and keeps working.
+  Rng rng(20260804);
+  Workload w = IndependentUniform(&rng, 40, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+  ThreadPool pool(3);
+  ParallelOptions options;
+  options.pool = &pool;
+  options.prefetch_depth = 1024;
+  for (const AlgoCase& algo : kAlgos) {
+    ExpectEquivalent(algo, ptrs, *MinRule(), 10, options,
+                     std::string("overdeep/") + algo.name);
+  }
+}
+
+TEST(ParallelEquivalenceTest, AuditorConfirmsAccessLogContract) {
+  // The analysis-layer auditor checks the stronger log-level contract:
+  // serial sorted log is a prefix of the parallel one (overhang <= depth)
+  // and random sequences match exactly.
+  Rng rng(20260805);
+  Workload w = QuantizedUniform(&rng, 300, 3, 5);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+  ThreadPool pool(4);
+  for (const AlgoCase& algo : kAlgos) {
+    ParallelAuditOptions options;
+    options.k = 8;
+    options.parallel.pool = &pool;
+    options.parallel.prefetch_depth = 8;
+    AuditReport report =
+        AuditParallelEquivalence(ptrs, *MinRule(), algo.audited, options);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    EXPECT_GT(report.checks_run(), 0u) << algo.name;
+  }
+}
+
+// A source that is not repeatable across runs: the first full pass serves
+// its whole list, every later pass exhausts after `later_len` items. Each
+// individual pass is perfectly sorted, so no access-contract invariant
+// fires — but run-to-run equivalence is broken, which is exactly what the
+// parallel auditor must refute (the serial reference run sees a longer list
+// than the parallel run under audit).
+class ShrinkingSource final : public GradedSource {
+ public:
+  ShrinkingSource(GradedSource* inner, size_t later_len)
+      : inner_(inner), later_len_(later_len) {}
+  size_t Size() const override { return inner_->Size(); }
+  std::optional<GradedObject> NextSorted() override {
+    size_t limit = epoch_ <= 1 ? inner_->Size() : later_len_;
+    if (served_ >= limit) return std::nullopt;
+    ++served_;
+    return inner_->NextSorted();
+  }
+  void RestartSorted() override {
+    ++epoch_;
+    served_ = 0;
+    inner_->RestartSorted();
+  }
+  double RandomAccess(ObjectId id) override {
+    return inner_->RandomAccess(id);
+  }
+  std::vector<GradedObject> AtLeast(double threshold) override {
+    return inner_->AtLeast(threshold);
+  }
+  std::string name() const override { return "shrinking"; }
+
+ private:
+  GradedSource* inner_;
+  const size_t later_len_;
+  size_t epoch_ = 0;   // incremented per restart; each run restarts once
+  size_t served_ = 0;
+};
+
+TEST(ParallelEquivalenceTest, AuditorRefutesANonRepeatableSource) {
+  Rng rng(20260806);
+  Workload w = IndependentUniform(&rng, 200, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  ShrinkingSource unstable(&(*sources)[1], 3);
+  std::vector<GradedSource*> ptrs = {&(*sources)[0], &unstable};
+
+  ThreadPool pool(2);
+  ParallelAuditOptions options;
+  options.k = 5;
+  options.parallel.pool = &pool;
+  options.parallel.prefetch_depth = 4;
+  AuditReport report = AuditParallelEquivalence(
+      ptrs, *MinRule(), AuditedAlgorithm::kThreshold, options);
+  EXPECT_FALSE(report.ok())
+      << "a non-repeatable source must not audit clean";
+  EXPECT_FALSE(report.findings().empty());
+}
+
+TEST(PrefetchSourceTest, StreamMatchesInnerSortedOrder) {
+  Rng rng(20260807);
+  Workload w = IndependentUniform(&rng, 100, 1);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  VectorSource& inner = (*sources)[0];
+
+  for (size_t depth : {1u, 4u, 32u, 1024u}) {
+    inner.RestartSorted();
+    PrefetchSource pf(&inner, depth, InlineExecutor::Get());
+    std::vector<GradedObject> streamed;
+    while (std::optional<GradedObject> next = pf.NextSorted()) {
+      streamed.push_back(*next);
+    }
+    EXPECT_EQ(streamed, inner.sorted_items()) << "depth " << depth;
+    EXPECT_FALSE(pf.NextSorted().has_value());  // stays exhausted
+    PrefetchSource::Stats stats = pf.Quiesce();
+    EXPECT_EQ(stats.consumed, inner.sorted_items().size());
+    EXPECT_EQ(stats.fetched, stats.consumed)  // fully drained: no waste
+        << "depth " << depth;
+    EXPECT_EQ(stats.wasted(), 0u);
+  }
+}
+
+TEST(PrefetchSourceTest, RestartRewindsConsumptionButKeepsWasteCharged) {
+  Rng rng(20260808);
+  Workload w = IndependentUniform(&rng, 50, 1);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  VectorSource& inner = (*sources)[0];
+
+  PrefetchSource pf(&inner, 8, InlineExecutor::Get());
+  pf.RestartSorted();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(pf.NextSorted().has_value());
+  pf.RestartSorted();
+  std::vector<GradedObject> streamed;
+  while (std::optional<GradedObject> next = pf.NextSorted()) {
+    streamed.push_back(*next);
+  }
+  EXPECT_EQ(streamed, inner.sorted_items());
+  // Accounting spans restarts: the 5 pre-restart pops stay consumed, and
+  // pre-restart fetches whose buffered items were discarded stay in
+  // `fetched` as waste.
+  PrefetchSource::Stats stats = pf.Quiesce();
+  EXPECT_EQ(stats.consumed, inner.sorted_items().size() + 5);
+  EXPECT_GE(stats.fetched, stats.consumed);
+}
+
+TEST(PrefetchSourceTest, QuiesceIsIdempotentAndKeepsSourceUsable) {
+  Rng rng(20260809);
+  Workload w = IndependentUniform(&rng, 30, 1);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  VectorSource& inner = (*sources)[0];
+
+  ThreadPool pool(3);
+  PrefetchSource pf(&inner, 4, &pool);
+  pf.RestartSorted();
+  ASSERT_TRUE(pf.NextSorted().has_value());
+  PrefetchSource::Stats first = pf.Quiesce();
+  PrefetchSource::Stats second = pf.Quiesce();
+  EXPECT_EQ(first.fetched, second.fetched);
+  EXPECT_EQ(first.consumed, second.consumed);
+  EXPECT_LE(first.wasted(), 4u);  // overhang bounded by depth
+  // Still streams correctly after quiescing (synchronously).
+  std::optional<GradedObject> next = pf.NextSorted();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->id, inner.sorted_items()[1].id);
+}
+
+TEST(PrefetchSourceTest, RandomAccessAndSizeForwardThroughDecorator) {
+  Rng rng(20260810);
+  Workload w = IndependentUniform(&rng, 25, 1);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  VectorSource& inner = (*sources)[0];
+
+  PrefetchSource pf(&inner, 4, InlineExecutor::Get());
+  EXPECT_EQ(pf.Size(), inner.Size());
+  const GradedObject& probe = inner.sorted_items()[7];
+  EXPECT_TRUE(BitEqual(pf.RandomAccess(probe.id), probe.grade));
+  EXPECT_TRUE(BitEqual(pf.RandomAccess(999999), 0.0));
+}
+
+TEST(ResolveProbesTest, ShardedAndSequentialResolutionAgree) {
+  Rng rng(20260811);
+  const size_t m = 4;
+  Workload w = IndependentUniform(&rng, 60, m);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+
+  // Same probe set resolved with and without a pool.
+  auto run = [&](ThreadPool* pool, std::vector<AccessCost>* tallies) {
+    std::vector<CountingSource> counted;
+    counted.reserve(m);
+    tallies->assign(m, AccessCost{});
+    for (size_t j = 0; j < m; ++j) {
+      counted.emplace_back(&(*sources)[j], &(*tallies)[j]);
+    }
+    std::vector<ProbeList> probes(m);
+    std::vector<std::vector<double>> rows(8, std::vector<double>(m, 0.0));
+    for (size_t r = 0; r < rows.size(); ++r) {
+      for (size_t j = 0; j < m; ++j) {
+        if ((r + j) % 2 == 0) {
+          probes[j].probes.push_back({r, w.ids[(r * 7 + j) % w.n()]});
+        }
+      }
+    }
+    ResolveProbes(counted, probes, &rows, pool);
+    return rows;
+  };
+
+  std::vector<AccessCost> serial_cost, pooled_cost;
+  std::vector<std::vector<double>> serial_rows = run(nullptr, &serial_cost);
+  ThreadPool pool(5);
+  std::vector<std::vector<double>> pooled_rows = run(&pool, &pooled_cost);
+
+  ASSERT_EQ(serial_rows.size(), pooled_rows.size());
+  for (size_t r = 0; r < serial_rows.size(); ++r) {
+    for (size_t j = 0; j < m; ++j) {
+      EXPECT_TRUE(BitEqual(serial_rows[r][j], pooled_rows[r][j]))
+          << "row " << r << " col " << j;
+    }
+  }
+  for (size_t j = 0; j < m; ++j) {
+    EXPECT_EQ(serial_cost[j].random, pooled_cost[j].random) << j;
+    EXPECT_EQ(serial_cost[j].sorted, 0u);
+  }
+}
+
+TEST(ParallelCostTest, SpeculativeWasteIsVisibleButNeverCharged) {
+  // Inline executor + deep prefetch: the fill runs ahead deterministically,
+  // so TA leaves a known overhang that must land in cost.prefetched and
+  // stay out of cost.total().
+  Rng rng(20260812);
+  Workload w = IndependentUniform(&rng, 500, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+
+  Result<TopKResult> serial = ThresholdTopK(ptrs, *MinRule(), 3);
+  ParallelOptions options;
+  options.prefetch_depth = 64;
+  options.executor = InlineExecutor::Get();
+  Result<TopKResult> parallel = ThresholdTopK(ptrs, *MinRule(), 3, options);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(serial->cost.sorted, parallel->cost.sorted);
+  EXPECT_EQ(serial->cost.random, parallel->cost.random);
+  EXPECT_GT(parallel->cost.prefetched, 0u);
+  EXPECT_EQ(parallel->cost.total(), serial->cost.total());
+  EXPECT_EQ(parallel->cost.total_issued(),
+            parallel->cost.total() + parallel->cost.prefetched);
+  // Per-source overhang is bounded by the configured depth.
+  for (const AccessCost& c : parallel->per_source) {
+    EXPECT_LE(c.prefetched, 64u);
+  }
+}
+
+TEST(ParallelExecutorTest, ExecutorOptionsRouteThroughToPlans) {
+  // End-to-end through ExecuteTopK: the parallel knobs reach the chosen
+  // algorithm (covered in detail above; this pins the plumbing).
+  Rng rng(20260813);
+  Workload w = IndependentUniform(&rng, 150, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+
+  ThreadPool pool(3);
+  ParallelOptions options;
+  options.pool = &pool;
+  options.prefetch_depth = 8;
+  Result<TopKResult> serial = ThresholdTopK(ptrs, *MinRule(), 5);
+  Result<TopKResult> parallel = ThresholdTopK(ptrs, *MinRule(), 5, options);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->items.size(), parallel->items.size());
+  for (size_t r = 0; r < serial->items.size(); ++r) {
+    EXPECT_EQ(serial->items[r].id, parallel->items[r].id);
+  }
+}
+
+}  // namespace
+}  // namespace fuzzydb

@@ -20,6 +20,11 @@
 namespace fuzzydb {
 namespace {
 
+// The serial 3-argument entry points; the alias disambiguates the parallel
+// overloads added in DESIGN §3e.
+using SerialRunner = Result<TopKResult> (*)(std::span<GradedSource* const>,
+                                            const ScoringRule&, size_t);
+
 struct SweepCase {
   std::string name;
   ScoringRulePtr rule;
@@ -121,7 +126,7 @@ TEST(CompositeTreeSweepTest, RandomMonotoneTreesAgreeAcrossAlgorithms) {
     std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
     Result<GradedSet> truth = NaiveAllGrades(ptrs, *rule);
     ASSERT_TRUE(truth.ok());
-    for (auto run : {FaginTopK, ThresholdTopK}) {
+    for (SerialRunner run : {SerialRunner(FaginTopK), SerialRunner(ThresholdTopK)}) {
       Result<TopKResult> r = run(ptrs, *rule, 5);
       ASSERT_TRUE(r.ok()) << tree->ToString();
       EXPECT_TRUE(IsValidTopK(r->items, *truth, 5)) << tree->ToString();
@@ -139,7 +144,7 @@ TEST(CorrelatedWorkloadSweepTest, AlgorithmsStayCorrectOffTheIidPath) {
     std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
     Result<GradedSet> truth = NaiveAllGrades(ptrs, *MinRule());
     ASSERT_TRUE(truth.ok());
-    for (auto run : {FaginTopK, ThresholdTopK}) {
+    for (SerialRunner run : {SerialRunner(FaginTopK), SerialRunner(ThresholdTopK)}) {
       Result<TopKResult> r = run(ptrs, *MinRule(), 10);
       ASSERT_TRUE(r.ok());
       EXPECT_TRUE(IsValidTopK(r->items, *truth, 10)) << "rho=" << rho;
@@ -154,7 +159,7 @@ TEST(CorrelatedWorkloadSweepTest, AlgorithmsStayCorrectOffTheIidPath) {
     std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
     Result<GradedSet> truth = NaiveAllGrades(ptrs, *MinRule());
     ASSERT_TRUE(truth.ok());
-    for (auto run : {FaginTopK, ThresholdTopK, NoRandomAccessTopK}) {
+    for (SerialRunner run : {SerialRunner(FaginTopK), SerialRunner(ThresholdTopK), SerialRunner(NoRandomAccessTopK)}) {
       Result<TopKResult> r = run(ptrs, *MinRule(), 10);
       ASSERT_TRUE(r.ok());
       // NRA grades may be bounds; check set membership only.
@@ -180,7 +185,7 @@ TEST(ZeroOneRelationalSweepTest, MixedCrispAndGradedLists) {
     std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
     Result<GradedSet> truth = NaiveAllGrades(ptrs, *MinRule());
     ASSERT_TRUE(truth.ok());
-    for (auto run : {FaginTopK, ThresholdTopK}) {
+    for (SerialRunner run : {SerialRunner(FaginTopK), SerialRunner(ThresholdTopK)}) {
       Result<TopKResult> r = run(ptrs, *MinRule(), 5);
       ASSERT_TRUE(r.ok());
       EXPECT_TRUE(IsValidTopK(r->items, *truth, 5))
