@@ -335,7 +335,7 @@ void PrintTables() {
   json.Set("cascade.dims_accumulated_per_query",
            per_query(cascade_stats.dims_accumulated));
   json.Set("cascade.mismatches", cascade_mismatches);
-  json.Set("config.hardware_concurrency", hw);
+  json.SetHostParallelism(hw);
   json.Set("batch.scalar_us_per_pass", us_scalar);
   json.Set("batch.serial_us_per_pass", us_vector);
   json.Set("batch.serial_speedup_vs_scalar", us_scalar / us_vector);
@@ -349,13 +349,14 @@ void PrintTables() {
   }
   json.Set("tuned_cascade.prefix_dim", tuned.options.prefix_dim);
   json.Set("tuned_cascade.step", tuned.options.step);
+  json.Set("tuned_cascade.shards", tuned.shards);
   json.Set("tuned_cascade.model_cost_per_query", tuned_cost);
   json.Set("tuned_cascade.default_model_cost_per_query", default_cost);
   json.Set("tuned_cascade.us_per_query", us_tuned);
   json.Set("tuned_cascade.speedup_vs_seed", us_seed / us_tuned);
   json.Set("tuned_cascade.mismatches", tuned_mismatches);
   json.Set("tuned_cascade.sweep_size", tuned.sweep.size());
-  json.WriteFile("BENCH_embedding.json");
+  json.WriteFileGuarded("BENCH_embedding.json");
 }
 
 void BM_SeedExactKnn(benchmark::State& state) {

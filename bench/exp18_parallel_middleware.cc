@@ -116,12 +116,13 @@ void PrintTables() {
   json.Set("config.n", kN);
   json.Set("config.k", kK);
   json.Set("config.reps", static_cast<size_t>(kReps));
-  json.Set("config.hardware_concurrency", hw);
+  const bool contention_only = json.SetHostParallelism(hw);
   const std::string caveat =
-      hw == 1 ? "contention-only: 1 hardware thread, speedups are scheduling "
-                "artifacts"
-              : "in-process busy-work latency model; real subsystem latency "
-                "shifts the crossover";
+      contention_only
+          ? "contention-only: 1 hardware thread, speedups are scheduling "
+            "artifacts"
+          : "in-process busy-work latency model; real subsystem latency "
+            "shifts the crossover";
   json.Set("caveat", caveat);
 
   TablePrinter table({"m", "pool", "depth", "us/query", "speedup-vs-serial",
@@ -180,7 +181,7 @@ void PrintTables() {
          "has real parallelism, and depth 0 / pool 1 rows showing the "
          "overhead floor.\ncaveat: "
       << caveat << "\nhardware_concurrency = " << hw << "\n";
-  json.WriteFile("BENCH_middleware.json");
+  json.WriteFileGuarded("BENCH_middleware.json");
 }
 
 void BM_SerialTa(benchmark::State& state) {

@@ -1,0 +1,304 @@
+// E19 — adaptive parallel execution (DESIGN §3f): the whole top-k stack
+// (TA, NRA, CA) swept over prefetch depth x pool size x CA period h, against
+// a latency-bearing source model, with one extra depth column chosen by
+// DerivePrefetchDepth from the optimizer's cost estimate. Two claims are
+// checked: (1) correctness — every parallel configuration is bit-identical
+// to the serial run in items, grades, and per-source consumed access counts
+// (any divergence is a mismatch count, not a perf number); (2) adaptivity —
+// the derived depth's runtime lands near the best fixed depth of its
+// pool-size row, so callers who leave depth at 0 don't need to hand-tune.
+//
+// Results land in BENCH_adaptive.json with a machine-readable
+// "contention_only" flag: on a 1-hardware-thread host the zero-mismatch
+// contract still holds (and is the point of running there), but speedups are
+// scheduling artifacts and the guarded writer refuses to overwrite a real
+// multi-core report with them.
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "middleware/combined.h"
+#include "middleware/nra.h"
+#include "middleware/optimizer.h"
+#include "middleware/parallel.h"
+#include "middleware/threshold.h"
+#include "middleware/vector_source.h"
+#include "sim/workload.h"
+
+namespace fuzzydb {
+namespace {
+
+constexpr uint64_t kSeed = 20260805;
+constexpr size_t kN = 1200;
+constexpr size_t kM = 3;
+constexpr size_t kK = 10;
+constexpr int kReps = 3;
+
+// Deterministic busy work standing in for one access's subsystem-side cost
+// (same model as E18; paper §4 treats accesses as the expensive unit).
+double BusyWork(uint64_t salt) {
+  double acc = static_cast<double>(salt % 97) * 1e-6;
+  for (int i = 1; i <= 400; ++i) {
+    acc += 1.0 / (static_cast<double>(i) + acc);
+  }
+  return acc * 1e-12;
+}
+
+class SlowSource final : public GradedSource {
+ public:
+  explicit SlowSource(GradedSource* inner) : inner_(inner) {}
+  size_t Size() const override { return inner_->Size(); }
+  std::optional<GradedObject> NextSorted() override {
+    benchmark::DoNotOptimize(BusyWork(1));
+    return inner_->NextSorted();
+  }
+  void RestartSorted() override { inner_->RestartSorted(); }
+  double RandomAccess(ObjectId id) override {
+    benchmark::DoNotOptimize(BusyWork(id));
+    return inner_->RandomAccess(id);
+  }
+  std::vector<GradedObject> AtLeast(double threshold) override {
+    return inner_->AtLeast(threshold);
+  }
+  std::string name() const override { return "slow(" + inner_->name() + ")"; }
+
+ private:
+  GradedSource* inner_;
+};
+
+// One algorithm variant of the sweep: a name, the Algorithm tag (for
+// DerivePrefetchDepth), and a runner closed over its CA period where needed.
+struct Variant {
+  std::string name;
+  Algorithm algorithm;
+  size_t h;  // CA period; ignored by TA/NRA
+};
+
+Result<TopKResult> RunVariant(const Variant& v,
+                              std::span<GradedSource* const> ptrs,
+                              const ParallelOptions& options) {
+  switch (v.algorithm) {
+    case Algorithm::kThreshold:
+      return ThresholdTopK(ptrs, *MinRule(), kK, options);
+    case Algorithm::kNoRandomAccess:
+      return NoRandomAccessTopK(ptrs, *MinRule(), kK, options);
+    default:
+      return CombinedTopK(ptrs, *MinRule(), kK, v.h, options);
+  }
+}
+
+bool SameAnswer(const TopKResult& a, const TopKResult& b) {
+  if (a.items.size() != b.items.size()) return false;
+  for (size_t r = 0; r < a.items.size(); ++r) {
+    if (a.items[r].id != b.items[r].id) return false;
+    if (a.items[r].grade != b.items[r].grade) return false;
+  }
+  if (a.per_source.size() != b.per_source.size()) return false;
+  for (size_t j = 0; j < a.per_source.size(); ++j) {
+    if (a.per_source[j].sorted != b.per_source[j].sorted) return false;
+    if (a.per_source[j].random != b.per_source[j].random) return false;
+  }
+  return true;
+}
+
+struct ConfigResult {
+  double us = 0.0;
+  size_t mismatches = 0;
+};
+
+ConfigResult RunConfig(const Variant& v, std::span<GradedSource* const> ptrs,
+                       const TopKResult& reference,
+                       const ParallelOptions& options) {
+  ConfigResult out;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    Result<TopKResult> r = RunVariant(v, ptrs, options);
+    CheckOk(r.status(), "E19 variant");
+    if (!SameAnswer(*r, reference)) ++out.mismatches;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  out.us =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+      1000.0 / static_cast<double>(kReps);
+  return out;
+}
+
+void PrintTables() {
+  const size_t hw =
+      std::max<unsigned>(1, std::thread::hardware_concurrency());
+  Banner("E19: adaptive parallel top-k — algorithm x depth x pool x h "
+         "sweep (n=" + std::to_string(kN) + ", m=" + std::to_string(kM) +
+         ", k=" + std::to_string(kK) + ")");
+
+  JsonReport json;
+  json.Set("bench", std::string("exp19_adaptive_parallel"));
+  json.Set("config.n", kN);
+  json.Set("config.m", kM);
+  json.Set("config.k", kK);
+  json.Set("config.reps", static_cast<size_t>(kReps));
+  const bool contention_only = json.SetHostParallelism(hw);
+
+  Rng rng(kSeed);
+  Workload w = IndependentUniform(&rng, kN, kM);
+  std::vector<VectorSource> sources =
+      CheckedValue(w.MakeSources(), "E19 sources");
+  std::vector<SlowSource> slow;
+  slow.reserve(kM);
+  std::vector<GradedSource*> ptrs;
+  for (VectorSource& s : sources) {
+    slow.emplace_back(&s);
+    ptrs.push_back(&slow.back());
+  }
+
+  // The price model the adaptive layer plans with: sorted and random access
+  // cost the same here (both pay one BusyWork call), so h derives to 1 and
+  // the depth choice is driven purely by each algorithm's access mix.
+  CostModel model;
+
+  const std::vector<Variant> variants = {
+      {"ta", Algorithm::kThreshold, 1},
+      {"nra", Algorithm::kNoRandomAccess, 1},
+      {"ca_h1", Algorithm::kCombined, 1},
+      {"ca_h4", Algorithm::kCombined, 4},
+      {"ca_h16", Algorithm::kCombined, 16},
+  };
+  const size_t fixed_depths[] = {1, 8, 64};
+
+  TablePrinter table({"algo", "pool", "depth", "us/query",
+                      "speedup-vs-serial", "mismatches"});
+  size_t total_mismatches = 0;
+  size_t adaptive_rows = 0;
+  size_t adaptive_near_best = 0;
+
+  for (const Variant& v : variants) {
+    TopKResult reference = CheckedValue(
+        RunVariant(v, ptrs, ParallelOptions{}), "E19 serial reference");
+    ConfigResult serial = RunConfig(v, ptrs, reference, ParallelOptions{});
+    table.AddRow({v.name, "-", "serial", TablePrinter::Num(serial.us, 4),
+                  "1.000", std::to_string(serial.mismatches)});
+    total_mismatches += serial.mismatches;
+    // (built up with += to dodge a GCC-12 -Wrestrict false positive on
+    // `const char* + std::string&&`)
+    std::string vkey = "";
+    vkey += v.name;
+    json.Set(vkey + ".serial.us_per_query", serial.us);
+    json.Set(vkey + ".serial.mismatches", serial.mismatches);
+
+    for (size_t pool_size : {1u, 2u, 4u}) {
+      ThreadPool pool(pool_size);
+      const size_t derived = DerivePrefetchDepth(v.algorithm, kN, kM, kK,
+                                                 model, pool.executors());
+      double best_fixed_us = std::numeric_limits<double>::infinity();
+      double derived_us = 0.0;
+      const std::string pkey = vkey + ".pool" + std::to_string(pool_size);
+
+      auto run_depth = [&](size_t depth, bool is_adaptive) {
+        ParallelOptions options;
+        options.pool = &pool;
+        options.prefetch_depth = depth;
+        ConfigResult r = RunConfig(v, ptrs, reference, options);
+        total_mismatches += r.mismatches;
+        std::string label;
+        if (is_adaptive) {
+          label += "adaptive(";
+          label += std::to_string(depth);
+          label += ")";
+        } else {
+          label = std::to_string(depth);
+        }
+        table.AddRow({v.name, std::to_string(pool_size), label,
+                      TablePrinter::Num(r.us, 4),
+                      TablePrinter::Num(serial.us / r.us, 3),
+                      std::to_string(r.mismatches)});
+        std::string dkey = pkey;
+        if (is_adaptive) {
+          dkey += ".adaptive";
+        } else {
+          dkey += ".depth";
+          dkey += std::to_string(depth);
+        }
+        json.Set(dkey + ".us_per_query", r.us);
+        json.Set(dkey + ".speedup_vs_serial", serial.us / r.us);
+        json.Set(dkey + ".mismatches", r.mismatches);
+        return r.us;
+      };
+
+      for (size_t depth : fixed_depths) {
+        best_fixed_us = std::min(best_fixed_us, run_depth(depth, false));
+      }
+      derived_us = run_depth(derived, true);
+      json.Set(pkey + ".adaptive.depth", derived);
+      json.Set(pkey + ".adaptive.vs_best_fixed", derived_us / best_fixed_us);
+      // "Near best": within 25% of the best fixed depth of this row. On a
+      // contention-only host the timing side is noise, so the indicator is
+      // reported but not expected to hold there.
+      ++adaptive_rows;
+      if (derived_us <= best_fixed_us * 1.25) ++adaptive_near_best;
+    }
+  }
+  table.Print();
+
+  json.Set("total_mismatches", total_mismatches);
+  json.Set("adaptive.rows", adaptive_rows);
+  json.Set("adaptive.near_best_rows", adaptive_near_best);
+  std::cout << "Expectation: zero mismatches in every row — parallel TA, "
+               "NRA, and CA (every h) are bit-identical to serial at every "
+               "depth x pool. Adaptive depth lands within 25% of the best "
+               "fixed depth in most rows ("
+            << adaptive_near_best << "/" << adaptive_rows
+            << " here); timing claims only hold with real parallelism "
+               "(contention_only = "
+            << (contention_only ? "true" : "false") << ").\n";
+  json.WriteFileGuarded("BENCH_adaptive.json");
+}
+
+void BM_AdaptiveTa(benchmark::State& state) {
+  Rng rng(kSeed);
+  Workload w = IndependentUniform(&rng, kN, kM);
+  std::vector<VectorSource> sources =
+      CheckedValue(w.MakeSources(), "E19 bm sources");
+  std::vector<GradedSource*> ptrs;
+  for (VectorSource& s : sources) ptrs.push_back(&s);
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  CostModel model;
+  ParallelOptions options;
+  options.pool = &pool;
+  options.prefetch_depth = DerivePrefetchDepth(Algorithm::kThreshold, kN, kM,
+                                               kK, model, pool.executors());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThresholdTopK(ptrs, *MinRule(), kK, options));
+  }
+}
+BENCHMARK(BM_AdaptiveTa)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_AdaptiveCa(benchmark::State& state) {
+  Rng rng(kSeed);
+  Workload w = IndependentUniform(&rng, kN, kM);
+  std::vector<VectorSource> sources =
+      CheckedValue(w.MakeSources(), "E19 bm sources");
+  std::vector<GradedSource*> ptrs;
+  for (VectorSource& s : sources) ptrs.push_back(&s);
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  CostModel model;
+  model.random_unit = 4.0;  // h derives to 4
+  ParallelOptions options;
+  options.pool = &pool;
+  options.prefetch_depth = DerivePrefetchDepth(Algorithm::kCombined, kN, kM,
+                                               kK, model, pool.executors());
+  const size_t h = DefaultCombinedPeriod(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CombinedTopK(ptrs, *MinRule(), kK, h, options));
+  }
+}
+BENCHMARK(BM_AdaptiveCa)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace fuzzydb
+
+FUZZYDB_BENCH_MAIN(fuzzydb::PrintTables)

@@ -37,8 +37,23 @@ class JsonReport {
   void Set(const std::string& key, size_t value) {
     entries_.emplace_back(key, std::to_string(value));
   }
+  void Set(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
   void Set(const std::string& key, const std::string& value) {
     entries_.emplace_back(key, Quote(value));
+  }
+
+  /// Records the host's parallelism caveat machine-readably: every bench
+  /// report carries hardware_concurrency and a boolean contention_only flag
+  /// (true on 1-thread hosts, where parallel speedups are scheduling
+  /// artifacts) so downstream tooling can refuse to compare across regimes.
+  /// Returns the flag for callers that gate further output on it.
+  bool SetHostParallelism(size_t hardware_concurrency) {
+    const bool contention_only = hardware_concurrency <= 1;
+    Set("config.hardware_concurrency", hardware_concurrency);
+    Set("contention_only", contention_only);
+    return contention_only;
   }
 
   /// The full `{ "k": v, ... }` document.
@@ -55,6 +70,25 @@ class JsonReport {
 
   size_t size() const { return entries_.size(); }
 
+  /// Raw serialized value recorded for `key` ("" if absent; last write wins).
+  std::string Lookup(const std::string& key) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->first == key) return it->second;
+    }
+    return "";
+  }
+
+  /// True when writing this report over `existing_content` would replace a
+  /// real multi-core measurement with a contention-only one: the old file
+  /// says `"contention_only": false` and the new report says true. Pure
+  /// string predicate so the guard is unit-testable without touching disk.
+  static bool WouldDowngrade(const std::string& existing_content,
+                             bool new_contention_only) {
+    return new_contention_only &&
+           existing_content.find("\"contention_only\": false") !=
+               std::string::npos;
+  }
+
   /// Writes ToString() to `path` and says so on stdout.
   void WriteFile(const std::string& path) const {
     std::ofstream out(path);
@@ -64,6 +98,30 @@ class JsonReport {
     }
     out << ToString();
     std::cout << "wrote " << path << " (" << entries_.size() << " metrics)\n";
+  }
+
+  /// WriteFile, but refuses to silently downgrade: if `path` already holds a
+  /// multi-core run and this report is contention-only (1 hardware thread),
+  /// the report is diverted to `path + ".contention-only"` with a loud
+  /// warning so the real numbers survive. Returns the path actually written.
+  std::string WriteFileGuarded(const std::string& path) const {
+    const bool contention_only = Lookup("contention_only") == "true";
+    std::ifstream existing(path);
+    if (existing) {
+      std::stringstream buf;
+      buf << existing.rdbuf();
+      if (WouldDowngrade(buf.str(), contention_only)) {
+        const std::string diverted = path + ".contention-only";
+        std::cerr << "WARNING: " << path
+                  << " holds a multi-core run; this host has 1 hardware "
+                     "thread, so the contention-only report goes to "
+                  << diverted << " instead of overwriting it\n";
+        WriteFile(diverted);
+        return diverted;
+      }
+    }
+    WriteFile(path);
+    return path;
   }
 
  private:

@@ -14,7 +14,12 @@
 #           in and the src/analysis property auditors exercised by the full
 #           suite (analysis_contract_test runs its instrumentation leg).
 #   lint    scripts/lint.sh (portable checks + clang-tidy when available).
-#   all     plain + asan + tsan + checks + lint (default).
+#   bench   Native-arch Release build; runs the perf-trajectory benches
+#           (exp16, exp18, exp19) so their BENCH_*.json land in the repo
+#           root. Not a gate: on a 1-hardware-thread host it warns loudly
+#           and the reports carry "contention_only": true — the guarded
+#           writer refuses to overwrite a multi-core report with one.
+#   all     plain + asan + tsan + checks + lint (default; bench is opt-in).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -52,6 +57,22 @@ case "${MODE}" in
       -DFUZZYDB_CHECKS=ON -DFUZZYDB_WARNING_LEVEL=CHECKIN ;;
   lint)
     scripts/lint.sh ;;
+  bench)
+    HW="$(nproc 2>/dev/null || echo 1)"
+    if [ "${HW}" -le 1 ]; then
+      echo "WARNING: 1 hardware thread — bench speedups are contention-only;" \
+           "reports will carry \"contention_only\": true and will not" \
+           "overwrite multi-core BENCH_*.json files." >&2
+    fi
+    cmake -B build-native -S . -DFUZZYDB_NATIVE_ARCH=ON
+    cmake --build build-native -j "${JOBS}" --target \
+      exp16_embedding_cascade exp18_parallel_middleware exp19_adaptive_parallel
+    ./build-native/bench/exp16_embedding_cascade \
+      --benchmark_min_time=0.01
+    ./build-native/bench/exp18_parallel_middleware \
+      --benchmark_min_time=0.01
+    ./build-native/bench/exp19_adaptive_parallel \
+      --benchmark_min_time=0.01 ;;
   all)
     "$0" plain
     "$0" asan
@@ -59,7 +80,7 @@ case "${MODE}" in
     "$0" checks
     "$0" lint ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|checks|lint|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|checks|lint|bench|all]" >&2
     exit 2 ;;
 esac
 

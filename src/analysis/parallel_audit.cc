@@ -5,7 +5,9 @@
 #include <memory>
 #include <sstream>
 
+#include "middleware/combined.h"
 #include "middleware/fagin.h"
+#include "middleware/join.h"
 #include "middleware/nra.h"
 #include "middleware/threshold.h"
 
@@ -56,6 +58,8 @@ const char* AlgorithmTag(AuditedAlgorithm algorithm) {
       return "ta";
     case AuditedAlgorithm::kNoRandomAccess:
       return "nra";
+    case AuditedAlgorithm::kCombined:
+      return "ca";
   }
   return "unknown";
 }
@@ -63,7 +67,8 @@ const char* AlgorithmTag(AuditedAlgorithm algorithm) {
 Result<TopKResult> RunOnce(AuditedAlgorithm algorithm,
                            std::span<GradedSource* const> sources,
                            const ScoringRule& rule, size_t k,
-                           const ParallelOptions& options) {
+                           const ParallelOptions& options,
+                           size_t combined_period) {
   switch (algorithm) {
     case AuditedAlgorithm::kFagin:
       return FaginTopK(sources, rule, k, options);
@@ -71,6 +76,8 @@ Result<TopKResult> RunOnce(AuditedAlgorithm algorithm,
       return ThresholdTopK(sources, rule, k, options);
     case AuditedAlgorithm::kNoRandomAccess:
       return NoRandomAccessTopK(sources, rule, k, options);
+    case AuditedAlgorithm::kCombined:
+      return CombinedTopK(sources, rule, k, combined_period, options);
   }
   return Status::Internal("unknown algorithm");
 }
@@ -105,7 +112,8 @@ AuditReport AuditParallelEquivalence(std::span<GradedSource* const> sources,
   std::vector<GradedSource*> serial_ptrs;
   for (auto& s : serial_logged) serial_ptrs.push_back(s.get());
   Result<TopKResult> serial =
-      RunOnce(algorithm, serial_ptrs, rule, options.k, ParallelOptions{});
+      RunOnce(algorithm, serial_ptrs, rule, options.k, ParallelOptions{},
+              options.combined_period);
 
   std::vector<std::unique_ptr<AccessLogSource>> parallel_logged;
   parallel_logged.reserve(m);
@@ -115,7 +123,8 @@ AuditReport AuditParallelEquivalence(std::span<GradedSource* const> sources,
   std::vector<GradedSource*> parallel_ptrs;
   for (auto& s : parallel_logged) parallel_ptrs.push_back(s.get());
   Result<TopKResult> parallel =
-      RunOnce(algorithm, parallel_ptrs, rule, options.k, options.parallel);
+      RunOnce(algorithm, parallel_ptrs, rule, options.k, options.parallel,
+              options.combined_period);
 
   report.CountCheck();
   if (serial.ok() != parallel.ok()) {
@@ -220,6 +229,138 @@ AuditReport AuditParallelEquivalence(std::span<GradedSource* const> sources,
       }
       std::ostringstream out;
       out << "source " << j << ": random sequences diverge at position " << p
+          << " (serial len " << s_log.random.size() << ", parallel len "
+          << p_log.random.size() << ")";
+      report.Fail("random-sequence", out.str());
+    }
+  }
+
+  return report;
+}
+
+namespace {
+
+// One logged drain of the binary join: up to `emit` objects off the top.
+struct JoinDrain {
+  bool ok = false;
+  std::string error;
+  std::vector<GradedObject> stream;
+  AccessLog left_log;
+  AccessLog right_log;
+};
+
+JoinDrain DrainJoin(GradedSource* left, GradedSource* right,
+                    ScoringRulePtr rule, size_t emit,
+                    const ParallelOptions& parallel) {
+  JoinDrain out;
+  AccessLogSource logged_left(left);
+  AccessLogSource logged_right(right);
+  {
+    Result<TopKJoinSource> join = TopKJoinSource::Create(
+        &logged_left, &logged_right, std::move(rule), "audited-join",
+        parallel);
+    if (!join.ok()) {
+      out.error = join.status().ToString();
+      return out;
+    }
+    for (size_t i = 0; i < emit; ++i) {
+      std::optional<GradedObject> next = join->NextSorted();
+      if (!next.has_value()) break;
+      out.stream.push_back(*next);
+    }
+  }  // join (and its prefetch pipelines) quiesce before the logs snapshot
+  out.left_log = logged_left.log();
+  out.right_log = logged_right.log();
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+AuditReport AuditJoinParallelEquivalence(GradedSource* left,
+                                         GradedSource* right,
+                                         ScoringRulePtr rule, size_t emit,
+                                         const ParallelAuditOptions& options) {
+  AuditReport report("parallel-equivalence/join");
+
+  JoinDrain serial = DrainJoin(left, right, rule, emit, ParallelOptions{});
+  JoinDrain parallel = DrainJoin(left, right, rule, emit, options.parallel);
+
+  report.CountCheck();
+  if (serial.ok != parallel.ok) {
+    report.Fail("status", std::string("serial ") +
+                              (serial.ok ? "OK" : serial.error) +
+                              " vs parallel " +
+                              (parallel.ok ? "OK" : parallel.error));
+    return report;
+  }
+  if (!serial.ok) return report;  // both refused identically: equivalent
+
+  // Emitted stream equivalence: the join's output order is part of its
+  // GradedSource contract, so it must be bit-identical, not just set-equal.
+  report.CountCheck();
+  if (serial.stream.size() != parallel.stream.size()) {
+    std::ostringstream out;
+    out << "serial emitted " << serial.stream.size() << " objects, parallel "
+        << parallel.stream.size();
+    report.Fail("stream-size", out.str());
+  } else {
+    for (size_t r = 0; r < serial.stream.size(); ++r) {
+      report.CountCheck();
+      const GradedObject& a = serial.stream[r];
+      const GradedObject& b = parallel.stream[r];
+      if (a.id != b.id || !BitEqual(a.grade, b.grade)) {
+        std::ostringstream out;
+        out << "position " << r << ": serial " << DescribeObject(a)
+            << " vs parallel " << DescribeObject(b);
+        report.Fail("stream-item", out.str());
+        break;  // one witness is enough
+      }
+    }
+  }
+
+  // Per-input log equivalence, same rules as the flat algorithms: random
+  // sequences untouched, sorted logs prefix-equal with ≤ depth overhang.
+  const size_t depth = options.parallel.prefetch_depth;
+  const AccessLog* serial_logs[2] = {&serial.left_log, &serial.right_log};
+  const AccessLog* parallel_logs[2] = {&parallel.left_log,
+                                       &parallel.right_log};
+  const char* side[2] = {"left", "right"};
+  for (size_t j = 0; j < 2; ++j) {
+    const AccessLog& s_log = *serial_logs[j];
+    const AccessLog& p_log = *parallel_logs[j];
+
+    report.CountCheck();
+    if (p_log.sorted.size() < s_log.sorted.size() ||
+        p_log.sorted.size() > s_log.sorted.size() + depth) {
+      std::ostringstream out;
+      out << side[j] << " input: serial issued " << s_log.sorted.size()
+          << " sorted accesses, parallel " << p_log.sorted.size()
+          << " (allowed overhang <= " << depth << ")";
+      report.Fail("sorted-overhang", out.str());
+    }
+    size_t shared = std::min(s_log.sorted.size(), p_log.sorted.size());
+    for (size_t p = 0; p < shared; ++p) {
+      const GradedObject& a = s_log.sorted[p];
+      const GradedObject& b = p_log.sorted[p];
+      if (a.id != b.id || !BitEqual(a.grade, b.grade)) {
+        std::ostringstream out;
+        out << side[j] << " input position " << p << ": serial "
+            << DescribeObject(a) << " vs parallel " << DescribeObject(b);
+        report.Fail("sorted-prefix", out.str());
+        break;
+      }
+    }
+
+    report.CountCheck();
+    if (s_log.random != p_log.random) {
+      size_t p = 0;
+      while (p < s_log.random.size() && p < p_log.random.size() &&
+             s_log.random[p] == p_log.random[p]) {
+        ++p;
+      }
+      std::ostringstream out;
+      out << side[j] << " input: random sequences diverge at position " << p
           << " (serial len " << s_log.random.size() << ", parallel len "
           << p_log.random.size() << ")";
       report.Fail("random-sequence", out.str());

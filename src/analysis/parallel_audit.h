@@ -56,7 +56,7 @@ class AccessLogSource final : public GradedSource {
 };
 
 /// Which algorithm the auditor replays.
-enum class AuditedAlgorithm { kFagin, kThreshold, kNoRandomAccess };
+enum class AuditedAlgorithm { kFagin, kThreshold, kNoRandomAccess, kCombined };
 
 /// Knobs for the equivalence audit.
 struct ParallelAuditOptions {
@@ -64,6 +64,9 @@ struct ParallelAuditOptions {
   /// The parallel configuration under audit (serial() configs are legal and
   /// must trivially pass).
   ParallelOptions parallel;
+  /// CA's random-access period (kCombined only). 2 mixes sorted rounds and
+  /// random resolutions in one log, which is the interesting regime.
+  size_t combined_period = 2;
 };
 
 /// Runs `algorithm` twice over `sources` — once serially, once under
@@ -78,6 +81,18 @@ AuditReport AuditParallelEquivalence(std::span<GradedSource* const> sources,
                                      const ScoringRule& rule,
                                      AuditedAlgorithm algorithm,
                                      const ParallelAuditOptions& options);
+
+/// Join-pipeline variant: builds the binary join of `left` and `right`
+/// twice — serial and under `options.parallel` — drains up to `emit`
+/// objects from each, and audits the same contract: bit-identical emitted
+/// streams, identical per-input random-access sequences, and the serial
+/// sorted log a prefix of the parallel one with overhang ≤ prefetch depth.
+/// (A pull round issues the round's two cross-probes after both heads are
+/// pulled, in both modes, so the per-input sequences agree exactly.)
+AuditReport AuditJoinParallelEquivalence(GradedSource* left,
+                                         GradedSource* right,
+                                         ScoringRulePtr rule, size_t emit,
+                                         const ParallelAuditOptions& options);
 
 }  // namespace fuzzydb
 

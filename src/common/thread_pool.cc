@@ -113,9 +113,12 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool* ThreadPool::Shared() {
-  static ThreadPool* pool = new ThreadPool(
-      std::max<size_t>(1, std::thread::hardware_concurrency()));
+  static ThreadPool* pool = new ThreadPool(HardwareConcurrency());
   return pool;
+}
+
+size_t ThreadPool::HardwareConcurrency() {
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
 }
 
 std::vector<ShardRange> MakeShards(size_t n, size_t shards) {

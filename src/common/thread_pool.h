@@ -93,6 +93,11 @@ class ThreadPool : public TaskExecutor {
   /// least one executor). Never destroyed before exit.
   static ThreadPool* Shared();
 
+  /// std::thread::hardware_concurrency clamped to >= 1 (the standard allows
+  /// 0 for "unknown"). The single definition of "is this host actually
+  /// parallel" — bench reports derive their contention_only flag from it.
+  static size_t HardwareConcurrency();
+
  private:
   void WorkerLoop();
 

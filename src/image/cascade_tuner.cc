@@ -60,26 +60,56 @@ TunedCascade CascadeTuner::Tune(
   std::vector<size_t> steps = options.step_grid;
   if (steps.empty()) steps.push_back(CascadeOptions{}.step);
 
+  const size_t executors =
+      options.pool != nullptr ? options.pool->executors() : 1;
+  std::vector<size_t> shard_counts = options.shard_grid;
+  if (shard_counts.empty()) {
+    shard_counts.push_back(1);
+    if (executors > 1) {
+      shard_counts.push_back(2);
+      if (executors > 2) shard_counts.push_back(executors);
+    }
+  }
+  for (size_t& s : shard_counts) s = std::max<size_t>(s, 1);
+  std::sort(shard_counts.begin(), shard_counts.end());
+  shard_counts.erase(std::unique(shard_counts.begin(), shard_counts.end()),
+                     shard_counts.end());
+
   const size_t k = std::max<size_t>(options.k, 1);
   bool first = true;
   for (size_t prefix : prefixes) {
     prefix = std::clamp<size_t>(prefix, 1, std::max<size_t>(store.dim(), 1));
     for (size_t step : steps) {
-      CascadeCandidate candidate;
-      candidate.options = {prefix, std::max<size_t>(step, 1)};
-      for (const std::vector<double>& target : calibration) {
-        store.CascadeKnn(target, k, candidate.options, &candidate.stats);
+      for (size_t shards : shard_counts) {
+        CascadeCandidate candidate;
+        candidate.options = {prefix, std::max<size_t>(step, 1)};
+        candidate.shards = shards;
+        for (const std::vector<double>& target : calibration) {
+          store.CascadeKnn(target, k, candidate.options, &candidate.stats,
+                           options.pool, shards);
+        }
+        // Sharding splits the measured work (which already includes the
+        // shard-local pruning penalty baked into the stats) across the
+        // executors it can actually use, and pays per-shard bookkeeping.
+        const double work = Cost(candidate.stats, prefix,
+                                 options.candidate_overhead,
+                                 calibration.size());
+        const double effective =
+            static_cast<double>(std::min(shards, executors));
+        candidate.cost = work / effective +
+                         options.shard_overhead *
+                             static_cast<double>(shards - 1);
+        // Strict <: ties keep the earlier (smaller prefix, smaller step,
+        // fewer shards) configuration, making the sweep order part of the
+        // contract — a 1-executor host deterministically tunes to 1 shard.
+        if (first || candidate.cost < result.cost) {
+          result.options = candidate.options;
+          result.shards = candidate.shards;
+          result.cost = candidate.cost;
+          first = false;
+        }
+        result.sweep.push_back(std::move(candidate));
       }
-      candidate.cost = Cost(candidate.stats, prefix,
-                            options.candidate_overhead, calibration.size());
-      // Strict <: ties keep the earlier (smaller prefix, smaller step)
-      // configuration, making the sweep order part of the contract.
-      if (first || candidate.cost < result.cost) {
-        result.options = candidate.options;
-        result.cost = candidate.cost;
-        first = false;
-      }
-      result.sweep.push_back(std::move(candidate));
     }
   }
   return result;

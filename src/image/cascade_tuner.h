@@ -26,10 +26,13 @@ namespace fuzzydb {
 /// One evaluated configuration of the tuning sweep.
 struct CascadeCandidate {
   CascadeOptions options;
+  /// Shard count this configuration was measured at (1 = unsharded).
+  size_t shards = 1;
   /// Counters summed over the calibration sample.
   CascadeStats stats;
   /// Modeled refinement cost per calibration query, in dimension
-  /// accumulations (see CascadeTuner::Cost).
+  /// accumulations (see CascadeTuner::Cost), divided by the effective
+  /// parallelism and charged for per-shard bookkeeping when shards > 1.
   double cost = 0.0;
 };
 
@@ -37,6 +40,8 @@ struct CascadeCandidate {
 /// diagnostics/benchmarks.
 struct TunedCascade {
   CascadeOptions options;
+  /// Winning shard count, to pass to the sharded CascadeKnn overload.
+  size_t shards = 1;
   double cost = 0.0;
   std::vector<CascadeCandidate> sweep;
 };
@@ -53,6 +58,20 @@ struct CascadeTunerOptions {
   /// Modeled bookkeeping cost of admitting one candidate into refinement,
   /// expressed in dimension accumulations.
   double candidate_overhead = 4.0;
+  /// Candidate shard counts (DESIGN §3f). Empty: {1}, widened to {1, 2,
+  /// executors} when `pool` offers real parallelism. Sharding never changes
+  /// answers (CascadeKnn is bit-identical at any shard count) but shifts
+  /// work: shard-local pruning does more refinements, spread over more
+  /// executors — the sweep measures that trade instead of modeling it.
+  std::vector<size_t> shard_grid;
+  /// Pool the production workload will run on; also used to measure the
+  /// sharded sweep points. Null: shards > 1 are charged full serial cost
+  /// (they can only lose, and the sweep shows by how much).
+  ThreadPool* pool = nullptr;
+  /// Modeled per-query cost of each extra shard (merge + duplicated
+  /// level-0 bookkeeping), in dimension accumulations. Keeps a 1-executor
+  /// host from "winning" with shards it cannot actually run concurrently.
+  double shard_overhead = 64.0;
 };
 
 class CascadeTuner {

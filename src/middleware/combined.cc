@@ -17,8 +17,13 @@ struct Partial {
 }  // namespace
 
 Result<TopKResult> CombinedTopK(std::span<GradedSource* const> sources,
-                                const ScoringRule& rule, size_t k,
-                                size_t h) {
+                                const ScoringRule& rule, size_t k, size_t h) {
+  return CombinedTopK(sources, rule, k, h, ParallelOptions{});
+}
+
+Result<TopKResult> CombinedTopK(std::span<GradedSource* const> sources,
+                                const ScoringRule& rule, size_t k, size_t h,
+                                const ParallelOptions& parallel) {
   FUZZYDB_RETURN_NOT_OK(ValidateTopKArgs(sources, &rule, k));
   if (h == 0) return Status::InvalidArgument("h must be >= 1");
   if (!rule.monotone()) {
@@ -28,12 +33,7 @@ Result<TopKResult> CombinedTopK(std::span<GradedSource* const> sources,
 
   const size_t m = sources.size();
   TopKResult result;
-  std::vector<CountingSource> counted;
-  counted.reserve(m);
-  for (GradedSource* s : sources) {
-    s->RestartSorted();
-    counted.emplace_back(s, &result.cost);
-  }
+  ParallelSourceSet set(sources, parallel);
 
   std::unordered_map<ObjectId, Partial> seen;
   std::vector<double> last_seen(m, 1.0);
@@ -52,10 +52,23 @@ Result<TopKResult> CombinedTopK(std::span<GradedSource* const> sources,
     }
     return rule.Apply(buf);
   };
+  // One resolution = at most one missing-grade probe per source, batched
+  // through ResolveProbes so a pool shards them by source. The serial
+  // fallback resolves in ascending j — exactly the historical loop — and a
+  // sharded run preserves each source's (single-probe) sequence, so
+  // per-source access logs are identical either way.
+  std::vector<ProbeList> probes(m);
+  std::vector<std::vector<double>> probe_rows;
   auto resolve = [&](ObjectId id, Partial* p) {
     for (size_t j = 0; j < m; ++j) {
+      probes[j].probes.clear();
+      if (!p->known[j]) probes[j].probes.push_back({0, id});
+    }
+    probe_rows.assign(1, std::vector<double>(m, 0.0));
+    ResolveProbes(set.counted(), probes, &probe_rows, set.pool());
+    for (size_t j = 0; j < m; ++j) {
       if (!p->known[j]) {
-        p->grades[j] = counted[j].RandomAccess(id);
+        p->grades[j] = probe_rows[0][j];
         p->known[j] = true;
         ++p->num_known;
       }
@@ -74,10 +87,14 @@ Result<TopKResult> CombinedTopK(std::span<GradedSource* const> sources,
     ++round;
     for (size_t j = 0; j < m; ++j) {
       if (done[j]) continue;
-      std::optional<GradedObject> next = counted[j].NextSorted();
+      std::optional<GradedObject> next = set.counted(j).NextSorted();
       if (!next.has_value()) {
         done[j] = true;
         ++exhausted;
+        // Fagin virtual credit (same as TA/NRA): an exhausted list grades
+        // every remaining object 0, so upper bounds must stop assuming its
+        // last real grade.
+        last_seen[j] = 0.0;
         continue;
       }
       last_seen[j] = next->grade;
@@ -167,6 +184,7 @@ Result<TopKResult> CombinedTopK(std::span<GradedSource* const> sources,
     if (!w.complete) result.grades_exact = false;
   }
   std::sort(result.items.begin(), result.items.end(), GradeDescending);
+  set.Finalize(&result);
   return result;
 }
 

@@ -11,6 +11,7 @@
 #ifndef FUZZYDB_MIDDLEWARE_COMBINED_H_
 #define FUZZYDB_MIDDLEWARE_COMBINED_H_
 
+#include "middleware/parallel.h"
 #include "middleware/topk.h"
 
 namespace fuzzydb {
@@ -22,6 +23,16 @@ namespace fuzzydb {
 Result<TopKResult> CombinedTopK(std::span<GradedSource* const> sources,
                                 const ScoringRule& rule, size_t k,
                                 size_t h = 1);
+
+/// Parallel CA (DESIGN §3f): the NRA-style sorted rounds run over
+/// PrefetchSource pipelines and the every-h-rounds resolution batches its
+/// (at most one per source) random probes through ResolveProbes. Per-source
+/// access sequences — and therefore consumed counts, bounds, and the
+/// returned top k — are identical to the serial loop at any prefetch depth
+/// and pool size; only AccessCost::prefetched varies.
+Result<TopKResult> CombinedTopK(std::span<GradedSource* const> sources,
+                                const ScoringRule& rule, size_t k, size_t h,
+                                const ParallelOptions& parallel);
 
 }  // namespace fuzzydb
 

@@ -6,6 +6,7 @@
 #ifndef FUZZYDB_MIDDLEWARE_COST_H_
 #define FUZZYDB_MIDDLEWARE_COST_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 
@@ -13,6 +14,27 @@
 #include "middleware/source.h"
 
 namespace fuzzydb {
+
+/// Per-access prices, in arbitrary cost units. Consumed by the optimizer's
+/// estimates, by CA's default random-access period, and by the adaptive
+/// prefetch-depth heuristic (DESIGN §3f).
+struct CostModel {
+  /// Cost of one sorted access.
+  double sorted_unit = 1.0;
+  /// Cost of one random access. Paper §4: in real systems this is usually
+  /// cheaper than a sorted access for an indexed subsystem, or far more
+  /// expensive when the subsystem must recompute a similarity score.
+  double random_unit = 1.0;
+};
+
+/// CA's random-access period h derived from the price ratio: spend one
+/// random-access resolution every h ≈ random_unit/sorted_unit sorted rounds,
+/// so the random budget tracks the sorted budget in charged cost. Never
+/// below 1 (h→0 is TA's regime, which CA reaches at h = 1 already).
+inline size_t DefaultCombinedPeriod(const CostModel& model) {
+  return static_cast<size_t>(std::max(
+      1.0, model.random_unit / std::max(model.sorted_unit, 1e-9)));
+}
 
 /// Counts of the two access modes, plus the speculative work the prefetch
 /// layer did on the algorithm's behalf.

@@ -8,6 +8,7 @@
 #include "middleware/filtered.h"
 #include "middleware/naive.h"
 #include "middleware/nra.h"
+#include "middleware/optimizer.h"
 #include "middleware/threshold.h"
 
 namespace fuzzydb {
@@ -105,6 +106,23 @@ Result<ExecutionResult> ExecuteTopK(QueryPtr query,
         "algorithm is correct");
   }
 
+  // Adaptive execution (DESIGN §3f): fill in the knobs the caller left at
+  // "auto" from the cost model's estimated access mix. Deriving can only
+  // pick knob values — never answers: every algorithm is bit-identical
+  // across depth/pool/period by the §3e determinism contract.
+  ParallelOptions parallel = options.parallel;
+  size_t combined_period = options.combined_period;
+  if (options.adaptive_cost_model.has_value()) {
+    const CostModel& model = *options.adaptive_cost_model;
+    if (parallel.pool != nullptr && parallel.prefetch_depth == 0) {
+      parallel.prefetch_depth =
+          DerivePrefetchDepth(algo, sources[0]->Size(), sources.size(), k,
+                              model, parallel.pool->executors());
+    }
+    if (combined_period == 0) combined_period = DefaultCombinedPeriod(model);
+  }
+  if (combined_period == 0) combined_period = 1;
+
   ExecutionResult out;
   out.algorithm_used = algo;
   Result<TopKResult> r = Status::Internal("unreachable");
@@ -113,22 +131,25 @@ Result<ExecutionResult> ExecuteTopK(QueryPtr query,
       r = NaiveTopK(sources, *rule, k);
       break;
     case Algorithm::kFagin:
-      r = FaginTopK(sources, *rule, k, options.parallel);
+      r = FaginTopK(sources, *rule, k, parallel);
       break;
     case Algorithm::kThreshold:
-      r = ThresholdTopK(sources, *rule, k, options.parallel);
+      r = ThresholdTopK(sources, *rule, k, parallel);
       break;
     case Algorithm::kNoRandomAccess:
-      r = NoRandomAccessTopK(sources, *rule, k, options.parallel);
+      r = NoRandomAccessTopK(sources, *rule, k, parallel);
       break;
-    case Algorithm::kFilteredSimulation:
-      r = FilteredSimulationTopK(sources, *rule, k);
+    case Algorithm::kFilteredSimulation: {
+      FilteredOptions filtered;
+      filtered.parallel = parallel;
+      r = FilteredSimulationTopK(sources, *rule, k, filtered);
       break;
+    }
     case Algorithm::kDisjunctionShortcut:
-      r = DisjunctionTopK(sources, k);
+      r = DisjunctionTopK(sources, k, parallel);
       break;
     case Algorithm::kCombined:
-      r = CombinedTopK(sources, *rule, k, options.combined_period);
+      r = CombinedTopK(sources, *rule, k, combined_period, parallel);
       break;
     case Algorithm::kAuto:
       return Status::Internal("auto algorithm not resolved");

@@ -9,6 +9,7 @@
 #define FUZZYDB_MIDDLEWARE_EXECUTOR_H_
 
 #include <functional>
+#include <optional>
 
 #include "core/query.h"
 #include "middleware/parallel.h"
@@ -48,12 +49,22 @@ struct ExecutorOptions {
   /// Seed for the empirical check.
   uint64_t verify_seed = 42;
   /// CA's random-access period h (used when algorithm == kCombined);
-  /// typically the random/sorted price ratio.
-  size_t combined_period = 1;
-  /// Parallel execution layer for A0/TA/NRA plans (prefetch + batched
-  /// random access); the default is fully serial. Answers and consumed
-  /// access counts are identical either way (DESIGN §3e).
+  /// typically the random/sorted price ratio. 0 means "derive": from
+  /// `adaptive_cost_model`'s price ratio when present, else 1.
+  size_t combined_period = 0;
+  /// Parallel execution layer (prefetch + batched random access), threaded
+  /// uniformly through every algorithm — A0/TA/NRA/CA, the filter
+  /// simulation, and the disjunction shortcut; the default is fully serial.
+  /// Answers and consumed access counts are identical either way (DESIGN
+  /// §3e/§3f).
   ParallelOptions parallel;
+  /// Adaptive execution (DESIGN §3f): when set, the executor derives the
+  /// knobs the caller left at their "auto" values from this price model —
+  /// prefetch depth (when `parallel` has a pool but depth 0) follows the
+  /// plan's estimated access mix via DerivePrefetchDepth, and CA's period
+  /// (when combined_period == 0) is the price ratio. Never overrides a
+  /// depth or period the caller pinned explicitly.
+  std::optional<CostModel> adaptive_cost_model;
 };
 
 /// Chosen plan plus the result.

@@ -29,8 +29,8 @@ bool IsPureMaxDisjunction(const Query& query) {
 
 }  // namespace
 
-Result<double> EstimateCost(Algorithm algorithm, size_t n, size_t m, size_t k,
-                            const CostModel& model) {
+Result<AccessMix> EstimateAccessMix(Algorithm algorithm, size_t n, size_t m,
+                                    size_t k, const CostModel& model) {
   if (n == 0 || m == 0 || k == 0) {
     return Status::InvalidArgument("n, m, k must all be positive");
   }
@@ -40,36 +40,61 @@ Result<double> EstimateCost(Algorithm algorithm, size_t n, size_t m, size_t k,
   const double depth = ExpectedDepth(n, m, k);
   switch (algorithm) {
     case Algorithm::kNaive:
-      return md * nd * model.sorted_unit;
+      return AccessMix{md * nd, 0.0};
     case Algorithm::kFagin:
     case Algorithm::kThreshold:
       // ~m*depth sorted accesses; each distinct object seen (≈ m*depth for
       // small depth/N) needs its missing grades via random access: about
       // (m-1) random probes per seen object.
-      return md * depth * model.sorted_unit +
-             md * depth * (md - 1.0) * model.random_unit;
+      return AccessMix{md * depth, md * depth * (md - 1.0)};
     case Algorithm::kNoRandomAccess:
       // NRA reads somewhat deeper (constant factor ~2 observed in E7) but
       // performs no random access at all.
-      return 2.0 * md * depth * model.sorted_unit;
+      return AccessMix{2.0 * md * depth, 0.0};
     case Algorithm::kDisjunctionShortcut:
-      return md * kd * model.sorted_unit;
+      return AccessMix{md * kd, 0.0};
     case Algorithm::kFilteredSimulation:
       // One successful round fetches ~m*depth objects; budget one restart.
-      return 2.0 * md * depth * model.sorted_unit +
-             md * depth * (md - 1.0) * model.random_unit;
+      return AccessMix{2.0 * md * depth, md * depth * (md - 1.0)};
     case Algorithm::kCombined: {
       // NRA-style sorted work, with one (m-1)-probe resolution every
       // h = max(1, random/sorted) rounds.
       double h = std::max(1.0, model.random_unit /
                                    std::max(model.sorted_unit, 1e-9));
-      return 1.5 * md * depth * model.sorted_unit +
-             (md * depth / h) * (md - 1.0) * model.random_unit;
+      return AccessMix{1.5 * md * depth, (md * depth / h) * (md - 1.0)};
     }
     case Algorithm::kAuto:
       return Status::InvalidArgument("kAuto has no cost of its own");
   }
   return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<double> EstimateCost(Algorithm algorithm, size_t n, size_t m, size_t k,
+                            const CostModel& model) {
+  Result<AccessMix> mix = EstimateAccessMix(algorithm, n, m, k, model);
+  if (!mix.ok()) return mix.status();
+  return mix->sorted * model.sorted_unit + mix->random * model.random_unit;
+}
+
+size_t DerivePrefetchDepth(Algorithm algorithm, size_t n, size_t m, size_t k,
+                           const CostModel& model, size_t executors) {
+  if (executors <= 1) return 0;  // nothing to overlap with
+  Result<AccessMix> mix = EstimateAccessMix(algorithm, n, m, k, model);
+  if (!mix.ok()) return 0;
+  const double sorted_cost = mix->sorted * model.sorted_unit;
+  const double total = sorted_cost + mix->random * model.random_unit;
+  if (total <= 0.0) return 0;
+  const double sorted_share = sorted_cost / total;
+  // Random-dominated plans gain little from running ahead on the sorted
+  // streams; keep the pipeline (depth 1) but skip deep speculation.
+  if (sorted_share < 0.5) return 1;
+  // Sorted-dominated: enough ring-buffer depth to keep every executor busy,
+  // scaled by how much of the cost the prefetcher can actually overlap.
+  const double target =
+      4.0 * static_cast<double>(executors) * sorted_share;
+  size_t depth = 2;
+  while (depth < 64 && static_cast<double>(depth) < target) depth *= 2;
+  return depth;
 }
 
 Result<PlanChoice> ChoosePlan(const Query& query, size_t n, size_t k,
@@ -91,12 +116,21 @@ Result<PlanChoice> ChoosePlan(const Query& query, size_t n, size_t k,
   }
 
   PlanChoice choice;
+  choice.combined_period = DefaultCombinedPeriod(model);
   double best = 0.0;
   bool first = true;
   for (Algorithm algo : candidates) {
     Result<double> est = EstimateCost(algo, n, m, k, model);
     if (!est.ok()) return est.status();
-    choice.considered.emplace_back(AlgorithmName(algo), *est);
+    // (built up with += to dodge a GCC-12 -Wrestrict false positive on
+    // `const char* + std::string&&`)
+    std::string label = AlgorithmName(algo);
+    if (algo == Algorithm::kCombined) {
+      label += "(h=";
+      label += std::to_string(choice.combined_period);
+      label += ")";
+    }
+    choice.considered.emplace_back(std::move(label), *est);
     if (first || *est < best) {
       best = *est;
       choice.algorithm = algo;
@@ -110,7 +144,8 @@ Result<PlanChoice> ChoosePlan(const Query& query, size_t n, size_t k,
 Result<ExecutionResult> ExecuteOptimized(QueryPtr query,
                                          const SourceResolver& resolver,
                                          size_t k, const CostModel& model,
-                                         PlanChoice* choice) {
+                                         PlanChoice* choice,
+                                         const ParallelOptions& parallel) {
   if (query == nullptr) return Status::InvalidArgument("null query");
 
   // Need N: resolve the first atom and ask its source.
@@ -128,8 +163,11 @@ Result<ExecutionResult> ExecuteOptimized(QueryPtr query,
 
   ExecutorOptions options;
   options.algorithm = plan->algorithm;
-  options.combined_period = static_cast<size_t>(std::max(
-      1.0, model.random_unit / std::max(model.sorted_unit, 1e-9)));
+  options.combined_period = plan->combined_period;
+  options.parallel = parallel;
+  // The adaptive layer (DESIGN §3f): hand the executor the price model it
+  // planned under, so prefetch depth can follow the estimated access mix.
+  options.adaptive_cost_model = model;
   return ExecuteTopK(std::move(query), resolver, k, options);
 }
 

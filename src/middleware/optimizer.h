@@ -22,32 +22,61 @@
 
 namespace fuzzydb {
 
-/// Per-access prices, in arbitrary cost units.
-struct CostModel {
-  /// Cost of one sorted access.
-  double sorted_unit = 1.0;
-  /// Cost of one random access. Paper §4: in real systems this is usually
-  /// cheaper than a sorted access for an indexed subsystem, or far more
-  /// expensive when the subsystem must recompute a similarity score.
-  double random_unit = 1.0;
-};
+// CostModel lives in middleware/cost.h (next to AccessCost) so the executor
+// and the parallel layer can consume prices without depending on the
+// planner.
 
 /// What the optimizer decided and why.
 struct PlanChoice {
   Algorithm algorithm = Algorithm::kNaive;
   /// Estimated charged cost of the chosen plan.
   double estimated_cost = 0.0;
+  /// CA's random-access period implied by the price model (meaningful for
+  /// every plan, used when the chosen algorithm is kCombined).
+  size_t combined_period = 1;
   /// Estimated charged cost of each considered alternative, keyed by
-  /// AlgorithmName(), for EXPLAIN-style output.
+  /// AlgorithmName() — except CA, which is listed as "ca(h=N)" so EXPLAIN
+  /// output shows the period the estimate assumed.
   std::vector<std::pair<std::string, double>> considered;
 };
 
+/// Expected *counts* of each access mode — the estimate behind EstimateCost,
+/// exposed separately so the adaptive layer can ask "do sorted accesses
+/// dominate?" without re-deriving the formulas.
+struct AccessMix {
+  double sorted = 0.0;
+  double random = 0.0;
+};
+
+/// Expected access counts of running `algorithm` for a top-k query over m
+/// lists of n objects. CA's split depends on `model` (its period h is the
+/// price ratio); every other algorithm's counts are price-independent.
+/// InvalidArgument for kAuto or inapplicable algorithms at these parameters.
+Result<AccessMix> EstimateAccessMix(Algorithm algorithm, size_t n, size_t m,
+                                    size_t k, const CostModel& model);
+
 /// Estimated charged cost of running `algorithm` for a top-k query over m
-/// lists of n objects under `model`. Estimates assume independent grades
-/// (Theorem 4.1's setting); InvalidArgument for kAuto or inapplicable
-/// algorithms at these parameters.
+/// lists of n objects under `model`: the AccessMix priced per access.
+/// Estimates assume independent grades (Theorem 4.1's setting);
+/// InvalidArgument for kAuto or inapplicable algorithms at these parameters.
 Result<double> EstimateCost(Algorithm algorithm, size_t n, size_t m, size_t k,
                             const CostModel& model);
+
+/// Strips a considered-plan label back to its AlgorithmName(): "ca(h=4)" →
+/// "ca", anything without parameters unchanged. For matching considered
+/// entries against a chosen algorithm in EXPLAIN output and benches.
+inline std::string ConsideredBaseName(const std::string& label) {
+  return label.substr(0, label.find('('));
+}
+
+/// Prefetch depth for the parallel layer, derived from the cost estimate
+/// (DESIGN §3f): 0 (no prefetch) when the pool has a single executor or the
+/// estimate is unavailable; 1 (pipeline only, no speculation depth) when
+/// random accesses dominate the charged cost; otherwise a power of two
+/// scaled to executors × sorted-cost share, clamped to [2, 64]. Deep
+/// speculation only pays when sorted access is the dominant cost.
+size_t DerivePrefetchDepth(Algorithm algorithm, size_t n, size_t m, size_t k,
+                           const CostModel& model, size_t executors);
 
 /// Picks the cheapest estimated plan that is *correct* for `query`:
 /// non-monotone queries only consider naive; flat max-disjunctions also
@@ -57,10 +86,15 @@ Result<PlanChoice> ChoosePlan(const Query& query, size_t n, size_t k,
                               const CostModel& model);
 
 /// Convenience: ChoosePlan then ExecuteTopK with the chosen algorithm.
+/// `parallel` (pool/executor) is threaded through to the executor; its
+/// prefetch depth, when left at 0 with a pool attached, is derived from the
+/// plan's cost estimate (adaptive execution, DESIGN §3f). CA's period comes
+/// from the plan.
 Result<ExecutionResult> ExecuteOptimized(QueryPtr query,
                                          const SourceResolver& resolver,
                                          size_t k, const CostModel& model,
-                                         PlanChoice* choice = nullptr);
+                                         PlanChoice* choice = nullptr,
+                                         const ParallelOptions& parallel = {});
 
 }  // namespace fuzzydb
 

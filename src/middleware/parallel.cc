@@ -135,15 +135,17 @@ std::string PrefetchSource::name() const {
   return state_->inner->name();
 }
 
-void ResolveProbes(std::span<CountingSource> counted,
-                   std::span<const ProbeList> probes,
-                   std::vector<std::vector<double>>* rows, ThreadPool* pool) {
-  const size_t m = counted.size();
+namespace {
+
+// Shared sharding skeleton: `probe(l, row, id)` resolves one probe against
+// source l. One thread per source, so probes stay in discovery order and
+// per-source state (cost tallies, cursors) is never touched concurrently.
+template <typename ProbeFn>
+void ResolveProbesImpl(size_t m, std::span<const ProbeList> probes,
+                       ThreadPool* pool, const ProbeFn& probe) {
   auto resolve_source = [&](size_t l) {
-    // One thread per source: probes stay in discovery order and the
-    // per-source cost tally is only ever touched from here.
     for (const auto& [row, id] : probes[l].probes) {
-      (*rows)[row][l] = counted[l].RandomAccess(id);
+      probe(l, row, id);
     }
   };
   size_t total = 0;
@@ -153,6 +155,26 @@ void ResolveProbes(std::span<CountingSource> counted,
   } else {
     for (size_t l = 0; l < m; ++l) resolve_source(l);
   }
+}
+
+}  // namespace
+
+void ResolveProbes(std::span<CountingSource> counted,
+                   std::span<const ProbeList> probes,
+                   std::vector<std::vector<double>>* rows, ThreadPool* pool) {
+  ResolveProbesImpl(counted.size(), probes, pool,
+                    [&](size_t l, size_t row, ObjectId id) {
+                      (*rows)[row][l] = counted[l].RandomAccess(id);
+                    });
+}
+
+void ResolveProbes(std::span<GradedSource* const> sources,
+                   std::span<const ProbeList> probes,
+                   std::vector<std::vector<double>>* rows, ThreadPool* pool) {
+  ResolveProbesImpl(sources.size(), probes, pool,
+                    [&](size_t l, size_t row, ObjectId id) {
+                      (*rows)[row][l] = sources[l]->RandomAccess(id);
+                    });
 }
 
 ParallelSourceSet::ParallelSourceSet(std::span<GradedSource* const> sources,

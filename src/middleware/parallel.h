@@ -132,6 +132,14 @@ void ResolveProbes(std::span<CountingSource> counted,
                    std::span<const ProbeList> probes,
                    std::vector<std::vector<double>>* rows, ThreadPool* pool);
 
+/// Same contract over raw sources, for callers that do their own cost
+/// accounting (the join pipeline, the selective-conjunct plan). `sources[l]`
+/// must be safe to probe concurrently with the other sources — each source
+/// is still only ever touched by one thread at a time.
+void ResolveProbes(std::span<GradedSource* const> sources,
+                   std::span<const ProbeList> probes,
+                   std::vector<std::vector<double>>* rows, ThreadPool* pool);
+
 /// Per-run source scaffolding shared by A0/TA/NRA: wraps each raw source in
 /// an optional PrefetchSource (when options ask for prefetching) under a
 /// CountingSource charging a per-source AccessCost, restarts the sorted

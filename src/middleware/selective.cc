@@ -22,7 +22,8 @@ bool CheckZeroAnnihilation(const ScoringRule& rule, size_t m, size_t samples,
 
 Result<TopKResult> SelectiveProbeTopK(GradedSource* selective,
                                       std::span<GradedSource* const> others,
-                                      const ScoringRule& rule, size_t k) {
+                                      const ScoringRule& rule, size_t k,
+                                      const ParallelOptions& parallel) {
   if (selective == nullptr) {
     return Status::InvalidArgument("null selective source");
   }
@@ -43,10 +44,24 @@ Result<TopKResult> SelectiveProbeTopK(GradedSource* selective,
 
   const size_t m = all.size();
   TopKResult result;
-  CountingSource counted_sel(selective, &result.cost);
+  // Per-source tallies (summed at the end): phase 2's probes may resolve on
+  // pool threads, one source per thread.
+  std::vector<AccessCost> per_source(m);
+  // Phase 1 only streams the selective list, so it is the only input worth
+  // a prefetch pipeline; the others are pure random-access targets.
+  std::unique_ptr<PrefetchSource> prefetch;
+  GradedSource* sel_input = selective;
+  if (parallel.prefetch_depth > 0) {
+    prefetch = std::make_unique<PrefetchSource>(
+        selective, parallel.prefetch_depth, parallel.EffectiveExecutor());
+    sel_input = prefetch.get();
+  }
+  CountingSource counted_sel(sel_input, &per_source[0]);
   std::vector<CountingSource> counted_others;
   counted_others.reserve(others.size());
-  for (GradedSource* s : others) counted_others.emplace_back(s, &result.cost);
+  for (size_t j = 0; j < others.size(); ++j) {
+    counted_others.emplace_back(others[j], &per_source[j + 1]);
+  }
 
   // Phase 1: stream the selective list's support S (grades > 0).
   counted_sel.RestartSorted();
@@ -65,16 +80,28 @@ Result<TopKResult> SelectiveProbeTopK(GradedSource* selective,
     }
   }
 
-  // Phase 2: random-probe the other conjuncts for every member of S.
+  // Phase 2: random-probe the other conjuncts for every member of S, as one
+  // ResolveProbes batch — each conjunct's probes stay in match order (the
+  // serial sequence), sharded by source across the pool.
+  std::vector<ProbeList> probes(counted_others.size());
+  for (ProbeList& p : probes) p.probes.reserve(matches.size());
+  std::vector<std::vector<double>> rows(
+      matches.size(), std::vector<double>(counted_others.size(), 0.0));
+  for (size_t i = 0; i < matches.size(); ++i) {
+    for (size_t j = 0; j < counted_others.size(); ++j) {
+      probes[j].probes.push_back({i, matches[i].id});
+    }
+  }
+  ResolveProbes(std::span<CountingSource>(counted_others), probes, &rows,
+                parallel.pool);
+
   std::vector<double> scores(m);
   std::vector<GradedObject> candidates;
   candidates.reserve(matches.size());
-  for (const GradedObject& g : matches) {
-    scores[0] = g.grade;
-    for (size_t j = 0; j + 1 < m; ++j) {
-      scores[j + 1] = counted_others[j].RandomAccess(g.id);
-    }
-    candidates.push_back({g.id, rule.Apply(scores)});
+  for (size_t i = 0; i < matches.size(); ++i) {
+    scores[0] = matches[i].grade;
+    for (size_t j = 0; j + 1 < m; ++j) scores[j + 1] = rows[i][j];
+    candidates.push_back({matches[i].id, rule.Apply(scores)});
   }
 
   // Phase 3: top-k over S, padded with grade-0 non-matches if needed.
@@ -85,6 +112,11 @@ Result<TopKResult> SelectiveProbeTopK(GradedSource* selective,
     candidates.push_back(filler);
   }
   result.items = std::move(candidates);
+  if (prefetch != nullptr) {
+    per_source[0].prefetched += prefetch->Quiesce().wasted();
+  }
+  for (const AccessCost& c : per_source) result.cost += c;
+  result.per_source = std::move(per_source);
   return result;
 }
 

@@ -54,9 +54,13 @@ std::string FormatPlan(const PlanChoice& choice) {
      << "  (estimated cost " << std::fixed << std::setprecision(1)
      << choice.estimated_cost << ")\n";
   for (const auto& [name, cost] : choice.considered) {
+    // CA is listed as "ca(h=N)"; match on the base name so the chosen
+    // marker still lands on it.
     os << "  considered " << std::setw(12) << std::left << name
        << std::right << "  est " << std::setprecision(1) << cost
-       << (name == AlgorithmName(choice.algorithm) ? "   <= chosen" : "")
+       << (ConsideredBaseName(name) == AlgorithmName(choice.algorithm)
+               ? "   <= chosen"
+               : "")
        << "\n";
   }
   return os.str();

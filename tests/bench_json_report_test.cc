@@ -70,5 +70,55 @@ TEST(JsonReportTest, PrecisionSurvivesRoundTripishValues) {
   EXPECT_NE(report.ToString().find("3.141592654"), std::string::npos);
 }
 
+TEST(JsonReportTest, FormatsBooleans) {
+  JsonReport report;
+  report.Set("yes", true);
+  report.Set("no", false);
+  EXPECT_EQ(report.ToString(),
+            "{\n"
+            "  \"yes\": true,\n"
+            "  \"no\": false\n"
+            "}\n");
+}
+
+TEST(JsonReportTest, SetHostParallelismStampsFlagAndConcurrency) {
+  JsonReport single;
+  EXPECT_TRUE(single.SetHostParallelism(1));
+  EXPECT_EQ(single.Lookup("contention_only"), "true");
+  EXPECT_EQ(single.Lookup("config.hardware_concurrency"), "1");
+
+  JsonReport multi;
+  EXPECT_FALSE(multi.SetHostParallelism(8));
+  EXPECT_EQ(multi.Lookup("contention_only"), "false");
+  EXPECT_EQ(multi.Lookup("config.hardware_concurrency"), "8");
+}
+
+TEST(JsonReportTest, LookupReturnsEmptyForAbsentAndLastWriteForDuplicates) {
+  JsonReport report;
+  EXPECT_EQ(report.Lookup("missing"), "");
+  report.Set("k", static_cast<size_t>(1));
+  report.Set("k", static_cast<size_t>(2));
+  EXPECT_EQ(report.Lookup("k"), "2");
+}
+
+TEST(JsonReportTest, DowngradeGuardFiresOnlyForMultiCoreOverwrites) {
+  // A contention-only report must not silently replace a multi-core one...
+  JsonReport multi;
+  multi.SetHostParallelism(8);
+  EXPECT_TRUE(JsonReport::WouldDowngrade(multi.ToString(),
+                                         /*new_contention_only=*/true));
+  // ...but every other combination writes through: multi-core over anything,
+  // contention-only over contention-only, and anything over a legacy file
+  // with no flag at all.
+  EXPECT_FALSE(JsonReport::WouldDowngrade(multi.ToString(),
+                                          /*new_contention_only=*/false));
+  JsonReport single;
+  single.SetHostParallelism(1);
+  EXPECT_FALSE(JsonReport::WouldDowngrade(single.ToString(),
+                                          /*new_contention_only=*/true));
+  EXPECT_FALSE(JsonReport::WouldDowngrade("{\n}\n",
+                                          /*new_contention_only=*/true));
+}
+
 }  // namespace
 }  // namespace fuzzydb

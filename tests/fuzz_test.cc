@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "middleware/combined.h"
+#include "middleware/join.h"
 #include "middleware/parallel.h"
 #include "middleware/threshold.h"
 #include "relational/btree.h"
@@ -262,6 +264,97 @@ TEST(ParallelFuzzTest, ParallelTaMatchesSerialUnderHostileSchedules) {
           << "seed " << seed << " source " << j;
       EXPECT_EQ(serial->per_source[j].random, parallel->per_source[j].random)
           << "seed " << seed << " source " << j;
+    }
+  }
+}
+
+TEST(ParallelFuzzTest, ParallelCaMatchesSerialUnderHostileSchedules) {
+  // CA's mixed shape — NRA-style rounds plus a batched random-access
+  // resolution every h rounds — under the hostile scheduler: items, grades,
+  // and per-source consumed counts must match serial for every seed, h,
+  // and depth, including truncated/empty sources.
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(6200 + seed);
+    size_t n = 50 + rng.NextBounded(200);
+    size_t m = 2 + rng.NextBounded(3);
+    Workload w = (seed % 2 == 0) ? IndependentUniform(&rng, n, m)
+                                 : QuantizedUniform(&rng, n, m, 3);
+    Result<std::vector<VectorSource>> sources = w.MakeSources();
+    if (seed % 5 == 4) {
+      // Unequal/empty lists: one full, one short, the rest empty.
+      std::vector<size_t> lengths(m, 0);
+      lengths[0] = n;
+      if (m > 1) lengths[1] = 1 + rng.NextBounded(n);
+      sources = MakeTruncatedSources(w, lengths);
+    }
+    ASSERT_TRUE(sources.ok());
+    std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+    size_t k = 1 + rng.NextBounded(8);
+    size_t h = 1 + rng.NextBounded(6);
+
+    Result<TopKResult> serial = CombinedTopK(ptrs, *MinRule(), k, h);
+    ASSERT_TRUE(serial.ok());
+
+    ShuffledExecutor executor(8800 + seed);
+    ParallelOptions options;
+    options.prefetch_depth = 1 + rng.NextBounded(16);
+    options.executor = &executor;
+    Result<TopKResult> parallel =
+        CombinedTopK(ptrs, *MinRule(), k, h, options);
+    ASSERT_TRUE(parallel.ok());
+
+    ASSERT_EQ(serial->items.size(), parallel->items.size()) << seed;
+    for (size_t r = 0; r < serial->items.size(); ++r) {
+      EXPECT_EQ(serial->items[r].id, parallel->items[r].id) << seed;
+      EXPECT_EQ(serial->items[r].grade, parallel->items[r].grade) << seed;
+    }
+    ASSERT_EQ(serial->per_source.size(), parallel->per_source.size());
+    for (size_t j = 0; j < serial->per_source.size(); ++j) {
+      EXPECT_EQ(serial->per_source[j].sorted, parallel->per_source[j].sorted)
+          << "seed " << seed << " h " << h << " source " << j;
+      EXPECT_EQ(serial->per_source[j].random, parallel->per_source[j].random)
+          << "seed " << seed << " h " << h << " source " << j;
+    }
+  }
+}
+
+TEST(ParallelFuzzTest, ParallelJoinMatchesSerialUnderHostileSchedules) {
+  // The join pipeline under the hostile scheduler: the emitted stream of
+  // join(A, B) with shuffled-executor prefetch must be bit-identical to the
+  // serial stream for every seed and depth.
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(7300 + seed);
+    size_t n = 30 + rng.NextBounded(150);
+    Workload w = (seed % 2 == 0) ? IndependentUniform(&rng, n, 2)
+                                 : QuantizedUniform(&rng, n, 2, 3);
+    Result<std::vector<VectorSource>> sources = w.MakeSources();
+    ASSERT_TRUE(sources.ok());
+    size_t emit = 1 + rng.NextBounded(20);
+
+    auto drain = [&](const ParallelOptions& options) {
+      Result<TopKJoinSource> join = TopKJoinSource::Create(
+          &(*sources)[0], &(*sources)[1], MinRule(), "fuzz-join", options);
+      EXPECT_TRUE(join.ok());
+      std::vector<GradedObject> out;
+      while (out.size() < emit) {
+        std::optional<GradedObject> next = join->NextSorted();
+        if (!next.has_value()) break;
+        out.push_back(*next);
+      }
+      return out;
+    };
+
+    std::vector<GradedObject> serial = drain(ParallelOptions{});
+    ShuffledExecutor executor(9900 + seed);
+    ParallelOptions options;
+    options.prefetch_depth = 1 + rng.NextBounded(16);
+    options.executor = &executor;
+    std::vector<GradedObject> parallel = drain(options);
+
+    ASSERT_EQ(serial.size(), parallel.size()) << seed;
+    for (size_t r = 0; r < serial.size(); ++r) {
+      EXPECT_EQ(serial[r].id, parallel[r].id) << "seed " << seed;
+      EXPECT_EQ(serial[r].grade, parallel[r].grade) << "seed " << seed;
     }
   }
 }

@@ -202,6 +202,47 @@ TEST_F(ParallelKernelTest, TunerNeverChangesAnswers) {
   }
 }
 
+TEST_F(ParallelKernelTest, TunerSweepsShardCountsWhenGivenAPool) {
+  std::vector<std::vector<double>> calibration(targets_.begin(),
+                                               targets_.begin() + 2);
+  ThreadPool pool(4);
+  CascadeTunerOptions options;
+  options.k = 10;
+  options.pool = &pool;
+  TunedCascade tuned = CascadeTuner::Tune(store_, qfd_.eigenvalues(),
+                                          calibration, options);
+  // The default shard grid widens to {1, 2, executors} with a real pool, so
+  // the sweep must contain multi-shard candidates and the winner must still
+  // be the sweep minimum.
+  bool saw_multi_shard = false;
+  for (const CascadeCandidate& c : tuned.sweep) {
+    if (c.shards > 1) saw_multi_shard = true;
+    EXPECT_LE(tuned.cost, c.cost);
+  }
+  EXPECT_TRUE(saw_multi_shard);
+  EXPECT_GE(tuned.shards, 1u);
+  // Whatever shard count wins, answers stay exact.
+  std::vector<std::pair<size_t, double>> exact =
+      store_.ExactKnn(targets_[3], 10);
+  ExpectIdentical(store_.CascadeKnn(targets_[3], 10, tuned.options, nullptr,
+                                    &pool, tuned.shards),
+                  exact, "tuned sharded winner");
+}
+
+TEST_F(ParallelKernelTest, TunerPrefersOneShardWithoutRealParallelism) {
+  // No pool: extra shards are charged full serial cost plus overhead, so
+  // they can only lose and the deterministic tie-break keeps shards=1. This
+  // is the 1-executor-host guarantee from DESIGN §3f.
+  std::vector<std::vector<double>> calibration(targets_.begin(),
+                                               targets_.begin() + 2);
+  CascadeTunerOptions options;
+  options.k = 10;
+  options.shard_grid = {1, 2, 4};
+  TunedCascade tuned = CascadeTuner::Tune(store_, qfd_.eigenvalues(),
+                                          calibration, options);
+  EXPECT_EQ(tuned.shards, 1u);
+}
+
 TEST_F(ParallelKernelTest, SpectrumPrefixesFollowTheEigenmass) {
   // Steep spectrum: one dominant eigenvalue -> short prefixes everywhere.
   std::vector<double> steep{100.0, 1.0, 0.5, 0.25, 0.1};

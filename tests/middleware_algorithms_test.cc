@@ -232,9 +232,9 @@ TEST(FilteredTest, ReportsRoundsAndShrinks) {
   Result<GradedSet> truth = NaiveAllGrades(ptrs, *MinRule());
   ASSERT_TRUE(truth.ok());
   EXPECT_TRUE(IsValidTopK(r->items, *truth, 10));
-  EXPECT_FALSE(FilteredSimulationTopK(ptrs, *MinRule(), 10,
-                                      {.initial_alpha = 1.5})
-                   .ok());
+  FilteredOptions bad;
+  bad.initial_alpha = 1.5;
+  EXPECT_FALSE(FilteredSimulationTopK(ptrs, *MinRule(), 10, bad).ok());
 }
 
 TEST(FilteredTest, UniformEstimateStrategyIsNearOptimal) {
@@ -259,8 +259,9 @@ TEST(FilteredTest, UniformEstimateStrategyIsNearOptimal) {
   EXPECT_LE(stats.rounds, 3u);
   // Within a small factor of true A0 on uniform data.
   EXPECT_LT(r->cost.total(), 5u * a0->cost.total());
-  EXPECT_FALSE(
-      FilteredSimulationTopK(ptrs, *MinRule(), 10, {.safety = 0.5}).ok());
+  FilteredOptions bad;
+  bad.safety = 0.5;
+  EXPECT_FALSE(FilteredSimulationTopK(ptrs, *MinRule(), 10, bad).ok());
 }
 
 TEST(WeightedAlgorithmsTest, FaginStaysCorrectWithWeightedRules) {

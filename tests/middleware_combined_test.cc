@@ -86,6 +86,37 @@ TEST(CombinedTest, RandomAccessDecreasesWithPeriod) {
   EXPECT_LE(ca_inf->cost.sorted, nra->cost.sorted * 2);
 }
 
+TEST(CombinedTest, TruncatedAndEmptySourcesGetVirtualCredit) {
+  // Exhausted lists contribute last_seen = 0 to the upper bounds (the
+  // Fagin virtual-credit rule TA and NRA already apply), so CA halts
+  // instead of spinning, and still certifies a correct top-k of whatever
+  // objects exist — including the all-but-one-empty and all-empty cases.
+  Rng rng(1129);
+  Workload w = IndependentUniform(&rng, 200, 3);
+  for (const std::vector<size_t>& lengths :
+       {std::vector<size_t>{200, 30, 0}, std::vector<size_t>{200, 0, 0},
+        std::vector<size_t>{0, 0, 0}}) {
+    Result<std::vector<VectorSource>> sources =
+        MakeTruncatedSources(w, lengths);
+    ASSERT_TRUE(sources.ok());
+    std::vector<GradedSource*> ptrs = SourcePtrs(*sources);
+    Result<GradedSet> truth = NaiveAllGrades(ptrs, *MinRule());
+    ASSERT_TRUE(truth.ok());
+    for (size_t h : {1u, 2u, 64u}) {
+      Result<TopKResult> r = CombinedTopK(ptrs, *MinRule(), 10, h);
+      ASSERT_TRUE(r.ok()) << "h=" << h;
+      std::vector<GradedObject> expected = truth->TopK(10);
+      ASSERT_EQ(r->items.size(), expected.size()) << "h=" << h;
+      if (!expected.empty()) {
+        double kth = expected.back().grade;
+        for (const GradedObject& g : r->items) {
+          EXPECT_GE(*truth->GradeOf(g.id), kth - 1e-12) << "h=" << h;
+        }
+      }
+    }
+  }
+}
+
 TEST(CombinedTest, SmallPeriodCanTerminateEarlierThanNRA) {
   // Resolving blockers with random access lets CA stop at a shallower
   // sorted depth than pure NRA on at least some instances.

@@ -4,7 +4,9 @@
 
 #include <set>
 
+#include "common/thread_pool.h"
 #include "middleware/composite_rule.h"
+#include "middleware/cost.h"
 #include "middleware/naive.h"
 #include "sim/experiment.h"
 #include "sim/workload.h"
@@ -169,6 +171,99 @@ TEST_F(ExecutorTest, SingleAtomTopK) {
   Result<GradedSet> truth = NaiveAllGrades(one, *MinRule());
   ASSERT_TRUE(truth.ok());
   EXPECT_TRUE(IsValidTopK(r->topk.items, *truth, 3));
+}
+
+TEST_F(ExecutorTest, CombinedRunsThroughExecutorAndStaysCorrect) {
+  QueryPtr q = Query::And({Query::Atomic("A", "x"), Query::Atomic("B", "y")});
+  ScoringRulePtr rule = CompositeQueryRule(q);
+  std::vector<GradedSource*> ptrs = {&sources_[0], &sources_[1]};
+  Result<GradedSet> truth = NaiveAllGrades(ptrs, *rule);
+  ASSERT_TRUE(truth.ok());
+  for (size_t h : {size_t{1}, size_t{3}}) {
+    ExecutorOptions options;
+    options.algorithm = Algorithm::kCombined;
+    options.combined_period = h;
+    Result<ExecutionResult> r = ExecuteTopK(q, resolver_, 7, options);
+    ASSERT_TRUE(r.ok()) << "h=" << h;
+    EXPECT_EQ(r->algorithm_used, Algorithm::kCombined);
+    EXPECT_TRUE(IsValidTopK(r->topk.items, *truth, 7)) << "h=" << h;
+  }
+}
+
+TEST_F(ExecutorTest, AdaptiveCostModelDerivesCombinedPeriod) {
+  // combined_period 0 means "derive": with a price model attached, CA's h
+  // becomes the random/sorted price ratio; the run must be correct and
+  // match an explicit run at that h, access count for access count.
+  QueryPtr q = Query::And({Query::Atomic("A", "x"), Query::Atomic("B", "y")});
+  CostModel model;
+  model.random_unit = 3.0;
+
+  ExecutorOptions adaptive;
+  adaptive.algorithm = Algorithm::kCombined;
+  adaptive.adaptive_cost_model = model;  // combined_period stays 0
+  Result<ExecutionResult> derived = ExecuteTopK(q, resolver_, 5, adaptive);
+  ASSERT_TRUE(derived.ok());
+
+  ExecutorOptions pinned;
+  pinned.algorithm = Algorithm::kCombined;
+  pinned.combined_period = DefaultCombinedPeriod(model);  // = 3
+  Result<ExecutionResult> explicit_run = ExecuteTopK(q, resolver_, 5, pinned);
+  ASSERT_TRUE(explicit_run.ok());
+
+  EXPECT_EQ(derived->topk.cost.sorted, explicit_run->topk.cost.sorted);
+  EXPECT_EQ(derived->topk.cost.random, explicit_run->topk.cost.random);
+  ASSERT_EQ(derived->topk.items.size(), explicit_run->topk.items.size());
+  for (size_t r = 0; r < derived->topk.items.size(); ++r) {
+    EXPECT_EQ(derived->topk.items[r].id, explicit_run->topk.items[r].id);
+  }
+}
+
+TEST_F(ExecutorTest, AdaptiveDepthDerivationPreservesAnswersAndCounts) {
+  // With a pool attached and prefetch_depth left at 0, the adaptive cost
+  // model derives a depth; the determinism contract must hold vs serial.
+  QueryPtr q = Query::And({Query::Atomic("A", "x"), Query::Atomic("B", "y")});
+  Result<ExecutionResult> serial = ExecuteTopK(q, resolver_, 5);
+  ASSERT_TRUE(serial.ok());
+
+  ThreadPool pool(3);
+  ExecutorOptions options;
+  options.parallel.pool = &pool;
+  options.adaptive_cost_model = CostModel{};
+  Result<ExecutionResult> adaptive = ExecuteTopK(q, resolver_, 5, options);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_EQ(adaptive->algorithm_used, serial->algorithm_used);
+  ASSERT_EQ(serial->topk.items.size(), adaptive->topk.items.size());
+  for (size_t r = 0; r < serial->topk.items.size(); ++r) {
+    EXPECT_EQ(serial->topk.items[r].id, adaptive->topk.items[r].id);
+    EXPECT_EQ(serial->topk.items[r].grade, adaptive->topk.items[r].grade);
+  }
+  EXPECT_EQ(serial->topk.cost.sorted, adaptive->topk.cost.sorted);
+  EXPECT_EQ(serial->topk.cost.random, adaptive->topk.cost.random);
+}
+
+TEST_F(ExecutorTest, AdaptiveModelNeverOverridesPinnedKnobs) {
+  // A caller-pinned combined_period survives an attached cost model whose
+  // derived period differs: the access counts must match a run with the
+  // pinned period and no model.
+  QueryPtr q = Query::And({Query::Atomic("A", "x"), Query::Atomic("B", "y")});
+  CostModel model;
+  model.random_unit = 7.0;  // would derive h=7
+
+  ExecutorOptions pinned_with_model;
+  pinned_with_model.algorithm = Algorithm::kCombined;
+  pinned_with_model.combined_period = 2;
+  pinned_with_model.adaptive_cost_model = model;
+  Result<ExecutionResult> a = ExecuteTopK(q, resolver_, 5, pinned_with_model);
+  ASSERT_TRUE(a.ok());
+
+  ExecutorOptions pinned_only;
+  pinned_only.algorithm = Algorithm::kCombined;
+  pinned_only.combined_period = 2;
+  Result<ExecutionResult> b = ExecuteTopK(q, resolver_, 5, pinned_only);
+  ASSERT_TRUE(b.ok());
+
+  EXPECT_EQ(a->topk.cost.sorted, b->topk.cost.sorted);
+  EXPECT_EQ(a->topk.cost.random, b->topk.cost.random);
 }
 
 TEST(ExecutorEdgeTest, NullQueryRejected) {

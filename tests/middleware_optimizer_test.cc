@@ -50,12 +50,109 @@ TEST(EstimateCostTest, DepthNeverExceedsN) {
   EXPECT_LE(est, 2.0 * 100 + 2.0 * 100 + 1e-9);
 }
 
+TEST(EstimateAccessMixTest, SplitsMatchTheChargedTotals) {
+  CostModel model;
+  model.random_unit = 3.0;
+  for (Algorithm algo : {Algorithm::kNaive, Algorithm::kFagin,
+                         Algorithm::kThreshold, Algorithm::kNoRandomAccess,
+                         Algorithm::kCombined}) {
+    Result<AccessMix> mix = EstimateAccessMix(algo, 1000, 2, 10, model);
+    ASSERT_TRUE(mix.ok());
+    Result<double> cost = EstimateCost(algo, 1000, 2, 10, model);
+    ASSERT_TRUE(cost.ok());
+    EXPECT_DOUBLE_EQ(*cost, mix->sorted * model.sorted_unit +
+                                mix->random * model.random_unit)
+        << AlgorithmName(algo);
+  }
+  // NRA is pure sorted; naive too.
+  EXPECT_DOUBLE_EQ(
+      EstimateAccessMix(Algorithm::kNoRandomAccess, 1000, 2, 10, model)
+          ->random,
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateAccessMix(Algorithm::kNaive, 1000, 2, 10, model)->random, 0.0);
+}
+
+TEST(EstimateAccessMixTest, CombinedPeriodTracksThePriceRatio) {
+  // CA amortizes its random resolutions over h = random/sorted price
+  // rounds, so a pricier random access shrinks the estimated random count.
+  CostModel cheap;  // h = 1
+  CostModel pricey;
+  pricey.random_unit = 10.0;  // h = 10
+  Result<AccessMix> at_cheap =
+      EstimateAccessMix(Algorithm::kCombined, 1000, 2, 10, cheap);
+  Result<AccessMix> at_pricey =
+      EstimateAccessMix(Algorithm::kCombined, 1000, 2, 10, pricey);
+  ASSERT_TRUE(at_cheap.ok());
+  ASSERT_TRUE(at_pricey.ok());
+  EXPECT_DOUBLE_EQ(at_cheap->sorted, at_pricey->sorted);
+  EXPECT_NEAR(at_pricey->random, at_cheap->random / 10.0, 1e-9);
+  EXPECT_EQ(DefaultCombinedPeriod(cheap), 1u);
+  EXPECT_EQ(DefaultCombinedPeriod(pricey), 10u);
+  // sorted_unit also enters the ratio.
+  CostModel slow_sorted;
+  slow_sorted.sorted_unit = 5.0;
+  slow_sorted.random_unit = 10.0;
+  EXPECT_EQ(DefaultCombinedPeriod(slow_sorted), 2u);
+}
+
+TEST(ConsideredBaseNameTest, StripsParameters) {
+  EXPECT_EQ(ConsideredBaseName("ca(h=4)"), "ca");
+  EXPECT_EQ(ConsideredBaseName("ta"), "ta");
+  EXPECT_EQ(ConsideredBaseName("fagin-a0"), "fagin-a0");
+  EXPECT_EQ(ConsideredBaseName(""), "");
+}
+
+TEST(DerivePrefetchDepthTest, FollowsExecutorsAndSortedShare) {
+  CostModel model;
+  // A single executor can never overlap anything: depth 0 regardless.
+  EXPECT_EQ(DerivePrefetchDepth(Algorithm::kThreshold, 1000, 2, 10, model, 1),
+            0u);
+  // NRA is pure sorted access: share 1.0 ⇒ deep prefetch, power of two,
+  // clamped to [2, 64].
+  size_t nra4 =
+      DerivePrefetchDepth(Algorithm::kNoRandomAccess, 1000, 2, 10, model, 4);
+  EXPECT_GE(nra4, 2u);
+  EXPECT_LE(nra4, 64u);
+  EXPECT_EQ(nra4 & (nra4 - 1), 0u) << "power of two, got " << nra4;
+  // More executors never shrink the derived depth.
+  EXPECT_GE(
+      DerivePrefetchDepth(Algorithm::kNoRandomAccess, 1000, 2, 10, model, 16),
+      nra4);
+  // When random accesses dominate the charged cost, speculation can't pay:
+  // depth collapses to 1 (pipeline only).
+  CostModel pricey;
+  pricey.random_unit = 1000.0;
+  EXPECT_EQ(
+      DerivePrefetchDepth(Algorithm::kThreshold, 1000, 2, 10, pricey, 4), 1u);
+  // An inapplicable algorithm (no estimate) degrades to no prefetch.
+  EXPECT_EQ(DerivePrefetchDepth(Algorithm::kAuto, 1000, 2, 10, model, 4), 0u);
+}
+
 TEST(ChoosePlanTest, MonotoneConjunctionPrefersSublinearPlans) {
   CostModel model;
   Result<PlanChoice> plan = ChoosePlan(*Conjunction2(), 100000, 10, model);
   ASSERT_TRUE(plan.ok());
   EXPECT_NE(plan->algorithm, Algorithm::kNaive);
   EXPECT_EQ(plan->considered.size(), 5u);  // naive, a0, ta, nra, ca
+}
+
+TEST(ChoosePlanTest, ConsideredListsCaWithItsPeriod) {
+  CostModel model;
+  model.random_unit = 4.0;
+  Result<PlanChoice> plan = ChoosePlan(*Conjunction2(), 100000, 10, model);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->combined_period, 4u);
+  bool found_ca = false;
+  for (const auto& [label, est] : plan->considered) {
+    if (ConsideredBaseName(label) == "ca") {
+      found_ca = true;
+      EXPECT_EQ(label, "ca(h=4)");
+      EXPECT_DOUBLE_EQ(
+          est, *EstimateCost(Algorithm::kCombined, 100000, 2, 10, model));
+    }
+  }
+  EXPECT_TRUE(found_ca);
 }
 
 TEST(ChoosePlanTest, ExpensiveRandomAccessFlipsToNRA) {

@@ -15,7 +15,9 @@
 
 #include "analysis/parallel_audit.h"
 #include "common/thread_pool.h"
+#include "middleware/combined.h"
 #include "middleware/fagin.h"
+#include "middleware/join.h"
 #include "middleware/nra.h"
 #include "middleware/parallel.h"
 #include "middleware/threshold.h"
@@ -30,6 +32,15 @@ using ParallelRunner = Result<TopKResult> (*)(std::span<GradedSource* const>,
                                               const ScoringRule&, size_t,
                                               const ParallelOptions&);
 
+// CA pinned at h=2 (the auditor's default period) so the mixed
+// sorted/random access pattern — NRA-style rounds plus a resolution batch
+// every other round — goes through the same sweep as the pure algorithms.
+Result<TopKResult> CombinedPeriod2TopK(std::span<GradedSource* const> sources,
+                                       const ScoringRule& rule, size_t k,
+                                       const ParallelOptions& options) {
+  return CombinedTopK(sources, rule, k, 2, options);
+}
+
 struct AlgoCase {
   const char* name;
   ParallelRunner run;
@@ -43,6 +54,7 @@ const AlgoCase kAlgos[] = {
      AuditedAlgorithm::kThreshold},
     {"nra", static_cast<ParallelRunner>(NoRandomAccessTopK),
      AuditedAlgorithm::kNoRandomAccess},
+    {"ca-h2", CombinedPeriod2TopK, AuditedAlgorithm::kCombined},
 };
 
 bool BitEqual(double a, double b) {
@@ -397,6 +409,219 @@ TEST(ParallelCostTest, SpeculativeWasteIsVisibleButNeverCharged) {
   for (const AccessCost& c : parallel->per_source) {
     EXPECT_LE(c.prefetched, 64u);
   }
+}
+
+// Drains up to `limit` items from a fresh join over (left, right) built
+// with `options`, restarting the inputs first so every run sees the same
+// streams.
+std::vector<GradedObject> DrainJoin(GradedSource* left, GradedSource* right,
+                                    const ParallelOptions& options,
+                                    size_t limit) {
+  left->RestartSorted();
+  right->RestartSorted();
+  Result<TopKJoinSource> join =
+      TopKJoinSource::Create(left, right, MinRule(), "join", options);
+  EXPECT_TRUE(join.ok());
+  std::vector<GradedObject> out;
+  while (out.size() < limit) {
+    std::optional<GradedObject> next = join->NextSorted();
+    if (!next.has_value()) break;
+    out.push_back(*next);
+  }
+  return out;
+}
+
+void ExpectSameStream(const std::vector<GradedObject>& serial,
+                      const std::vector<GradedObject>& parallel,
+                      const std::string& label) {
+  ASSERT_EQ(serial.size(), parallel.size()) << label;
+  for (size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(serial[r].id, parallel[r].id) << label << " rank " << r;
+    EXPECT_TRUE(BitEqual(serial[r].grade, parallel[r].grade))
+        << label << " rank " << r;
+  }
+}
+
+TEST(ParallelJoinTest, EmittedStreamIsBitIdenticalAcrossDepthsAndPools) {
+  Rng rng(20260814);
+  Workload w = IndependentUniform(&rng, 200, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  GradedSource* left = &(*sources)[0];
+  GradedSource* right = &(*sources)[1];
+
+  std::vector<GradedObject> serial =
+      DrainJoin(left, right, ParallelOptions{}, 40);
+  ASSERT_FALSE(serial.empty());
+  for (size_t pool_size : {1u, 2u, 7u}) {
+    ThreadPool pool(pool_size);
+    for (size_t depth : {1u, 2u, 8u, 64u}) {
+      ParallelOptions options;
+      options.pool = &pool;
+      options.prefetch_depth = depth;
+      ExpectSameStream(serial, DrainJoin(left, right, options, 40),
+                       "join/pool" + std::to_string(pool_size) + "/depth" +
+                           std::to_string(depth));
+    }
+  }
+}
+
+// Serves only the first `limit` sorted items of `inner` but reports the
+// full Size(): a subsystem whose sorted stream ends early, without
+// violating the join's same-universe size check.
+class ShortStreamSource final : public GradedSource {
+ public:
+  ShortStreamSource(GradedSource* inner, size_t limit)
+      : inner_(inner), limit_(limit) {}
+  size_t Size() const override { return inner_->Size(); }
+  std::optional<GradedObject> NextSorted() override {
+    if (served_ >= limit_) return std::nullopt;
+    ++served_;
+    return inner_->NextSorted();
+  }
+  void RestartSorted() override {
+    served_ = 0;
+    inner_->RestartSorted();
+  }
+  double RandomAccess(ObjectId id) override {
+    return inner_->RandomAccess(id);
+  }
+  std::vector<GradedObject> AtLeast(double threshold) override {
+    return inner_->AtLeast(threshold);
+  }
+  std::string name() const override { return "short-stream"; }
+
+ private:
+  GradedSource* inner_;
+  const size_t limit_;
+  size_t served_ = 0;
+};
+
+TEST(ParallelJoinTest, TieStormAndTruncatedInputsStayEquivalent) {
+  // Plateaus of duplicate grades exercise the heap tie-breaks; a truncated
+  // sorted stream exercises exhaustion mid-pipeline.
+  Rng rng(20260815);
+  Workload ties = QuantizedUniform(&rng, 150, 2, 3);
+  Result<std::vector<VectorSource>> tie_sources = ties.MakeSources();
+  ASSERT_TRUE(tie_sources.ok());
+  Workload w = IndependentUniform(&rng, 150, 2);
+  Result<std::vector<VectorSource>> full = w.MakeSources();
+  ASSERT_TRUE(full.ok());
+  ShortStreamSource short_right(&(*full)[1], 20);
+
+  struct Pair {
+    GradedSource* left;
+    GradedSource* right;
+    const char* name;
+  };
+  const Pair pairs[] = {
+      {&(*tie_sources)[0], &(*tie_sources)[1], "tie-storm"},
+      {&(*full)[0], &short_right, "truncated"},
+  };
+  for (const Pair& p : pairs) {
+    std::vector<GradedObject> serial =
+        DrainJoin(p.left, p.right, ParallelOptions{}, 30);
+    ThreadPool pool(3);
+    for (size_t depth : {2u, 64u}) {
+      ParallelOptions options;
+      options.pool = &pool;
+      options.prefetch_depth = depth;
+      ExpectSameStream(serial, DrainJoin(p.left, p.right, options, 30),
+                       std::string(p.name) + "/depth" + std::to_string(depth));
+    }
+  }
+}
+
+TEST(ParallelJoinTest, ComposedThreeWayPipelinePrefetchesEveryLevel) {
+  // join(join(A,B),C): parallel options at both levels; the composed stream
+  // must match the fully serial composition item for item.
+  Rng rng(20260816);
+  Workload w = IndependentUniform(&rng, 120, 3);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+
+  auto drain_composed = [&](const ParallelOptions& options) {
+    for (VectorSource& s : *sources) s.RestartSorted();
+    Result<TopKJoinSource> inner = TopKJoinSource::Create(
+        &(*sources)[0], &(*sources)[1], MinRule(), "inner", options);
+    EXPECT_TRUE(inner.ok());
+    Result<TopKJoinSource> outer = TopKJoinSource::Create(
+        &*inner, &(*sources)[2], MinRule(), "outer", options);
+    EXPECT_TRUE(outer.ok());
+    std::vector<GradedObject> out;
+    while (out.size() < 25) {
+      std::optional<GradedObject> next = outer->NextSorted();
+      if (!next.has_value()) break;
+      out.push_back(*next);
+    }
+    return out;
+  };
+
+  std::vector<GradedObject> serial = drain_composed(ParallelOptions{});
+  ASSERT_FALSE(serial.empty());
+  ThreadPool pool(4);
+  for (size_t depth : {1u, 8u}) {
+    ParallelOptions options;
+    options.pool = &pool;
+    options.prefetch_depth = depth;
+    ExpectSameStream(serial, drain_composed(options),
+                     "composed/depth" + std::to_string(depth));
+  }
+}
+
+TEST(ParallelJoinTest, AuditorConfirmsJoinAccessLogContract) {
+  Rng rng(20260817);
+  Workload w = QuantizedUniform(&rng, 180, 2, 5);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  ThreadPool pool(4);
+  ParallelAuditOptions options;
+  options.parallel.pool = &pool;
+  options.parallel.prefetch_depth = 8;
+  AuditReport report = AuditJoinParallelEquivalence(
+      &(*sources)[0], &(*sources)[1], MinRule(), /*emit=*/20, options);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.checks_run(), 0u);
+}
+
+TEST(ParallelJoinTest, AuditorRefutesANonRepeatableJoinInput) {
+  Rng rng(20260818);
+  Workload w = IndependentUniform(&rng, 150, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  ShrinkingSource unstable(&(*sources)[1], 2);
+
+  ThreadPool pool(2);
+  ParallelAuditOptions options;
+  options.parallel.pool = &pool;
+  options.parallel.prefetch_depth = 4;
+  AuditReport report = AuditJoinParallelEquivalence(
+      &(*sources)[0], &unstable, MinRule(), /*emit=*/20, options);
+  EXPECT_FALSE(report.ok())
+      << "a non-repeatable join input must not audit clean";
+  EXPECT_FALSE(report.findings().empty());
+}
+
+TEST(ParallelEquivalenceTest, AuditorRefutesANonRepeatableSourceUnderCa) {
+  // The refutation witness must also fire through CA's mixed sorted/random
+  // log shape, not just TA's.
+  Rng rng(20260819);
+  Workload w = IndependentUniform(&rng, 200, 2);
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  ASSERT_TRUE(sources.ok());
+  ShrinkingSource unstable(&(*sources)[1], 3);
+  std::vector<GradedSource*> ptrs = {&(*sources)[0], &unstable};
+
+  ThreadPool pool(2);
+  ParallelAuditOptions options;
+  options.k = 5;
+  options.parallel.pool = &pool;
+  options.parallel.prefetch_depth = 4;
+  AuditReport report = AuditParallelEquivalence(
+      ptrs, *MinRule(), AuditedAlgorithm::kCombined, options);
+  EXPECT_FALSE(report.ok())
+      << "a non-repeatable source must not audit clean under CA";
+  EXPECT_FALSE(report.findings().empty());
 }
 
 TEST(ParallelExecutorTest, ExecutorOptionsRouteThroughToPlans) {
