@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "common/simd_dispatch.h"
 #include "image/bounding.h"
 #include "image/cascade_tuner.h"
 #include "image/embedding_store.h"
@@ -157,7 +158,7 @@ void PrintTables() {
       exact_mismatches);
   add("two-level filter (dim 3)", us_filtered, per_query(filtered_full),
       filtered_mismatches);
-  add("cascade (prefix 8, step 16)", us_cascade,
+  add("cascade (int8 + prefix 8, step 16)", us_cascade,
       per_query(cascade_stats.full_distance_computations),
       cascade_mismatches);
   table.Print();
@@ -285,8 +286,10 @@ void PrintTables() {
   double us_tuned = MicrosPerQuery(t0, t1);
   double default_cost =
       CascadeTuner::Cost(cascade_stats, CascadeOptions{}.prefix_dim,
-                         tuner_options.candidate_overhead, kQueries);
+                         s.embeddings.dim(), tuner_options.candidate_overhead,
+                         kQueries);
   double tuned_cost = CascadeTuner::Cost(tuned_stats, tuned.options.prefix_dim,
+                                         s.embeddings.dim(),
                                          tuner_options.candidate_overhead,
                                          kQueries);
   TablePrinter ttable({"config", "prefix", "step", "model-cost/query",
@@ -307,6 +310,60 @@ void PrintTables() {
             << " calibration queries; the tuned config's modeled cost is "
                "never worse than the default's on the calibration sample, "
                "and answers are identical by construction.\n";
+
+  // --- Quantized tier: the identical cascade with the int8 level -1 off vs
+  // on. Answers are bit-identical by construction (the quantized bound is
+  // admissible — DESIGN §3g); the contest is bytes read per level, counted
+  // by the store itself rather than modeled.
+  Banner("E16d: quantized int8 tier — bytes scanned per cascade level");
+  auto run_cascade = [&](bool use_quantized, CascadeStats* stats,
+                         size_t* mismatches) {
+    CascadeOptions options;
+    options.use_quantized = use_quantized;
+    auto a = now();
+    for (int q = 0; q < kQueries; ++q) {
+      auto got = s.embeddings.CascadeKnn(embedded[q], kK, options, stats);
+      for (size_t i = 0; i < kK; ++i) {
+        if (got[i].first != reference[q][i].first) ++*mismatches;
+      }
+    }
+    auto b = now();
+    return MicrosPerQuery(a, b);
+  };
+  CascadeStats float_stats, int8_stats;
+  size_t float_mm = 0, int8_mm = 0;
+  double us_float_cascade = run_cascade(false, &float_stats, &float_mm);
+  double us_int8_cascade = run_cascade(true, &int8_stats, &int8_mm);
+  // The level-0 baseline the tier replaces: a full-dimension float scan
+  // touches every byte of every row.
+  const double float_scan_bytes =
+      static_cast<double>(kDatabase) * static_cast<double>(kBins) *
+      static_cast<double>(sizeof(double));
+  const double int8_level_bytes = per_query(int8_stats.bytes_scanned_quantized);
+  const double bytes_reduction = float_scan_bytes / int8_level_bytes;
+
+  TablePrinter qtable({"config", "us/query", "int8 B/query", "prefix B/query",
+                       "refine B/query", "mismatches"});
+  qtable.AddRow({"cascade, float levels only",
+                 TablePrinter::Num(us_float_cascade, 4), "0",
+                 TablePrinter::Num(per_query(float_stats.bytes_scanned_prefix), 1),
+                 TablePrinter::Num(per_query(float_stats.bytes_scanned_refine), 1),
+                 std::to_string(float_mm)});
+  qtable.AddRow({"cascade, int8 level -1 on",
+                 TablePrinter::Num(us_int8_cascade, 4),
+                 TablePrinter::Num(int8_level_bytes, 1),
+                 TablePrinter::Num(per_query(int8_stats.bytes_scanned_prefix), 1),
+                 TablePrinter::Num(per_query(int8_stats.bytes_scanned_refine), 1),
+                 std::to_string(int8_mm)});
+  qtable.Print();
+  std::cout << "kernel dispatch: " << simd::Name(simd::Active())
+            << "; full-object ordering scan reads "
+            << TablePrinter::Num(int8_level_bytes, 0)
+            << " int8 B/query vs " << TablePrinter::Num(float_scan_bytes, 0)
+            << " B/query for a full float scan — a "
+            << TablePrinter::Num(bytes_reduction, 2)
+            << "x reduction (must stay >= 3x); both variants return the "
+               "reference answers bit-identically.\n";
 
   JsonReport json;
   json.Set("bench", std::string("exp16_embedding_cascade"));
@@ -347,8 +404,29 @@ void PrintTables() {
     json.Set(prefix + ".bitwise_mismatches", p.bitwise_mismatches);
     json.Set(prefix + ".knn_mismatches", p.knn_mismatches);
   }
+  json.SetKernelDispatch(std::string(simd::Name(simd::Active())));
+  json.Set("cascade_float.us_per_query", us_float_cascade);
+  json.Set("cascade_float.bytes_prefix_per_query",
+           per_query(float_stats.bytes_scanned_prefix));
+  json.Set("cascade_float.bytes_refine_per_query",
+           per_query(float_stats.bytes_scanned_refine));
+  json.Set("cascade_float.mismatches", float_mm);
+  json.Set("qcascade.us_per_query", us_int8_cascade);
+  json.Set("qcascade.bytes_quantized_per_query", int8_level_bytes);
+  json.Set("qcascade.bytes_prefix_per_query",
+           per_query(int8_stats.bytes_scanned_prefix));
+  json.Set("qcascade.bytes_refine_per_query",
+           per_query(int8_stats.bytes_scanned_refine));
+  json.Set("qcascade.bound_computations_per_query",
+           per_query(int8_stats.quantized_bound_computations));
+  json.Set("qcascade.float_bounds_per_query",
+           per_query(int8_stats.bound_computations));
+  json.Set("qcascade.mismatches", int8_mm);
+  json.Set("float_scan.bytes_per_query", float_scan_bytes);
+  json.Set("qcascade.bytes_reduction_vs_float_scan", bytes_reduction);
   json.Set("tuned_cascade.prefix_dim", tuned.options.prefix_dim);
   json.Set("tuned_cascade.step", tuned.options.step);
+  json.Set("tuned_cascade.use_quantized", tuned.options.use_quantized);
   json.Set("tuned_cascade.shards", tuned.shards);
   json.Set("tuned_cascade.model_cost_per_query", tuned_cost);
   json.Set("tuned_cascade.default_model_cost_per_query", default_cost);

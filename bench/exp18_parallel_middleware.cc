@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/simd_dispatch.h"
 #include "common/thread_pool.h"
 #include "middleware/parallel.h"
 #include "middleware/threshold.h"
@@ -117,6 +118,7 @@ void PrintTables() {
   json.Set("config.k", kK);
   json.Set("config.reps", static_cast<size_t>(kReps));
   const bool contention_only = json.SetHostParallelism(hw);
+  json.SetKernelDispatch(std::string(simd::Name(simd::Active())));
   const std::string caveat =
       contention_only
           ? "contention-only: 1 hardware thread, speedups are scheduling "

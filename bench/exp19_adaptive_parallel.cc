@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/simd_dispatch.h"
 #include "common/thread_pool.h"
 #include "middleware/combined.h"
 #include "middleware/nra.h"
@@ -143,6 +144,7 @@ void PrintTables() {
   json.Set("config.k", kK);
   json.Set("config.reps", static_cast<size_t>(kReps));
   const bool contention_only = json.SetHostParallelism(hw);
+  json.SetKernelDispatch(std::string(simd::Name(simd::Active())));
 
   Rng rng(kSeed);
   Workload w = IndependentUniform(&rng, kN, kM);

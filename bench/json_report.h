@@ -56,6 +56,14 @@ class JsonReport {
     return contention_only;
   }
 
+  /// Records which int8 block-SSD kernel the runtime dispatcher selected
+  /// ("scalar" / "avx2" / "avx512vnni") next to the contention_only stamp:
+  /// like parallelism, the SIMD tier is a host property downstream tooling
+  /// must see before comparing cycle counts across runs.
+  void SetKernelDispatch(const std::string& kernel) {
+    Set("config.simd_dispatch", kernel);
+  }
+
   /// The full `{ "k": v, ... }` document.
   std::string ToString() const {
     std::ostringstream out;

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build-and-test gate for local use and CI.
 #
-#   scripts/verify.sh [plain|asan|tsan|checks|lint|all]
+#   scripts/verify.sh [plain|asan|tsan|checks|lint|simd|all]
 #
 #   plain   Release build at CHECKIN warning level (-Werror), full ctest
 #           suite (the tier-1 gate).
@@ -14,12 +14,20 @@
 #           in and the src/analysis property auditors exercised by the full
 #           suite (analysis_contract_test runs its instrumentation leg).
 #   lint    scripts/lint.sh (portable checks + clang-tidy when available).
+#   simd    Native-arch CHECKIN build; reruns the kernel-sensitive tests
+#           (simd dispatch, quantized tier, embedding, sharded kernels,
+#           analysis contracts) once per FUZZYDB_SIMD level in {scalar,
+#           avx2, avx512}. The dispatcher clamps a forced level to what the
+#           host supports, so every leg runs everywhere and the widest ISA
+#           the hardware has is always exercised — bit-identical answers
+#           are asserted inside the tests themselves.
 #   bench   Native-arch Release build; runs the perf-trajectory benches
 #           (exp16, exp18, exp19) so their BENCH_*.json land in the repo
 #           root. Not a gate: on a 1-hardware-thread host it warns loudly
 #           and the reports carry "contention_only": true — the guarded
 #           writer refuses to overwrite a multi-core report with one.
-#   all     plain + asan + tsan + checks + lint (default; bench is opt-in).
+#   all     plain + asan + tsan + checks + simd + lint (default; bench is
+#           opt-in).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,6 +65,16 @@ case "${MODE}" in
       -DFUZZYDB_CHECKS=ON -DFUZZYDB_WARNING_LEVEL=CHECKIN ;;
   lint)
     scripts/lint.sh ;;
+  simd)
+    cmake -B build-simd -S . -DFUZZYDB_NATIVE_ARCH=ON \
+      -DFUZZYDB_WARNING_LEVEL=CHECKIN
+    cmake --build build-simd -j "${JOBS}"
+    for level in scalar avx2 avx512; do
+      echo "== FUZZYDB_SIMD=${level} (clamped to host support) =="
+      FUZZYDB_SIMD="${level}" ctest --test-dir build-simd \
+        --output-on-failure -j "${JOBS}" \
+        -R 'simd|quantized|embedding|parallel_kernel|aligned_buffer|analysis'
+    done ;;
   bench)
     HW="$(nproc 2>/dev/null || echo 1)"
     if [ "${HW}" -le 1 ]; then
@@ -78,9 +96,10 @@ case "${MODE}" in
     "$0" asan
     "$0" tsan
     "$0" checks
+    "$0" simd
     "$0" lint ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|checks|lint|bench|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|checks|lint|simd|bench|all]" >&2
     exit 2 ;;
 esac
 

@@ -116,6 +116,14 @@ AuditReport AuditCascadeEquivalence(const EmbeddingStore& store, size_t k,
   std::vector<CascadeOptions> configs = {production_options,
                                          {/*prefix_dim=*/1, /*step=*/1},
                                          {store.dim(), /*step=*/4}};
+  // Every config with the int8 level -1 flipped the other way: equivalence
+  // must hold regardless of whether the quantized tier is engaged.
+  const size_t base_configs = configs.size();
+  for (size_t c = 0; c < base_configs; ++c) {
+    CascadeOptions flipped = configs[c];
+    flipped.use_quantized = !flipped.use_quantized;
+    configs.push_back(flipped);
+  }
   const size_t queries = std::max<size_t>(options.pairs / 8, 2);
   std::vector<double> target(store.dim());
   for (size_t q = 0; q < queries; ++q) {
@@ -133,7 +141,8 @@ AuditReport AuditCascadeEquivalence(const EmbeddingStore& store, size_t k,
       if (cascade.size() != exact.size()) {
         std::ostringstream out;
         out << "query " << q << " (prefix " << config.prefix_dim << ", step "
-            << config.step << "): cascade returned " << cascade.size()
+            << config.step << ", int8 " << (config.use_quantized ? "on" : "off")
+            << "): cascade returned " << cascade.size()
             << " results, exact returned " << exact.size();
         report.Fail("equivalence", out.str());
         continue;
@@ -143,13 +152,59 @@ AuditReport AuditCascadeEquivalence(const EmbeddingStore& store, size_t k,
             cascade[i].second != exact[i].second) {
           std::ostringstream out;
           out << "query " << q << " (prefix " << config.prefix_dim
-              << ", step " << config.step << "), rank " << i << ": cascade ("
+              << ", step " << config.step << ", int8 "
+              << (config.use_quantized ? "on" : "off") << "), rank " << i
+              << ": cascade ("
               << cascade[i].first << ", " << cascade[i].second
               << ") != exact (" << exact[i].first << ", " << exact[i].second
               << ")";
           report.Fail("equivalence", out.str());
           break;
         }
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport AuditQuantizedLowerBound(const EmbeddingStore& store,
+                                     const CascadeAuditOptions& options) {
+  AuditReport report("quantized level -1 lower bound");
+  report.CountCheck();
+  if (!store.has_quantized() || store.size() == 0) {
+    report.Fail("precondition",
+                "store carries no int8 companion to audit — build it with "
+                "BuildQuantized() before trusting use_quantized");
+    return report;
+  }
+  const QuantizedStore& quantized = store.quantized();
+  Rng rng(options.seed);
+  const size_t queries = std::max<size_t>(options.pairs / 8, 2);
+  std::vector<double> target(store.dim());
+  for (size_t q = 0; q < queries; ++q) {
+    std::span<const double> row =
+        store.Row(static_cast<size_t>(rng.NextBounded(store.size())));
+    // Odd queries leave the data's range entirely, forcing query-side code
+    // clamping; clamping may only weaken the bound, never break it.
+    const double blow_up = (q % 2 == 1) ? 1000.0 : 1.0;
+    for (size_t j = 0; j < store.dim(); ++j) {
+      target[j] = blow_up * (row[j] + 0.1 * (rng.NextDouble() - 0.5));
+    }
+    const QuantizedStore::EncodedQuery encoded =
+        quantized.EncodeQuery(target);
+    for (size_t i = 0; i < store.size(); ++i) {
+      report.CountCheck();
+      const double bound_sq = quantized.LowerBound2(encoded, i);
+      SquaredDistanceAccumulator acc;
+      acc.Accumulate(store.Row(i).data(), target.data(), 0, store.dim());
+      const double exact_sq = acc.Total();
+      if (bound_sq > exact_sq) {
+        std::ostringstream out;
+        out << "query " << q << ", row " << i << ": quantized bound^2 "
+            << bound_sq << " exceeds exact d^2 " << exact_sq << " by "
+            << (bound_sq - exact_sq)
+            << " — level -1 can falsely dismiss true neighbors";
+        report.Fail("lower-bound", out.str());
       }
     }
   }

@@ -63,6 +63,17 @@ AuditReport AuditCascadeEquivalence(const EmbeddingStore& store, size_t k,
                                     const CascadeOptions& production_options,
                                     const CascadeAuditOptions& options = {});
 
+/// Audits the int8 quantized tier (the cascade's level −1, DESIGN §3g)
+/// directly against its admissibility claim: for random query targets —
+/// perturbed stored rows, plus deliberately far-out-of-range targets that
+/// force query-side code clamping — QuantizedStore::LowerBound2 must never
+/// exceed the exact squared embedding distance, for every stored row, with
+/// zero tolerance (the bound's safety margin is its own responsibility). A
+/// store without the companion fails its precondition check rather than
+/// vacuously passing.
+AuditReport AuditQuantizedLowerBound(const EmbeddingStore& store,
+                                     const CascadeAuditOptions& options = {});
+
 }  // namespace fuzzydb
 
 #endif  // FUZZYDB_ANALYSIS_CASCADE_AUDIT_H_

@@ -1,51 +1,68 @@
-// A fixed-size, cache-line-aligned array of doubles. Row-major feature
-// buffers (e.g. the eigen-space embeddings of image/embedding_store.h) live
-// in one of these so batched scans walk contiguous, 64-byte-aligned memory —
-// the layout the compiler's vectorizer and the prefetcher both want.
+// A fixed-size, cache-line-aligned array. Row-major feature buffers (the
+// eigen-space embeddings of image/embedding_store.h, the int8 codes of
+// image/quantized_store.h) live in one of these so batched scans walk
+// contiguous, 64-byte-aligned memory — the layout the vectorizer, the
+// explicit SIMD kernels (aligned 512-bit loads), and the prefetcher all
+// want.
+//
+// The alignment is a hard guarantee, not a fast path: allocation failure
+// aborts instead of degrading to an unaligned or null buffer (the release
+// builds used to carry only an assert here, which compiled away exactly
+// when the guarantee mattered), the byte size is rounded up to a whole
+// number of cache lines so full-cacheline block kernels may read to the
+// end of the last line, and the padding is zeroed so doing so is defined.
 
 #ifndef FUZZYDB_COMMON_ALIGNED_BUFFER_H_
 #define FUZZYDB_COMMON_ALIGNED_BUFFER_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstdlib>
 #include <cstring>
 #include <span>
+#include <type_traits>
 #include <utility>
 
 namespace fuzzydb {
 
-/// Owning buffer of `size()` doubles whose storage starts on a 64-byte
-/// boundary. Value-semantic (deep copy); zero-initialized.
-class AlignedBuffer {
+/// Owning buffer of `size()` elements of trivially-copyable type T whose
+/// storage starts on a 64-byte boundary and spans whole cache lines.
+/// Value-semantic (deep copy); zero-initialized, including line padding.
+template <typename T>
+class AlignedArray {
  public:
   /// Alignment of the first element, in bytes (one x86 cache line; also the
   /// natural alignment for 512-bit vector loads).
   static constexpr size_t kAlignment = 64;
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedArray memcpy/memsets its storage");
+  static_assert(kAlignment % alignof(T) == 0 && sizeof(T) <= kAlignment,
+                "element alignment must divide the cache-line alignment");
 
-  AlignedBuffer() = default;
+  AlignedArray() = default;
 
-  explicit AlignedBuffer(size_t size) : size_(size) {
+  explicit AlignedArray(size_t size) : size_(size) {
     if (size_ == 0) return;
-    // aligned_alloc requires the byte size to be a multiple of the alignment.
+    // aligned_alloc requires the byte size to be a multiple of the
+    // alignment; rounding up also makes whole-cacheline reads of the final
+    // block defined.
     const size_t bytes =
-        (size_ * sizeof(double) + kAlignment - 1) / kAlignment * kAlignment;
-    data_ = static_cast<double*>(std::aligned_alloc(kAlignment, bytes));
-    assert(data_ != nullptr);
+        (size_ * sizeof(T) + kAlignment - 1) / kAlignment * kAlignment;
+    data_ = static_cast<T*>(std::aligned_alloc(kAlignment, bytes));
+    if (data_ == nullptr) std::abort();  // the guarantee is unconditional
     std::memset(data_, 0, bytes);
   }
 
-  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
-    if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(double));
+  AlignedArray(const AlignedArray& other) : AlignedArray(other.size_) {
+    if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
   }
-  AlignedBuffer& operator=(const AlignedBuffer& other) {
-    if (this != &other) *this = AlignedBuffer(other);
+  AlignedArray& operator=(const AlignedArray& other) {
+    if (this != &other) *this = AlignedArray(other);
     return *this;
   }
-  AlignedBuffer(AlignedBuffer&& other) noexcept
+  AlignedArray(AlignedArray&& other) noexcept
       : size_(std::exchange(other.size_, 0)),
         data_(std::exchange(other.data_, nullptr)) {}
-  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+  AlignedArray& operator=(AlignedArray&& other) noexcept {
     if (this != &other) {
       std::free(data_);
       size_ = std::exchange(other.size_, 0);
@@ -53,22 +70,25 @@ class AlignedBuffer {
     }
     return *this;
   }
-  ~AlignedBuffer() { std::free(data_); }
+  ~AlignedArray() { std::free(data_); }
 
   size_t size() const { return size_; }
-  double* data() { return data_; }
-  const double* data() const { return data_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
 
-  double& operator[](size_t i) { return data_[i]; }
-  double operator[](size_t i) const { return data_[i]; }
+  T& operator[](size_t i) { return data_[i]; }
+  T operator[](size_t i) const { return data_[i]; }
 
-  std::span<double> span() { return {data_, size_}; }
-  std::span<const double> span() const { return {data_, size_}; }
+  std::span<T> span() { return {data_, size_}; }
+  std::span<const T> span() const { return {data_, size_}; }
 
  private:
   size_t size_ = 0;
-  double* data_ = nullptr;
+  T* data_ = nullptr;
 };
+
+/// The double-precision instantiation every float feature buffer uses.
+using AlignedBuffer = AlignedArray<double>;
 
 }  // namespace fuzzydb
 

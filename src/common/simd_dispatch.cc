@@ -1,0 +1,205 @@
+#include "common/simd_dispatch.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FUZZYDB_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace fuzzydb {
+namespace simd {
+
+namespace {
+
+void BlockSsdScalar(const int8_t* x, const int8_t* y, size_t n,
+                    int32_t* out) {
+  assert(n % kBlockDim == 0);
+  for (size_t b = 0; b * kBlockDim < n; ++b) {
+    int32_t acc = 0;
+    for (size_t j = b * kBlockDim; j < (b + 1) * kBlockDim; ++j) {
+      const int32_t d = static_cast<int32_t>(x[j]) - static_cast<int32_t>(y[j]);
+      acc += d * d;
+    }
+    out[b] = acc;
+  }
+}
+
+#if defined(FUZZYDB_SIMD_X86)
+
+// Horizontal sum of 4 int32 lanes.
+__attribute__((target("avx2"))) int32_t HSum4(__m128i v) {
+  v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+  v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(v);
+}
+
+// Two 16-code blocks per 256-bit vector. maddubs and madd are in-lane, so
+// block b lands in the low 128-bit lane and block b+1 in the high one.
+// Operand bounds (codes in ±kInt8CodeMax): diff in [-126, 126] — no int8
+// wrap in sub_epi8, |diff| fits both maddubs operands, pair sums < 2^15.
+__attribute__((target("avx2"))) void BlockSsdAvx2(const int8_t* x,
+                                                  const int8_t* y, size_t n,
+                                                  int32_t* out) {
+  assert(n % kBlockDim == 0);
+  const size_t blocks = n / kBlockDim;
+  size_t b = 0;
+  for (; b + 2 <= blocks; b += 2) {
+    const __m256i vx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(x + b * kBlockDim));
+    const __m256i vy = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(y + b * kBlockDim));
+    const __m256i diff = _mm256_sub_epi8(vx, vy);
+    const __m256i ad = _mm256_abs_epi8(diff);
+    const __m256i sq = _mm256_maddubs_epi16(ad, ad);  // 16 x s16 pair sums
+    const __m256i s32 = _mm256_madd_epi16(sq, _mm256_set1_epi16(1));
+    out[b] = HSum4(_mm256_castsi256_si128(s32));
+    out[b + 1] = HSum4(_mm256_extracti128_si256(s32, 1));
+  }
+  if (b < blocks) {  // odd trailing block: same arithmetic, one 128-bit lane
+    const __m128i vx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(x + b * kBlockDim));
+    const __m128i vy = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(y + b * kBlockDim));
+    const __m128i diff = _mm_sub_epi8(vx, vy);
+    const __m128i ad = _mm_abs_epi8(diff);
+    const __m128i sq = _mm_maddubs_epi16(ad, ad);
+    out[b] = HSum4(_mm_madd_epi16(sq, _mm_set1_epi16(1)));
+  }
+}
+
+// GCC's avx512 cast/extract intrinsics expand through a deliberately
+// uninitialized __Y temporary (avxintrin.h), tripping -Wmaybe-uninitialized
+// under -Werror; the value is never actually read.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+__attribute__((target("avx512f,avx512bw,avx512vl,avx512vnni"))) int32_t
+HSum8Vnni(__m256i v) {
+  const __m128i sum =
+      _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+  __m128i s = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+// Two 16-code blocks per iteration: sign-extend 32 int8 codes to int16,
+// subtract, then one vpdpwssd accumulates diff*diff pairs into int32 lanes.
+// cvtepi8_epi16 is sequential, so s16 lanes 0..15 are block b and 16..31
+// are block b+1; dpwssd pairs in-order, so s32 lanes 0..7 / 8..15 split the
+// same way.
+__attribute__((target("avx512f,avx512bw,avx512vl,avx512vnni"))) void
+BlockSsdAvx512Vnni(const int8_t* x, const int8_t* y, size_t n, int32_t* out) {
+  assert(n % kBlockDim == 0);
+  const size_t blocks = n / kBlockDim;
+  size_t b = 0;
+  for (; b + 2 <= blocks; b += 2) {
+    const __m256i bx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(x + b * kBlockDim));
+    const __m256i by = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(y + b * kBlockDim));
+    const __m512i diff =
+        _mm512_sub_epi16(_mm512_cvtepi8_epi16(bx), _mm512_cvtepi8_epi16(by));
+    const __m512i acc =
+        _mm512_dpwssd_epi32(_mm512_setzero_si512(), diff, diff);
+    out[b] = HSum8Vnni(_mm512_castsi512_si256(acc));
+    out[b + 1] = HSum8Vnni(_mm512_extracti64x4_epi64(acc, 1));
+  }
+  if (b < blocks) {  // odd trailing block via the 256-bit VNNI form
+    const __m128i bx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(x + b * kBlockDim));
+    const __m128i by = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(y + b * kBlockDim));
+    const __m256i diff =
+        _mm256_sub_epi16(_mm256_cvtepi8_epi16(bx), _mm256_cvtepi8_epi16(by));
+    out[b] = HSum8Vnni(_mm256_dpwssd_epi32(_mm256_setzero_si256(), diff, diff));
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // FUZZYDB_SIMD_X86
+
+Level DetectUncached() {
+#if defined(FUZZYDB_SIMD_X86)
+  if (__builtin_cpu_supports("avx512vnni") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512bw")) {
+    return Level::kAvx512Vnni;
+  }
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level ActiveUncached() {
+  Level level = Detect();
+  const char* forced = std::getenv("FUZZYDB_SIMD");
+  if (forced != nullptr) {
+    if (std::optional<Level> parsed = Parse(forced); parsed.has_value()) {
+      // Clamp to hardware: forcing can narrow the ISA, never exceed it.
+      if (*parsed < level) level = *parsed;
+    }
+  }
+  return level;
+}
+
+}  // namespace
+
+Level Detect() {
+  static const Level cached = DetectUncached();
+  return cached;
+}
+
+Level Active() {
+  static const Level cached = ActiveUncached();
+  return cached;
+}
+
+BlockSsdFn ResolveBlockSsd(Level level) {
+#if defined(FUZZYDB_SIMD_X86)
+  switch (level) {
+    case Level::kAvx512Vnni:
+      return BlockSsdAvx512Vnni;
+    case Level::kAvx2:
+      return BlockSsdAvx2;
+    case Level::kScalar:
+      return BlockSsdScalar;
+  }
+#else
+  (void)level;
+#endif
+  return BlockSsdScalar;
+}
+
+BlockSsdFn ActiveBlockSsd() {
+  static const BlockSsdFn cached = ResolveBlockSsd(Active());
+  return cached;
+}
+
+std::string_view Name(Level level) {
+  switch (level) {
+    case Level::kAvx512Vnni:
+      return "avx512vnni";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+std::optional<Level> Parse(std::string_view text) {
+  if (text == "scalar") return Level::kScalar;
+  if (text == "avx2") return Level::kAvx2;
+  if (text == "avx512" || text == "avx512vnni") return Level::kAvx512Vnni;
+  return std::nullopt;
+}
+
+}  // namespace simd
+}  // namespace fuzzydb

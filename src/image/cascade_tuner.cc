@@ -6,14 +6,18 @@
 namespace fuzzydb {
 
 double CascadeTuner::Cost(const CascadeStats& stats, size_t prefix_dim,
-                          double candidate_overhead, size_t queries) {
+                          size_t dim, double candidate_overhead,
+                          size_t queries) {
   if (queries == 0) return 0.0;
+  const double level_m1 =
+      static_cast<double>(stats.quantized_bound_computations) *
+      static_cast<double>(dim) * kQuantizedDimCost;
   const double level0 = static_cast<double>(stats.bound_computations) *
                         static_cast<double>(prefix_dim);
   const double refine = static_cast<double>(stats.dims_accumulated) +
                         candidate_overhead *
                             static_cast<double>(stats.candidates_refined);
-  return (level0 + refine) / static_cast<double>(queries);
+  return (level_m1 + level0 + refine) / static_cast<double>(queries);
 }
 
 std::vector<size_t> CascadeTuner::SpectrumPrefixes(
@@ -76,39 +80,48 @@ TunedCascade CascadeTuner::Tune(
                      shard_counts.end());
 
   const size_t k = std::max<size_t>(options.k, 1);
+  // The quantized level −1 joins the sweep only when the store carries the
+  // int8 companion; whether it pays for itself is measured, not assumed.
+  std::vector<bool> quantized_axis = {false};
+  if (store.has_quantized()) quantized_axis.push_back(true);
+
   bool first = true;
   for (size_t prefix : prefixes) {
     prefix = std::clamp<size_t>(prefix, 1, std::max<size_t>(store.dim(), 1));
     for (size_t step : steps) {
       for (size_t shards : shard_counts) {
-        CascadeCandidate candidate;
-        candidate.options = {prefix, std::max<size_t>(step, 1)};
-        candidate.shards = shards;
-        for (const std::vector<double>& target : calibration) {
-          store.CascadeKnn(target, k, candidate.options, &candidate.stats,
-                           options.pool, shards);
+        for (bool use_quantized : quantized_axis) {
+          CascadeCandidate candidate;
+          candidate.options = {prefix, std::max<size_t>(step, 1),
+                               use_quantized};
+          candidate.shards = shards;
+          for (const std::vector<double>& target : calibration) {
+            store.CascadeKnn(target, k, candidate.options, &candidate.stats,
+                             options.pool, shards);
+          }
+          // Sharding splits the measured work (which already includes the
+          // shard-local pruning penalty baked into the stats) across the
+          // executors it can actually use, and pays per-shard bookkeeping.
+          const double work =
+              Cost(candidate.stats, prefix, store.dim(),
+                   options.candidate_overhead, calibration.size());
+          const double effective =
+              static_cast<double>(std::min(shards, executors));
+          candidate.cost = work / effective +
+                           options.shard_overhead *
+                               static_cast<double>(shards - 1);
+          // Strict <: ties keep the earlier (smaller prefix, smaller step,
+          // fewer shards, unquantized) configuration, making the sweep
+          // order part of the contract — a 1-executor host
+          // deterministically tunes to 1 shard.
+          if (first || candidate.cost < result.cost) {
+            result.options = candidate.options;
+            result.shards = candidate.shards;
+            result.cost = candidate.cost;
+            first = false;
+          }
+          result.sweep.push_back(std::move(candidate));
         }
-        // Sharding splits the measured work (which already includes the
-        // shard-local pruning penalty baked into the stats) across the
-        // executors it can actually use, and pays per-shard bookkeeping.
-        const double work = Cost(candidate.stats, prefix,
-                                 options.candidate_overhead,
-                                 calibration.size());
-        const double effective =
-            static_cast<double>(std::min(shards, executors));
-        candidate.cost = work / effective +
-                         options.shard_overhead *
-                             static_cast<double>(shards - 1);
-        // Strict <: ties keep the earlier (smaller prefix, smaller step,
-        // fewer shards) configuration, making the sweep order part of the
-        // contract — a 1-executor host deterministically tunes to 1 shard.
-        if (first || candidate.cost < result.cost) {
-          result.options = candidate.options;
-          result.shards = candidate.shards;
-          result.cost = candidate.cost;
-          first = false;
-        }
-        result.sweep.push_back(std::move(candidate));
       }
     }
   }

@@ -76,11 +76,20 @@ struct CascadeTunerOptions {
 
 class CascadeTuner {
  public:
-  /// Scores one configuration from its summed calibration stats: level-0
-  /// work (one prefix_dim-deep accumulation per object per query) plus
-  /// refinement work (dims_accumulated) plus per-candidate overhead,
-  /// averaged per query. Deterministic — no wall clock.
-  static double Cost(const CascadeStats& stats, size_t prefix_dim,
+  /// Modeled cost of one int8 dimension relative to one float dimension
+  /// accumulation. The int8 scan moves 1 byte/dim against the float path's
+  /// 8 and decodes with one integer multiply-add: on a bandwidth-bound scan
+  /// it is worth ~1/8, on a compute-bound one ~1/2; 1/4 is the deliberate
+  /// middle that keeps the tuner from over-favoring the tier on hosts where
+  /// the scan fits in cache.
+  static constexpr double kQuantizedDimCost = 0.25;
+
+  /// Scores one configuration from its summed calibration stats: level −1
+  /// work (quantized rows scanned, at kQuantizedDimCost per dimension of
+  /// `dim`) plus level-0 work (one prefix_dim-deep accumulation per float
+  /// bound) plus refinement work (dims_accumulated) plus per-candidate
+  /// overhead, averaged per query. Deterministic — no wall clock.
+  static double Cost(const CascadeStats& stats, size_t prefix_dim, size_t dim,
                      double candidate_overhead, size_t queries);
 
   /// Prefix depths derived from a spectrum (descending eigenvalues): the
@@ -92,9 +101,12 @@ class CascadeTuner {
 
   /// Sweeps the grid over `calibration` (already-embedded query targets,
   /// each of store.dim() entries) and returns the cheapest configuration;
-  /// ties break toward the smaller prefix, then the smaller step. The store
-  /// is only read; answers are never affected (CascadeKnn is exact for
-  /// every configuration).
+  /// ties break toward the smaller prefix, then the smaller step, then the
+  /// unquantized variant. When the store carries its int8 companion, every
+  /// grid point is measured with the quantized level −1 off and on — the
+  /// sweep decides whether the tier pays for itself on this spectrum rather
+  /// than assuming it. The store is only read; answers are never affected
+  /// (CascadeKnn is exact for every configuration).
   static TunedCascade Tune(const EmbeddingStore& store,
                            std::span<const double> eigenvalues,
                            const std::vector<std::vector<double>>& calibration,

@@ -72,6 +72,7 @@ Result<EmbeddingStore> EmbeddingStore::Build(
   for (size_t i = 0; i < database.size(); ++i) {
     qfd.EmbedInto(database[i], store.MutableRow(i));
   }
+  store.BuildQuantized();
   return store;
 }
 
@@ -89,7 +90,7 @@ void EmbeddingStore::BatchDistances(std::span<const double> target,
       MakeShards(size_, ResolveShards(shards, pool, size_));
   RunShards(pool, ranges.size(), [&](size_t s) {
     for (size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
-      const double* FUZZYDB_RESTRICT row = data_.data() + i * dim_;
+      const double* FUZZYDB_RESTRICT row = data_.data() + i * stride_;
       out[i] = std::sqrt(SquaredDistance(row, t, dim_));
     }
   });
@@ -118,7 +119,7 @@ std::vector<std::pair<size_t, double>> EmbeddingStore::ExactKnn(
     std::vector<std::pair<double, size_t>>& mine = local[s];
     mine.reserve(r.size());
     for (size_t i = r.begin; i < r.end; ++i) {
-      const double* FUZZYDB_RESTRICT row = data_.data() + i * dim_;
+      const double* FUZZYDB_RESTRICT row = data_.data() + i * stride_;
       mine.emplace_back(SquaredDistance(row, t, dim_), i);
     }
     KeepKSmallest(&mine, k);
@@ -146,13 +147,20 @@ std::vector<std::pair<size_t, double>> EmbeddingStore::CascadeKnn(
   k = std::min(k, size_);
   assert(target.size() == dim_);
 
+  // Encode the target against the int8 tier once per query; the encoding is
+  // read-only afterwards, so every shard safely shares it.
+  const QuantizedStore* qs =
+      options.use_quantized && has_quantized() ? &quantized_ : nullptr;
+  QuantizedStore::EncodedQuery qquery;
+  if (qs != nullptr) qquery = qs->EncodeQuery(target);
+
   const std::vector<ShardRange> ranges =
       MakeShards(size_, ResolveShards(shards, pool, size_));
   std::vector<std::vector<std::pair<double, size_t>>> local(ranges.size());
   std::vector<CascadeStats> local_stats(ranges.size());
   RunShards(pool, ranges.size(), [&](size_t s) {
-    CascadeShard(target.data(), k, options, ranges[s], &local[s],
-                 &local_stats[s]);
+    CascadeShard(target.data(), k, options, qs != nullptr ? &qquery : nullptr,
+                 ranges[s], &local[s], &local_stats[s]);
   });
 
   std::vector<std::pair<double, size_t>> merged;
@@ -165,10 +173,14 @@ std::vector<std::pair<size_t, double>> EmbeddingStore::CascadeKnn(
     // Summed in shard order — deterministic in (size, shards), independent
     // of thread scheduling.
     for (const CascadeStats& ls : local_stats) {
+      stats->quantized_bound_computations += ls.quantized_bound_computations;
       stats->bound_computations += ls.bound_computations;
       stats->candidates_refined += ls.candidates_refined;
       stats->full_distance_computations += ls.full_distance_computations;
       stats->dims_accumulated += ls.dims_accumulated;
+      stats->bytes_scanned_quantized += ls.bytes_scanned_quantized;
+      stats->bytes_scanned_prefix += ls.bytes_scanned_prefix;
+      stats->bytes_scanned_refine += ls.bytes_scanned_refine;
     }
   }
   return ToOutput(std::move(merged));
@@ -176,8 +188,8 @@ std::vector<std::pair<size_t, double>> EmbeddingStore::CascadeKnn(
 
 void EmbeddingStore::CascadeShard(
     const double* target, size_t k, const CascadeOptions& options,
-    ShardRange range, std::vector<std::pair<double, size_t>>* best,
-    CascadeStats* stats) const {
+    const QuantizedStore::EncodedQuery* qquery, ShardRange range,
+    std::vector<std::pair<double, size_t>>* best, CascadeStats* stats) const {
   const size_t n = range.size();
   if (n == 0) return;
   k = std::min(k, n);
@@ -185,18 +197,31 @@ void EmbeddingStore::CascadeShard(
   const size_t step = std::max<size_t>(options.step, 1);
   const double* FUZZYDB_RESTRICT t = target;
 
-  // Level 0: the s0-dim prefix bound for every row of the shard, one
-  // contiguous pass. The accumulator state is kept so refinement can resume
-  // from the prefix without recomputing it.
-  std::vector<SquaredDistanceAccumulator> prefix(n);
+  // The cheap full-collection bound that orders the candidate walk: either
+  // the int8 level −1 (quantized codes, ~1 byte/dim) or the float s0-dim
+  // prefix (8 bytes/dim over s0 of dim_ dims). Both are admissible lower
+  // bounds on d^2, so either ordering admits early termination with no
+  // false dismissals. In float mode the accumulator state is kept so
+  // refinement can resume from the prefix without recomputing it.
+  std::vector<SquaredDistanceAccumulator> prefix;
   std::vector<double> bound(n);
-  for (size_t i = 0; i < n; ++i) {
-    const double* FUZZYDB_RESTRICT row =
-        data_.data() + (range.begin + i) * dim_;
-    prefix[i].Accumulate(row, t, 0, s0);
-    bound[i] = prefix[i].Total();
+  if (qquery != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      bound[i] = quantized_.LowerBound2(*qquery, range.begin + i);
+    }
+    stats->quantized_bound_computations += n;
+    stats->bytes_scanned_quantized += n * quantized_.row_bytes();
+  } else {
+    prefix.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double* FUZZYDB_RESTRICT row =
+          data_.data() + (range.begin + i) * stride_;
+      prefix[i].Accumulate(row, t, 0, s0);
+      bound[i] = prefix[i].Total();
+    }
+    stats->bound_computations += n;
+    stats->bytes_scanned_prefix += n * s0 * sizeof(double);
   }
-  stats->bound_computations += n;
 
   // Visit candidates in ascending (bound, index) order.
   std::vector<size_t> order(n);
@@ -227,10 +252,23 @@ void EmbeddingStore::CascadeShard(
     // as the partial sum (a valid lower bound at every length) provably
     // exceeds the current k-th best.
     const size_t idx = range.begin + local_idx;
-    const double* FUZZYDB_RESTRICT row = data_.data() + idx * dim_;
-    SquaredDistanceAccumulator acc = prefix[local_idx];
-    size_t j = s0;
+    const double* FUZZYDB_RESTRICT row = data_.data() + idx * stride_;
+    SquaredDistanceAccumulator acc;
     bool pruned = false;
+    if (qquery != nullptr) {
+      // Level 0 runs lazily: the float prefix is read only for candidates
+      // the int8 bound could not dismiss. Its own bound can prune a
+      // candidate the walk ordering (keyed on the quantized bound) let
+      // through — a skip of this candidate, never a halt of the walk.
+      acc.Accumulate(row, t, 0, s0);
+      ++stats->bound_computations;
+      stats->bytes_scanned_prefix += s0 * sizeof(double);
+      pruned = s0 < dim_ && best->size() == k &&
+               acc.Total() > (*best)[worst_pos].first;
+    } else {
+      acc = prefix[local_idx];
+    }
+    size_t j = s0;
     while (j < dim_ && !pruned) {
       const size_t stop = std::min(dim_, j + step);
       const double before = acc.Total();
@@ -250,14 +288,18 @@ void EmbeddingStore::CascadeShard(
         pruned = true;
       }
     }
-    // A fully refined candidate's exact d^2 must dominate its level-0
-    // bound, or the bound could have falsely dismissed it.
+    // A fully refined candidate's exact d^2 must dominate the bound that
+    // ordered it — the quantized level −1 bound or the float level-0 prefix
+    // — or that bound could have falsely dismissed it.
     FUZZYDB_INVARIANT(pruned || acc.Total() >= b,
-                      "cascade level-0 bound " + std::to_string(b) +
+                      std::string("cascade level ") +
+                          (qquery != nullptr ? "-1 (int8)" : "0 (prefix)") +
+                          " bound " + std::to_string(b) +
                           " exceeds exact d^2 " + std::to_string(acc.Total()) +
                           " for row " + std::to_string(idx));
     ++stats->candidates_refined;
     stats->dims_accumulated += j - s0;
+    stats->bytes_scanned_refine += (j - s0) * sizeof(double);
     if (j == dim_) ++stats->full_distance_computations;
     if (pruned) continue;
 

@@ -32,12 +32,16 @@
 #include "common/aligned_buffer.h"
 #include "common/thread_pool.h"
 #include "image/quadratic_distance.h"
+#include "image/quantized_store.h"
 
 namespace fuzzydb {
 
 /// Counters from a cascaded search.
 struct CascadeStats {
-  /// Prefix-bound evaluations (one per stored object).
+  /// Rows scanned by the int8 level −1 (0 when the tier is off or absent).
+  size_t quantized_bound_computations = 0;
+  /// Float prefix-bound evaluations: one per stored object when the
+  /// quantized tier is off, one per surviving candidate when it is on.
   size_t bound_computations = 0;
   /// Candidates refined past the level-0 prefix bound.
   size_t candidates_refined = 0;
@@ -47,6 +51,13 @@ struct CascadeStats {
   /// Total embedding dimensions accumulated past level 0, across all
   /// candidates (the cascade's actual refinement work).
   size_t dims_accumulated = 0;
+  /// Bytes actually read from the store's buffers, per level: the int8
+  /// level −1 scan (codes + residuals), the float prefix bounds, and the
+  /// incremental refinements. The bandwidth story of the quantized tier is
+  /// measured here, not asserted.
+  size_t bytes_scanned_quantized = 0;
+  size_t bytes_scanned_prefix = 0;
+  size_t bytes_scanned_refine = 0;
 };
 
 /// Tuning knobs for CascadeKnn().
@@ -58,10 +69,20 @@ struct CascadeOptions {
   /// Dimensions added per refinement level before re-checking the current
   /// k-th best (the cascade's level granularity).
   size_t step = 16;
+  /// Run the int8 level −1 when the store has its quantized companion
+  /// (DESIGN §3g): the full-object scan reads 1-byte codes instead of the
+  /// 8-byte float prefix, and the float prefix bound is computed only for
+  /// candidates the quantized bound cannot dismiss. Never changes answers
+  /// (the bound is admissible by construction), only costs; ignored when
+  /// the companion was not built.
+  bool use_quantized = true;
 };
 
 /// A flat row-major collection of eigen-space embeddings: row i is the full
-/// k-dim embedding of object i, 64-byte aligned, unit stride.
+/// k-dim embedding of object i. Rows are padded to a whole number of cache
+/// lines (stride() >= dim() doubles, zero pad) so every row start is
+/// 64-byte aligned — the layout full-cacheline block kernels and aligned
+/// vector loads require.
 class EmbeddingStore {
  public:
   /// An empty store; usable instances come from Build() or the sizing
@@ -69,25 +90,42 @@ class EmbeddingStore {
   EmbeddingStore() = default;
 
   /// A zero-filled store for `count` embeddings of dimension `dim`
-  /// (ingest-time API: fill rows via MutableRow + EmbedInto).
+  /// (ingest-time API: fill rows via MutableRow + EmbedInto, then
+  /// optionally BuildQuantized()).
   EmbeddingStore(size_t count, size_t dim)
-      : size_(count), dim_(dim), data_(count * dim) {}
+      : size_(count), dim_(dim), stride_(RowStride(dim)),
+        data_(count * stride_) {}
 
-  /// Projects every histogram of `database` once (O(k^2) each).
+  /// Projects every histogram of `database` once (O(k^2) each) and builds
+  /// the int8 companion tier.
   static Result<EmbeddingStore> Build(const QuadraticFormDistance& qfd,
                                       const std::vector<Histogram>& database);
 
   size_t size() const { return size_; }
   size_t dim() const { return dim_; }
+  /// Doubles between consecutive row starts: dim() rounded up to a whole
+  /// cache line so every row is 64-byte aligned.
+  size_t stride() const { return stride_; }
 
   /// The stored embedding of object i.
   std::span<const double> Row(size_t i) const {
-    return {data_.data() + i * dim_, dim_};
+    return {data_.data() + i * stride_, dim_};
   }
   /// Writable row for ingest.
   std::span<double> MutableRow(size_t i) {
-    return {data_.data() + i * dim_, dim_};
+    return {data_.data() + i * stride_, dim_};
   }
+
+  /// (Re)builds the int8 scalar-quantized companion from the current rows.
+  /// Build() does this automatically; the sizing-constructor ingest path
+  /// calls it once the rows are filled. O(size * dim); adds ~dim bytes per
+  /// row of memory.
+  void BuildQuantized() {
+    quantized_ = QuantizedStore::Build(data_.data(), size_, dim_, stride_);
+  }
+  bool has_quantized() const { return !quantized_.empty(); }
+  /// The int8 tier (empty() when not built).
+  const QuantizedStore& quantized() const { return quantized_; }
 
   /// The batched exact kernel: out[i] = |Row(i) - target|_2 for every
   /// stored object. `target` must be a full-dimension embedding (from
@@ -139,17 +177,28 @@ class EmbeddingStore {
       CascadeStats* stats, ThreadPool* pool, size_t shards = 0) const;
 
  private:
+  static size_t RowStride(size_t dim) {
+    constexpr size_t kDoublesPerLine =
+        AlignedBuffer::kAlignment / sizeof(double);
+    return (dim + kDoublesPerLine - 1) / kDoublesPerLine * kDoublesPerLine;
+  }
+
   // The cascade restricted to rows [range.begin, range.end): appends up to
   // k local best (d^2, index) pairs to `best` (unsorted) and adds this
-  // shard's counters to `stats`.
+  // shard's counters to `stats`. `qquery` non-null runs the int8 level −1
+  // in place of the all-rows float prefix scan.
   void CascadeShard(const double* target, size_t k,
-                    const CascadeOptions& options, ShardRange range,
+                    const CascadeOptions& options,
+                    const QuantizedStore::EncodedQuery* qquery,
+                    ShardRange range,
                     std::vector<std::pair<double, size_t>>* best,
                     CascadeStats* stats) const;
 
   size_t size_ = 0;
   size_t dim_ = 0;
+  size_t stride_ = 0;
   AlignedBuffer data_;
+  QuantizedStore quantized_;
 };
 
 }  // namespace fuzzydb

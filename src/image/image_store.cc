@@ -52,6 +52,9 @@ Result<ImageStore> ImageStore::Generate(const ImageStoreOptions& options) {
     store.qfd_.EmbedInto(store.images_[i].histogram,
                          store.embeddings_.MutableRow(i));
   }
+  // The int8 level −1 companion (DESIGN §3g), built once per collection so
+  // the tuner below can measure whether the tier pays for itself here.
+  store.embeddings_.BuildQuantized();
 
   // Tune the cascade for this palette's spectrum once per collection, on a
   // small calibration sample of its own embeddings — tuning only changes

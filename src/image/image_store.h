@@ -76,8 +76,9 @@ class ImageStore {
   double ColorGradeFromDistance(double distance) const;
 
   /// Cascade options the tuner picked for this palette's eigen spectrum at
-  /// Generate() time (defaults if tuning was disabled). Passing these to
-  /// EmbeddingStore::CascadeKnn changes cost, never answers.
+  /// Generate() time (defaults if tuning was disabled), including whether
+  /// the int8 quantized level −1 pays for itself on this spectrum. Passing
+  /// these to EmbeddingStore::CascadeKnn changes cost, never answers.
   const CascadeOptions& tuned_cascade() const { return tuned_cascade_; }
 
  private:

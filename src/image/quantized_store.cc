@@ -1,0 +1,142 @@
+#include "image/quantized_store.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace fuzzydb {
+
+namespace {
+
+// Relative margin shaved off d~ before subtracting the residuals, so the
+// float recombination's roundoff (~1e-16 relative) can never push the
+// computed bound past the exactly-computed squared distance. See the
+// header's derivation: when the clamped bound is positive, d~ > r_x + r_t,
+// so a 1e-9 relative shave dominates every accumulated rounding term.
+constexpr double kBoundSafety = 1e-9;
+
+int8_t QuantizeValue(double value, double scale) {
+  if (scale <= 0.0) return 0;
+  const double scaled = value / scale;
+  // Clamp before rounding: stored rows never clamp (the scale is sized from
+  // their maxima), but query targets may lie outside the store's range, and
+  // lround on a huge quotient would be UB.
+  if (scaled >= static_cast<double>(simd::kInt8CodeMax)) {
+    return static_cast<int8_t>(simd::kInt8CodeMax);
+  }
+  if (scaled <= -static_cast<double>(simd::kInt8CodeMax)) {
+    return static_cast<int8_t>(-simd::kInt8CodeMax);
+  }
+  return static_cast<int8_t>(std::lround(scaled));
+}
+
+// Encodes one row of `dim` doubles into `codes` (padded_dim entries, the
+// pad already zero) and returns the exact residual norm |x - x~|_2,
+// accumulated in ascending-dimension order (deterministic).
+double EncodeRow(const double* row, size_t dim, std::span<const double> scales,
+                 int8_t* codes) {
+  double residual_sq = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    const double s = scales[j / QuantizedStore::kBlockDim];
+    const int8_t q = QuantizeValue(row[j], s);
+    codes[j] = q;
+    const double err = row[j] - static_cast<double>(q) * s;
+    residual_sq += err * err;
+  }
+  return std::sqrt(residual_sq);
+}
+
+void RunShards(ThreadPool* pool, size_t shards,
+               const std::function<void(size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(shards, fn);
+  } else {
+    for (size_t s = 0; s < shards; ++s) fn(s);
+  }
+}
+
+}  // namespace
+
+QuantizedStore QuantizedStore::Build(const double* rows, size_t size,
+                                     size_t dim, size_t stride) {
+  QuantizedStore store;
+  if (size == 0 || dim == 0) return store;
+  assert(dim <= kMaxBlocks * kBlockDim && stride >= dim);
+  store.size_ = size;
+  store.dim_ = dim;
+  store.blocks_ = (dim + kBlockDim - 1) / kBlockDim;
+  store.padded_ = store.blocks_ * kBlockDim;
+  store.kernel_level_ = simd::Active();
+  store.kernel_ = simd::ResolveBlockSsd(store.kernel_level_);
+
+  // Per-block scales from the data's own maxima: stored codes never clamp.
+  store.scales_.assign(store.blocks_, 0.0);
+  for (size_t i = 0; i < size; ++i) {
+    const double* row = rows + i * stride;
+    for (size_t j = 0; j < dim; ++j) {
+      store.scales_[j / kBlockDim] =
+          std::max(store.scales_[j / kBlockDim], std::fabs(row[j]));
+    }
+  }
+  store.scales_sq_.resize(store.blocks_);
+  for (size_t b = 0; b < store.blocks_; ++b) {
+    store.scales_[b] /= static_cast<double>(simd::kInt8CodeMax);
+    store.scales_sq_[b] = store.scales_[b] * store.scales_[b];
+  }
+
+  store.codes_ = AlignedArray<int8_t>(size * store.padded_);
+  store.residuals_.resize(size);
+  for (size_t i = 0; i < size; ++i) {
+    store.residuals_[i] =
+        EncodeRow(rows + i * stride, dim, store.scales_,
+                  store.codes_.data() + i * store.padded_);
+  }
+  return store;
+}
+
+QuantizedStore::EncodedQuery QuantizedStore::EncodeQuery(
+    std::span<const double> target) const {
+  assert(target.size() == dim_);
+  EncodedQuery query;
+  query.codes = AlignedArray<int8_t>(padded_);
+  query.residual = EncodeRow(target.data(), dim_, scales_, query.codes.data());
+  return query;
+}
+
+double QuantizedStore::LowerBound2(const EncodedQuery& query, size_t i) const {
+  std::array<int32_t, kMaxBlocks> block_sums;
+  kernel_(codes_.data() + i * padded_, query.codes.data(), padded_,
+          block_sums.data());
+  // Fixed ascending-block recombination: deterministic in (store, query),
+  // independent of kernel level and shard split.
+  double dq2 = 0.0;
+  for (size_t b = 0; b < blocks_; ++b) {
+    dq2 += scales_sq_[b] * static_cast<double>(block_sums[b]);
+  }
+  const double bound = std::sqrt(dq2) * (1.0 - kBoundSafety) - residuals_[i] -
+                       query.residual;
+  if (bound <= 0.0) return 0.0;
+  return bound * bound;
+}
+
+void QuantizedStore::BatchLowerBounds2(const EncodedQuery& query,
+                                       std::span<double> out) const {
+  BatchLowerBounds2(query, out, /*pool=*/nullptr, /*shards=*/1);
+}
+
+void QuantizedStore::BatchLowerBounds2(const EncodedQuery& query,
+                                       std::span<double> out, ThreadPool* pool,
+                                       size_t shards) const {
+  assert(out.size() == size_);
+  if (shards == 0) shards = pool != nullptr ? pool->executors() : 1;
+  shards = std::max<size_t>(1, std::min(shards, std::max<size_t>(size_, 1)));
+  const std::vector<ShardRange> ranges = MakeShards(size_, shards);
+  RunShards(pool, ranges.size(), [&](size_t s) {
+    for (size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+      out[i] = LowerBound2(query, i);
+    }
+  });
+}
+
+}  // namespace fuzzydb

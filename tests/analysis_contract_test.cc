@@ -124,6 +124,29 @@ TEST_F(CascadeAuditTest, CascadeAnswersMatchExactKnnBitForBit) {
   EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
+TEST_F(CascadeAuditTest, QuantizedTierLowerBoundsEveryPair) {
+  CascadeAuditOptions options;
+  options.pairs = 32;
+  AuditReport report = AuditQuantizedLowerBound(store_, options);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // 4 queries x 80 rows, plus the precondition check.
+  EXPECT_GT(report.checks_run(), 300u);
+}
+
+TEST_F(CascadeAuditTest, QuantizedAuditRejectsAStoreWithoutTheCompanion) {
+  // A hand-assembled store that never calls BuildQuantized(): the audit
+  // must refuse the precondition, not vacuously pass.
+  Rng rng(4321);
+  EmbeddingStore bare(4, 27);
+  for (size_t i = 0; i < 4; ++i) {
+    qfd_.EmbedInto(RandomHistogram(&rng, 27), bare.MutableRow(i));
+  }
+  AuditReport report = AuditQuantizedLowerBound(bare);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].contract, "precondition");
+}
+
 TEST_F(CascadeAuditTest, GenuineLowerBoundPassesTheFilterAudit) {
   // The 3-dim prefix of the embedding is the paper's formula (2) filter.
   auto cheap = [this](const Histogram& x, const Histogram& y) {

@@ -151,7 +151,15 @@ TEST_F(CascadeTest, MatchesExactKnnAcrossOptionsAndQueries) {
           CascadeOptions{64, 16}}) {
       CascadeStats stats;
       ExpectIdentical(store_.CascadeKnn(target, 10, options, &stats), exact);
-      EXPECT_EQ(stats.bound_computations, db_.size());
+      // Level -1 scans every object; the float prefix bound then runs only
+      // for the survivors the int8 bound could not dismiss.
+      EXPECT_EQ(stats.quantized_bound_computations, db_.size());
+      EXPECT_LE(stats.bound_computations, db_.size());
+      options.use_quantized = false;
+      CascadeStats fstats;
+      ExpectIdentical(store_.CascadeKnn(target, 10, options, &fstats), exact);
+      EXPECT_EQ(fstats.quantized_bound_computations, 0u);
+      EXPECT_EQ(fstats.bound_computations, db_.size());
     }
   }
 }

@@ -108,8 +108,10 @@ TEST_F(ParallelKernelTest, CascadeKnnBitIdenticalAcrossShardCounts) {
           ExpectIdentical(
               store_.CascadeKnn(target, 10, options, &stats, p, shards),
               serial, "cascade shards=" + std::to_string(shards));
-          // Every row is bounded exactly once regardless of sharding.
-          EXPECT_EQ(stats.bound_computations, store_.size());
+          // Every row passes the int8 level -1 exactly once regardless of
+          // sharding; the float prefix bound runs only for its survivors.
+          EXPECT_EQ(stats.quantized_bound_computations, store_.size());
+          EXPECT_LE(stats.bound_computations, store_.size());
         }
       }
     }
@@ -125,7 +127,12 @@ TEST_F(ParallelKernelTest, ShardedStatsAreDeterministic) {
     CascadeStats first, second;
     store_.CascadeKnn(targets_[0], 10, {}, &first, &pool, shards);
     store_.CascadeKnn(targets_[0], 10, {}, &second, &pool, shards);
+    EXPECT_EQ(first.quantized_bound_computations,
+              second.quantized_bound_computations);
     EXPECT_EQ(first.bound_computations, second.bound_computations);
+    EXPECT_EQ(first.bytes_scanned_quantized, second.bytes_scanned_quantized);
+    EXPECT_EQ(first.bytes_scanned_prefix, second.bytes_scanned_prefix);
+    EXPECT_EQ(first.bytes_scanned_refine, second.bytes_scanned_refine);
     EXPECT_EQ(first.candidates_refined, second.candidates_refined);
     EXPECT_EQ(first.full_distance_computations,
               second.full_distance_computations);
