@@ -16,13 +16,14 @@
 #   lint    scripts/lint.sh (portable checks + clang-tidy when available).
 #   simd    Native-arch CHECKIN build; reruns the kernel-sensitive tests
 #           (simd dispatch, quantized tier, embedding, sharded kernels,
-#           analysis contracts) once per FUZZYDB_SIMD level in {scalar,
+#           R-tree driver source, analysis contracts) once per
+#           FUZZYDB_SIMD level in {scalar,
 #           avx2, avx512}. The dispatcher clamps a forced level to what the
 #           host supports, so every leg runs everywhere and the widest ISA
 #           the hardware has is always exercised — bit-identical answers
 #           are asserted inside the tests themselves.
 #   bench   Native-arch Release build; runs the perf-trajectory benches
-#           (exp16, exp18, exp19) so their BENCH_*.json land in the repo
+#           (exp16, exp18, exp19, exp21) so their BENCH_*.json land in the repo
 #           root. Not a gate: on a 1-hardware-thread host it warns loudly
 #           and the reports carry "contention_only": true — the guarded
 #           writer refuses to overwrite a multi-core report with one.
@@ -73,7 +74,7 @@ case "${MODE}" in
       echo "== FUZZYDB_SIMD=${level} (clamped to host support) =="
       FUZZYDB_SIMD="${level}" ctest --test-dir build-simd \
         --output-on-failure -j "${JOBS}" \
-        -R 'simd|quantized|embedding|parallel_kernel|aligned_buffer|analysis'
+        -R 'simd|quantized|embedding|parallel_kernel|aligned_buffer|analysis|rtree'
     done ;;
   bench)
     HW="$(nproc 2>/dev/null || echo 1)"
@@ -84,12 +85,15 @@ case "${MODE}" in
     fi
     cmake -B build-native -S . -DFUZZYDB_NATIVE_ARCH=ON
     cmake --build build-native -j "${JOBS}" --target \
-      exp16_embedding_cascade exp18_parallel_middleware exp19_adaptive_parallel
+      exp16_embedding_cascade exp18_parallel_middleware \
+      exp19_adaptive_parallel exp21_rtree_driver
     ./build-native/bench/exp16_embedding_cascade \
       --benchmark_min_time=0.01
     ./build-native/bench/exp18_parallel_middleware \
       --benchmark_min_time=0.01
     ./build-native/bench/exp19_adaptive_parallel \
+      --benchmark_min_time=0.01
+    ./build-native/bench/exp21_rtree_driver \
       --benchmark_min_time=0.01 ;;
   all)
     "$0" plain

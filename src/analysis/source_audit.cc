@@ -79,4 +79,79 @@ AuditReport AuditSortedAccess(GradedSource* source,
   return report;
 }
 
+AuditReport AuditSourceEquivalence(GradedSource* actual,
+                                   GradedSource* reference,
+                                   const SourceAuditOptions& options) {
+  AuditReport report(actual->name() + " == " + reference->name());
+  report.CountCheck();
+  if (actual->Size() != reference->Size()) {
+    std::ostringstream out;
+    out << "Size() mismatch: " << actual->Size() << " vs "
+        << reference->Size();
+    report.Fail("size", out.str());
+    return report;
+  }
+
+  actual->RestartSorted();
+  reference->RestartSorted();
+  std::vector<GradedObject> streamed;
+  for (size_t n = 0; n < options.max_items; ++n) {
+    std::optional<GradedObject> a = actual->NextSorted();
+    std::optional<GradedObject> r = reference->NextSorted();
+    report.CountCheck();
+    if (a.has_value() != r.has_value()) {
+      std::ostringstream out;
+      out << "position " << n << ": " << (a ? "actual" : "reference")
+          << " streams on while the other is exhausted";
+      report.Fail("stream length", out.str());
+      break;
+    }
+    if (!a.has_value()) break;
+    if (a->id != r->id) {
+      std::ostringstream out;
+      out << "position " << n << ": actual streams object " << a->id
+          << " but reference streams " << r->id;
+      report.Fail("stream order", out.str());
+      break;
+    }
+    // Bit equality, not tolerance: both backends claim the identical grade
+    // arithmetic, and the middleware determinism harness depends on it.
+    if (!(a->grade == r->grade) ||
+        std::signbit(a->grade) != std::signbit(r->grade)) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "position " << n << ": object " << a->id << " graded "
+          << a->grade << " by actual but " << r->grade << " by reference";
+      report.Fail("grade equality", out.str());
+      break;
+    }
+    streamed.push_back(*a);
+  }
+
+  if (report.ok() && !streamed.empty()) {
+    Rng rng(options.seed);
+    const size_t probes = std::min(options.random_probes, streamed.size());
+    for (size_t p = 0; p < probes; ++p) {
+      const GradedObject& obj =
+          streamed[static_cast<size_t>(rng.NextBounded(streamed.size()))];
+      report.CountCheck();
+      const double a = actual->RandomAccess(obj.id);
+      const double r = reference->RandomAccess(obj.id);
+      if (!(a == obj.grade) || !(r == obj.grade)) {
+        std::ostringstream out;
+        out.precision(17);
+        out << "object " << obj.id << ": streamed grade " << obj.grade
+            << " but RandomAccess says " << a << " (actual) / " << r
+            << " (reference)";
+        report.Fail("random-access equivalence", out.str());
+        break;
+      }
+    }
+  }
+
+  actual->RestartSorted();
+  reference->RestartSorted();
+  return report;
+}
+
 }  // namespace fuzzydb

@@ -34,6 +34,17 @@ struct SourceAuditOptions {
 AuditReport AuditSortedAccess(GradedSource* source,
                               const SourceAuditOptions& options = {});
 
+/// Audits that two sources answer the *same* atomic query: their sorted
+/// streams must agree item by item — same ids, bit-equal grades, same
+/// length — and each one's RandomAccess must reproduce the other's streamed
+/// grades exactly on sampled objects. This is the equivalence leg for
+/// alternative sorted-access backends (e.g. the incremental R-tree driver
+/// vs the batch-graded QbicColorSource): different access paths, provably
+/// one graded set. Both cursors are restarted before and after.
+AuditReport AuditSourceEquivalence(GradedSource* actual,
+                                   GradedSource* reference,
+                                   const SourceAuditOptions& options = {});
+
 }  // namespace fuzzydb
 
 #endif  // FUZZYDB_ANALYSIS_SOURCE_AUDIT_H_

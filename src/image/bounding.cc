@@ -90,7 +90,12 @@ Result<std::vector<std::pair<size_t, double>>> FilteredKnn(
                 ->second;
     }
   }
-  if (stats != nullptr) stats->full_distance_computations = full;
+  if (stats != nullptr) {
+    stats->full_distance_computations = full;
+    // The two-level filter has no mid-row early exit: every candidate that
+    // enters refinement runs to the full distance.
+    stats->partial_refinements = full;
+  }
 
   std::sort(best.begin(), best.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second < b.second;

@@ -60,6 +60,11 @@ struct FilteredSearchStats {
   size_t full_distance_computations = 0;
   /// Cheap bound-distance computations (one per database object).
   size_t bound_computations = 0;
+  /// Candidates that *entered* refinement, whether they finished (counted
+  /// in full_distance_computations too) or were abandoned mid-row by the
+  /// early-exit cascade. Pruned candidates still cost real work — the cost
+  /// tables undercount without this. Always >= full_distance_computations.
+  size_t partial_refinements = 0;
 };
 
 /// Exact top-k most-similar search over `database` for `target`, using the

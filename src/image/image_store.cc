@@ -94,8 +94,7 @@ double ImageStore::ColorGrade(const Histogram& x,
 }
 
 double ImageStore::ColorGradeFromDistance(double distance) const {
-  double g = 1.0 - distance / qfd_.MaxDistance();
-  return std::clamp(g, 0.0, 1.0);
+  return GradeFromDistance(distance, qfd_.MaxDistance());
 }
 
 }  // namespace fuzzydb

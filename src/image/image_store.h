@@ -7,6 +7,7 @@
 #ifndef FUZZYDB_IMAGE_IMAGE_STORE_H_
 #define FUZZYDB_IMAGE_IMAGE_STORE_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "common/random.h"
@@ -19,6 +20,15 @@
 #include "image/texture.h"
 
 namespace fuzzydb {
+
+/// The QBIC color grade map: 1 - distance / max_distance, clamped to [0,1].
+/// A free function so every color source — batch-graded (qbic_source) or
+/// index-driven (rtree_source) — applies the *identical* arithmetic and
+/// equal distances always map to bit-equal grades.
+inline double GradeFromDistance(double distance, double max_distance) {
+  double g = 1.0 - distance / max_distance;
+  return std::clamp(g, 0.0, 1.0);
+}
 
 /// One synthetic image: its extracted features.
 struct ImageRecord {

@@ -89,6 +89,7 @@ Result<std::vector<std::pair<size_t, double>>> GeminiIndex::Knn(
   double kth2 = std::numeric_limits<double>::infinity();  // worst kept d^2
   double kth = std::numeric_limits<double>::infinity();   // its sqrt
   size_t full_refinements = 0;
+  size_t partial_refinements = 0;
   const size_t dim = embeddings_.dim();
   const size_t step = std::max<size_t>(tuned_.step, 1);
   auto worst_it = [&best]() {
@@ -107,6 +108,7 @@ Result<std::vector<std::pair<size_t, double>>> GeminiIndex::Knn(
     // exceeds the current k-th best. A pruned candidate would have been
     // rejected by the full comparison too, so results are unchanged.
     const double* row = embeddings_.Row(idx).data();
+    ++partial_refinements;  // pruned or not, this candidate costs work
     SquaredDistanceAccumulator acc;
     size_t j = 0;
     bool pruned = false;
@@ -134,6 +136,7 @@ Result<std::vector<std::pair<size_t, double>>> GeminiIndex::Knn(
   if (stats != nullptr) {
     stats->full_distance_computations = full_refinements;
     stats->bound_computations = it.stats().distance_computations;
+    stats->partial_refinements = partial_refinements;
   }
   std::sort(best.begin(), best.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second < b.second;

@@ -43,6 +43,18 @@ class GeminiIndex {
   size_t size() const { return database_->size(); }
   const EigenFilter& filter() const { return filter_; }
 
+  // Accessors for index-driven sorted access (rtree_source.h): the driver
+  // streams the R-tree's incremental neighbours and refines them against
+  // the full embedding rows, so it needs the tree, the rows, the unit-box
+  // map, and the distance machinery.
+  const RTree& rtree() const { return *rtree_; }
+  const EmbeddingStore& embeddings() const { return embeddings_; }
+  const QuadraticFormDistance& qfd() const { return *qfd_; }
+  /// Unit-box map parameters: unit = (summary + offset()) * scale(), so an
+  /// index distance converts back to summary units as d̂ = d_unit / scale().
+  double scale() const { return scale_; }
+  double offset() const { return offset_; }
+
   /// The refinement options the tuner picked for this palette spectrum at
   /// Build() time (prefix fixed to the index's summary dimension; the step
   /// drives the early-exit granularity of Knn refinement).

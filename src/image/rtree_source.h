@@ -1,0 +1,164 @@
+// The index-driven sorted-access backend (paper §2.1 + §4): a GradedSource
+// whose grade-descending stream is produced *incrementally* by the GEMINI
+// R-tree instead of a precomputed O(N log N) sort.
+//
+// The driver combines Hjaltason–Samet incremental distance browsing with
+// the Seidl–Kriegel optimal multi-step kNN bound:
+//
+//   1. `RTree::NearestIterator` pops database objects in ascending order of
+//      their eigen-prefix summary distance d̂ — an admissible lower bound on
+//      the exact full-embedding distance d (d >= d̂, no false dismissals).
+//   2. Each popped candidate enters a *pending* pool keyed by the tightest
+//      known lower bound: max(d̂, int8 quantized bound) when the embedding
+//      store carries its quantized companion (DESIGN §3g) — the int8 tier
+//      orders refinements so far-away candidates wait longest.
+//   3. Candidates are refined (exact d over the full embedding row, the
+//      same split-invariant kernel BatchDistances uses) lazily, and a
+//      refined candidate is *released* only once the frontier proves no
+//      unrefined candidate can beat or tie it: its grade must strictly
+//      exceed the grade of the frontier lower bound. On ties the driver
+//      refines further until the tie is between refined candidates, which
+//      then release in ascending-id order.
+//
+// The released stream is therefore exactly the grade-descending,
+// ties-by-id-ascending order of the batch-graded QbicColorSource — bit
+// identical, because the grade map (GradeFromDistance) and the distance
+// kernel are shared — while refinement work stays proportional to how far
+// the consumer actually reads (top-k algorithms stop early; the batch
+// source always pays for all N up front).
+
+#ifndef FUZZYDB_IMAGE_RTREE_SOURCE_H_
+#define FUZZYDB_IMAGE_RTREE_SOURCE_H_
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "image/indexed_search.h"
+#include "middleware/source.h"
+
+namespace fuzzydb {
+
+/// Counters from one driver cursor (the sorted stream since the last
+/// restart): how much index and refinement work the emitted prefix cost.
+struct RtreeSourceStats {
+  /// R-tree nodes expanded by the incremental iterator.
+  size_t node_accesses = 0;
+  /// Summary (prefix) distances computed inside the iterator's leaves.
+  size_t bound_computations = 0;
+  /// int8 quantized lower bounds evaluated for pending candidates.
+  size_t quantized_bound_computations = 0;
+  /// Exact full-embedding distances computed (Seidl–Kriegel refinements).
+  size_t refinements = 0;
+  /// Objects released from the sorted stream.
+  size_t emitted = 0;
+};
+
+struct RtreeKnnSourceOptions {
+  std::string label = "Color~rtree";
+  /// Maps embedding-row index i to the ObjectId the stream reports;
+  /// empty = identity (ids are row indices). Pass the ImageStore's record
+  /// ids to make the stream comparable with QbicColorSource.
+  std::vector<ObjectId> ids;
+  /// Order pending refinements by the int8 quantized lower bound as well as
+  /// d̂ when the index's embedding store has the quantized companion.
+  bool use_quantized = true;
+};
+
+/// GradedSource over a GeminiIndex: sorted access via incremental R-tree
+/// nearest-neighbour browsing with certified lazy refinement, random access
+/// via one exact distance over the full embedding row.
+class RtreeKnnSource final : public GradedSource {
+ public:
+  /// `index` must outlive the source. The target histogram is embedded once
+  /// (O(bins^2)); everything after is O(bins) per touched object.
+  static Result<RtreeKnnSource> Create(const GeminiIndex* index,
+                                       const Histogram& target,
+                                       RtreeKnnSourceOptions options = {});
+
+  size_t Size() const override;
+  std::optional<GradedObject> NextSorted() override;
+  void RestartSorted() override;
+  double RandomAccess(ObjectId id) override;
+  std::vector<GradedObject> AtLeast(double threshold) override;
+  std::string name() const override { return options_.label; }
+
+  /// Work counters for the current sorted cursor.
+  const RtreeSourceStats& stats() const { return stats_; }
+
+ private:
+  // A candidate pulled from the iterator but not yet refined, keyed by the
+  // tightest admissible lower bound on its exact distance.
+  struct Pending {
+    double lower_bound = 0.0;
+    size_t index = 0;
+    bool operator>(const Pending& other) const {
+      if (lower_bound != other.lower_bound) {
+        return lower_bound > other.lower_bound;
+      }
+      return index > other.index;
+    }
+  };
+  // A refined candidate awaiting release, keyed grade-descending with ties
+  // by id ascending — the GradedSource stream order.
+  struct Refined {
+    double grade = 0.0;
+    ObjectId id = 0;
+    bool operator<(const Refined& other) const {
+      if (grade != other.grade) return grade < other.grade;
+      return id > other.id;
+    }
+  };
+
+  // One independent position in the certified stream. NextSorted advances
+  // the member cursor; AtLeast replays a private one so filter access never
+  // disturbs the sorted position.
+  struct Cursor {
+    std::optional<RTree::NearestIterator> iterator;
+    // The iterator entry popped ahead of the pending pool; its distance
+    // (converted to summary units) is the frontier d̂ for everything not
+    // yet pulled.
+    std::optional<KnnNeighbor> peek;
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+        pending;
+    std::priority_queue<Refined> refined;
+  };
+
+  RtreeKnnSource() = default;
+
+  void ResetCursor(Cursor* cursor) const;
+  // Pulls one iterator entry into `pending` or refines one pending
+  // candidate into `refined`; false when every object is refined.
+  bool Advance(Cursor* cursor, RtreeSourceStats* stats);
+  // The next certified release, or nullopt when the stream is exhausted.
+  std::optional<GradedObject> Pop(Cursor* cursor, RtreeSourceStats* stats);
+
+  double ExactDistance(size_t index, RtreeSourceStats* stats);
+  ObjectId MapId(size_t index) const {
+    return options_.ids.empty() ? static_cast<ObjectId>(index)
+                                : options_.ids[index];
+  }
+
+  const GeminiIndex* index_ = nullptr;
+  RtreeKnnSourceOptions options_;
+  std::vector<double> target_embedding_;
+  std::vector<double> unit_query_;  // target mapped into the R-tree box
+  double max_distance_ = 1.0;      // grade-map denominator
+  bool quantized_ = false;
+  QuantizedStore::EncodedQuery encoded_query_;
+  // Exact distances cached across cursors and random accesses: refinement
+  // is deterministic, so sharing never changes a grade, only avoids
+  // recomputing it.
+  std::unordered_map<size_t, double> exact_;
+  std::unordered_map<ObjectId, size_t> id_to_index_;
+
+  Cursor cursor_;
+  RtreeSourceStats stats_;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_IMAGE_RTREE_SOURCE_H_

@@ -7,6 +7,8 @@
 #include <limits>
 #include <queue>
 
+#include "common/contract.h"
+
 namespace fuzzydb {
 
 Rect::Rect(std::span<const double> point)
@@ -24,6 +26,10 @@ void Rect::Extend(const Rect& other) {
 }
 
 double Rect::Volume() const {
+  // An empty (default-constructed) rect covers nothing: volume 0, not the
+  // empty product 1 — otherwise Enlargement against an empty MBR goes
+  // negative and ChooseLeaf/PickSeeds preferences invert.
+  if (lo_.empty()) return 0.0;
   double v = 1.0;
   for (size_t i = 0; i < lo_.size(); ++i) v *= hi_[i] - lo_[i];
   return v;
@@ -32,7 +38,13 @@ double Rect::Volume() const {
 double Rect::Enlargement(const Rect& other) const {
   Rect merged = *this;
   merged.Extend(other);
-  return merged.Volume() - Volume();
+  const double enlargement = merged.Volume() - Volume();
+  // Extend only grows extents and floating-point multiply is monotone in
+  // each non-negative factor, so the merged volume can never round below
+  // the original — a negative enlargement means a broken MBR.
+  FUZZYDB_DCHECK(enlargement >= 0.0,
+                 "negative MBR enlargement " + std::to_string(enlargement));
+  return enlargement;
 }
 
 double Rect::MinDist2(std::span<const double> point) const {
@@ -359,28 +371,37 @@ Result<std::vector<KnnNeighbor>> RTree::Knn(std::span<const double> query,
       frontier;
   frontier.push({root_->mbr.MinDist2(query), root_.get()});
 
-  auto worse = [](const KnnNeighbor& a, const KnnNeighbor& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
+  // The result heap keys on SQUARED distance, the same space the frontier
+  // prunes in. Storing sqrt(d2) and re-squaring it for the prune loses an
+  // ulp both ways: when sqrt rounds down, the re-squared k-th "distance"
+  // undershoots the true d2 and the strict > break can discard a subtree
+  // holding a true neighbour (a tie that should have won on id). The sqrt
+  // happens exactly once, on the returned neighbours.
+  struct Candidate {
+    double dist2 = 0.0;
+    ObjectId id = 0;
+  };
+  auto worse = [](const Candidate& a, const Candidate& b) {
+    if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
     return a.id < b.id;
   };
-  std::priority_queue<KnnNeighbor, std::vector<KnnNeighbor>, decltype(worse)>
+  std::priority_queue<Candidate, std::vector<Candidate>, decltype(worse)>
       best(worse);  // max-heap: top is the worst of the kept k
 
   KnnStats local;
   while (!frontier.empty()) {
     QueueEntry entry = frontier.top();
     frontier.pop();
-    if (best.size() >= k &&
-        entry.min_dist2 > best.top().distance * best.top().distance) {
+    if (best.size() >= k && entry.min_dist2 > best.top().dist2) {
       break;  // nothing closer remains
     }
     ++local.node_accesses;
     const Node* node = entry.node;
     if (node->leaf) {
       for (size_t i = 0; i < node->ids.size(); ++i) {
-        double d = std::sqrt(SquaredDistance(node->points[i], query));
+        double d2 = SquaredDistance(node->points[i], query);
         ++local.distance_computations;
-        KnnNeighbor cand{node->ids[i], d};
+        Candidate cand{d2, node->ids[i]};
         if (best.size() < k) {
           best.push(cand);
         } else if (worse(cand, best.top())) {
@@ -397,7 +418,7 @@ Result<std::vector<KnnNeighbor>> RTree::Knn(std::span<const double> query,
 
   std::vector<KnnNeighbor> out(best.size());
   for (size_t i = best.size(); i-- > 0;) {
-    out[i] = best.top();
+    out[i] = {best.top().id, std::sqrt(best.top().dist2)};
     best.pop();
   }
   if (stats != nullptr) {
@@ -419,7 +440,10 @@ size_t RTree::Height() const {
 
 // Mixed priority queue of tree nodes (keyed by MBR mindist) and resolved
 // point entries (keyed by exact distance): popping an entry before any node
-// certifies it as the next nearest neighbour.
+// certifies it as the next nearest neighbour. Every key is a SQUARED
+// distance — the same space batch Knn orders and prunes in — and sqrt runs
+// exactly once on each emitted neighbour, so the iterator's stream prefix
+// agrees with Knn(k) bit for bit at every k.
 struct RTree::NearestIterator::Frontier {
   struct Item {
     double key = 0.0;        // squared distance
@@ -427,9 +451,14 @@ struct RTree::NearestIterator::Frontier {
     KnnNeighbor entry;           // valid when node == nullptr
     bool operator>(const Item& other) const {
       if (key != other.key) return key > other.key;
-      // Deterministic ties: resolved entries first, then by id.
+      // Deterministic ties: expand nodes BEFORE emitting an equal-key
+      // resolved entry. A subtree whose mindist equals the entry's distance
+      // may still hold a point at exactly that distance with a smaller id;
+      // only once every such subtree is expanded do all tied points sit in
+      // the queue as entries, which then pop in ascending-id order —
+      // matching batch Knn's global (d2, id) sort.
       if ((node == nullptr) != (other.node == nullptr)) {
-        return node != nullptr;
+        return node == nullptr;
       }
       return entry.id > other.entry.id;
     }

@@ -15,6 +15,33 @@
 
 namespace fuzzydb {
 
+/// Measured per-emit costs of an index-driven sorted-access backend
+/// (image/rtree_source.h), calibrated from KnnStats / RtreeSourceStats on a
+/// probe query: what one released stream item costs the R-tree driver,
+/// priced in the same units as CostModel. The dimensionality curse lives in
+/// the per-emit counts — high-dimensional trees expand many nodes per
+/// release, and the calibrated numbers carry that into the plan choice
+/// instead of a closed-form guess.
+struct IndexDriverCalibration {
+  /// Eigen-prefix dimensionality of the tree the numbers were measured on.
+  size_t dim = 0;
+  /// R-tree nodes expanded per released stream item.
+  double node_accesses_per_emit = 1.0;
+  /// Exact full-embedding refinements per released stream item.
+  double refinements_per_emit = 1.0;
+  /// Price of one node expansion (relative to sorted_unit = one precomputed
+  /// sorted access).
+  double node_unit = 1.0;
+  /// Price of one exact refinement.
+  double refine_unit = 1.0;
+
+  /// The charged price of one sorted access served by the driver.
+  double EmitUnit() const {
+    return node_accesses_per_emit * node_unit +
+           refinements_per_emit * refine_unit;
+  }
+};
+
 /// Per-access prices, in arbitrary cost units. Consumed by the optimizer's
 /// estimates, by CA's default random-access period, and by the adaptive
 /// prefetch-depth heuristic (DESIGN §3f).
@@ -25,6 +52,10 @@ struct CostModel {
   /// cheaper than a sorted access for an indexed subsystem, or far more
   /// expensive when the subsystem must recompute a similarity score.
   double random_unit = 1.0;
+  /// When set, one of the query's sorted streams can be served by the
+  /// incremental R-tree driver at these calibrated prices, and ChoosePlan
+  /// weighs "rtree(dim=D)" against the precomputed-list plans.
+  std::optional<IndexDriverCalibration> index_driver;
 };
 
 /// CA's random-access period h derived from the price ratio: spend one

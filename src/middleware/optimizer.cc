@@ -137,6 +137,33 @@ Result<PlanChoice> ChoosePlan(const Query& query, size_t n, size_t k,
       first = false;
     }
   }
+  // The index-driven variant: TA's access mix with one list's sorted
+  // accesses served by the calibrated R-tree driver instead of a
+  // precomputed sorted list. Correctness is unchanged (the driver streams
+  // the identical graded set, DESIGN §3h), so this competes purely on
+  // price: cheap when the tree's per-emit work is small (low dim), ruled
+  // out by its own calibration numbers once the dimensionality curse makes
+  // node expansions per release explode.
+  if (query.IsMonotone() && model.index_driver.has_value()) {
+    const IndexDriverCalibration& driver = *model.index_driver;
+    Result<AccessMix> mix =
+        EstimateAccessMix(Algorithm::kThreshold, n, m, k, model);
+    if (!mix.ok()) return mix.status();
+    const double per_list = mix->sorted / static_cast<double>(m);
+    const double est = per_list * driver.EmitUnit() +
+                       (mix->sorted - per_list) * model.sorted_unit +
+                       mix->random * model.random_unit;
+    std::string label = "rtree(dim=";
+    label += std::to_string(driver.dim);
+    label += ")";
+    choice.considered.emplace_back(std::move(label), est);
+    if (first || est < best) {
+      best = est;
+      choice.algorithm = Algorithm::kThreshold;
+      choice.use_index_driver = true;
+      first = false;
+    }
+  }
   choice.estimated_cost = best;
   return choice;
 }

@@ -34,9 +34,14 @@ struct PlanChoice {
   /// CA's random-access period implied by the price model (meaningful for
   /// every plan, used when the chosen algorithm is kCombined).
   size_t combined_period = 1;
+  /// True when the winning estimate assumed the calibrated R-tree driver
+  /// (CostModel::index_driver) serves one of the sorted streams — the
+  /// executor should swap RtreeKnnSource in for that list's batch source.
+  bool use_index_driver = false;
   /// Estimated charged cost of each considered alternative, keyed by
-  /// AlgorithmName() — except CA, which is listed as "ca(h=N)" so EXPLAIN
-  /// output shows the period the estimate assumed.
+  /// AlgorithmName() — except CA, listed as "ca(h=N)", and the index-driven
+  /// TA variant, listed as "rtree(dim=D)", so EXPLAIN output shows the
+  /// parameters each estimate assumed.
   std::vector<std::pair<std::string, double>> considered;
 };
 

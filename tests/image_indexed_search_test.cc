@@ -108,6 +108,10 @@ TEST_F(GeminiTest, KnnMatchesExactSearch) {
     }
     // Refinement must touch well under the whole database.
     EXPECT_LT(stats.full_distance_computations, db_.size() / 2);
+    // Every candidate that entered refinement is accounted for: the pruned
+    // ones (abandoned mid-row) used to vanish from the cost tables.
+    EXPECT_GE(stats.partial_refinements, stats.full_distance_computations);
+    EXPECT_LE(stats.partial_refinements, stats.bound_computations);
   }
   EXPECT_FALSE(index->Knn(db_[0], 0).ok());
 }
@@ -142,6 +146,10 @@ TEST_F(GeminiTest, AgreesWithFilteredKnnAndDoesLessSummaryWork) {
   // visits only part of the summary space.
   EXPECT_EQ(flat_stats.bound_computations, db_.size());
   EXPECT_LT(gemini_stats.bound_computations, db_.size());
+  EXPECT_GE(flat_stats.partial_refinements,
+            flat_stats.full_distance_computations);
+  EXPECT_GE(gemini_stats.partial_refinements,
+            gemini_stats.full_distance_computations);
 }
 
 }  // namespace

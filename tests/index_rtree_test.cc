@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "common/random.h"
 
 namespace fuzzydb {
@@ -11,6 +14,10 @@ std::vector<double> RandomPoint(Rng* rng, size_t dim) {
   std::vector<double> p(dim);
   for (double& c : p) c = rng->NextDouble();
   return p;
+}
+
+bool BitEqual(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
 }
 
 TEST(RectTest, ExtendVolumeEnlargementMinDist) {
@@ -176,6 +183,138 @@ TEST(RTreeBulkLoadTest, ValidatesAndHandlesEmpty) {
       tree.Knn(std::vector<double>{0.5, 0.5}, 3, nullptr);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->empty());
+}
+
+TEST(RectTest, EmptyRectHasZeroVolumeAndNonNegativeEnlargement) {
+  Rect empty;
+  EXPECT_DOUBLE_EQ(empty.Volume(), 0.0);
+  Rect point(std::vector<double>{0.25, 0.75});
+  Rect box = point;
+  box.Extend(Rect(std::vector<double>{0.75, 0.25}));
+  // Growing an empty MBR to cover `box` costs exactly box.Volume(), never a
+  // negative amount (the empty-product-=-1 bug made this -0.75).
+  EXPECT_DOUBLE_EQ(empty.Enlargement(box), box.Volume());
+  EXPECT_GE(empty.Enlargement(point), 0.0);
+  EXPECT_GE(box.Enlargement(box), 0.0);
+}
+
+TEST(RTreeTest, EmptyTreeKnnAndIteratorDoNotCrash) {
+  RTree tree(2);
+  std::vector<double> query{0.5, 0.5};
+  Result<std::vector<KnnNeighbor>> r = tree.Knn(query, 3, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  RTree::NearestIterator it(&tree, query);
+  EXPECT_FALSE(it.Next().has_value());
+  EXPECT_FALSE(it.Next().has_value());  // stays exhausted
+
+  // Same through the bulk-load path.
+  ASSERT_TRUE(tree.BulkLoadStr({}, {}).ok());
+  Result<std::vector<KnnNeighbor>> r2 = tree.Knn(query, 3, nullptr);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+  RTree::NearestIterator it2(&tree, query);
+  EXPECT_FALSE(it2.Next().has_value());
+}
+
+// Regression for the sqrt round-trip prune: the k-th best used to be stored
+// as sqrt(d2) and re-squared for the frontier break. When sqrt rounds down,
+// the re-squared key undershoots the true d2 by an ulp, and the strict >
+// break discards subtrees holding equidistant points that win their tie on
+// id. Duplicate-coordinate plateaus spread across many leaves make that
+// 1-ulp slack an id-visible wrong answer; keys must stay squared.
+TEST(RTreeTest, AdversariallyClosePlateausMatchScanBitForBit) {
+  const size_t dim = 2;
+  // Several radii so that some of them hit the sqrt-rounds-down case.
+  for (double r : {0.05, 0.1, 0.13, 0.2, 0.29, 0.3, 0.45}) {
+    RTree tree(dim, /*max_entries=*/4);  // small fanout: many leaves
+    LinearScanIndex scan(dim);
+    ObjectId next_id = 0;
+    // A plateau of exact duplicates at distance r in each axis direction,
+    // interleaved so leaf splits scatter equal ids across subtrees.
+    const std::vector<std::vector<double>> plateau = {
+        {0.5 + r, 0.5}, {0.5 - r, 0.5}, {0.5, 0.5 + r}, {0.5, 0.5 - r}};
+    for (int copy = 0; copy < 10; ++copy) {
+      for (const std::vector<double>& p : plateau) {
+        ASSERT_TRUE(tree.Insert(next_id, p).ok());
+        ASSERT_TRUE(scan.Insert(next_id, p).ok());
+        ++next_id;
+      }
+    }
+    // Background points away from the plateau.
+    Rng rng(601);
+    for (int i = 0; i < 60; ++i) {
+      std::vector<double> p = RandomPoint(&rng, dim);
+      ASSERT_TRUE(tree.Insert(next_id, p).ok());
+      ASSERT_TRUE(scan.Insert(next_id, p).ok());
+      ++next_id;
+    }
+    std::vector<double> query{0.5, 0.5};
+    for (size_t k = 1; k <= next_id; ++k) {
+      Result<std::vector<KnnNeighbor>> a = tree.Knn(query, k, nullptr);
+      Result<std::vector<KnnNeighbor>> b = scan.Knn(query, k, nullptr);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(a->size(), b->size()) << "r=" << r << " k=" << k;
+      for (size_t i = 0; i < a->size(); ++i) {
+        ASSERT_EQ((*a)[i].id, (*b)[i].id)
+            << "r=" << r << " k=" << k << " rank " << i;
+        ASSERT_TRUE(BitEqual((*a)[i].distance, (*b)[i].distance))
+            << "r=" << r << " k=" << k << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(NearestIteratorTest, PrefixEqualsBatchKnnForEveryK) {
+  Rng rng(607);
+  const size_t dim = 3, n = 150;
+  RTree tree(dim, /*max_entries=*/6);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(i, RandomPoint(&rng, dim)).ok());
+  }
+  std::vector<double> query{0.4, 0.6, 0.5};
+  // One full stream, then every Knn(k) must be exactly its length-k prefix,
+  // bit for bit.
+  RTree::NearestIterator it(&tree, query);
+  std::vector<KnnNeighbor> stream;
+  while (auto next = it.Next()) stream.push_back(*next);
+  ASSERT_EQ(stream.size(), n);
+  for (size_t k = 1; k <= n; ++k) {
+    Result<std::vector<KnnNeighbor>> batch = tree.Knn(query, k, nullptr);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      ASSERT_EQ((*batch)[i].id, stream[i].id) << "k=" << k << " rank " << i;
+      ASSERT_TRUE(BitEqual((*batch)[i].distance, stream[i].distance))
+          << "k=" << k << " rank " << i;
+    }
+  }
+}
+
+TEST(NearestIteratorTest, DuplicatePointTieStormStreamsInIdOrder) {
+  RTree tree(2, /*max_entries=*/4);
+  // 40 copies of the same point — the whole database is one tie plateau
+  // scattered across ~10 leaves — plus a single nearer and farther point.
+  for (ObjectId id = 10; id < 50; ++id) {
+    ASSERT_TRUE(tree.Insert(id, std::vector<double>{0.8, 0.8}).ok());
+  }
+  ASSERT_TRUE(tree.Insert(5, std::vector<double>{0.55, 0.55}).ok());
+  ASSERT_TRUE(tree.Insert(99, std::vector<double>{0.1, 0.1}).ok());
+
+  RTree::NearestIterator it(&tree, std::vector<double>{0.5, 0.5});
+  std::optional<KnnNeighbor> first = it.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 5u);
+  for (ObjectId expect = 10; expect < 50; ++expect) {
+    std::optional<KnnNeighbor> next = it.Next();
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(next->id, expect);  // deterministic ascending-id tie order
+  }
+  std::optional<KnnNeighbor> last = it.Next();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->id, 99u);
+  EXPECT_FALSE(it.Next().has_value());
+  EXPECT_FALSE(it.Next().has_value());  // exhaustion is permanent
 }
 
 TEST(LinearScanTest, DistancesAreSortedAndComplete) {

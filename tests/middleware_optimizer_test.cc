@@ -98,6 +98,7 @@ TEST(EstimateAccessMixTest, CombinedPeriodTracksThePriceRatio) {
 
 TEST(ConsideredBaseNameTest, StripsParameters) {
   EXPECT_EQ(ConsideredBaseName("ca(h=4)"), "ca");
+  EXPECT_EQ(ConsideredBaseName("rtree(dim=3)"), "rtree");
   EXPECT_EQ(ConsideredBaseName("ta"), "ta");
   EXPECT_EQ(ConsideredBaseName("fagin-a0"), "fagin-a0");
   EXPECT_EQ(ConsideredBaseName(""), "");
@@ -153,6 +154,55 @@ TEST(ChoosePlanTest, ConsideredListsCaWithItsPeriod) {
     }
   }
   EXPECT_TRUE(found_ca);
+}
+
+TEST(ChoosePlanTest, CheapIndexDriverWinsAndExpensiveOneLoses) {
+  // A low-dimensional tree whose per-release work is far cheaper than a
+  // precomputed sorted access: the index-driven TA plan must win.
+  CostModel cheap;
+  cheap.index_driver = IndexDriverCalibration{
+      .dim = 2,
+      .node_accesses_per_emit = 0.05,
+      .refinements_per_emit = 1.2,
+      .node_unit = 0.1,
+      .refine_unit = 0.01,
+  };
+  Result<PlanChoice> plan = ChoosePlan(*Conjunction2(), 100000, 10, cheap);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->use_index_driver);
+  EXPECT_EQ(plan->algorithm, Algorithm::kThreshold);
+  bool found = false;
+  for (const auto& [label, est] : plan->considered) {
+    if (ConsideredBaseName(label) == "rtree") {
+      found = true;
+      EXPECT_EQ(label, "rtree(dim=2)");
+      EXPECT_DOUBLE_EQ(est, plan->estimated_cost);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // The curse: a high-dimensional tree expanding hundreds of nodes per
+  // release prices itself out, and the plan falls back to the batch lists.
+  CostModel cursed = cheap;
+  cursed.index_driver->dim = 32;
+  cursed.index_driver->node_accesses_per_emit = 400.0;
+  cursed.index_driver->node_unit = 1.0;
+  plan = ChoosePlan(*Conjunction2(), 100000, 10, cursed);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->use_index_driver);
+  bool listed = false;
+  for (const auto& [label, est] : plan->considered) {
+    listed = listed || label == "rtree(dim=32)";
+  }
+  EXPECT_TRUE(listed) << "the rejected driver plan still shows in EXPLAIN";
+
+  // Without a calibration the driver plan is not even considered.
+  Result<PlanChoice> plain = ChoosePlan(*Conjunction2(), 100000, 10, {});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->use_index_driver);
+  for (const auto& [label, est] : plain->considered) {
+    EXPECT_NE(ConsideredBaseName(label), "rtree");
+  }
 }
 
 TEST(ChoosePlanTest, ExpensiveRandomAccessFlipsToNRA) {
