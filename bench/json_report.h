@@ -19,29 +19,35 @@
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
+
 namespace fuzzydb {
 
+// Thread-safe: the entry list is GUARDED_BY an annotated mutex, so bench
+// sections running on pool threads may Set() into one shared report (the
+// capability annotations make any unlocked access a compile error on
+// Clang). Each method takes the lock once; none calls another under it.
 class JsonReport {
  public:
   void Set(const std::string& key, double value) {
     // JSON has no nan/inf literals; emit null rather than corrupt the file.
     if (!std::isfinite(value)) {
-      entries_.emplace_back(key, "null");
+      Append(key, "null");
       return;
     }
     std::ostringstream os;
     os.precision(10);
     os << value;
-    entries_.emplace_back(key, os.str());
+    Append(key, os.str());
   }
   void Set(const std::string& key, size_t value) {
-    entries_.emplace_back(key, std::to_string(value));
+    Append(key, std::to_string(value));
   }
   void Set(const std::string& key, bool value) {
-    entries_.emplace_back(key, value ? "true" : "false");
+    Append(key, value ? "true" : "false");
   }
   void Set(const std::string& key, const std::string& value) {
-    entries_.emplace_back(key, Quote(value));
+    Append(key, Quote(value));
   }
 
   /// Records the host's parallelism caveat machine-readably: every bench
@@ -66,6 +72,7 @@ class JsonReport {
 
   /// The full `{ "k": v, ... }` document.
   std::string ToString() const {
+    MutexLock lock(mu_);
     std::ostringstream out;
     out << "{\n";
     for (size_t i = 0; i < entries_.size(); ++i) {
@@ -76,10 +83,14 @@ class JsonReport {
     return out.str();
   }
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    MutexLock lock(mu_);
+    return entries_.size();
+  }
 
   /// Raw serialized value recorded for `key` ("" if absent; last write wins).
   std::string Lookup(const std::string& key) const {
+    MutexLock lock(mu_);
     for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
       if (it->first == key) return it->second;
     }
@@ -160,7 +171,13 @@ class JsonReport {
     return out;
   }
 
-  std::vector<std::pair<std::string, std::string>> entries_;
+  void Append(const std::string& key, std::string value) {
+    MutexLock lock(mu_);
+    entries_.emplace_back(key, std::move(value));
+  }
+
+  mutable Mutex mu_;
+  std::vector<std::pair<std::string, std::string>> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace fuzzydb

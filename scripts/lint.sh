@@ -55,6 +55,17 @@ if grep -rn --include='*.h' '#include <iostream>' src; then
   echo "lint: src/ headers must not include <iostream> (use <iosfwd>)"
   FAIL=1
 fi
+# Naked std synchronization primitives bypass the capability-annotated
+# layer (common/sync.h) and with it the whole -Wthread-safety gate: new
+# code must use Mutex / MutexLock / CondVar so GUARDED_BY/REQUIRES
+# contracts stay provable. Only sync.h itself may name the std types.
+if grep -rn --include='*.h' --include='*.cc' \
+     'std::mutex\|std::lock_guard\|std::unique_lock\|std::scoped_lock\|std::condition_variable\|std::shared_mutex' \
+     src | grep -v '^src/common/sync\.h:'; then
+  echo "lint: naked std sync primitives in src/ — use the annotated" \
+       "Mutex/MutexLock/CondVar layer from common/sync.h"
+  FAIL=1
+fi
 
 if [ "$FAIL" -ne 0 ]; then
   echo "lint: portable checks FAILED"

@@ -14,6 +14,10 @@
 #           in and the src/analysis property auditors exercised by the full
 #           suite (analysis_contract_test runs its instrumentation leg).
 #   lint    scripts/lint.sh (portable checks + clang-tidy when available).
+#   analyze scripts/analyze.sh: thread-safety compile-fail harness, a Clang
+#           -Wthread-safety -Werror build of the whole tree, and the Clang
+#           Static Analyzer (core/deadcode/cplusplus, zero findings). Skips
+#           loudly without a Clang toolchain; CI runs it strictly.
 #   simd    Native-arch CHECKIN build; reruns the kernel-sensitive tests
 #           (simd dispatch, quantized tier, embedding, sharded kernels,
 #           R-tree driver source, analysis contracts) once per
@@ -27,8 +31,8 @@
 #           root. Not a gate: on a 1-hardware-thread host it warns loudly
 #           and the reports carry "contention_only": true — the guarded
 #           writer refuses to overwrite a multi-core report with one.
-#   all     plain + asan + tsan + checks + simd + lint (default; bench is
-#           opt-in).
+#   all     plain + asan + tsan + checks + simd + lint + analyze (default;
+#           bench is opt-in).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -66,6 +70,8 @@ case "${MODE}" in
       -DFUZZYDB_CHECKS=ON -DFUZZYDB_WARNING_LEVEL=CHECKIN ;;
   lint)
     scripts/lint.sh ;;
+  analyze)
+    scripts/analyze.sh ;;
   simd)
     cmake -B build-simd -S . -DFUZZYDB_NATIVE_ARCH=ON \
       -DFUZZYDB_WARNING_LEVEL=CHECKIN
@@ -101,9 +107,10 @@ case "${MODE}" in
     "$0" tsan
     "$0" checks
     "$0" simd
-    "$0" lint ;;
+    "$0" lint
+    "$0" analyze ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|checks|lint|simd|bench|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|checks|lint|analyze|simd|bench|all]" >&2
     exit 2 ;;
 esac
 

@@ -14,37 +14,43 @@
 namespace fuzzydb {
 
 AccessLog AccessLogSource::log() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return log_;
 }
 
-size_t AccessLogSource::Size() const { return inner_->Size(); }
+size_t AccessLogSource::Size() const {
+  // Under the mutex like every other inner call: the annotation migration
+  // surfaced that this was the one path reaching the single-threaded inner
+  // source without the serializing lock.
+  MutexLock lock(mu_);
+  return inner_->Size();
+}
 
 std::optional<GradedObject> AccessLogSource::NextSorted() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::optional<GradedObject> next = inner_->NextSorted();
   if (next.has_value()) log_.sorted.push_back(*next);
   return next;
 }
 
 void AccessLogSource::RestartSorted() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   inner_->RestartSorted();
 }
 
 double AccessLogSource::RandomAccess(ObjectId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   log_.random.push_back(id);
   return inner_->RandomAccess(id);
 }
 
 std::vector<GradedObject> AccessLogSource::AtLeast(double threshold) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return inner_->AtLeast(threshold);
 }
 
 std::string AccessLogSource::name() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return "logged(" + inner_->name() + ")";
 }
 

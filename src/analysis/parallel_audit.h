@@ -12,11 +12,11 @@
 #ifndef FUZZYDB_ANALYSIS_PARALLEL_AUDIT_H_
 #define FUZZYDB_ANALYSIS_PARALLEL_AUDIT_H_
 
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "analysis/audit.h"
+#include "common/sync.h"
 #include "middleware/parallel.h"
 #include "middleware/source.h"
 #include "middleware/topk.h"
@@ -32,9 +32,11 @@ struct AccessLog {
 };
 
 /// Decorator that records every access against an inner source. Thread-safe:
-/// the parallel layer may probe from pool threads, so all recording happens
-/// under an internal mutex. RestartSorted does NOT clear the log — a log
-/// spans the whole run, restarts included.
+/// the parallel layer may probe from pool threads, so all recording — and
+/// every call into the (single-threaded) inner source, Size() included —
+/// happens under an internal mutex; GUARDED_BY/PT_GUARDED_BY make Clang
+/// prove it. RestartSorted does NOT clear the log — a log spans the whole
+/// run, restarts included.
 class AccessLogSource final : public GradedSource {
  public:
   explicit AccessLogSource(GradedSource* inner) : inner_(inner) {}
@@ -50,9 +52,9 @@ class AccessLogSource final : public GradedSource {
   std::string name() const override;
 
  private:
-  mutable std::mutex mu_;
-  GradedSource* inner_;
-  AccessLog log_;
+  mutable Mutex mu_;
+  GradedSource* const inner_ PT_GUARDED_BY(mu_);
+  AccessLog log_ GUARDED_BY(mu_);
 };
 
 /// Which algorithm the auditor replays.

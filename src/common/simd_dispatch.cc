@@ -139,6 +139,10 @@ Level DetectUncached() {
 
 Level ActiveUncached() {
   Level level = Detect();
+  // Runs once, under Active()'s magic-static init, before any worker thread
+  // exists — and nothing in the process ever setenv()s — so the getenv
+  // race concurrency-mt-unsafe guards against cannot occur here.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* forced = std::getenv("FUZZYDB_SIMD");
   if (forced != nullptr) {
     if (std::optional<Level> parsed = Parse(forced); parsed.has_value()) {

@@ -18,19 +18,22 @@
 //     piling up unbounded speculative tasks. Blocking jobs take priority
 //     over queued tasks, so prefetching never delays a ParallelFor.
 //   - All state is mutex/condvar protected (no lock-free cleverness), which
-//     keeps the pool ThreadSanitizer-clean by construction.
+//     keeps the pool ThreadSanitizer-clean by construction — and, since the
+//     migration to the annotated sync layer, provably lock-disciplined at
+//     compile time: every job/queue field is GUARDED_BY(mu_), so an access
+//     outside the lock is a -Wthread-safety error on Clang (DESIGN §3i).
 
 #ifndef FUZZYDB_COMMON_THREAD_POOL_H_
 #define FUZZYDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace fuzzydb {
 
@@ -101,17 +104,22 @@ class ThreadPool : public TaskExecutor {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable job_cv_;   // workers: a new job or task is ready
-  std::condition_variable done_cv_;  // submitters: job finished / slot free
-  const std::function<void(size_t)>* job_fn_ = nullptr;  // null = no job
-  size_t job_n_ = 0;     // total indices in the current job
-  size_t job_next_ = 0;  // next unclaimed index
-  size_t job_done_ = 0;  // indices whose fn() has returned
-  uint64_t job_id_ = 0;  // bumps per job so workers never re-enter one
-  std::deque<std::function<void()>> tasks_;  // TryPost queue (bounded)
+  mutable Mutex mu_;
+  CondVar job_cv_;   // workers: a new job or task is ready
+  CondVar done_cv_;  // submitters: job finished / slot free
+  // null = no job
+  const std::function<void(size_t)>* job_fn_ GUARDED_BY(mu_) = nullptr;
+  size_t job_n_ GUARDED_BY(mu_) = 0;     // total indices in the current job
+  size_t job_next_ GUARDED_BY(mu_) = 0;  // next unclaimed index
+  size_t job_done_ GUARDED_BY(mu_) = 0;  // indices whose fn() has returned
+  // bumps per job so workers never re-enter one
+  uint64_t job_id_ GUARDED_BY(mu_) = 0;
+  // TryPost queue (bounded)
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
   const size_t max_queued_tasks_;
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+  // Written only before the workers start and joined in the destructor;
+  // never touched by a worker, so it needs no guard.
   std::vector<std::thread> workers_;
 };
 

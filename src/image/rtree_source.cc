@@ -75,15 +75,22 @@ void RtreeKnnSource::ResetCursor(Cursor* cursor) const {
 
 double RtreeKnnSource::ExactDistance(size_t index,
                                      RtreeSourceStats* stats) {
-  auto it = exact_.find(index);
-  if (it != exact_.end()) return it->second;
+  {
+    MutexLock lock(exact_->mu);
+    auto it = exact_->map.find(index);
+    if (it != exact_->map.end()) return it->second;
+  }
   const EmbeddingStore& store = index_->embeddings();
   // The same per-row arithmetic as EmbeddingStore::BatchDistances — equal
-  // inputs, bit-equal distance, bit-equal grade.
+  // inputs, bit-equal distance, bit-equal grade. Computed outside the cache
+  // lock: two racing probes may both pay for the same row, but the kernel
+  // is deterministic so whichever emplace lands first wins with the same
+  // bits (stats are per-cursor and owned by the calling thread).
   double d = std::sqrt(SquaredDistance(store.Row(index).data(),
                                        target_embedding_.data(), store.dim()));
   ++stats->refinements;
-  exact_.emplace(index, d);
+  MutexLock lock(exact_->mu);
+  exact_->map.emplace(index, d);
   return d;
 }
 

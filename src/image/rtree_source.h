@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "image/indexed_search.h"
 #include "middleware/source.h"
 
@@ -151,8 +152,16 @@ class RtreeKnnSource final : public GradedSource {
   QuantizedStore::EncodedQuery encoded_query_;
   // Exact distances cached across cursors and random accesses: refinement
   // is deterministic, so sharing never changes a grade, only avoids
-  // recomputing it.
-  std::unordered_map<size_t, double> exact_;
+  // recomputing it. The map is the one piece of state every access path
+  // lands in — the sorted cursor, AtLeast's private replay cursors, and
+  // random-access probes — so it carries its own annotated mutex (held only
+  // around map lookups/inserts, never across the distance kernel). Behind
+  // unique_ptr because Mutex is immovable and Create() returns by value.
+  struct ExactCache {
+    Mutex mu;
+    std::unordered_map<size_t, double> map GUARDED_BY(mu);
+  };
+  std::unique_ptr<ExactCache> exact_ = std::make_unique<ExactCache>();
   std::unordered_map<ObjectId, size_t> id_to_index_;
 
   Cursor cursor_;

@@ -2,28 +2,37 @@
 
 #include <algorithm>
 #include <deque>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace fuzzydb {
 
-// All fields live behind one mutex, and fill tasks hold the state via
-// shared_ptr: a task the executor runs after the decorator died (or after a
-// RestartSorted) either no-ops on `cancelled` or harmlessly prefetches the
-// restarted stream. Holding `mu` across inner accesses is what serializes
-// the single-threaded inner source against concurrent fills and probes.
+// All mutable fields live behind one mutex — declared GUARDED_BY(mu), so
+// Clang proves it — and fill tasks hold the state via shared_ptr: a task
+// the executor runs after the decorator died (or after a RestartSorted)
+// either no-ops on `cancelled` or harmlessly prefetches the restarted
+// stream. Holding `mu` across inner accesses is what serializes the
+// single-threaded inner source against concurrent fills and probes, which
+// is what PT_GUARDED_BY on `inner` records.
 struct PrefetchSource::State {
-  std::mutex mu;
-  GradedSource* inner = nullptr;
-  size_t depth = 1;
-  std::deque<GradedObject> buffer;
-  bool exhausted = false;       // inner stream ended (until restart)
-  bool fill_scheduled = false;  // a refill task is scheduled or running
-  bool cancelled = false;       // Quiesce()/destructor: no more async fills
-  uint64_t fetched = 0;
-  uint64_t consumed = 0;
+  State(GradedSource* inner_source, size_t ring_depth)
+      : inner(inner_source), depth(std::max<size_t>(ring_depth, 1)) {}
 
-  // Fills the ring buffer up to depth. Caller holds mu.
-  void FillLocked() {
+  Mutex mu;
+  GradedSource* const inner PT_GUARDED_BY(mu);
+  const size_t depth;
+  std::deque<GradedObject> buffer GUARDED_BY(mu);
+  // inner stream ended (until restart)
+  bool exhausted GUARDED_BY(mu) = false;
+  // a refill task is scheduled or running
+  bool fill_scheduled GUARDED_BY(mu) = false;
+  // Quiesce()/destructor: no more async fills
+  bool cancelled GUARDED_BY(mu) = false;
+  uint64_t fetched GUARDED_BY(mu) = 0;
+  uint64_t consumed GUARDED_BY(mu) = 0;
+
+  // Fills the ring buffer up to depth.
+  void FillLocked() REQUIRES(mu) {
     while (!exhausted && buffer.size() < depth) {
       std::optional<GradedObject> next = inner->NextSorted();
       if (!next.has_value()) {
@@ -38,39 +47,36 @@ struct PrefetchSource::State {
 
 PrefetchSource::PrefetchSource(GradedSource* inner, size_t depth,
                                TaskExecutor* executor)
-    : state_(std::make_shared<State>()), executor_(executor) {
-  state_->inner = inner;
-  state_->depth = std::max<size_t>(depth, 1);
-}
+    : state_(std::make_shared<State>(inner, depth)), executor_(executor) {}
 
 PrefetchSource::~PrefetchSource() {
   if (state_ == nullptr) return;  // moved-from
   // Taking the mutex waits out a running fill; cancelling makes any task
   // still queued in the executor a no-op.
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->cancelled = true;
 }
 
 PrefetchSource::Stats PrefetchSource::Quiesce() {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->cancelled = true;
   return {state_->fetched, state_->consumed};
 }
 
 PrefetchSource::Stats PrefetchSource::stats() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return {state_->fetched, state_->consumed};
 }
 
 size_t PrefetchSource::Size() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->inner->Size();
 }
 
 std::optional<GradedObject> PrefetchSource::NextSorted() {
   std::optional<GradedObject> out;
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->buffer.empty() && !state_->exhausted) {
       // Synchronous fallback: progress must never depend on the executor
       // getting around to a fill task. Fetch just the one item the consumer
@@ -95,7 +101,7 @@ std::optional<GradedObject> PrefetchSource::NextSorted() {
 
 void PrefetchSource::ScheduleRefillIfNeeded() {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->cancelled || state_->exhausted || state_->fill_scheduled ||
         state_->buffer.size() >= state_->depth) {
       return;
@@ -105,14 +111,14 @@ void PrefetchSource::ScheduleRefillIfNeeded() {
   // Outside the lock: Schedule may run the task inline (InlineExecutor, or
   // a full ThreadPool queue applying backpressure).
   executor_->Schedule([state = state_] {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     if (!state->cancelled) state->FillLocked();
     state->fill_scheduled = false;
   });
 }
 
 void PrefetchSource::RestartSorted() {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   // Anything fetched but not consumed stays in `fetched`, so the overhang
   // shows up in wasted() — a restart does not launder speculation.
   state_->buffer.clear();
@@ -121,17 +127,17 @@ void PrefetchSource::RestartSorted() {
 }
 
 double PrefetchSource::RandomAccess(ObjectId id) {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->inner->RandomAccess(id);
 }
 
 std::vector<GradedObject> PrefetchSource::AtLeast(double threshold) {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->inner->AtLeast(threshold);
 }
 
 std::string PrefetchSource::name() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->inner->name();
 }
 

@@ -1,0 +1,108 @@
+// Runtime behavior of the capability-annotated sync layer (common/sync.h).
+// The compile-time contract is gated elsewhere — -Wthread-safety on Clang
+// builds plus the tests/thread_safety/ compile-fail harness — so this file
+// pins down the wrapper semantics every compiler must honor: mutual
+// exclusion, TryLock, mid-scope Unlock/Lock, and CondVar wakeups.
+
+#include "common/sync.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(SyncTest, MutexLockProvidesMutualExclusion) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(SyncTest, TryLockRefusesWhileHeldAndAcquiresWhenFree) {
+  Mutex mu;
+  mu.Lock();
+  EXPECT_FALSE(mu.TryLock());
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SyncTest, MutexLockMidScopeUnlockReleasesTheMutex) {
+  Mutex mu;
+  MutexLock lock(mu);
+  lock.Unlock();
+  // Another thread can take the mutex during the released window.
+  bool acquired = false;
+  std::thread other([&] {
+    MutexLock inner(mu);
+    acquired = true;
+  });
+  other.join();
+  EXPECT_TRUE(acquired);
+  lock.Lock();  // reacquire so the destructor releases a held lock
+}
+
+TEST(SyncTest, CondVarWaitObservesNotifiedState) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu, lock);
+    observed = 42;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyAll();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(SyncTest, CondVarNotifyOneWakesAWaiter) {
+  Mutex mu;
+  CondVar cv;
+  int budget = 0;
+  int consumed = 0;
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (budget == 0) cv.Wait(mu, lock);
+      --budget;
+      ++consumed;
+    });
+  }
+  for (int t = 0; t < kWaiters; ++t) {
+    {
+      MutexLock lock(mu);
+      ++budget;
+    }
+    cv.NotifyOne();
+  }
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(consumed, kWaiters);
+  EXPECT_EQ(budget, 0);
+}
+
+}  // namespace
+}  // namespace fuzzydb

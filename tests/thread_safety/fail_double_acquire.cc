@@ -1,0 +1,15 @@
+// NEGATIVE snippet: acquires the same (non-reentrant) mutex twice — with
+// std::mutex underneath that is undefined behavior at runtime. MUST compile
+// without -Wthread-safety and MUST FAIL under -Wthread-safety -Werror
+// ("acquiring mutex 'mu' that is already held"). Never executed: the
+// harness runs -fsyntax-only.
+
+#include "common/sync.h"
+
+int main() {
+  fuzzydb::Mutex mu;
+  mu.Lock();
+  mu.Lock();  // the analysis must flag this second acquire
+  mu.Unlock();
+  return 0;
+}

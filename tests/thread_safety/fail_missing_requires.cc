@@ -1,0 +1,28 @@
+// NEGATIVE snippet: calls a REQUIRES(mu_) function without holding the
+// mutex. MUST compile without -Wthread-safety and MUST FAIL under
+// -Wthread-safety -Werror ("calling function 'PushLocked' requires holding
+// mutex 'mu_' exclusively").
+
+#include "common/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  // Missing MutexLock: the analysis must flag the PushLocked call.
+  void Push(int v) { PushLocked(v); }
+
+ private:
+  void PushLocked(int v) REQUIRES(mu_) { size_ += v; }
+
+  fuzzydb::Mutex mu_;
+  int size_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.Push(1);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// NEGATIVE snippet: releases a mutex that is not held — with std::mutex
+// underneath that is undefined behavior at runtime. MUST compile without
+// -Wthread-safety and MUST FAIL under -Wthread-safety -Werror ("releasing
+// mutex 'mu' that was not held"). Never executed: the harness runs
+// -fsyntax-only.
+
+#include "common/sync.h"
+
+int main() {
+  fuzzydb::Mutex mu;
+  mu.Unlock();  // the analysis must flag this release
+  return 0;
+}

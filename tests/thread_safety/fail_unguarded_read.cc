@@ -1,0 +1,31 @@
+// NEGATIVE snippet: reads a GUARDED_BY member without holding its mutex.
+// MUST compile without -Wthread-safety and MUST FAIL under
+// -Wthread-safety -Werror ("reading variable 'count_' requires holding
+// mutex 'mu_'") — tests/thread_safety/run_compile_fail.sh asserts both.
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    fuzzydb::MutexLock lock(mu_);
+    ++count_;
+  }
+
+  // No lock: the analysis must flag this read.
+  int Read() const { return count_; }
+
+ private:
+  mutable fuzzydb::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Read();
+}

@@ -1,0 +1,41 @@
+// POSITIVE control for the compile-fail harness: idiomatic use of the
+// capability-annotated sync layer — scoped MutexLock over GUARDED_BY state,
+// a REQUIRES helper called with the lock held, and a CondVar wait spelled
+// as an explicit while loop. MUST compile cleanly under
+// -Wthread-safety -Werror (and under any compiler without the flag).
+
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    fuzzydb::MutexLock lock(mu_);
+    balance_ += amount;
+    cv_.NotifyAll();
+  }
+
+  int DrainWhenFunded() {
+    fuzzydb::MutexLock lock(mu_);
+    while (balance_ == 0) cv_.Wait(mu_, lock);
+    const int out = balance_;
+    ResetLocked();
+    return out;
+  }
+
+ private:
+  void ResetLocked() REQUIRES(mu_) { balance_ = 0; }
+
+  fuzzydb::Mutex mu_;
+  fuzzydb::CondVar cv_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.DrainWhenFunded() == 1 ? 0 : 1;
+}

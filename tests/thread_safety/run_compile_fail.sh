@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Compile-fail harness for the capability-annotated sync layer (DESIGN §3i).
+#
+#   tests/thread_safety/run_compile_fail.sh <repo_root>
+#
+# Proves the -Wthread-safety gate actually fires instead of silently
+# no-op'ing. For every fail_*.cc snippet it asserts BOTH directions:
+#
+#   1. the snippet compiles cleanly WITHOUT -Wthread-safety (so a later
+#      failure is the analysis firing, not a syntax error masquerading as
+#      coverage), and
+#   2. the snippet FAILS under -Wthread-safety -Werror, with a diagnostic
+#      that names thread-safety (not some unrelated -Werror).
+#
+# pass_*.cc snippets must compile cleanly WITH the flag — the positive
+# control proving the harness flags real violations, not everything.
+#
+# Thread Safety Analysis is Clang-only. Without a clang++ on PATH (or in
+# $FUZZYDB_CLANGXX) the harness exits 77, which ctest maps to SKIPPED via
+# SKIP_RETURN_CODE; the CI analyze leg runs it strictly
+# (FUZZYDB_ANALYZE_STRICT=1 turns the skip into a failure).
+set -uo pipefail
+
+if [ $# -ne 1 ]; then
+  echo "usage: $0 <repo_root>" >&2
+  exit 2
+fi
+ROOT="$1"
+DIR="${ROOT}/tests/thread_safety"
+
+CLANGXX="${FUZZYDB_CLANGXX:-}"
+if [ -z "${CLANGXX}" ]; then
+  for cand in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+              clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then CLANGXX="${cand}"; break; fi
+  done
+fi
+if [ -z "${CLANGXX}" ]; then
+  if [ "${FUZZYDB_ANALYZE_STRICT:-0}" = "1" ]; then
+    echo "thread_safety: no clang++ found but strict mode demands it" >&2
+    exit 1
+  fi
+  echo "thread_safety: no clang++ found; SKIPPED (CI analyze leg is strict)"
+  exit 77
+fi
+
+BASE_FLAGS=(-std=c++20 -fsyntax-only "-I${ROOT}/src")
+FAIL=0
+
+echo "== thread_safety compile-fail harness ($(${CLANGXX} --version | head -n 1)) =="
+
+for snippet in "${DIR}"/pass_*.cc; do
+  name="$(basename "${snippet}")"
+  if out="$("${CLANGXX}" "${BASE_FLAGS[@]}" -Wthread-safety -Werror \
+            "${snippet}" 2>&1)"; then
+    echo "PASS ${name}: compiles under -Wthread-safety -Werror"
+  else
+    echo "FAIL ${name}: positive snippet must compile; diagnostics:" >&2
+    echo "${out}" >&2
+    FAIL=1
+  fi
+done
+
+for snippet in "${DIR}"/fail_*.cc; do
+  name="$(basename "${snippet}")"
+  # Direction 1: clean without the analysis — the snippet is valid C++.
+  if ! out="$("${CLANGXX}" "${BASE_FLAGS[@]}" "${snippet}" 2>&1)"; then
+    echo "FAIL ${name}: must be valid C++ without -Wthread-safety:" >&2
+    echo "${out}" >&2
+    FAIL=1
+    continue
+  fi
+  # Direction 2: rejected with the analysis on, for a thread-safety reason.
+  if out="$("${CLANGXX}" "${BASE_FLAGS[@]}" -Wthread-safety -Werror \
+            "${snippet}" 2>&1)"; then
+    echo "FAIL ${name}: compiled under -Wthread-safety -Werror —" \
+         "the gate did not fire" >&2
+    FAIL=1
+  elif ! echo "${out}" | grep -q 'thread-safety'; then
+    echo "FAIL ${name}: rejected, but not by the thread-safety analysis:" >&2
+    echo "${out}" >&2
+    FAIL=1
+  else
+    echo "PASS ${name}: rejected by -Wthread-safety as asserted"
+  fi
+done
+
+if [ "${FAIL}" -ne 0 ]; then
+  echo "thread_safety: compile-fail harness FAILED" >&2
+  exit 1
+fi
+echo "thread_safety: compile-fail harness OK"
