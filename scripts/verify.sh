@@ -26,13 +26,18 @@
 #           host supports, so every leg runs everywhere and the widest ISA
 #           the hardware has is always exercised — bit-identical answers
 #           are asserted inside the tests themselves.
+#   server  Serving-layer gate: ThreadSanitizer build, then the query-server
+#           suite (server_*, ticket, thread-pool, schedule fuzzers) under
+#           halt_on_error with timeout-only retries, then a FUZZYDB_SMOKE=1
+#           pass of exp22_query_server (open-loop harness end to end, zero
+#           mismatches asserted inside the bench, no JSON write).
 #   bench   Native-arch Release build; runs the perf-trajectory benches
-#           (exp16, exp18, exp19, exp21) so their BENCH_*.json land in the repo
+#           (exp16, exp18, exp19, exp21, exp22) so their BENCH_*.json land in the repo
 #           root. Not a gate: on a 1-hardware-thread host it warns loudly
 #           and the reports carry "contention_only": true — the guarded
 #           writer refuses to overwrite a multi-core report with one.
-#   all     plain + asan + tsan + checks + simd + lint + analyze (default;
-#           bench is opt-in).
+#   all     plain + asan + tsan + checks + simd + server + lint + analyze
+#           (default; bench is opt-in).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -82,6 +87,16 @@ case "${MODE}" in
         --output-on-failure -j "${JOBS}" \
         -R 'simd|quantized|embedding|parallel_kernel|aligned_buffer|analysis|rtree'
     done ;;
+  server)
+    cmake -B build-server -S . -DFUZZYDB_TSAN=ON
+    cmake --build build-server -j "${JOBS}"
+    TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-server \
+      --output-on-failure -j "${JOBS}" \
+      -R 'server_|fuzz_test|thread_pool|ticket' \
+      --repeat after-timeout:3
+    cmake --build build-server -j "${JOBS}" --target exp22_query_server
+    FUZZYDB_SMOKE=1 ./build-server/bench/exp22_query_server \
+      --benchmark_min_time=0.01 ;;
   bench)
     HW="$(nproc 2>/dev/null || echo 1)"
     if [ "${HW}" -le 1 ]; then
@@ -92,7 +107,7 @@ case "${MODE}" in
     cmake -B build-native -S . -DFUZZYDB_NATIVE_ARCH=ON
     cmake --build build-native -j "${JOBS}" --target \
       exp16_embedding_cascade exp18_parallel_middleware \
-      exp19_adaptive_parallel exp21_rtree_driver
+      exp19_adaptive_parallel exp21_rtree_driver exp22_query_server
     ./build-native/bench/exp16_embedding_cascade \
       --benchmark_min_time=0.01
     ./build-native/bench/exp18_parallel_middleware \
@@ -100,6 +115,8 @@ case "${MODE}" in
     ./build-native/bench/exp19_adaptive_parallel \
       --benchmark_min_time=0.01
     ./build-native/bench/exp21_rtree_driver \
+      --benchmark_min_time=0.01
+    ./build-native/bench/exp22_query_server \
       --benchmark_min_time=0.01 ;;
   all)
     "$0" plain
@@ -107,10 +124,11 @@ case "${MODE}" in
     "$0" tsan
     "$0" checks
     "$0" simd
+    "$0" server
     "$0" lint
     "$0" analyze ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|checks|lint|analyze|simd|bench|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|checks|lint|analyze|simd|server|bench|all]" >&2
     exit 2 ;;
 esac
 

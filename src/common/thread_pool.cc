@@ -18,25 +18,32 @@ ThreadPool::ThreadPool(size_t num_executors, size_t max_queued_tasks)
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     MutexLock lock(mu_);
     stop_ = true;
+    job_cv_.NotifyAll();
   }
-  job_cv_.NotifyAll();
-  for (std::thread& t : workers_) t.join();
+  // Idempotent for sequential callers: a joined thread is not joinable.
   // A workerless pool never accepted tasks; with workers, WorkerLoop drains
   // the queue before honoring stop_, so nothing is left behind.
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 bool ThreadPool::TryPost(std::function<void()> task) {
-  {
-    MutexLock lock(mu_);
-    if (stop_ || workers_.empty() || tasks_.size() >= max_queued_tasks_) {
-      return false;
-    }
-    tasks_.push_back(std::move(task));
+  MutexLock lock(mu_);
+  if (stop_ || workers_.empty() || tasks_.size() >= max_queued_tasks_) {
+    return false;
   }
+  tasks_.push_back(std::move(task));
+  // Notify while still holding mu_: once TryPost returns true the caller may
+  // observe the task's effect and destroy the pool, and a notify on a freed
+  // condvar is use-after-free. Under the lock, the destructor's stop_ write
+  // cannot interleave before this wakeup.
   job_cv_.NotifyOne();
   return true;
 }

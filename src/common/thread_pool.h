@@ -80,10 +80,19 @@ class ThreadPool : public TaskExecutor {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Enqueues `task` to run on a worker thread. Returns false — without
-  /// running or keeping the task — when the queue is at max_queued_tasks or
-  /// the pool has no workers; that refusal is the backpressure signal.
-  /// Tasks still queued when the destructor runs are drained, not dropped.
+  /// running or keeping the task — when the queue is at max_queued_tasks,
+  /// the pool has no workers, or the pool is shut down; that refusal is the
+  /// backpressure signal. Tasks still queued when Shutdown() (or the
+  /// destructor) runs are drained, not dropped: refusal-after-stop plus
+  /// drain-before-join is what lets a submitter reason "either my TryPost
+  /// returned false, or my task ran".
   bool TryPost(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue, and joins the workers.
+  /// Idempotent; the destructor calls it. After Shutdown, TryPost refuses
+  /// and ParallelFor still works (degenerating to a serial loop on the
+  /// calling thread, which claims every index itself).
+  void Shutdown();
 
   /// TaskExecutor: TryPost, falling back to running inline on refusal (the
   /// backpressure path — the submitter absorbs the work itself).

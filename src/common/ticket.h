@@ -1,0 +1,86 @@
+// Ticket<T>: a one-shot completion handle (DESIGN §3j).
+//
+// The query server hands one Ticket per admitted query: the submitter holds
+// the handle, a pool worker (or the submitter itself, on the inline path)
+// completes it exactly once, and any number of threads may Wait on it. It is
+// a deliberately tiny subset of std::future — no continuations, no shared
+// state allocation contract, no exceptions — built directly on the annotated
+// sync layer (common/sync.h) so the lock discipline is compiler-checked:
+// `value_` and `done_` are GUARDED_BY(mu_), and every access path is inside
+// a MutexLock.
+//
+// Completion is first-wins: concurrent Complete calls race benignly, the
+// first one publishes its value and returns true, the rest return false and
+// their values are discarded. That is exactly the cancel-vs-worker race the
+// server has (a cancelled query may still be completed by the worker that
+// was already running it); first-wins makes the race an ordering question,
+// never a torn value.
+
+#ifndef FUZZYDB_COMMON_TICKET_H_
+#define FUZZYDB_COMMON_TICKET_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/sync.h"
+
+namespace fuzzydb {
+
+/// One-shot, thread-safe completion handle for a value of type T.
+template <typename T>
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+
+  /// Publishes `value` if the ticket is still open. Returns true for the
+  /// (unique) call that completed the ticket, false when a previous
+  /// completion already won — the losing value is discarded.
+  bool Complete(T value) {
+    {
+      MutexLock lock(mu_);
+      if (done_) return false;
+      value_ = std::move(value);
+      done_ = true;
+      // Under the lock on purpose: a waiter that observed done_ may return
+      // and destroy the ticket; notifying a destroyed condvar is
+      // use-after-free (same hazard as ThreadPool::TryPost).
+      cv_.NotifyAll();
+    }
+    return true;
+  }
+
+  /// Blocks until the ticket completes, then returns a reference to the
+  /// value. The reference stays valid for the ticket's lifetime (the value
+  /// is never overwritten — completion is one-shot).
+  const T& Wait() const {
+    MutexLock lock(mu_);
+    while (!done_) cv_.Wait(mu_, lock);
+    return *value_;
+  }
+
+  /// Non-blocking probe: the value if completed, nullopt otherwise (copies —
+  /// callers that poll then read should Wait instead).
+  std::optional<T> TryGet() const {
+    MutexLock lock(mu_);
+    if (!done_) return std::nullopt;
+    return *value_;
+  }
+
+  /// True once a Complete call has won.
+  bool done() const {
+    MutexLock lock(mu_);
+    return done_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  std::optional<T> value_ GUARDED_BY(mu_);
+  bool done_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_COMMON_TICKET_H_

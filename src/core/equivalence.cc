@@ -1,6 +1,9 @@
 #include "core/equivalence.h"
 
+#include <algorithm>
 #include <cassert>
+#include <set>
+#include <string>
 
 namespace fuzzydb {
 
@@ -139,6 +142,138 @@ QueryPtr WithRules(const QueryPtr& query, ScoringRulePtr and_rule,
                    ScoringRulePtr or_rule) {
   Rewriter rewriter{nullptr, std::move(and_rule), std::move(or_rule)};
   return rewriter.Copy(query);
+}
+
+namespace {
+
+// One DNF monomial: the set of atom keys whose min it takes. Lexicographic
+// set ordering makes the outer std::set<Term> print deterministically.
+using Term = std::set<std::string>;
+
+std::string AtomKey(const Query& atom) {
+  // Attribute/target are length-prefixed so ("ab","c") never collides with
+  // ("a","bc").
+  return std::to_string(atom.attribute().size()) + ":" + atom.attribute() +
+         "=" + std::to_string(atom.target().size()) + ":" + atom.target();
+}
+
+// True when `node` is a combination the distributive-lattice normal form is
+// valid for: the standard unweighted rules of Theorem 3.1.
+bool IsStandardNode(const Query& node) {
+  if (node.weights().has_value()) return false;
+  if (node.kind() == Query::Kind::kAnd) return node.rule()->name() == "min";
+  if (node.kind() == Query::Kind::kOr) return node.rule()->name() == "max";
+  return false;
+}
+
+// Drops every monomial that is a superset of another (absorption: a term
+// can never win the max if a subset of it — a pointwise-greater min — is
+// also present). The survivors form the unique antichain representation.
+void ReduceAbsorption(std::set<Term>* terms) {
+  for (auto it = terms->begin(); it != terms->end();) {
+    bool absorbed = false;
+    for (const Term& other : *terms) {
+      if (&other != &*it && other.size() < it->size() &&
+          std::includes(it->begin(), it->end(), other.begin(), other.end())) {
+        absorbed = true;
+        break;
+      }
+    }
+    it = absorbed ? terms->erase(it) : ++it;
+  }
+}
+
+// Reduced DNF of a standard min/max tree. False (and *terms left
+// unspecified) when the monomial count passes `max_terms` — the caller
+// falls back to the structural key.
+bool Dnf(const Query& node, size_t max_terms, std::set<Term>* terms) {
+  switch (node.kind()) {
+    case Query::Kind::kAtomic:
+      terms->insert(Term{AtomKey(node)});
+      return true;
+    case Query::Kind::kOr: {
+      if (!IsStandardNode(node)) return false;
+      for (const QueryPtr& c : node.children()) {
+        std::set<Term> child;
+        if (!Dnf(*c, max_terms, &child)) return false;
+        terms->insert(child.begin(), child.end());
+        if (terms->size() > max_terms) return false;
+      }
+      ReduceAbsorption(terms);
+      return true;
+    }
+    case Query::Kind::kAnd: {
+      if (!IsStandardNode(node)) return false;
+      std::set<Term> acc{Term{}};  // the empty monomial: identity of AND
+      for (const QueryPtr& c : node.children()) {
+        std::set<Term> child;
+        if (!Dnf(*c, max_terms, &child)) return false;
+        std::set<Term> next;
+        for (const Term& a : acc) {
+          for (const Term& b : child) {
+            Term merged = a;
+            merged.insert(b.begin(), b.end());
+            next.insert(std::move(merged));
+            if (next.size() > max_terms) return false;
+          }
+        }
+        acc = std::move(next);
+      }
+      ReduceAbsorption(&acc);
+      *terms = std::move(acc);
+      return true;
+    }
+    case Query::Kind::kNot:
+      return false;  // not a lattice term; structural key territory
+  }
+  return false;
+}
+
+// Structure-preserving key: sound for any tree (rule names encode weights;
+// child order kept because not every rule is symmetric).
+std::string StructuralKey(const Query& node) {
+  switch (node.kind()) {
+    case Query::Kind::kAtomic:
+      return AtomKey(node);
+    case Query::Kind::kNot:
+      // NegationFn is an opaque std::function; all shipped Not nodes use
+      // the standard 1-x, which is what this key assumes.
+      return "not(" + StructuralKey(*node.children()[0]) + ")";
+    case Query::Kind::kAnd:
+    case Query::Kind::kOr: {
+      std::string out =
+          node.kind() == Query::Kind::kAnd ? "and[" : "or[";
+      out += node.rule()->name();
+      out += "](";
+      for (size_t i = 0; i < node.children().size(); ++i) {
+        if (i > 0) out += ",";
+        out += StructuralKey(*node.children()[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string CanonicalKey(const QueryPtr& query, size_t max_terms) {
+  assert(query != nullptr);
+  std::set<Term> terms;
+  if (Dnf(*query, max_terms, &terms)) {
+    std::string out = "dnf:";
+    for (const Term& t : terms) {
+      out += "{";
+      for (const std::string& a : t) {
+        out += a;
+        out += ";";
+      }
+      out += "}";
+    }
+    return out;
+  }
+  return "struct:" + StructuralKey(*query);
 }
 
 }  // namespace fuzzydb

@@ -45,6 +45,28 @@ QueryPtr RewriteEquivalent(const QueryPtr& query, Rng* rng, size_t steps,
 QueryPtr WithRules(const QueryPtr& query, ScoringRulePtr and_rule,
                    ScoringRulePtr or_rule);
 
+/// Canonical cache key for `query` (DESIGN §3j): two queries with the same
+/// key are guaranteed the same answers on every database, so a plan/result
+/// cache may serve one for the other.
+///
+/// For negation-free trees whose every combination node is the standard
+/// unweighted min-AND / max-OR, the key is the reduced disjunctive normal
+/// form over the atoms — the unique antichain-of-monomials representation
+/// of a distributive-lattice term. By Theorem 3.1 min/max preserve logical
+/// equivalence, so *every* chain of lattice rewrites (commutativity,
+/// associativity, idempotence, absorption, distribution — exactly what
+/// RewriteEquivalent applies) maps to the same key. The DNF can explode
+/// exponentially on deep AND-of-OR alternation; past `max_terms` monomials
+/// the key falls back to the structural form below.
+///
+/// Any other tree (a Not node, a weighted node, any non-min/max rule) gets
+/// a structural key: rule names (which encode weights) plus the exact child
+/// order. That is sound as long as rule names identify rule semantics —
+/// true for every shipped rule, the same contract EXPLAIN output relies on;
+/// callers registering UserDefinedRules under one name with different
+/// functions must not share a cache across them.
+std::string CanonicalKey(const QueryPtr& query, size_t max_terms = 4096);
+
 }  // namespace fuzzydb
 
 #endif  // FUZZYDB_CORE_EQUIVALENCE_H_

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "common/contract.h"
+#include "middleware/budget.h"
 #include "middleware/source.h"
 
 namespace fuzzydb {
@@ -107,15 +108,29 @@ struct AccessCost {
 /// Decorator that charges every access on an underlying source to an
 /// AccessCost tally. Filter access (AtLeast) is charged one sorted access
 /// per returned object, matching the Chaudhuri–Gravano cost model.
+///
+/// When a shared AccessGovernor is attached (middleware/budget.h), every
+/// sorted access is admitted through it first; a refusal makes this stream
+/// report exhausted from then on, which the algorithms already handle as an
+/// all-zeros tail — the budget/cancellation truncation point. Random and
+/// filter access stay ungated: grades for already-discovered objects must
+/// remain exact or the partial top-k would be wrong, not just short.
 class CountingSource final : public GradedSource {
  public:
   /// `inner` and `cost` must outlive this wrapper.
   CountingSource(GradedSource* inner, AccessCost* cost)
       : inner_(inner), cost_(cost) {}
 
+  /// Attaches the per-query budget/cancellation gate (null detaches). The
+  /// governor is shared across the query's sources and must outlive them.
+  void set_governor(AccessGovernor* governor) { governor_ = governor; }
+
   size_t Size() const override { return inner_->Size(); }
 
   std::optional<GradedObject> NextSorted() override {
+    if (governor_ != nullptr && !governor_->AdmitSorted()) {
+      return std::nullopt;  // budget/cancel/deadline: stream ends here
+    }
     std::optional<GradedObject> next = inner_->NextSorted();
     if (next.has_value()) {
       ++cost_->sorted;
@@ -161,6 +176,7 @@ class CountingSource final : public GradedSource {
  private:
   GradedSource* inner_;
   AccessCost* cost_;
+  AccessGovernor* governor_ = nullptr;
   // Last streamed object, for the sorted-order contract check.
   std::optional<GradedObject> prev_streamed_;
 };

@@ -112,6 +112,15 @@ Result<ExecutionResult> ExecuteTopK(QueryPtr query,
   // across depth/pool/period by the §3e determinism contract.
   ParallelOptions parallel = options.parallel;
   size_t combined_period = options.combined_period;
+  // Budget / cancellation gate (DESIGN §3j): the caller's shared governor
+  // wins; otherwise a private one is built from the convenience knobs.
+  std::shared_ptr<AccessGovernor> governor = options.governor;
+  if (governor == nullptr &&
+      (options.sorted_access_budget > 0 || options.deadline.has_value())) {
+    governor = std::make_shared<AccessGovernor>(options.sorted_access_budget,
+                                                options.deadline);
+  }
+  parallel.governor = governor.get();
   if (options.adaptive_cost_model.has_value()) {
     const CostModel& model = *options.adaptive_cost_model;
     if (parallel.pool != nullptr && parallel.prefetch_depth == 0) {
@@ -156,6 +165,7 @@ Result<ExecutionResult> ExecuteTopK(QueryPtr query,
   }
   if (!r.ok()) return r.status();
   out.topk = std::move(r).value();
+  if (governor != nullptr) out.completion = governor->CompletionStatus();
   return out;
 }
 

@@ -8,10 +8,13 @@
 #ifndef FUZZYDB_MIDDLEWARE_EXECUTOR_H_
 #define FUZZYDB_MIDDLEWARE_EXECUTOR_H_
 
+#include <chrono>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "core/query.h"
+#include "middleware/budget.h"
 #include "middleware/parallel.h"
 #include "middleware/topk.h"
 
@@ -65,12 +68,35 @@ struct ExecutorOptions {
   /// (when combined_period == 0) is the price ratio. Never overrides a
   /// depth or period the caller pinned explicitly.
   std::optional<CostModel> adaptive_cost_model;
+  /// Budgeted / cancellable execution (DESIGN §3j). When `governor` is set
+  /// it gates the run (the caller keeps a handle for Cancel); otherwise a
+  /// private governor is created when `sorted_access_budget` or `deadline`
+  /// asks for one. Interruption truncates every sorted stream — the
+  /// algorithms halt with the top-k of the consumed prefix (the PR-2
+  /// exhausted-tail semantics) — and ExecutionResult::completion carries
+  /// the documented partial-result Status (Cancelled / DeadlineExceeded /
+  /// ResourceExhausted). Budgets apply to the algorithms that stream
+  /// through CountingSource (A0/TA/NRA/CA, the disjunction shortcut); the
+  /// naive scan and the filter simulation's AtLeast calls are not gated.
+  std::shared_ptr<AccessGovernor> governor;
+  /// Convenience: consumed-sorted-access budget for the private governor
+  /// (0 = unlimited). Ignored when `governor` is set.
+  uint64_t sorted_access_budget = 0;
+  /// Convenience: wall-clock deadline for the private governor. Ignored
+  /// when `governor` is set.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Chosen plan plus the result.
 struct ExecutionResult {
   TopKResult topk;
   Algorithm algorithm_used = Algorithm::kNaive;
+  /// OK for a run that reached its halting condition. An interrupted run
+  /// (budget / cancel / deadline, see ExecutorOptions) returns a normal
+  /// Result with `topk` holding the top-k of the consumed prefix and this
+  /// Status saying why the run stopped early — partial is a property of the
+  /// answer, not a failure of the call.
+  Status completion;
 };
 
 /// Plans and executes `query` for the top-k answers.

@@ -203,7 +203,10 @@ ParallelSourceSet::ParallelSourceSet(std::span<GradedSource* const> sources,
       counted_.emplace_back(sources[j], &per_source_[j]);
     }
   }
-  for (CountingSource& c : counted_) c.RestartSorted();
+  for (CountingSource& c : counted_) {
+    c.set_governor(options.governor);
+    c.RestartSorted();
+  }
 }
 
 void ParallelSourceSet::Finalize(TopKResult* result) {

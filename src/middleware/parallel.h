@@ -50,8 +50,17 @@ struct ParallelOptions {
   /// Executor for prefetch fill tasks; tests inject hostile schedulers
   /// here. Null: use `pool`, or inline execution when `pool` is null too.
   TaskExecutor* executor = nullptr;
+  /// Per-query budget/cancellation gate (middleware/budget.h), installed
+  /// into every CountingSource the run builds. Null: unbudgeted. Unlike the
+  /// knobs above this CAN change the answer — to the top-k of the consumed
+  /// prefix — but identically at every depth and pool size, because the
+  /// gate sits above the prefetch layer and charges consumed accesses only.
+  AccessGovernor* governor = nullptr;
 
   /// True when this configuration changes nothing versus the serial loop.
+  /// (The governor is deliberately excluded: a budget truncates serial and
+  /// parallel runs at the same consumed prefix, so it is orthogonal to the
+  /// serial-vs-parallel distinction.)
   bool serial() const {
     return pool == nullptr && prefetch_depth == 0 && executor == nullptr;
   }

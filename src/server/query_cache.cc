@@ -1,0 +1,73 @@
+#include "server/query_cache.h"
+
+#include <algorithm>
+
+namespace fuzzydb {
+
+QueryCache::QueryCache(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+std::optional<CachedQuery> QueryCache::Lookup(const std::string& key) {
+  MutexLock lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->second.store_version != version_) {
+    // Stale: computed against a store that has since regenerated. Erasing
+    // here (not at InvalidateAll) keeps invalidation O(1); the version
+    // check inside this critical section is what guarantees a stale entry
+    // is never served.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void QueryCache::Insert(const std::string& key, CachedQuery entry) {
+  MutexLock lock(mu_);
+  if (entry.store_version != version_) return;  // predates an invalidation
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void QueryCache::InvalidateAll() {
+  MutexLock lock(mu_);
+  ++version_;
+  ++stats_.invalidations;
+  lru_.clear();
+  index_.clear();
+}
+
+uint64_t QueryCache::store_version() const {
+  MutexLock lock(mu_);
+  return version_;
+}
+
+CacheStats QueryCache::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+size_t QueryCache::size() const {
+  MutexLock lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace fuzzydb

@@ -1,0 +1,99 @@
+// LRU plan/result cache for the query server (DESIGN §3j).
+//
+// Keyed on the rewriter-canonical form of the query (core/equivalence.h
+// CanonicalKey) plus k, so two queries the lattice identities map onto each
+// other — commuted, distributed, absorbed — share one entry: the same
+// guarantee the optimizer relies on ("replace a query by a logically
+// equivalent query, and be guaranteed of getting the same answer", paper
+// §3) is what makes serving one query's cached answer for the other sound.
+//
+// Entries carry the store version they were computed against. InvalidateAll
+// bumps the server's version (called when a subsystem's data regenerates);
+// stale entries are dropped lazily on Lookup and can never be served — the
+// version check happens inside the same critical section as the hit. Insert
+// likewise refuses an entry stamped with an old version, closing the race
+// where a query that started before an invalidation tries to cache its
+// now-stale answer after it.
+
+#ifndef FUZZYDB_SERVER_QUERY_CACHE_H_
+#define FUZZYDB_SERVER_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/sync.h"
+#include "middleware/optimizer.h"
+
+namespace fuzzydb {
+
+/// One cached query: always the plan, optionally the full answer (partial
+/// answers — budget/cancel/deadline truncations — are never cached; their
+/// content depends on the budget, not just the query).
+struct CachedQuery {
+  PlanChoice plan;
+  bool has_result = false;
+  TopKResult result;
+  /// Store version the entry was computed against (stamped by the caller
+  /// from store_version() *before* reading the store).
+  uint64_t store_version = 0;
+};
+
+/// Hit/miss/eviction counters; a Lookup is exactly one hit or one miss.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+};
+
+/// Thread-safe LRU cache of CachedQuery entries, capacity-bounded, with
+/// store-version invalidation. All operations are O(1) expected.
+class QueryCache {
+ public:
+  explicit QueryCache(size_t capacity);
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// The entry for `key`, freshened to most-recently-used — or nullopt
+  /// (counted as a miss) when absent or stamped with a pre-invalidation
+  /// store version (the stale entry is erased).
+  std::optional<CachedQuery> Lookup(const std::string& key);
+
+  /// Inserts (or overwrites) `key`, evicting the least-recently-used entry
+  /// when past capacity. An entry whose store_version is not the current
+  /// version is dropped without insertion: its data predates an
+  /// invalidation.
+  void Insert(const std::string& key, CachedQuery entry);
+
+  /// Drops every entry and bumps the store version, so in-flight queries
+  /// that read the old store can no longer insert (see Insert).
+  void InvalidateAll();
+
+  /// Current store version; stamp entries with this before reading the
+  /// store they describe.
+  uint64_t store_version() const;
+
+  CacheStats stats() const;
+  size_t size() const;
+
+ private:
+  using Entry = std::pair<std::string, CachedQuery>;
+
+  mutable Mutex mu_;
+  const size_t capacity_;
+  /// Front = most recently used.
+  std::list<Entry> lru_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GUARDED_BY(mu_);
+  uint64_t version_ GUARDED_BY(mu_) = 0;
+  CacheStats stats_ GUARDED_BY(mu_);
+};
+
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_SERVER_QUERY_CACHE_H_

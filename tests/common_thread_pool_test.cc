@@ -264,6 +264,101 @@ TEST(ThreadPoolTaskTest, InlineExecutorRunsSynchronously) {
   EXPECT_EQ(InlineExecutor::Get(), InlineExecutor::Get());
 }
 
+TEST(ThreadPoolShutdownTest, TryPostRefusesAfterShutdown) {
+  // Regression: TryPost racing shutdown used to be only implicitly pinned
+  // (stop_ was set by the destructor alone). The contract is refusal: after
+  // Shutdown returns, no TryPost may accept, so a submitter can reason
+  // "either my TryPost returned false, or my task ran".
+  ThreadPool pool(3);
+  std::atomic<int> runs{0};
+  Latch done(1);
+  ASSERT_TRUE(pool.TryPost([&] {
+    runs.fetch_add(1);
+    done.CountDown();
+  }));
+  done.Wait();
+  pool.Shutdown();
+  std::atomic<bool> late_ran{false};
+  EXPECT_FALSE(pool.TryPost([&] { late_ran.store(true); }));
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_FALSE(late_ran.load());
+  pool.Shutdown();  // idempotent
+  EXPECT_FALSE(pool.TryPost([] {}));
+}
+
+TEST(ThreadPoolShutdownTest, ShutdownDrainsQueuedTasksBeforeJoining) {
+  ThreadPool pool(2, 16);
+  std::atomic<int> runs{0};
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  Latch worker_blocked(1);
+  ASSERT_TRUE(pool.TryPost([&] {
+    worker_blocked.CountDown();
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  }));
+  worker_blocked.Wait();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.TryPost([&] { runs.fetch_add(1); }));
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  pool.Shutdown();
+  EXPECT_EQ(runs.load(), 8);  // accepted before stop → drained, not dropped
+}
+
+TEST(ThreadPoolShutdownTest, ParallelForStillWorksAfterShutdown) {
+  ThreadPool pool(3);
+  pool.Shutdown();
+  std::vector<int> hits(32, 0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(32);
+  pool.ParallelFor(32, [&](size_t i) {
+    ++hits[i];
+    ran[i] = std::this_thread::get_id();
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << i;
+    EXPECT_EQ(ran[i], caller) << i;  // submitter claimed every index itself
+  }
+}
+
+TEST(ThreadPoolShutdownTest, ConcurrentTryPostVsShutdownNeverDropsAccepted) {
+  // Hammer the race the fix pins: submitters TryPost while another thread
+  // shuts the pool down. Every accepted task must run exactly once — no
+  // silent drops, no double runs — and every post after shutdown refuses.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3, 8);
+    std::atomic<int> accepted{0};
+    std::atomic<int> ran{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 4; ++s) {
+      submitters.emplace_back([&] {
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0; i < 50; ++i) {
+          if (pool.TryPost([&] { ran.fetch_add(1); })) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::thread stopper([&] {
+      while (!go.load()) std::this_thread::yield();
+      pool.Shutdown();
+    });
+    go.store(true);
+    for (std::thread& t : submitters) t.join();
+    stopper.join();
+    pool.Shutdown();  // ensure fully drained before counting
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+  }
+}
+
 TEST(ThreadPoolTest, SharedPoolExistsAndWorks) {
   ThreadPool* pool = ThreadPool::Shared();
   ASSERT_NE(pool, nullptr);

@@ -1,0 +1,88 @@
+// Ticket<T> unit tests: one-shot completion, first-wins races, and blocking
+// waits — the handle the query server gives every admitted query.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/ticket.h"
+
+namespace fuzzydb {
+namespace {
+
+TEST(TicketTest, CompletesOnceAndDelivers) {
+  Ticket<int> t;
+  EXPECT_FALSE(t.done());
+  EXPECT_FALSE(t.TryGet().has_value());
+  EXPECT_TRUE(t.Complete(42));
+  EXPECT_TRUE(t.done());
+  ASSERT_TRUE(t.TryGet().has_value());
+  EXPECT_EQ(*t.TryGet(), 42);
+  EXPECT_EQ(t.Wait(), 42);  // already done: returns immediately
+}
+
+TEST(TicketTest, SecondCompleteLosesAndValueIsKept) {
+  Ticket<std::string> t;
+  EXPECT_TRUE(t.Complete("first"));
+  EXPECT_FALSE(t.Complete("second"));
+  EXPECT_EQ(t.Wait(), "first");
+}
+
+TEST(TicketTest, WaitBlocksUntilCompleted) {
+  Ticket<int> t;
+  std::atomic<bool> waiter_got{false};
+  std::thread waiter([&] {
+    EXPECT_EQ(t.Wait(), 7);
+    waiter_got.store(true);
+  });
+  // No sleep-and-hope assertions on the negative side; just complete and
+  // check the waiter observed the value.
+  EXPECT_TRUE(t.Complete(7));
+  waiter.join();
+  EXPECT_TRUE(waiter_got.load());
+}
+
+TEST(TicketTest, ConcurrentCompletionsExactlyOneWins) {
+  for (int round = 0; round < 50; ++round) {
+    Ticket<int> t;
+    std::atomic<int> wins{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i) {
+      threads.emplace_back([&, i] {
+        while (!go.load()) std::this_thread::yield();
+        if (t.Complete(i)) wins.fetch_add(1);
+      });
+    }
+    go.store(true);
+    for (std::thread& th : threads) th.join();
+    EXPECT_EQ(wins.load(), 1) << "round " << round;
+    // The published value is whichever completion won — torn values are
+    // impossible, so it must be one of the candidates.
+    const int v = t.Wait();
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 4);
+  }
+}
+
+TEST(TicketTest, ManyWaitersAllWake) {
+  auto t = std::make_shared<Ticket<int>>();
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 6; ++i) {
+    waiters.emplace_back([&, t] {
+      EXPECT_EQ(t->Wait(), 99);
+      woke.fetch_add(1);
+    });
+  }
+  EXPECT_TRUE(t->Complete(99));
+  for (std::thread& th : waiters) th.join();
+  EXPECT_EQ(woke.load(), 6);
+}
+
+}  // namespace
+}  // namespace fuzzydb

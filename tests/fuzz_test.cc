@@ -3,17 +3,22 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "middleware/combined.h"
 #include "middleware/join.h"
+#include "middleware/optimizer.h"
 #include "middleware/parallel.h"
 #include "middleware/threshold.h"
 #include "relational/btree.h"
+#include "server/query_server.h"
 #include "sim/experiment.h"
 #include "sim/workload.h"
 #include "sql/lexer.h"
@@ -355,6 +360,255 @@ TEST(ParallelFuzzTest, ParallelJoinMatchesSerialUnderHostileSchedules) {
     for (size_t r = 0; r < serial.size(); ++r) {
       EXPECT_EQ(serial[r].id, parallel[r].id) << "seed " << seed;
       EXPECT_EQ(serial[r].grade, parallel[r].grade) << "seed " << seed;
+    }
+  }
+}
+
+// --- Server fuzzing ---------------------------------------------------------
+
+// One fuzz query: its private sources (VectorSource carries cursor state,
+// never shared across in-flight queries), resolver, shape, and submission.
+struct FuzzQuery {
+  std::unique_ptr<std::vector<VectorSource>> sources;
+  SourceResolver resolver;
+  QueryPtr query;
+  size_t k = 1;
+  uint64_t budget = 0;
+  Submission submission;
+  bool cancelled = false;
+};
+
+FuzzQuery MakeFuzzQuery(const Workload& w, Rng* rng) {
+  FuzzQuery fq;
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  EXPECT_TRUE(sources.ok());
+  fq.sources =
+      std::make_unique<std::vector<VectorSource>>(std::move(*sources));
+  std::vector<VectorSource>* raw = fq.sources.get();
+  fq.resolver = [raw](const Query& atom) -> Result<GradedSource*> {
+    if (atom.attribute() == "A") return &(*raw)[0];
+    if (atom.attribute() == "B") return &(*raw)[1];
+    return &(*raw)[2];
+  };
+  switch (rng->NextBounded(4)) {
+    case 0:
+      fq.query =
+          Query::And({Query::Atomic("A", "t"), Query::Atomic("B", "t")});
+      break;
+    case 1:
+      fq.query = Query::Or({Query::Atomic("A", "t"), Query::Atomic("B", "t"),
+                            Query::Atomic("C", "t")});
+      break;
+    case 2:
+      fq.query = Query::And(
+          {Query::Atomic("A", "t"),
+           Query::Or({Query::Atomic("B", "t"), Query::Atomic("C", "t")})});
+      break;
+    default:
+      fq.query = Query::Atomic("A", "t");
+      break;
+  }
+  fq.k = 1 + rng->NextBounded(8);
+  if (rng->NextDouble() < 0.4) fq.budget = 1 + rng->NextBounded(40);
+  return fq;
+}
+
+// The server's execution path run serially with the same budget — what
+// every completed (uncancelled) fuzz answer must match bit for bit.
+ExecutionResult ServerSerialReference(const FuzzQuery& fq, const Workload& w) {
+  Result<std::vector<VectorSource>> sources = w.MakeSources();
+  EXPECT_TRUE(sources.ok());
+  auto raw = std::make_shared<std::vector<VectorSource>>(std::move(*sources));
+  SourceResolver resolver = [raw](const Query& atom) -> Result<GradedSource*> {
+    if (atom.attribute() == "A") return &(*raw)[0];
+    if (atom.attribute() == "B") return &(*raw)[1];
+    return &(*raw)[2];
+  };
+  Result<PlanChoice> plan = ChoosePlan(*fq.query, w.n(), fq.k, CostModel{});
+  EXPECT_TRUE(plan.ok());
+  ExecutorOptions opts;
+  opts.algorithm = plan->algorithm;
+  opts.combined_period = plan->combined_period;
+  opts.sorted_access_budget = fq.budget;
+  Result<ExecutionResult> r = ExecuteTopK(fq.query, resolver, fq.k, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(ServerFuzzTest, HostileSchedulesPreserveDeterminismUnderSubmitCancel) {
+  // The server driven by the hostile single-threaded scheduler: seeded
+  // schedules interleave submission, random cancellation, and deferred
+  // execution. Every ticket completes exactly once; every run that reached
+  // its halting condition (or its budget) matches the serial reference bit
+  // for bit; every cancelled run matches a serial run with a pre-cancelled
+  // governor (cancellation is single-threaded here, so it always lands
+  // between tasks — before execution starts, or after it finished).
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(11000 + seed);
+    size_t n = 40 + rng.NextBounded(120);
+    Workload w = (seed % 2 == 0) ? IndependentUniform(&rng, n, 3)
+                                 : QuantizedUniform(&rng, n, 3, 4);
+
+    ShuffledExecutor executor(12000 + seed);
+    QueryServerOptions options;
+    options.executor = &executor;
+    options.cache_results = false;  // every query must execute
+    QueryServer server(options);
+
+    std::vector<FuzzQuery> queries;
+    queries.reserve(30);
+    for (int q = 0; q < 30; ++q) {
+      queries.push_back(MakeFuzzQuery(w, &rng));
+      FuzzQuery& fq = queries.back();
+      SubmitOptions submit;
+      submit.sorted_access_budget = fq.budget;
+      Result<Submission> sub =
+          server.Submit(fq.query, fq.k, fq.resolver, submit);
+      ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+      fq.submission = std::move(sub).value();
+      // Randomly cancel an earlier (possibly already-run) query.
+      if (rng.NextDouble() < 0.3) {
+        FuzzQuery& victim = queries[rng.NextBounded(queries.size())];
+        if (victim.submission.governor != nullptr && !victim.cancelled) {
+          victim.submission.governor->Cancel();
+          victim.cancelled = true;
+        }
+      }
+    }
+    executor.Drain();  // must come before server.Drain(): it runs the tasks
+    server.Drain();
+
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const FuzzQuery& fq = queries[q];
+      ASSERT_TRUE(fq.submission.ticket->done()) << "seed " << seed;
+      const ServedResult& got = fq.submission.ticket->Wait();
+      ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+      const bool was_cancelled =
+          got.completion.code() == StatusCode::kCancelled;
+      EXPECT_TRUE(fq.cancelled || !was_cancelled) << "seed " << seed;
+
+      ExecutionResult want = ServerSerialReference(fq, w);
+      if (was_cancelled) {
+        // Cancel landed before execution: the reference is a run whose
+        // governor was cancelled up front.
+        Result<PlanChoice> plan =
+            ChoosePlan(*fq.query, w.n(), fq.k, CostModel{});
+        ASSERT_TRUE(plan.ok());
+        ExecutorOptions opts;
+        opts.algorithm = plan->algorithm;
+        opts.combined_period = plan->combined_period;
+        opts.governor = std::make_shared<AccessGovernor>(fq.budget);
+        opts.governor->Cancel();
+        Result<std::vector<VectorSource>> ref_sources = w.MakeSources();
+        ASSERT_TRUE(ref_sources.ok());
+        auto raw = std::make_shared<std::vector<VectorSource>>(
+            std::move(*ref_sources));
+        SourceResolver resolver =
+            [raw](const Query& atom) -> Result<GradedSource*> {
+          if (atom.attribute() == "A") return &(*raw)[0];
+          if (atom.attribute() == "B") return &(*raw)[1];
+          return &(*raw)[2];
+        };
+        Result<ExecutionResult> ref =
+            ExecuteTopK(fq.query, resolver, fq.k, opts);
+        ASSERT_TRUE(ref.ok());
+        want = std::move(ref).value();
+      }
+      ASSERT_EQ(got.topk.items.size(), want.topk.items.size())
+          << "seed " << seed << " query " << q;
+      for (size_t r = 0; r < want.topk.items.size(); ++r) {
+        EXPECT_EQ(got.topk.items[r].id, want.topk.items[r].id)
+            << "seed " << seed << " query " << q;
+        EXPECT_EQ(got.topk.items[r].grade, want.topk.items[r].grade)
+            << "seed " << seed << " query " << q;
+      }
+      EXPECT_EQ(got.topk.cost.sorted, want.topk.cost.sorted)
+          << "seed " << seed << " query " << q;
+      EXPECT_EQ(got.topk.cost.random, want.topk.cost.random)
+          << "seed " << seed << " query " << q;
+    }
+  }
+}
+
+TEST(ServerFuzzTest, RealThreadsConcurrentSubmitCancelDrain) {
+  // Real worker threads, concurrent cancellation from another thread.
+  // Cancel timing is racy by design, so the assertions split: queries no
+  // one cancelled must match serial bit for bit; cancelled ones must
+  // complete with a sane partial answer (exactly once, valid grades,
+  // completion one of OK/Cancelled/ResourceExhausted).
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(13000 + seed);
+    size_t n = 40 + rng.NextBounded(120);
+    Workload w = (seed % 2 == 0) ? IndependentUniform(&rng, n, 3)
+                                 : QuantizedUniform(&rng, n, 3, 4);
+
+    ThreadPool pool(3, 256);
+    QueryServerOptions options;
+    options.pool = &pool;
+    options.cache_results = false;
+    QueryServer server(options);
+
+    std::vector<FuzzQuery> queries;
+    queries.reserve(40);
+    for (int q = 0; q < 40; ++q) queries.push_back(MakeFuzzQuery(w, &rng));
+
+    // Submit everything, snapshotting the even-indexed governors (the
+    // cancel candidates; odd ones are left alone so their determinism can
+    // be asserted). The canceller then races *execution*, not submission —
+    // cancellation synchronizes through the governor's atomics alone.
+    for (FuzzQuery& fq : queries) {
+      SubmitOptions submit;
+      submit.sorted_access_budget = fq.budget;
+      Result<Submission> sub =
+          server.Submit(fq.query, fq.k, fq.resolver, submit);
+      ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+      fq.submission = std::move(sub).value();
+    }
+    std::vector<std::shared_ptr<AccessGovernor>> victims;
+    for (size_t q = 0; q < queries.size(); q += 2) {
+      if (queries[q].submission.governor != nullptr) {
+        victims.push_back(queries[q].submission.governor);
+      }
+    }
+    std::thread canceller([&] {
+      Rng crng(14000 + seed);
+      for (int shots = 0; shots < 200 && !victims.empty(); ++shots) {
+        victims[crng.NextBounded(victims.size())]->Cancel();
+        std::this_thread::yield();
+      }
+    });
+    canceller.join();
+    server.Drain();
+
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const FuzzQuery& fq = queries[q];
+      ASSERT_TRUE(fq.submission.ticket->done()) << "seed " << seed;
+      const ServedResult& got = fq.submission.ticket->Wait();
+      ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+      for (const GradedObject& item : got.topk.items) {
+        EXPECT_GE(item.grade, 0.0);
+        EXPECT_LE(item.grade, 1.0);
+      }
+      EXPECT_LE(got.topk.items.size(), fq.k);
+      const StatusCode code = got.completion.code();
+      EXPECT_TRUE(code == StatusCode::kOk || code == StatusCode::kCancelled ||
+                  code == StatusCode::kResourceExhausted)
+          << got.completion.ToString();
+      if (q % 2 == 1) {
+        // Never cancelled: full determinism holds.
+        EXPECT_NE(code, StatusCode::kCancelled);
+        ExecutionResult want = ServerSerialReference(fq, w);
+        ASSERT_EQ(got.topk.items.size(), want.topk.items.size())
+            << "seed " << seed << " query " << q;
+        for (size_t r = 0; r < want.topk.items.size(); ++r) {
+          EXPECT_EQ(got.topk.items[r].id, want.topk.items[r].id)
+              << "seed " << seed << " query " << q;
+          EXPECT_EQ(got.topk.items[r].grade, want.topk.items[r].grade)
+              << "seed " << seed << " query " << q;
+        }
+        EXPECT_EQ(got.topk.cost.sorted, want.topk.cost.sorted)
+            << "seed " << seed << " query " << q;
+      }
     }
   }
 }
