@@ -422,6 +422,18 @@ void PrintTables() {
   json.Set("qcascade.float_bounds_per_query",
            per_query(int8_stats.bound_computations));
   json.Set("qcascade.mismatches", int8_mm);
+  // Storage-tier counters (DESIGN §3k): this experiment runs over the
+  // RAM-resident store, so they must all be zero — the nonzero story is
+  // E23's (BENCH_storage.json). Stamped here so the trajectory shows the
+  // RAM baseline explicitly.
+  json.Set("qcascade.bytes_read_disk_per_query",
+           per_query(int8_stats.bytes_read_disk));
+  json.Set("qcascade.buffer_pool_hits_per_query",
+           per_query(int8_stats.buffer_pool_hits));
+  json.Set("qcascade.buffer_pool_misses_per_query",
+           per_query(int8_stats.buffer_pool_misses));
+  json.Set("qcascade.buffer_pool_evictions_per_query",
+           per_query(int8_stats.buffer_pool_evictions));
   json.Set("float_scan.bytes_per_query", float_scan_bytes);
   json.Set("qcascade.bytes_reduction_vs_float_scan", bytes_reduction);
   json.Set("tuned_cascade.prefix_dim", tuned.options.prefix_dim);

@@ -31,13 +31,20 @@
 #           halt_on_error with timeout-only retries, then a FUZZYDB_SMOKE=1
 #           pass of exp22_query_server (open-loop harness end to end, zero
 #           mismatches asserted inside the bench, no JSON write).
+#   storage Out-of-core gate (DESIGN §3k): an ASan+UBSan build running the
+#           storage suite with FUZZYDB_STORAGE_STRESS=1 (widened paging-
+#           equivalence sweep, handle-lifetime and corruption tests under
+#           the sanitizer), then TSan on the buffer pool and paged-store
+#           concurrency labels, then a FUZZYDB_SMOKE=1 pass of
+#           exp23_out_of_core (bounded-RSS paging end to end; warm int8
+#           queries asserted to read zero disk bytes inside the bench).
 #   bench   Native-arch Release build; runs the perf-trajectory benches
-#           (exp16, exp18, exp19, exp21, exp22) so their BENCH_*.json land in the repo
+#           (exp16, exp18, exp19, exp21, exp22, exp23) so their BENCH_*.json land in the repo
 #           root. Not a gate: on a 1-hardware-thread host it warns loudly
 #           and the reports carry "contention_only": true — the guarded
 #           writer refuses to overwrite a multi-core report with one.
-#   all     plain + asan + tsan + checks + simd + server + lint + analyze
-#           (default; bench is opt-in).
+#   all     plain + asan + tsan + checks + simd + server + storage + lint +
+#           analyze (default; bench is opt-in).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -97,6 +104,19 @@ case "${MODE}" in
     cmake --build build-server -j "${JOBS}" --target exp22_query_server
     FUZZYDB_SMOKE=1 ./build-server/bench/exp22_query_server \
       --benchmark_min_time=0.01 ;;
+  storage)
+    cmake -B build-asan -S . -DFUZZYDB_SANITIZE=ON
+    cmake --build build-asan -j "${JOBS}"
+    FUZZYDB_STORAGE_STRESS=1 ctest --test-dir build-asan \
+      --output-on-failure -j "${JOBS}" -R 'storage_'
+    cmake -B build-tsan -S . -DFUZZYDB_TSAN=ON
+    cmake --build build-tsan -j "${JOBS}"
+    TSAN_OPTIONS=halt_on_error=1 ctest --test-dir build-tsan \
+      --output-on-failure -j "${JOBS}" -R 'storage_' -L concurrency \
+      --repeat after-timeout:3
+    cmake --build build-asan -j "${JOBS}" --target exp23_out_of_core
+    FUZZYDB_SMOKE=1 ./build-asan/bench/exp23_out_of_core \
+      --benchmark_min_time=0.01 ;;
   bench)
     HW="$(nproc 2>/dev/null || echo 1)"
     if [ "${HW}" -le 1 ]; then
@@ -107,7 +127,8 @@ case "${MODE}" in
     cmake -B build-native -S . -DFUZZYDB_NATIVE_ARCH=ON
     cmake --build build-native -j "${JOBS}" --target \
       exp16_embedding_cascade exp18_parallel_middleware \
-      exp19_adaptive_parallel exp21_rtree_driver exp22_query_server
+      exp19_adaptive_parallel exp21_rtree_driver exp22_query_server \
+      exp23_out_of_core
     ./build-native/bench/exp16_embedding_cascade \
       --benchmark_min_time=0.01
     ./build-native/bench/exp18_parallel_middleware \
@@ -117,6 +138,8 @@ case "${MODE}" in
     ./build-native/bench/exp21_rtree_driver \
       --benchmark_min_time=0.01
     ./build-native/bench/exp22_query_server \
+      --benchmark_min_time=0.01
+    ./build-native/bench/exp23_out_of_core \
       --benchmark_min_time=0.01 ;;
   all)
     "$0" plain
@@ -125,10 +148,11 @@ case "${MODE}" in
     "$0" checks
     "$0" simd
     "$0" server
+    "$0" storage
     "$0" lint
     "$0" analyze ;;
   *)
-    echo "usage: $0 [plain|asan|tsan|checks|lint|analyze|simd|server|bench|all]" >&2
+    echo "usage: $0 [plain|asan|tsan|checks|lint|analyze|simd|server|storage|bench|all]" >&2
     exit 2 ;;
 esac
 

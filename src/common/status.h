@@ -24,6 +24,7 @@ enum class StatusCode {
   kResourceExhausted,
   kCancelled,
   kDeadlineExceeded,
+  kDataLoss,
 };
 
 /// Return value describing success or a recoverable failure.
@@ -69,6 +70,13 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Unrecoverable corruption of stored data (bad checksum, short read of a
+  /// region the header promised): the bytes on disk do not say what their
+  /// header claims. Distinct from InvalidArgument (a well-formed request for
+  /// something that is not a column file at all).
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -2,60 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <numeric>
-#include <string>
 
-#include "common/contract.h"
 #include "common/squared_distance.h"
 
 namespace fuzzydb {
 
+// The numeric kernels (exact selection, cascade, tie-breaks, counters) live
+// in image/knn_kernel.h, shared with the disk-backed paged store; this file
+// supplies only the RAM-resident row accessor and the shard orchestration.
+
 namespace {
 
-// Every code path (batch kernel, level-0 bound, incremental refinement,
-// serial or sharded) accumulates squared differences through the same
-// lane-blocked SquaredDistanceAccumulator, whose state after [a,b) then
-// [b,c) is bit-identical to one [a,c) pass. That split invariance is what
-// makes the cascade's numbers bit-identical to the batched exact kernel's,
-// and the sharded scans bit-identical to the serial ones.
+using knn_internal::KeepKSmallest;
+using knn_internal::ResolveShards;
+using knn_internal::RunShards;
+using knn_internal::ToOutput;
 
-// Sorts pairs lexicographically and keeps the k smallest — the shared merge
-// step of the sharded top-k paths. Selection runs on squared distances: the
-// final sqrt can round two distinct d^2 to the same double, so comparing
-// (d^2, index) keeps every path's tie-break identical.
-void KeepKSmallest(std::vector<std::pair<double, size_t>>* pairs, size_t k) {
-  k = std::min(k, pairs->size());
-  std::partial_sort(pairs->begin(), pairs->begin() + static_cast<long>(k),
-                    pairs->end());
-  pairs->resize(k);
-}
-
-std::vector<std::pair<size_t, double>> ToOutput(
-    std::vector<std::pair<double, size_t>> best) {
-  std::sort(best.begin(), best.end());
-  std::vector<std::pair<size_t, double>> out;
-  out.reserve(best.size());
-  for (const auto& [d2, idx] : best) {
-    out.emplace_back(idx, std::sqrt(d2));
-  }
-  return out;
-}
-
-// Runs fn(shard_index) for every shard, on the pool when given.
-void RunShards(ThreadPool* pool, size_t shards,
-               const std::function<void(size_t)>& fn) {
-  if (pool != nullptr) {
-    pool->ParallelFor(shards, fn);
-  } else {
-    for (size_t s = 0; s < shards; ++s) fn(s);
-  }
-}
-
-size_t ResolveShards(size_t shards, ThreadPool* pool, size_t n) {
-  if (shards == 0) shards = pool != nullptr ? pool->executors() : 1;
-  return std::max<size_t>(1, std::min(shards, std::max<size_t>(n, 1)));
-}
+// Zero-cost row access over the contiguous aligned buffer; never fails.
+struct DirectRows {
+  const double* base;
+  size_t stride;
+  const double* Acquire(size_t i) const { return base + i * stride; }
+};
 
 }  // namespace
 
@@ -108,21 +76,15 @@ std::vector<std::pair<size_t, double>> EmbeddingStore::ExactKnn(
   k = std::min(k, size_);
   assert(target.size() == dim_);
 
-  const double* FUZZYDB_RESTRICT t = target.data();
   const std::vector<ShardRange> ranges =
       MakeShards(size_, ResolveShards(shards, pool, size_));
   // Per-shard local top-k of (d^2, index); the global k smallest pairs are
   // contained in the union of the shard-local k smallest.
   std::vector<std::vector<std::pair<double, size_t>>> local(ranges.size());
   RunShards(pool, ranges.size(), [&](size_t s) {
-    const ShardRange r = ranges[s];
-    std::vector<std::pair<double, size_t>>& mine = local[s];
-    mine.reserve(r.size());
-    for (size_t i = r.begin; i < r.end; ++i) {
-      const double* FUZZYDB_RESTRICT row = data_.data() + i * stride_;
-      mine.emplace_back(SquaredDistance(row, t, dim_), i);
-    }
-    KeepKSmallest(&mine, k);
+    DirectRows rows{data_.data(), stride_};
+    knn_internal::ExactKnnShard(rows, target.data(), dim_, k, ranges[s],
+                                &local[s]);
   });
 
   std::vector<std::pair<double, size_t>> merged;
@@ -159,8 +121,10 @@ std::vector<std::pair<size_t, double>> EmbeddingStore::CascadeKnn(
   std::vector<std::vector<std::pair<double, size_t>>> local(ranges.size());
   std::vector<CascadeStats> local_stats(ranges.size());
   RunShards(pool, ranges.size(), [&](size_t s) {
-    CascadeShard(target.data(), k, options, qs != nullptr ? &qquery : nullptr,
-                 ranges[s], &local[s], &local_stats[s]);
+    DirectRows rows{data_.data(), stride_};
+    knn_internal::CascadeShard(rows, target.data(), dim_, k, options, qs,
+                               qs != nullptr ? &qquery : nullptr, ranges[s],
+                               &local[s], &local_stats[s]);
   });
 
   std::vector<std::pair<double, size_t>> merged;
@@ -173,145 +137,10 @@ std::vector<std::pair<size_t, double>> EmbeddingStore::CascadeKnn(
     // Summed in shard order — deterministic in (size, shards), independent
     // of thread scheduling.
     for (const CascadeStats& ls : local_stats) {
-      stats->quantized_bound_computations += ls.quantized_bound_computations;
-      stats->bound_computations += ls.bound_computations;
-      stats->candidates_refined += ls.candidates_refined;
-      stats->full_distance_computations += ls.full_distance_computations;
-      stats->dims_accumulated += ls.dims_accumulated;
-      stats->bytes_scanned_quantized += ls.bytes_scanned_quantized;
-      stats->bytes_scanned_prefix += ls.bytes_scanned_prefix;
-      stats->bytes_scanned_refine += ls.bytes_scanned_refine;
+      stats->Absorb(ls);
     }
   }
   return ToOutput(std::move(merged));
-}
-
-void EmbeddingStore::CascadeShard(
-    const double* target, size_t k, const CascadeOptions& options,
-    const QuantizedStore::EncodedQuery* qquery, ShardRange range,
-    std::vector<std::pair<double, size_t>>* best, CascadeStats* stats) const {
-  const size_t n = range.size();
-  if (n == 0) return;
-  k = std::min(k, n);
-  const size_t s0 = std::clamp<size_t>(options.prefix_dim, 1, dim_);
-  const size_t step = std::max<size_t>(options.step, 1);
-  const double* FUZZYDB_RESTRICT t = target;
-
-  // The cheap full-collection bound that orders the candidate walk: either
-  // the int8 level −1 (quantized codes, ~1 byte/dim) or the float s0-dim
-  // prefix (8 bytes/dim over s0 of dim_ dims). Both are admissible lower
-  // bounds on d^2, so either ordering admits early termination with no
-  // false dismissals. In float mode the accumulator state is kept so
-  // refinement can resume from the prefix without recomputing it.
-  std::vector<SquaredDistanceAccumulator> prefix;
-  std::vector<double> bound(n);
-  if (qquery != nullptr) {
-    for (size_t i = 0; i < n; ++i) {
-      bound[i] = quantized_.LowerBound2(*qquery, range.begin + i);
-    }
-    stats->quantized_bound_computations += n;
-    stats->bytes_scanned_quantized += n * quantized_.row_bytes();
-  } else {
-    prefix.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      const double* FUZZYDB_RESTRICT row =
-          data_.data() + (range.begin + i) * stride_;
-      prefix[i].Accumulate(row, t, 0, s0);
-      bound[i] = prefix[i].Total();
-    }
-    stats->bound_computations += n;
-    stats->bytes_scanned_prefix += n * s0 * sizeof(double);
-  }
-
-  // Visit candidates in ascending (bound, index) order.
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&bound](size_t a, size_t b) {
-    if (bound[a] != bound[b]) return bound[a] < bound[b];
-    return a < b;
-  });
-
-  // Current k best as (d^2, global index); "worst" is the lexicographic
-  // maximum, matching ExactKnn's tie-break (distance ascending, then index).
-  best->reserve(k);
-  size_t worst_pos = 0;
-  auto recompute_worst = [best, &worst_pos]() {
-    worst_pos = 0;
-    for (size_t p = 1; p < best->size(); ++p) {
-      if ((*best)[p] > (*best)[worst_pos]) worst_pos = p;
-    }
-  };
-
-  for (size_t local_idx : order) {
-    const double b = bound[local_idx];
-    // Strict >: a candidate whose bound ties the worst d^2 could still win
-    // its tie on index, so only a strictly larger bound ends the scan.
-    if (best->size() == k && b > (*best)[worst_pos].first) break;
-
-    // Refine dimension-incrementally from the prefix, early-exiting as soon
-    // as the partial sum (a valid lower bound at every length) provably
-    // exceeds the current k-th best.
-    const size_t idx = range.begin + local_idx;
-    const double* FUZZYDB_RESTRICT row = data_.data() + idx * stride_;
-    SquaredDistanceAccumulator acc;
-    bool pruned = false;
-    if (qquery != nullptr) {
-      // Level 0 runs lazily: the float prefix is read only for candidates
-      // the int8 bound could not dismiss. Its own bound can prune a
-      // candidate the walk ordering (keyed on the quantized bound) let
-      // through — a skip of this candidate, never a halt of the walk.
-      acc.Accumulate(row, t, 0, s0);
-      ++stats->bound_computations;
-      stats->bytes_scanned_prefix += s0 * sizeof(double);
-      pruned = s0 < dim_ && best->size() == k &&
-               acc.Total() > (*best)[worst_pos].first;
-    } else {
-      acc = prefix[local_idx];
-    }
-    size_t j = s0;
-    while (j < dim_ && !pruned) {
-      const size_t stop = std::min(dim_, j + step);
-      const double before = acc.Total();
-      acc.Accumulate(row, t, j, stop);
-      j = stop;
-      // The cascade is dismissal-free only while every level lower-bounds
-      // the next ([HSE+95]): accumulating non-negative squared terms can
-      // never shrink the partial sum, exactly, in floating point.
-      FUZZYDB_INVARIANT(acc.Total() >= before,
-                        "cascade partial sum shrank from " +
-                            std::to_string(before) + " to " +
-                            std::to_string(acc.Total()) + " at dim " +
-                            std::to_string(j) + " for row " +
-                            std::to_string(idx));
-      if (j < dim_ && best->size() == k &&
-          acc.Total() > (*best)[worst_pos].first) {
-        pruned = true;
-      }
-    }
-    // A fully refined candidate's exact d^2 must dominate the bound that
-    // ordered it — the quantized level −1 bound or the float level-0 prefix
-    // — or that bound could have falsely dismissed it.
-    FUZZYDB_INVARIANT(pruned || acc.Total() >= b,
-                      std::string("cascade level ") +
-                          (qquery != nullptr ? "-1 (int8)" : "0 (prefix)") +
-                          " bound " + std::to_string(b) +
-                          " exceeds exact d^2 " + std::to_string(acc.Total()) +
-                          " for row " + std::to_string(idx));
-    ++stats->candidates_refined;
-    stats->dims_accumulated += j - s0;
-    stats->bytes_scanned_refine += (j - s0) * sizeof(double);
-    if (j == dim_) ++stats->full_distance_computations;
-    if (pruned) continue;
-
-    const double d2 = acc.Total();
-    if (best->size() < k) {
-      best->emplace_back(d2, idx);
-      if (best->size() == k) recompute_worst();
-    } else if (std::pair(d2, idx) < (*best)[worst_pos]) {
-      (*best)[worst_pos] = {d2, idx};
-      recompute_worst();
-    }
-  }
 }
 
 }  // namespace fuzzydb

@@ -31,52 +31,15 @@
 
 #include "common/aligned_buffer.h"
 #include "common/thread_pool.h"
+#include "image/knn_kernel.h"
 #include "image/quadratic_distance.h"
 #include "image/quantized_store.h"
 
 namespace fuzzydb {
 
-/// Counters from a cascaded search.
-struct CascadeStats {
-  /// Rows scanned by the int8 level −1 (0 when the tier is off or absent).
-  size_t quantized_bound_computations = 0;
-  /// Float prefix-bound evaluations: one per stored object when the
-  /// quantized tier is off, one per surviving candidate when it is on.
-  size_t bound_computations = 0;
-  /// Candidates refined past the level-0 prefix bound.
-  size_t candidates_refined = 0;
-  /// Refinements carried to the full embedding dimension — the analogue of
-  /// FilteredSearchStats::full_distance_computations.
-  size_t full_distance_computations = 0;
-  /// Total embedding dimensions accumulated past level 0, across all
-  /// candidates (the cascade's actual refinement work).
-  size_t dims_accumulated = 0;
-  /// Bytes actually read from the store's buffers, per level: the int8
-  /// level −1 scan (codes + residuals), the float prefix bounds, and the
-  /// incremental refinements. The bandwidth story of the quantized tier is
-  /// measured here, not asserted.
-  size_t bytes_scanned_quantized = 0;
-  size_t bytes_scanned_prefix = 0;
-  size_t bytes_scanned_refine = 0;
-};
-
-/// Tuning knobs for CascadeKnn().
-struct CascadeOptions {
-  /// Level-0 bound length s: the prefix scanned for every object (clamped
-  /// to the embedding dimension). Deeper prefixes cost more per object but
-  /// admit fewer candidates into refinement.
-  size_t prefix_dim = 8;
-  /// Dimensions added per refinement level before re-checking the current
-  /// k-th best (the cascade's level granularity).
-  size_t step = 16;
-  /// Run the int8 level −1 when the store has its quantized companion
-  /// (DESIGN §3g): the full-object scan reads 1-byte codes instead of the
-  /// 8-byte float prefix, and the float prefix bound is computed only for
-  /// candidates the quantized bound cannot dismiss. Never changes answers
-  /// (the bound is admissible by construction), only costs; ignored when
-  /// the companion was not built.
-  bool use_quantized = true;
-};
+// CascadeStats and CascadeOptions live in image/knn_kernel.h, shared with
+// the disk-backed storage::PagedEmbeddingStore — both stores execute the
+// same templated kernels, which is what makes their answers bit-identical.
 
 /// A flat row-major collection of eigen-space embeddings: row i is the full
 /// k-dim embedding of object i. Rows are padded to a whole number of cache
@@ -176,24 +139,16 @@ class EmbeddingStore {
       std::span<const double> target, size_t k, const CascadeOptions& options,
       CascadeStats* stats, ThreadPool* pool, size_t shards = 0) const;
 
- private:
+  /// Doubles between row starts for a given dim: dim rounded up to a whole
+  /// cache line. Public so the on-disk column format (src/storage) can
+  /// promise the identical layout — paged rows must alias RAM rows exactly.
   static size_t RowStride(size_t dim) {
     constexpr size_t kDoublesPerLine =
         AlignedBuffer::kAlignment / sizeof(double);
     return (dim + kDoublesPerLine - 1) / kDoublesPerLine * kDoublesPerLine;
   }
 
-  // The cascade restricted to rows [range.begin, range.end): appends up to
-  // k local best (d^2, index) pairs to `best` (unsorted) and adds this
-  // shard's counters to `stats`. `qquery` non-null runs the int8 level −1
-  // in place of the all-rows float prefix scan.
-  void CascadeShard(const double* target, size_t k,
-                    const CascadeOptions& options,
-                    const QuantizedStore::EncodedQuery* qquery,
-                    ShardRange range,
-                    std::vector<std::pair<double, size_t>>* best,
-                    CascadeStats* stats) const;
-
+ private:
   size_t size_ = 0;
   size_t dim_ = 0;
   size_t stride_ = 0;

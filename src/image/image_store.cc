@@ -4,7 +4,10 @@
 
 namespace fuzzydb {
 
-Result<ImageStore> ImageStore::Generate(const ImageStoreOptions& options) {
+Result<StreamedCollection> ImageStore::GenerateStreaming(
+    const ImageStoreOptions& options,
+    const std::function<Status(const ImageRecord& record,
+                               std::span<const double> embedding)>& emit) {
   if (options.num_images == 0) {
     return Status::InvalidArgument("need at least one image");
   }
@@ -16,15 +19,19 @@ Result<ImageStore> ImageStore::Generate(const ImageStoreOptions& options) {
     return Status::InvalidArgument("bad shape vertex bounds");
   }
 
-  ImageStore store;
+  StreamedCollection out;
   Rng rng(options.seed);
-  store.palette_ = Palette::Uniform(options.palette_size, &rng);
-  Result<QuadraticFormDistance> qfd =
-      QuadraticFormDistance::Create(store.palette_);
+  out.palette = Palette::Uniform(options.palette_size, &rng);
+  Result<QuadraticFormDistance> qfd = QuadraticFormDistance::Create(out.palette);
   if (!qfd.ok()) return qfd.status();
-  store.qfd_ = std::move(qfd).value();
+  out.qfd = std::move(qfd).value();
 
-  store.images_.reserve(options.num_images);
+  // One record and one embedding row of state, reused every iteration —
+  // generation memory is O(1) in the collection size. Embedding a record
+  // consumes no rng draws, so interleaving embed with generation leaves
+  // the rng call order (and thus every record) identical to the old
+  // generate-all-then-embed-all path.
+  std::vector<double> row(options.palette_size);
   for (size_t i = 0; i < options.num_images; ++i) {
     ImageRecord rec;
     rec.id = options.first_id + i;
@@ -41,17 +48,31 @@ Result<ImageStore> ImageStore::Generate(const ImageStoreOptions& options) {
     Result<TextureFeatures> features = ComputeTextureFeatures(*patch);
     if (!features.ok()) return features.status();
     rec.texture = *features;
-    store.images_.push_back(std::move(rec));
+    // Ingest-time embedding: O(bins^2) once per image, so every later
+    // color distance against this collection is O(bins).
+    out.qfd.EmbedInto(rec.histogram, row);
+    FUZZYDB_RETURN_NOT_OK(emit(rec, row));
+    ++out.count;
   }
+  return out;
+}
 
-  // Ingest-time embedding: O(bins^2) once per image, so every later color
-  // distance against this collection is O(bins).
-  store.embeddings_ =
-      EmbeddingStore(store.images_.size(), options.palette_size);
-  for (size_t i = 0; i < store.images_.size(); ++i) {
-    store.qfd_.EmbedInto(store.images_[i].histogram,
-                         store.embeddings_.MutableRow(i));
-  }
+Result<ImageStore> ImageStore::Generate(const ImageStoreOptions& options) {
+  ImageStore store;
+  store.images_.reserve(options.num_images);
+  store.embeddings_ = EmbeddingStore(options.num_images, options.palette_size);
+  Result<StreamedCollection> streamed = GenerateStreaming(
+      options, [&store](const ImageRecord& rec,
+                        std::span<const double> embedding) {
+        const size_t i = store.images_.size();
+        store.images_.push_back(rec);
+        std::span<double> dest = store.embeddings_.MutableRow(i);
+        std::copy(embedding.begin(), embedding.end(), dest.begin());
+        return Status::OK();
+      });
+  if (!streamed.ok()) return streamed.status();
+  store.palette_ = std::move(streamed->palette);
+  store.qfd_ = std::move(streamed->qfd);
   // The int8 level −1 companion (DESIGN §3g), built once per collection so
   // the tuner below can measure whether the tier pays for itself here.
   store.embeddings_.BuildQuantized();

@@ -8,6 +8,8 @@
 #define FUZZYDB_IMAGE_IMAGE_STORE_H_
 
 #include <algorithm>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -55,12 +57,34 @@ struct ImageStoreOptions {
   bool tune_cascade = true;
 };
 
+/// The palette-level machinery of a streamed generation run: everything
+/// about the collection that is not per-image state. Callers keep this to
+/// embed query targets against the streamed rows later.
+struct StreamedCollection {
+  Palette palette;
+  QuadraticFormDistance qfd;
+  size_t count = 0;
+};
+
 /// An immutable collection of synthetic images plus the distance machinery
 /// for its palette.
 class ImageStore {
  public:
   /// Generates the collection deterministically from `options.seed`.
   static Result<ImageStore> Generate(const ImageStoreOptions& options);
+
+  /// The streaming generate-embed path: produces the same records and
+  /// embeddings as Generate() (same seed, same rng call order, bit-equal
+  /// rows), but hands each (record, embedding) to `emit` one at a time and
+  /// keeps nothing — peak memory is one record plus one embedding row, for
+  /// any collection size. Both backends ride this: Generate() emits into
+  /// the RAM store, the column-file ingester (src/storage) emits straight
+  /// to disk. A non-OK status from `emit` aborts generation and is
+  /// returned. The embedding span is only valid during the call.
+  static Result<StreamedCollection> GenerateStreaming(
+      const ImageStoreOptions& options,
+      const std::function<Status(const ImageRecord& record,
+                                 std::span<const double> embedding)>& emit);
 
   size_t size() const { return images_.size(); }
   const std::vector<ImageRecord>& images() const { return images_; }

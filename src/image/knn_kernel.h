@@ -1,0 +1,312 @@
+// The shared kNN / cascade kernels, templated over row access (DESIGN §3k).
+//
+// EmbeddingStore (RAM-resident rows) and storage::PagedEmbeddingStore
+// (disk-resident rows behind a buffer pool) must return *bit-identical*
+// answers: the paged store is a memory-hierarchy change, never a semantic
+// one. The only robust way to guarantee that is for both stores to execute
+// literally the same arithmetic in literally the same order — so the exact
+// top-k selection and the multi-level cascade live here as templates over a
+// RowAccessor, and each store supplies only the row-fetching policy:
+//
+//   struct RowAccessor {
+//     // Pointer to row i's doubles (valid until the next Acquire on this
+//     // accessor), or nullptr when the row cannot be read (I/O failure) —
+//     // the kernel then abandons the shard and the caller surfaces the
+//     // accessor's Status. A RAM-resident store never fails.
+//     const double* Acquire(size_t i);
+//   };
+//
+// Everything numeric — the split-invariant SquaredDistanceAccumulator, the
+// (d^2, index) lexicographic selection, the strict-> early-termination rule,
+// the quantized level −1 ordering — is shared, so a divergence between the
+// two stores can only come from the bytes of the rows themselves, which the
+// column-file format preserves exactly (doubles are written verbatim).
+//
+// One accessor instance is used per shard, by one thread; accessors
+// themselves need no synchronization (the buffer pool underneath the paged
+// accessor is thread-safe).
+
+#ifndef FUZZYDB_IMAGE_KNN_KERNEL_H_
+#define FUZZYDB_IMAGE_KNN_KERNEL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/contract.h"
+#include "common/squared_distance.h"
+#include "common/thread_pool.h"
+#include "image/quantized_store.h"
+
+namespace fuzzydb {
+
+/// Counters from a cascaded search (shared by both store backends).
+struct CascadeStats {
+  /// Rows scanned by the int8 level −1 (0 when the tier is off or absent).
+  size_t quantized_bound_computations = 0;
+  /// Float prefix-bound evaluations: one per stored object when the
+  /// quantized tier is off, one per surviving candidate when it is on.
+  size_t bound_computations = 0;
+  /// Candidates refined past the level-0 prefix bound.
+  size_t candidates_refined = 0;
+  /// Refinements carried to the full embedding dimension — the analogue of
+  /// FilteredSearchStats::full_distance_computations.
+  size_t full_distance_computations = 0;
+  /// Total embedding dimensions accumulated past level 0, across all
+  /// candidates (the cascade's actual refinement work).
+  size_t dims_accumulated = 0;
+  /// Bytes actually read from the store's buffers, per level: the int8
+  /// level −1 scan (codes + residuals), the float prefix bounds, and the
+  /// incremental refinements. The bandwidth story of the quantized tier is
+  /// measured here, not asserted.
+  size_t bytes_scanned_quantized = 0;
+  size_t bytes_scanned_prefix = 0;
+  size_t bytes_scanned_refine = 0;
+  /// Bytes the buffer pool read from disk during this search (0 for the
+  /// RAM-resident store). With the quantized tier on, the level −1 scan is
+  /// RAM-resident by design, so warm queries charge disk bytes only for
+  /// survivor pages pulled into the pool for exact re-rank.
+  size_t bytes_read_disk = 0;
+  /// Buffer-pool traffic during this search (all 0 for the RAM store).
+  size_t buffer_pool_hits = 0;
+  size_t buffer_pool_misses = 0;
+  size_t buffer_pool_evictions = 0;
+
+  /// Adds another shard's (or level's) counters into this one.
+  void Absorb(const CascadeStats& other) {
+    quantized_bound_computations += other.quantized_bound_computations;
+    bound_computations += other.bound_computations;
+    candidates_refined += other.candidates_refined;
+    full_distance_computations += other.full_distance_computations;
+    dims_accumulated += other.dims_accumulated;
+    bytes_scanned_quantized += other.bytes_scanned_quantized;
+    bytes_scanned_prefix += other.bytes_scanned_prefix;
+    bytes_scanned_refine += other.bytes_scanned_refine;
+    bytes_read_disk += other.bytes_read_disk;
+    buffer_pool_hits += other.buffer_pool_hits;
+    buffer_pool_misses += other.buffer_pool_misses;
+    buffer_pool_evictions += other.buffer_pool_evictions;
+  }
+};
+
+/// Tuning knobs for CascadeKnn().
+struct CascadeOptions {
+  /// Level-0 bound length s: the prefix scanned for every object (clamped
+  /// to the embedding dimension). Deeper prefixes cost more per object but
+  /// admit fewer candidates into refinement.
+  size_t prefix_dim = 8;
+  /// Dimensions added per refinement level before re-checking the current
+  /// k-th best (the cascade's level granularity).
+  size_t step = 16;
+  /// Run the int8 level −1 when the store has its quantized companion
+  /// (DESIGN §3g): the full-object scan reads 1-byte codes instead of the
+  /// 8-byte float prefix, and the float prefix bound is computed only for
+  /// candidates the quantized bound cannot dismiss. Never changes answers
+  /// (the bound is admissible by construction), only costs; ignored when
+  /// the companion was not built.
+  bool use_quantized = true;
+};
+
+namespace knn_internal {
+
+// Sorts pairs lexicographically and keeps the k smallest — the shared merge
+// step of the sharded top-k paths. Selection runs on squared distances: the
+// final sqrt can round two distinct d^2 to the same double, so comparing
+// (d^2, index) keeps every path's tie-break identical.
+inline void KeepKSmallest(std::vector<std::pair<double, size_t>>* pairs,
+                          size_t k) {
+  k = std::min(k, pairs->size());
+  std::partial_sort(pairs->begin(), pairs->begin() + static_cast<long>(k),
+                    pairs->end());
+  pairs->resize(k);
+}
+
+inline std::vector<std::pair<size_t, double>> ToOutput(
+    std::vector<std::pair<double, size_t>> best) {
+  std::sort(best.begin(), best.end());
+  std::vector<std::pair<size_t, double>> out;
+  out.reserve(best.size());
+  for (const auto& [d2, idx] : best) {
+    out.emplace_back(idx, std::sqrt(d2));
+  }
+  return out;
+}
+
+// Runs fn(shard_index) for every shard, on the pool when given.
+inline void RunShards(ThreadPool* pool, size_t shards,
+                      const std::function<void(size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(shards, fn);
+  } else {
+    for (size_t s = 0; s < shards; ++s) fn(s);
+  }
+}
+
+inline size_t ResolveShards(size_t shards, ThreadPool* pool, size_t n) {
+  if (shards == 0) shards = pool != nullptr ? pool->executors() : 1;
+  return std::max<size_t>(1, std::min(shards, std::max<size_t>(n, 1)));
+}
+
+// The exact top-k kernel restricted to rows [range.begin, range.end):
+// appends up to k local-best (d^2, index) pairs to `best` (unsorted).
+// Returns false iff the accessor failed mid-shard (partial `best` must be
+// discarded by the caller).
+template <typename RowAccessor>
+bool ExactKnnShard(RowAccessor& rows, const double* FUZZYDB_RESTRICT target,
+                   size_t dim, size_t k, ShardRange range,
+                   std::vector<std::pair<double, size_t>>* best) {
+  best->reserve(range.size());
+  for (size_t i = range.begin; i < range.end; ++i) {
+    const double* FUZZYDB_RESTRICT row = rows.Acquire(i);
+    if (row == nullptr) return false;
+    best->emplace_back(SquaredDistance(row, target, dim), i);
+  }
+  KeepKSmallest(best, std::min(k, range.size()));
+  return true;
+}
+
+// The cascade restricted to rows [range.begin, range.end): appends up to
+// k local best (d^2, index) pairs to `best` (unsorted) and adds this
+// shard's counters to `stats`. `qquery` non-null runs the int8 level −1
+// (over `qs`, indexed by *global* row number) in place of the all-rows
+// float prefix scan. Returns false iff the accessor failed mid-shard.
+template <typename RowAccessor>
+bool CascadeShard(RowAccessor& rows, const double* FUZZYDB_RESTRICT t,
+                  size_t dim, size_t k, const CascadeOptions& options,
+                  const QuantizedStore* qs,
+                  const QuantizedStore::EncodedQuery* qquery, ShardRange range,
+                  std::vector<std::pair<double, size_t>>* best,
+                  CascadeStats* stats) {
+  const size_t n = range.size();
+  if (n == 0) return true;
+  k = std::min(k, n);
+  const size_t s0 = std::clamp<size_t>(options.prefix_dim, 1, dim);
+  const size_t step = std::max<size_t>(options.step, 1);
+
+  // The cheap full-collection bound that orders the candidate walk: either
+  // the int8 level −1 (quantized codes, ~1 byte/dim) or the float s0-dim
+  // prefix (8 bytes/dim over s0 of dim dims). Both are admissible lower
+  // bounds on d^2, so either ordering admits early termination with no
+  // false dismissals. In float mode the accumulator state is kept so
+  // refinement can resume from the prefix without recomputing it.
+  std::vector<SquaredDistanceAccumulator> prefix;
+  std::vector<double> bound(n);
+  if (qquery != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      bound[i] = qs->LowerBound2(*qquery, range.begin + i);
+    }
+    stats->quantized_bound_computations += n;
+    stats->bytes_scanned_quantized += n * qs->row_bytes();
+  } else {
+    prefix.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double* FUZZYDB_RESTRICT row = rows.Acquire(range.begin + i);
+      if (row == nullptr) return false;
+      prefix[i].Accumulate(row, t, 0, s0);
+      bound[i] = prefix[i].Total();
+    }
+    stats->bound_computations += n;
+    stats->bytes_scanned_prefix += n * s0 * sizeof(double);
+  }
+
+  // Visit candidates in ascending (bound, index) order.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&bound](size_t a, size_t b) {
+    if (bound[a] != bound[b]) return bound[a] < bound[b];
+    return a < b;
+  });
+
+  // Current k best as (d^2, global index); "worst" is the lexicographic
+  // maximum, matching ExactKnn's tie-break (distance ascending, then index).
+  best->reserve(k);
+  size_t worst_pos = 0;
+  auto recompute_worst = [best, &worst_pos]() {
+    worst_pos = 0;
+    for (size_t p = 1; p < best->size(); ++p) {
+      if ((*best)[p] > (*best)[worst_pos]) worst_pos = p;
+    }
+  };
+
+  for (size_t local_idx : order) {
+    const double b = bound[local_idx];
+    // Strict >: a candidate whose bound ties the worst d^2 could still win
+    // its tie on index, so only a strictly larger bound ends the scan.
+    if (best->size() == k && b > (*best)[worst_pos].first) break;
+
+    // Refine dimension-incrementally from the prefix, early-exiting as soon
+    // as the partial sum (a valid lower bound at every length) provably
+    // exceeds the current k-th best.
+    const size_t idx = range.begin + local_idx;
+    const double* FUZZYDB_RESTRICT row = rows.Acquire(idx);
+    if (row == nullptr) return false;
+    SquaredDistanceAccumulator acc;
+    bool pruned = false;
+    if (qquery != nullptr) {
+      // Level 0 runs lazily: the float prefix is read only for candidates
+      // the int8 bound could not dismiss. Its own bound can prune a
+      // candidate the walk ordering (keyed on the quantized bound) let
+      // through — a skip of this candidate, never a halt of the walk.
+      acc.Accumulate(row, t, 0, s0);
+      ++stats->bound_computations;
+      stats->bytes_scanned_prefix += s0 * sizeof(double);
+      pruned = s0 < dim && best->size() == k &&
+               acc.Total() > (*best)[worst_pos].first;
+    } else {
+      acc = prefix[local_idx];
+    }
+    size_t j = s0;
+    while (j < dim && !pruned) {
+      const size_t stop = std::min(dim, j + step);
+      const double before = acc.Total();
+      acc.Accumulate(row, t, j, stop);
+      j = stop;
+      // The cascade is dismissal-free only while every level lower-bounds
+      // the next ([HSE+95]): accumulating non-negative squared terms can
+      // never shrink the partial sum, exactly, in floating point.
+      FUZZYDB_INVARIANT(acc.Total() >= before,
+                        "cascade partial sum shrank from " +
+                            std::to_string(before) + " to " +
+                            std::to_string(acc.Total()) + " at dim " +
+                            std::to_string(j) + " for row " +
+                            std::to_string(idx));
+      if (j < dim && best->size() == k &&
+          acc.Total() > (*best)[worst_pos].first) {
+        pruned = true;
+      }
+    }
+    // A fully refined candidate's exact d^2 must dominate the bound that
+    // ordered it — the quantized level −1 bound or the float level-0 prefix
+    // — or that bound could have falsely dismissed it.
+    FUZZYDB_INVARIANT(pruned || acc.Total() >= b,
+                      std::string("cascade level ") +
+                          (qquery != nullptr ? "-1 (int8)" : "0 (prefix)") +
+                          " bound " + std::to_string(b) +
+                          " exceeds exact d^2 " + std::to_string(acc.Total()) +
+                          " for row " + std::to_string(idx));
+    ++stats->candidates_refined;
+    stats->dims_accumulated += j - s0;
+    stats->bytes_scanned_refine += (j - s0) * sizeof(double);
+    if (j == dim) ++stats->full_distance_computations;
+    if (pruned) continue;
+
+    const double d2 = acc.Total();
+    if (best->size() < k) {
+      best->emplace_back(d2, idx);
+      if (best->size() == k) recompute_worst();
+    } else if (std::pair(d2, idx) < (*best)[worst_pos]) {
+      (*best)[worst_pos] = {d2, idx};
+      recompute_worst();
+    }
+  }
+  return true;
+}
+
+}  // namespace knn_internal
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_IMAGE_KNN_KERNEL_H_

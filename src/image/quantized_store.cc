@@ -31,22 +31,6 @@ int8_t QuantizeValue(double value, double scale) {
   return static_cast<int8_t>(std::lround(scaled));
 }
 
-// Encodes one row of `dim` doubles into `codes` (padded_dim entries, the
-// pad already zero) and returns the exact residual norm |x - x~|_2,
-// accumulated in ascending-dimension order (deterministic).
-double EncodeRow(const double* row, size_t dim, std::span<const double> scales,
-                 int8_t* codes) {
-  double residual_sq = 0.0;
-  for (size_t j = 0; j < dim; ++j) {
-    const double s = scales[j / QuantizedStore::kBlockDim];
-    const int8_t q = QuantizeValue(row[j], s);
-    codes[j] = q;
-    const double err = row[j] - static_cast<double>(q) * s;
-    residual_sq += err * err;
-  }
-  return std::sqrt(residual_sq);
-}
-
 void RunShards(ThreadPool* pool, size_t shards,
                const std::function<void(size_t)>& fn) {
   if (pool != nullptr) {
@@ -57,6 +41,46 @@ void RunShards(ThreadPool* pool, size_t shards,
 }
 
 }  // namespace
+
+// Accumulates the residual in ascending-dimension order (deterministic).
+double QuantizedStore::EncodeRowAgainst(const double* row, size_t dim,
+                                        std::span<const double> scales,
+                                        int8_t* codes) {
+  double residual_sq = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    const double s = scales[j / kBlockDim];
+    const int8_t q = QuantizeValue(row[j], s);
+    codes[j] = q;
+    const double err = row[j] - static_cast<double>(q) * s;
+    residual_sq += err * err;
+  }
+  return std::sqrt(residual_sq);
+}
+
+QuantizedStore QuantizedStore::FromParts(size_t size, size_t dim,
+                                         std::vector<double> scales,
+                                         std::vector<double> residuals,
+                                         AlignedArray<int8_t> codes) {
+  QuantizedStore store;
+  if (size == 0 || dim == 0) return store;
+  assert(dim <= kMaxBlocks * kBlockDim);
+  store.size_ = size;
+  store.dim_ = dim;
+  store.blocks_ = NumBlocks(dim);
+  store.padded_ = store.blocks_ * kBlockDim;
+  assert(scales.size() == store.blocks_ && residuals.size() == size &&
+         codes.size() == size * store.padded_);
+  store.kernel_level_ = simd::Active();
+  store.kernel_ = simd::ResolveBlockSsd(store.kernel_level_);
+  store.scales_ = std::move(scales);
+  store.scales_sq_.resize(store.blocks_);
+  for (size_t b = 0; b < store.blocks_; ++b) {
+    store.scales_sq_[b] = store.scales_[b] * store.scales_[b];
+  }
+  store.residuals_ = std::move(residuals);
+  store.codes_ = std::move(codes);
+  return store;
+}
 
 QuantizedStore QuantizedStore::Build(const double* rows, size_t size,
                                      size_t dim, size_t stride) {
@@ -89,7 +113,7 @@ QuantizedStore QuantizedStore::Build(const double* rows, size_t size,
   store.residuals_.resize(size);
   for (size_t i = 0; i < size; ++i) {
     store.residuals_[i] =
-        EncodeRow(rows + i * stride, dim, store.scales_,
+        EncodeRowAgainst(rows + i * stride, dim, store.scales_,
                   store.codes_.data() + i * store.padded_);
   }
   return store;
@@ -100,7 +124,8 @@ QuantizedStore::EncodedQuery QuantizedStore::EncodeQuery(
   assert(target.size() == dim_);
   EncodedQuery query;
   query.codes = AlignedArray<int8_t>(padded_);
-  query.residual = EncodeRow(target.data(), dim_, scales_, query.codes.data());
+  query.residual =
+      EncodeRowAgainst(target.data(), dim_, scales_, query.codes.data());
   return query;
 }
 

@@ -68,6 +68,38 @@ class QuantizedStore {
   static QuantizedStore Build(const double* rows, size_t size, size_t dim,
                               size_t stride);
 
+  /// Number of scale blocks for a given dim.
+  static size_t NumBlocks(size_t dim) {
+    return (dim + kBlockDim - 1) / kBlockDim;
+  }
+  /// Codes per row (dim rounded up to a whole block).
+  static size_t PaddedDim(size_t dim) { return NumBlocks(dim) * kBlockDim; }
+
+  /// Encodes one row of `dim` doubles against per-block `scales` into
+  /// `codes` (PaddedDim entries; pad must already be zero) and returns the
+  /// exact residual norm |x - x~|_2. This is the one encoding routine —
+  /// Build(), EncodeQuery(), and the streaming column-file writer all call
+  /// it, which is what makes a persisted tier byte-identical to a rebuilt
+  /// one.
+  static double EncodeRowAgainst(const double* row, size_t dim,
+                                 std::span<const double> scales, int8_t* codes);
+
+  /// Assembles a store from externally produced parts (the column-file
+  /// reader): per-block scales (already divided by kInt8CodeMax), per-row
+  /// exact residual norms, and row-major padded codes. The kernel is
+  /// re-resolved on this host — safe, because every kernel level computes
+  /// the same exact integer sums. Sizes must agree (codes = size *
+  /// PaddedDim(dim), scales = NumBlocks(dim), residuals = size).
+  static QuantizedStore FromParts(size_t size, size_t dim,
+                                  std::vector<double> scales,
+                                  std::vector<double> residuals,
+                                  AlignedArray<int8_t> codes);
+
+  /// Per-block scales (NumBlocks entries) — persistence accessor.
+  std::span<const double> scales() const { return scales_; }
+  /// Per-row residual norms — persistence accessor.
+  std::span<const double> residuals() const { return residuals_; }
+
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
   size_t dim() const { return dim_; }

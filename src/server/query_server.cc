@@ -24,6 +24,22 @@ Result<Submission> QueryServer::Submit(QueryPtr query, size_t k,
   if (query == nullptr) return Status::InvalidArgument("null query");
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
 
+  // Compose the backing store's generation into the cache version: a
+  // changed data_version invalidates before this query stamps its own
+  // store_version below, so nothing computed against the old data can be
+  // served or cached against the new.
+  if (options_.data_version) {
+    const uint64_t observed = options_.data_version();
+    bool changed = false;
+    {
+      MutexLock lock(mu_);
+      changed = last_data_version_.has_value() &&
+                *last_data_version_ != observed;
+      last_data_version_ = observed;
+    }
+    if (changed) InvalidateCache();
+  }
+
   // Resolve every atom now: fail fast on unknown attributes, and size the
   // plan from the widest list.
   std::vector<const Query*> atoms;

@@ -36,6 +36,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -71,6 +72,13 @@ struct QueryServerOptions {
   double budget_headroom = 0.0;
   /// Cache full results (plans are always cached). Partial results never.
   bool cache_results = true;
+  /// External data-generation probe. When set, every Submit compares the
+  /// probe's value against the last one observed and calls
+  /// InvalidateCache() on change — composing the cache's own version with
+  /// a backing store's (e.g. storage::PagedEmbeddingStore::version()), so
+  /// re-ingesting the on-disk collection can never serve stale cached
+  /// results. Must be cheap and thread-safe; called with no server lock.
+  std::function<uint64_t()> data_version;
 };
 
 /// Per-query knobs.
@@ -167,6 +175,9 @@ class QueryServer {
   CondVar drained_cv_;
   size_t in_flight_ GUARDED_BY(mu_) = 0;
   ServerStats stats_ GUARDED_BY(mu_);
+  /// Last options_.data_version() value observed (nullopt before the
+  /// first probe; the first observation never invalidates).
+  std::optional<uint64_t> last_data_version_ GUARDED_BY(mu_);
 };
 
 }  // namespace fuzzydb

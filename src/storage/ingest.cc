@@ -1,0 +1,45 @@
+#include "storage/ingest.h"
+
+#include <memory>
+#include <utility>
+
+namespace fuzzydb {
+namespace storage {
+
+Result<IngestedCollection> IngestGeneratedCollection(
+    const ImageStoreOptions& options, const std::string& path,
+    ColumnFileOptions file_options) {
+  // The eigen spectrum (one double per palette bin) is only known once
+  // generation has built the palette, which happens after the writer must
+  // exist — so reserve its room now and stamp it before Finish().
+  file_options.metadata.clear();
+  file_options.metadata_capacity = options.palette_size;
+  Result<std::unique_ptr<ColumnFileWriter>> created =
+      ColumnFileWriter::Create(path, options.palette_size, file_options);
+  if (!created.ok()) return created.status();
+  std::unique_ptr<ColumnFileWriter> writer = std::move(created).value();
+
+  Result<StreamedCollection> streamed = ImageStore::GenerateStreaming(
+      options,
+      [&writer](const ImageRecord& rec, std::span<const double> embedding) {
+        // The record (shape, texture, histogram) is a generation
+        // by-product here: only the embedding row persists. A real-image
+        // pipeline would archive records elsewhere; the column file is the
+        // query-serving artifact.
+        (void)rec;
+        return writer->AppendRow(embedding);
+      });
+  if (!streamed.ok()) return streamed.status();
+
+  FUZZYDB_RETURN_NOT_OK(writer->SetMetadata(streamed->qfd.eigenvalues()));
+  FUZZYDB_RETURN_NOT_OK(writer->Finish());
+
+  IngestedCollection out;
+  out.palette = std::move(streamed->palette);
+  out.qfd = std::move(streamed->qfd);
+  out.rows = streamed->count;
+  return out;
+}
+
+}  // namespace storage
+}  // namespace fuzzydb

@@ -1,0 +1,45 @@
+// Streaming ingestion into a column file (DESIGN §3k): generate → embed →
+// write, one row at a time, never materializing the float matrix.
+//
+// This is the out-of-core half of ImageStore::GenerateStreaming. Peak
+// memory during ingestion is one image record, one embedding row, one
+// file page, and the running quantization maxima — constant in N. The
+// writer's Finish() then makes one sequential re-read pass over the data
+// it just wrote to encode the int8 tier (codes need the final scales),
+// so total ingest I/O is: write the data once, read it once, write the
+// (8x smaller) quantized section once.
+
+#ifndef FUZZYDB_STORAGE_INGEST_H_
+#define FUZZYDB_STORAGE_INGEST_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "image/image_store.h"
+#include "storage/column_file.h"
+
+namespace fuzzydb {
+namespace storage {
+
+/// What a streamed ingest leaves in RAM: the palette machinery needed to
+/// embed query targets against the file later. The rows themselves are on
+/// disk only.
+struct IngestedCollection {
+  Palette palette;
+  QuadraticFormDistance qfd;
+  size_t rows = 0;
+};
+
+/// Generates the synthetic collection of `options` (same seed → same
+/// records and bit-equal embeddings as ImageStore::Generate) and streams
+/// its embedding rows into a column file at `path`. The file's eigenbasis
+/// metadata is stamped with the palette's eigen spectrum.
+/// `file_options.metadata` is overwritten; its other fields are honored.
+Result<IngestedCollection> IngestGeneratedCollection(
+    const ImageStoreOptions& options, const std::string& path,
+    ColumnFileOptions file_options = {});
+
+}  // namespace storage
+}  // namespace fuzzydb
+
+#endif  // FUZZYDB_STORAGE_INGEST_H_

@@ -1,0 +1,227 @@
+// Paged-store equivalence tests (DESIGN §3k): the acceptance criterion of
+// the storage engine is that at every page size × pool size × shard count,
+// the disk-backed store answers bit-identically to the RAM store built by
+// ImageStore::Generate from the same seed. AuditPagingEquivalence does the
+// exhaustive comparison; this file sweeps it over the configuration matrix
+// and covers the store-level lifecycle (version stamp, metadata, Close,
+// LoadToMemory, eviction pressure).
+//
+// Set FUZZYDB_STORAGE_STRESS=1 to widen the sweep (more pool sizes, more
+// targets) — the ASan verify leg runs with it on.
+
+#include "storage/paged_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/storage_audit.h"
+#include "image/image_store.h"
+#include "storage/column_file.h"
+#include "storage/ingest.h"
+
+namespace fuzzydb {
+namespace storage {
+namespace {
+
+ImageStoreOptions SmallCollection() {
+  ImageStoreOptions options;
+  options.num_images = 400;
+  options.palette_size = 16;
+  options.seed = 20230807;
+  options.tune_cascade = false;  // tuning changes costs, never answers
+  return options;
+}
+
+bool StressMode() {
+  const char* env = std::getenv("FUZZYDB_STORAGE_STRESS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "paged_" + name + ".fzdb";
+}
+
+// One ingest per page size, reused across pool configurations.
+struct Fixture {
+  ImageStore ram;
+  IngestedCollection ingested;
+  std::string path;
+};
+
+Fixture MakeFixture(const std::string& name, size_t page_bytes) {
+  const ImageStoreOptions options = SmallCollection();
+  Result<ImageStore> ram = ImageStore::Generate(options);
+  EXPECT_TRUE(ram.ok()) << ram.status().ToString();
+  ColumnFileOptions file_options;
+  file_options.page_bytes = page_bytes;
+  file_options.store_version = 42;
+  const std::string path = TestPath(name);
+  Result<IngestedCollection> ingested =
+      IngestGeneratedCollection(options, path, file_options);
+  EXPECT_TRUE(ingested.ok()) << ingested.status().ToString();
+  return Fixture{std::move(ram).value(), std::move(ingested).value(), path};
+}
+
+StorageAuditOptions AuditOptions(const ImageStore& ram) {
+  StorageAuditOptions options;
+  const size_t probes = StressMode() ? 6 : 3;
+  for (size_t t = 0; t < probes; ++t) {
+    const size_t i = (t * 131) % ram.size();
+    options.targets.push_back(
+        ram.color_distance().Embed(ram.image(i).histogram));
+  }
+  options.k = 10;
+  options.shard_counts = {2, 3};
+  return options;
+}
+
+TEST(PagedStoreTest, BitIdenticalAcrossPageAndPoolSizes) {
+  const std::vector<size_t> page_sizes = {4096, 64 * 1024};
+  for (size_t page_bytes : page_sizes) {
+    Fixture fx = MakeFixture("sweep_" + std::to_string(page_bytes), page_bytes);
+    const StorageAuditOptions audit = AuditOptions(fx.ram);
+
+    // Pool caps: tiny (4 pages — smaller than the file, so the scan
+    // evicts) and default (everything fits). Stress adds an in-between.
+    std::vector<size_t> pool_bytes = {4 * page_bytes, 256ull * 1024 * 1024};
+    if (StressMode()) pool_bytes.insert(pool_bytes.begin() + 1, 8 * page_bytes);
+
+    for (size_t pool_cap : pool_bytes) {
+      SCOPED_TRACE("page_bytes=" + std::to_string(page_bytes) +
+                   " pool_bytes=" + std::to_string(pool_cap));
+      PagedStoreOptions store_options;
+      store_options.pool_bytes = pool_cap;
+      Result<std::unique_ptr<PagedEmbeddingStore>> paged =
+          PagedEmbeddingStore::Open(fx.path, store_options);
+      ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+
+      AuditReport report =
+          AuditPagingEquivalence(**paged, fx.ram.embeddings(), audit);
+      EXPECT_TRUE(report.ok()) << report.ToString();
+
+      if (pool_cap == 4 * page_bytes && page_bytes == 4096) {
+        // The tiny pool genuinely paged: the file is 13 pages, the pool 4.
+        BufferPoolStats s = (*paged)->pool_stats();
+        EXPECT_GT(s.evictions, 0u);
+        EXPECT_GT(s.bytes_read_disk, 0u);
+      }
+    }
+    std::remove(fx.path.c_str());
+  }
+}
+
+TEST(PagedStoreTest, VersionAndMetadataSurviveTheRoundTrip) {
+  Fixture fx = MakeFixture("meta", 4096);
+  Result<std::unique_ptr<PagedEmbeddingStore>> paged =
+      PagedEmbeddingStore::Open(fx.path);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  EXPECT_EQ((*paged)->version(), 42u);
+  // The eigenbasis spectrum rides in the file's metadata block.
+  EXPECT_EQ((*paged)->metadata(), fx.ram.color_distance().eigenvalues());
+  EXPECT_EQ((*paged)->size(), fx.ram.size());
+  EXPECT_EQ((*paged)->dim(), fx.ram.embeddings().dim());
+  EXPECT_TRUE((*paged)->has_quantized());
+  std::remove(fx.path.c_str());
+}
+
+TEST(PagedStoreTest, SingleRowDistanceMatchesRam) {
+  Fixture fx = MakeFixture("probe", 4096);
+  Result<std::unique_ptr<PagedEmbeddingStore>> paged =
+      PagedEmbeddingStore::Open(fx.path);
+  ASSERT_TRUE(paged.ok());
+  const std::vector<double> target =
+      fx.ram.color_distance().Embed(fx.ram.image(5).histogram);
+  std::vector<double> expected(fx.ram.size());
+  fx.ram.embeddings().BatchDistances(target, expected);
+  for (size_t i : {size_t{0}, size_t{5}, size_t{131}, fx.ram.size() - 1}) {
+    Result<double> d = (*paged)->Distance(target, i);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    EXPECT_EQ(*d, expected[i]) << "row " << i;
+  }
+  EXPECT_EQ((*paged)->Distance(target, fx.ram.size()).status().code(),
+            StatusCode::kOutOfRange);
+  std::remove(fx.path.c_str());
+}
+
+TEST(PagedStoreTest, LoadToMemoryReconstitutesTheRamStore) {
+  Fixture fx = MakeFixture("load", 4096);
+  Result<std::unique_ptr<PagedEmbeddingStore>> paged =
+      PagedEmbeddingStore::Open(fx.path);
+  ASSERT_TRUE(paged.ok());
+  Result<EmbeddingStore> loaded = (*paged)->LoadToMemory();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // The materialized store is itself a valid RAM reference: auditing the
+  // paged store against it closes the loop disk → RAM → disk.
+  AuditReport report =
+      AuditPagingEquivalence(**paged, *loaded, AuditOptions(fx.ram));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  std::remove(fx.path.c_str());
+}
+
+TEST(PagedStoreTest, WarmCascadeReadsZeroDiskBytesAtLevelMinusOne) {
+  Fixture fx = MakeFixture("warm", 4096);
+  Result<std::unique_ptr<PagedEmbeddingStore>> paged =
+      PagedEmbeddingStore::Open(fx.path);  // default pool: whole file fits
+  ASSERT_TRUE(paged.ok());
+  const std::vector<double> target =
+      fx.ram.color_distance().Embed(fx.ram.image(9).histogram);
+  CascadeOptions cascade;
+  cascade.use_quantized = true;
+  // Cold query faults in whatever survivor pages it needs.
+  CascadeStats cold;
+  ASSERT_TRUE((*paged)->CascadeKnn(target, 10, cascade, &cold).ok());
+  // Warm repeat of the same query: the int8 level is RAM-resident and the
+  // survivor pages are retained, so zero bytes come off disk.
+  CascadeStats warm;
+  ASSERT_TRUE((*paged)->CascadeKnn(target, 10, cascade, &warm).ok());
+  EXPECT_EQ(warm.bytes_read_disk, 0u);
+  EXPECT_EQ(warm.buffer_pool_misses, 0u);
+  EXPECT_GT(warm.buffer_pool_hits, 0u);
+  EXPECT_GT(cold.bytes_read_disk, 0u);
+  std::remove(fx.path.c_str());
+}
+
+TEST(PagedStoreTest, QueriesAfterCloseFailCleanly) {
+  Fixture fx = MakeFixture("close", 4096);
+  Result<std::unique_ptr<PagedEmbeddingStore>> paged =
+      PagedEmbeddingStore::Open(fx.path);
+  ASSERT_TRUE(paged.ok());
+  const std::vector<double> target(
+      (*paged)->dim(), 0.25);
+  (*paged)->Close();
+  std::vector<double> out((*paged)->size());
+  EXPECT_EQ((*paged)->BatchDistances(target, out).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*paged)->ExactKnn(target, 5).status().code(),
+            StatusCode::kFailedPrecondition);
+  (*paged)->Close();  // idempotent
+  std::remove(fx.path.c_str());
+}
+
+TEST(PagedStoreTest, QuantizedTierCanBeDisabledAtOpen) {
+  Fixture fx = MakeFixture("noquant", 4096);
+  PagedStoreOptions options;
+  options.load_quantized = false;
+  Result<std::unique_ptr<PagedEmbeddingStore>> paged =
+      PagedEmbeddingStore::Open(fx.path, options);
+  ASSERT_TRUE(paged.ok());
+  EXPECT_FALSE((*paged)->has_quantized());
+  // Cascade still answers (it degrades to the float levels) and still
+  // matches exact.
+  const std::vector<double> target =
+      fx.ram.color_distance().Embed(fx.ram.image(3).histogram);
+  auto exact = (*paged)->ExactKnn(target, 10);
+  auto cascade = (*paged)->CascadeKnn(target, 10);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(cascade.ok());
+  EXPECT_EQ(*exact, *cascade);
+  std::remove(fx.path.c_str());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace fuzzydb
